@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared plumbing for the paper-reproduction bench binaries: config
+ * construction, suite execution and common derived metrics. Every
+ * binary in bench/ regenerates one table or figure of the paper and
+ * prints the same rows/series the paper reports.
+ */
+
+#ifndef WIVLIW_BENCH_BENCH_UTIL_HH
+#define WIVLIW_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+#include "support/stats.hh"
+#include "support/table.hh"
+
+namespace vliw::bench {
+
+/** Toolchain options for one experiment arm. */
+inline ToolchainOptions
+makeOpts(Heuristic h, UnrollPolicy unroll = UnrollPolicy::Selective,
+         bool aligned = true, bool chains = true)
+{
+    ToolchainOptions opts;
+    opts.heuristic = h;
+    opts.unroll = unroll;
+    opts.varAlignment = aligned;
+    opts.memChains = chains;
+    return opts;
+}
+
+/** Run the whole Mediabench-like suite under one configuration. */
+inline std::vector<BenchmarkRun>
+runSuite(const MachineConfig &cfg, const ToolchainOptions &opts)
+{
+    return Toolchain(cfg, opts).runSuite(mediabenchSuite());
+}
+
+/** Fraction of accesses in @p cls. */
+inline double
+classShare(const SimStats &s, AccessClass cls)
+{
+    const double total = double(s.memAccesses);
+    return total == 0.0
+        ? 0.0
+        : double(s.accessesByClass[std::size_t(cls)]) / total;
+}
+
+/** Stall share attributed to @p cls. */
+inline double
+stallShare(const SimStats &s, AccessClass cls)
+{
+    Cycles total = 0;
+    for (Cycles c : s.stallByClass)
+        total += c;
+    return total == 0
+        ? 0.0
+        : double(s.stallByClass[std::size_t(cls)]) / double(total);
+}
+
+inline Cycles
+suiteCycles(const std::vector<BenchmarkRun> &runs)
+{
+    Cycles total = 0;
+    for (const BenchmarkRun &r : runs)
+        total += r.total.totalCycles;
+    return total;
+}
+
+inline Cycles
+suiteStall(const std::vector<BenchmarkRun> &runs)
+{
+    Cycles total = 0;
+    for (const BenchmarkRun &r : runs)
+        total += r.total.stallCycles;
+    return total;
+}
+
+} // namespace vliw::bench
+
+#endif // WIVLIW_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Section 5.4 ("Further Work"): breaking memory dependent chains
+ * with loop versioning. The compiler emits a chained and an
+ * unchained version of each loop plus range-disjointness check
+ * code; invocations whose chained references do not actually alias
+ * run the unchained version. The paper measures, on epicdec, a
+ * tighter schedule (one main loop's compute time -67%), fewer
+ * remote accesses, and better Attraction Buffer usage.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace vliw;
+using namespace vliw::bench;
+
+int
+main()
+{
+    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
+
+    std::printf("Further work (Section 5.4): loop versioning to "
+                "break chains\n");
+    std::printf("====================================================="
+                "======\n\n");
+
+    ToolchainOptions plain = makeOpts(Heuristic::Ipbc);
+    ToolchainOptions versioned = plain;
+    versioned.loopVersioning = true;
+
+    const Toolchain base(cfg, plain);
+    const Toolchain with_versioning(cfg, versioned);
+
+    TextTable tab({"benchmark", "cycles", "cycles (versioned)",
+                   "gain", "local hits", "local hits (v)",
+                   "unchained invocations"});
+    Cycles total_plain = 0;
+    Cycles total_versioned = 0;
+
+    for (const BenchmarkSpec &bench : mediabenchSuite()) {
+        const BenchmarkRun a = base.runBenchmark(bench);
+        const BenchmarkRun b = with_versioning.runBenchmark(bench);
+        int unchained = 0;
+        for (const LoopRun &lr : b.loops)
+            unchained += lr.unchainedInvocations;
+        tab.newRow().cell(bench.name);
+        tab.cell(std::int64_t(a.total.totalCycles));
+        tab.cell(std::int64_t(b.total.totalCycles));
+        tab.percentCell(
+            1.0 - double(b.total.totalCycles) /
+                      double(a.total.totalCycles));
+        tab.percentCell(a.total.localHitRatio());
+        tab.percentCell(b.total.localHitRatio());
+        tab.cell(std::int64_t(unchained));
+        total_plain += a.total.totalCycles;
+        total_versioned += b.total.totalCycles;
+    }
+    tab.print(std::cout);
+
+    std::printf("\nsuite: %lld -> %lld cycles (%.1f%% gain); the "
+                "check code only fires on\ninvocations whose "
+                "chained references are dynamically disjoint, so "
+                "true\nin-place updates (gsm lattices, pgp limbs) "
+                "keep their chains and their\ncorrectness.\n",
+                static_cast<long long>(total_plain),
+                static_cast<long long>(total_versioned),
+                (1.0 - double(total_versioned) /
+                           double(total_plain)) * 100.0);
+
+    // The epicdec focus loop, as in the paper.
+    std::printf("\nepicdec per-loop view (versioned run)\n");
+    TextTable ep({"loop", "II", "unchained invocations",
+                  "stall"});
+    const BenchmarkRun run =
+        with_versioning.runBenchmark(makeBenchmark("epicdec"));
+    for (const LoopRun &lr : run.loops) {
+        ep.newRow().cell(lr.name);
+        ep.cell(std::int64_t(lr.ii));
+        ep.cell(std::int64_t(lr.unchainedInvocations));
+        ep.cell(std::int64_t(lr.sim.stallCycles));
+    }
+    ep.print(std::cout);
+    return 0;
+}

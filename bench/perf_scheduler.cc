@@ -1,0 +1,132 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the compiler itself: circuit
+ * enumeration, SMS ordering, latency assignment, the clustered
+ * modulo scheduler, and the full per-loop pipeline. These bound the
+ * compile-time cost of the proposed techniques.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/toolchain.hh"
+#include "ddg/mii.hh"
+#include "sched/latency_assign.hh"
+#include "sched/scheduler.hh"
+#include "sched/sms_order.hh"
+#include "../tests/util_random_ddg.hh"
+
+using namespace vliw;
+using vliw::testutil::makeRandomLoop;
+using vliw::testutil::RandomDdgOptions;
+
+namespace {
+
+RandomDdgOptions
+sizedOptions(int nodes)
+{
+    RandomDdgOptions opts;
+    opts.minNodes = nodes;
+    opts.maxNodes = nodes;
+    return opts;
+}
+
+void
+BM_FindCircuits(benchmark::State &state)
+{
+    const auto loop = makeRandomLoop(7, 4,
+                                     sizedOptions(int(state.range(0))));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(findCircuits(loop.ddg));
+}
+BENCHMARK(BM_FindCircuits)->Arg(12)->Arg(24)->Arg(48);
+
+void
+BM_SmsOrder(benchmark::State &state)
+{
+    const auto loop = makeRandomLoop(7, 4,
+                                     sizedOptions(int(state.range(0))));
+    const auto circuits = findCircuits(loop.ddg);
+    const LatencyMap lat(loop.ddg, 5);
+    int mii = 1;
+    for (const Circuit &c : circuits)
+        mii = std::max(mii, c.recurrenceIi(loop.ddg, lat));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            smsOrder(loop.ddg, circuits, lat, mii));
+    }
+}
+BENCHMARK(BM_SmsOrder)->Arg(12)->Arg(24)->Arg(48);
+
+void
+BM_AssignLatencies(benchmark::State &state)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const auto loop = makeRandomLoop(11, 4,
+                                     sizedOptions(int(state.range(0))));
+    const auto circuits = findCircuits(loop.ddg);
+    const LatencyScheme scheme = LatencyScheme::fourClass(cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(assignLatencies(
+            loop.ddg, circuits, loop.profile, scheme, cfg));
+    }
+}
+BENCHMARK(BM_AssignLatencies)->Arg(12)->Arg(24)->Arg(48);
+
+void
+BM_ScheduleLoop(benchmark::State &state)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const auto loop = makeRandomLoop(13, 4,
+                                     sizedOptions(int(state.range(0))));
+    const auto circuits = findCircuits(loop.ddg);
+    const LatencyScheme scheme = LatencyScheme::fourClass(cfg);
+    const LatencyAssignment assignment = assignLatencies(
+        loop.ddg, circuits, loop.profile, scheme, cfg);
+    const int mii = std::max(
+        assignment.miiTarget,
+        computeMii(loop.ddg, circuits, assignment.latencies, cfg));
+    SchedulerOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    opts.maxIiTries = 128;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduleLoop(
+            loop.ddg, circuits, assignment.latencies, loop.profile,
+            cfg, mii, opts));
+    }
+}
+BENCHMARK(BM_ScheduleLoop)->Arg(12)->Arg(24)->Arg(48);
+
+void
+BM_CompileBenchmarkLoop(benchmark::State &state)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
+    ToolchainOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    opts.unroll = UnrollPolicy::Selective;
+    const Toolchain chain(cfg, opts);
+    const BenchmarkSpec bench = makeBenchmark("gsmdec");
+    for (auto _ : state) {
+        for (const LoopSpec &loop : bench.loops) {
+            benchmark::DoNotOptimize(
+                chain.compileLoop(bench, loop));
+        }
+    }
+}
+BENCHMARK(BM_CompileBenchmarkLoop);
+
+void
+BM_SimulateBenchmark(benchmark::State &state)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
+    ToolchainOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    const Toolchain chain(cfg, opts);
+    const BenchmarkSpec bench = makeBenchmark("rasta");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(chain.runBenchmark(bench));
+}
+BENCHMARK(BM_SimulateBenchmark);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table 1: the benchmark suite characterisation -- loops, dynamic
+ * memory accesses, and the dominant element size with its dynamic
+ * share, compared against the shares reported in the paper.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace vliw;
+using namespace vliw::bench;
+
+int
+main()
+{
+    std::printf("Table 1: benchmark characterisation\n");
+    std::printf("===================================\n\n");
+
+    TextTable tab({"benchmark", "loops", "mem ops", "dyn accesses",
+                   "main size", "measured share", "paper share"});
+
+    for (const BenchmarkSpec &bench : mediabenchSuite()) {
+        // Dynamic access counts per element size, from the loop
+        // structure (each op runs iterations x invocations times).
+        std::map<int, std::uint64_t> by_size;
+        std::uint64_t total = 0;
+        int static_ops = 0;
+        for (const LoopSpec &loop : bench.loops) {
+            const std::uint64_t execs =
+                std::uint64_t(loop.avgIterations) *
+                std::uint64_t(loop.invocations);
+            for (NodeId v : loop.body.memNodes()) {
+                by_size[loop.body.memInfo(v).granularity] += execs;
+                total += execs;
+                ++static_ops;
+            }
+        }
+        const std::uint64_t main_count = by_size[bench.mainDataSize];
+
+        tab.newRow().cell(bench.name);
+        tab.cell(std::int64_t(bench.loops.size()));
+        tab.cell(std::int64_t(static_ops));
+        tab.cell(std::uint64_t(total));
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "%d bytes",
+                      bench.mainDataSize);
+        tab.cell(std::string(buf));
+        tab.percentCell(total ? double(main_count) / double(total)
+                              : 0.0);
+        tab.percentCell(bench.mainDataShare);
+    }
+    tab.print(std::cout);
+
+    std::printf("\nConfiguration parameters (Table 2)\n");
+    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
+    std::printf("  clusters            : %d (1 INT + 1 FP + 1 MEM "
+                "each)\n", cfg.numClusters);
+    std::printf("  L1 cache            : %d KB total, %d-byte "
+                "blocks, %d-way\n", cfg.cacheBytes / 1024,
+                cfg.blockBytes, cfg.cacheWays);
+    std::printf("  interleaving factor : %d bytes\n",
+                cfg.interleaveBytes);
+    std::printf("  latencies LH/RH/LM/RM: %d/%d/%d/%d cycles\n",
+                cfg.latLocalHit, cfg.latRemoteHit, cfg.latLocalMiss,
+                cfg.latRemoteMiss);
+    std::printf("  register buses      : %d at 1/2 core frequency\n",
+                cfg.regBuses);
+    std::printf("  memory buses        : %d at 1/2 core frequency\n",
+                cfg.memBuses);
+    std::printf("  next level          : %d ports, %d-cycle total, "
+                "always hits\n", cfg.nextLevelPorts,
+                cfg.latNextLevel);
+    std::printf("  attraction buffers  : %d entries, %d-way\n",
+                cfg.abEntries, cfg.abWays);
+    return 0;
+}

@@ -1,0 +1,294 @@
+#include "toolchain.hh"
+
+#include <algorithm>
+
+#include "core/versioning.hh"
+#include "ddg/mii.hh"
+#include "ddg/unroll.hh"
+#include "sim/vliw_sim.hh"
+#include "support/logging.hh"
+#include "workloads/address_gen.hh"
+#include "workloads/dataset.hh"
+
+namespace vliw {
+
+Toolchain::Toolchain(const MachineConfig &cfg,
+                     const ToolchainOptions &opts)
+    : cfg_(cfg), opts_(opts)
+{
+    cfg_.validate();
+}
+
+LatencyScheme
+Toolchain::makeScheme() const
+{
+    switch (cfg_.cacheOrg) {
+      case CacheOrg::Interleaved:
+        return LatencyScheme::fourClass(cfg_);
+      case CacheOrg::Unified:
+        return LatencyScheme::twoClassUnified(cfg_);
+      case CacheOrg::MultiVliw:
+        return LatencyScheme::twoClassCoherent(cfg_);
+    }
+    vliw_panic("unknown cache organisation");
+}
+
+bool
+Toolchain::chainsEnabled() const
+{
+    // The unified cache serialises everything centrally; chains are
+    // an interleaved/multiVLIW compiler constraint.
+    return opts_.memChains && cfg_.cacheOrg != CacheOrg::Unified;
+}
+
+CompiledLoop
+Toolchain::compileAt(const BenchmarkSpec &bench, const LoopSpec &loop,
+                     int factor) const
+{
+    CompiledLoop out;
+    out.name = loop.name;
+    out.unrollFactor = factor;
+    out.invocations = loop.invocations;
+    vliw_assert(loop.avgIterations % factor == 0,
+                "trip count ", loop.avgIterations,
+                " not divisible by unroll factor ", factor);
+    out.kernelIterations = loop.avgIterations / factor;
+
+    out.ddg = unrollDdg(loop.body, factor);
+
+    // Profile the unrolled body on the profile data set.
+    const DataSet prof_ds = makeDataSet(bench, cfg_,
+                                        opts_.profileSeed,
+                                        opts_.varAlignment);
+    AddressResolver prof_addr(out.ddg, bench, prof_ds);
+    out.profile = profileLoop(out.ddg, prof_addr,
+                              out.kernelIterations, loop.invocations,
+                              cfg_, opts_.profile);
+
+    const std::vector<Circuit> circuits = findCircuits(out.ddg);
+    const LatencyScheme scheme = makeScheme();
+    out.latency = assignLatencies(out.ddg, circuits, out.profile,
+                                  scheme, cfg_);
+
+    // Attraction hints need the assigned latencies: only loads
+    // scheduled below the remote-hit latency can stall on remote
+    // hits, so only those benefit from buffer capacity.
+    if (opts_.abHints && cfg_.attractionBuffers &&
+        opts_.abHintBudget > 0) {
+        applyAbHints(out.ddg, out.profile, out.latency.latencies);
+    }
+
+    // Recurrences that could not reach the target keep the MII up.
+    out.mii = std::max(out.latency.miiTarget,
+                       computeMii(out.ddg, circuits,
+                                  out.latency.latencies, cfg_));
+
+    SchedulerOptions sched_opts;
+    sched_opts.heuristic = opts_.heuristic;
+    sched_opts.useChains = chainsEnabled();
+    sched_opts.maxIiTries = opts_.maxIiTries;
+
+    auto outcome = scheduleLoop(out.ddg, circuits,
+                                out.latency.latencies, out.profile,
+                                cfg_, out.mii, sched_opts);
+    if (!outcome) {
+        vliw_fatal("loop ", bench.name, "/", loop.name,
+                   " failed to schedule within ", opts_.maxIiTries,
+                   " II attempts (mii ", out.mii, ")");
+    }
+    out.sched = std::move(*outcome);
+    return out;
+}
+
+void
+Toolchain::applyAbHints(Ddg &ddg, const ProfileMap &prof,
+                        const LatencyMap &lat) const
+{
+    // Rank loads by the stall the buffer can actually save: the
+    // expected remote accesses times the remote-hit exposure of the
+    // assigned latency (a load scheduled at or above the remote-hit
+    // latency never stalls on a remote hit).
+    std::vector<std::pair<double, NodeId>> ranked;
+    for (NodeId v : ddg.memNodes()) {
+        if (ddg.node(v).kind != OpKind::Load)
+            continue;
+        const MemProfile &p = prof.at(v);
+        const double exposure = std::max(
+            0, cfg_.latRemoteHit - lat(v));
+        ranked.emplace_back(
+            double(p.executions) * (1.0 - p.localRatio) * exposure,
+            v);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first > b.first;
+              });
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        ddg.memInfo(ranked[i].second).attractable =
+            i < std::size_t(opts_.abHintBudget);
+    }
+}
+
+CompiledLoop
+Toolchain::compileLoop(const BenchmarkSpec &bench,
+                       const LoopSpec &loop) const
+{
+    // Per-instruction analysis wants the original loop's profile.
+    const DataSet prof_ds = makeDataSet(bench, cfg_,
+                                        opts_.profileSeed,
+                                        opts_.varAlignment);
+    AddressResolver orig_addr(loop.body, bench, prof_ds);
+    const ProfileMap orig_prof =
+        profileLoop(loop.body, orig_addr, loop.avgIterations,
+                    loop.invocations, cfg_, opts_.profile);
+
+    const int ouf = computeOuf(loop.body, orig_prof, cfg_);
+
+    auto policy_factor = [&](UnrollPolicy policy) {
+        switch (policy) {
+          case UnrollPolicy::None:   return 1;
+          case UnrollPolicy::TimesN: return cfg_.numClusters;
+          case UnrollPolicy::Ouf:    return ouf;
+          case UnrollPolicy::Selective: break;
+        }
+        return 1;
+    };
+
+    if (opts_.unroll != UnrollPolicy::Selective) {
+        CompiledLoop out =
+            compileAt(bench, loop, policy_factor(opts_.unroll));
+        out.policyChosen = opts_.unroll;
+        return out;
+    }
+
+    // Selective unrolling: estimate Texec for the three candidate
+    // factors and keep the best (paper Section 4.3.1 step 1).
+    const std::vector<UnrollPolicy> candidates = {
+        UnrollPolicy::None, UnrollPolicy::TimesN, UnrollPolicy::Ouf};
+    CompiledLoop best;
+    double best_cost = 0.0;
+    bool first = true;
+    for (UnrollPolicy policy : candidates) {
+        const int factor = policy_factor(policy);
+        if (!first && factor == best.unrollFactor)
+            continue;   // identical factor, identical schedule
+        CompiledLoop cand = compileAt(bench, loop, factor);
+        cand.policyChosen = policy;
+        const double cost = estimateTexec(
+            double(loop.avgIterations), factor,
+            cand.sched.schedule.stageCount, cand.sched.schedule.ii);
+        if (first || cost < best_cost) {
+            best = std::move(cand);
+            best_cost = cost;
+            best.policyChosen = UnrollPolicy::Selective;
+        }
+        first = false;
+    }
+    return best;
+}
+
+BenchmarkRun
+Toolchain::runBenchmark(const BenchmarkSpec &bench) const
+{
+    BenchmarkRun run;
+    run.name = bench.name;
+
+    const DataSet exec_ds = makeDataSet(bench, cfg_, opts_.execSeed,
+                                        opts_.varAlignment);
+    auto mem = makeMemSystem(cfg_);
+    Cycles clock = 0;
+
+    std::vector<double> balances;
+    std::vector<double> weights;
+
+    for (const LoopSpec &loop : bench.loops) {
+        CompiledLoop compiled = compileLoop(bench, loop);
+
+        // Loop versioning (Section 5.4): a chain-free second
+        // version plus the dynamic disjointness check.
+        std::optional<CompiledLoop> unchained;
+        std::optional<MemChains> chains;
+        if (opts_.loopVersioning && chainsEnabled()) {
+            chains.emplace(compiled.ddg);
+            if (chains->maxChainSize() > 1) {
+                ToolchainOptions no_chain_opts = opts_;
+                no_chain_opts.memChains = false;
+                no_chain_opts.loopVersioning = false;
+                unchained = Toolchain(cfg_, no_chain_opts)
+                    .compileLoop(bench, loop);
+            }
+        }
+
+        AddressResolver exec_addr(compiled.ddg, bench, exec_ds);
+        std::optional<AddressResolver> unchained_addr;
+        if (unchained)
+            unchained_addr.emplace(unchained->ddg, bench, exec_ds);
+
+        LoopRun lr;
+        lr.name = loop.name;
+        lr.unrollFactor = compiled.unrollFactor;
+        lr.ii = compiled.sched.schedule.ii;
+        lr.stageCount = compiled.sched.schedule.stageCount;
+        lr.copies = compiled.sched.schedule.numCopies();
+        lr.workloadBalance =
+            compiled.sched.schedule.workloadBalance(cfg_.numClusters);
+
+        for (int inv = 0; inv < compiled.invocations; ++inv) {
+            exec_addr.setInvocation(inv);
+
+            // The check code: run the unchained version when its
+            // chained references are dynamically disjoint.
+            const CompiledLoop *version = &compiled;
+            AddressResolver *addr = &exec_addr;
+            if (unchained) {
+                unchained_addr->setInvocation(inv);
+                if (chainsDynamicallyDisjoint(
+                        compiled.ddg, *chains, exec_addr,
+                        compiled.kernelIterations)) {
+                    version = &*unchained;
+                    addr = &*unchained_addr;
+                    lr.unchainedInvocations += 1;
+                }
+            }
+
+            LoopExecution exec;
+            exec.ddg = &version->ddg;
+            exec.schedule = &version->sched.schedule;
+            exec.latencies = &version->latency.latencies;
+            exec.profile = &version->profile;
+            exec.iterations = version->kernelIterations;
+            exec.startCycle = clock;
+            exec.addressOf = [&](NodeId v, std::int64_t iter) {
+                return addr->addressOf(v, iter);
+            };
+            const LoopSimResult result =
+                simulateLoop(exec, *mem, cfg_);
+            lr.sim.merge(result.stats);
+            clock = result.endCycle;
+            // Attraction Buffers flush when a loop finishes.
+            mem->loopBoundary();
+        }
+
+        lr.dynamicInsts = lr.sim.dynamicOps;
+        balances.push_back(lr.workloadBalance);
+        weights.push_back(double(lr.dynamicInsts));
+        run.total.merge(lr.sim);
+        run.loops.push_back(std::move(lr));
+    }
+
+    run.workloadBalance = balances.empty()
+        ? 0.0 : weightedMean(balances, weights);
+    return run;
+}
+
+std::vector<BenchmarkRun>
+Toolchain::runSuite(const std::vector<BenchmarkSpec> &suite) const
+{
+    std::vector<BenchmarkRun> runs;
+    runs.reserve(suite.size());
+    for (const BenchmarkSpec &bench : suite)
+        runs.push_back(runBenchmark(bench));
+    return runs;
+}
+
+} // namespace vliw

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The top-level compile-and-simulate pipeline (the public API most
+ * users want): for each loop of a benchmark it
+ *
+ *   1. picks an unrolling factor (none / xN / OUF / selective),
+ *   2. profiles the unrolled body on the PROFILE data set,
+ *   3. assigns latencies to memory instructions (4- or 2-class),
+ *   4. orders the nodes (SMS) and runs the clustered modulo
+ *      scheduler with the selected heuristic (BASE / IBC / IPBC),
+ *   5. executes the schedule on the EXECUTION data set against the
+ *      configured memory system (interleaved / unified / multiVLIW).
+ *
+ * This mirrors the paper's flow in Sections 4.2-4.3 and 5.1.
+ */
+
+#ifndef WIVLIW_CORE_TOOLCHAIN_HH
+#define WIVLIW_CORE_TOOLCHAIN_HH
+
+#include <string>
+#include <vector>
+
+#include "ddg/profile_map.hh"
+#include "machine/machine_config.hh"
+#include "sched/latency_assign.hh"
+#include "sched/scheduler.hh"
+#include "sched/unroll_policy.hh"
+#include "sim/sim_stats.hh"
+#include "workloads/mediabench.hh"
+#include "workloads/profiler.hh"
+
+namespace vliw {
+
+/** Pipeline configuration. */
+struct ToolchainOptions
+{
+    Heuristic heuristic = Heuristic::Ipbc;
+    UnrollPolicy unroll = UnrollPolicy::Selective;
+    /** Variable alignment (padding) of stack/heap data. */
+    bool varAlignment = true;
+    /** Build and enforce memory dependent chains. */
+    bool memChains = true;
+    /** Profile / execution input identities (different files). */
+    std::uint64_t profileSeed = 0x9E1C;
+    std::uint64_t execSeed = 0x51AD;
+    ProfileOptions profile;
+    /** Scheduler escalation budget. */
+    int maxIiTries = 64;
+    /**
+     * Compiler hints for the Attraction Buffers (paper Section
+     * 5.2): only the abHintBudget loads with the largest expected
+     * remote-access counts are marked attractable, so hot loops do
+     * not overflow small buffers. 0 keeps every load attractable.
+     */
+    bool abHints = false;
+    int abHintBudget = 8;
+    /**
+     * Loop versioning (paper Section 5.4): also compile a
+     * chain-free version of every loop with shared chains, plus
+     * check code; an invocation whose chained references are
+     * dynamically disjoint runs the (tighter) unchained version.
+     */
+    bool loopVersioning = false;
+};
+
+/** A fully compiled loop, ready to simulate or inspect. */
+struct CompiledLoop
+{
+    std::string name;
+    Ddg ddg;                  ///< unrolled body
+    ProfileMap profile;
+    LatencyAssignment latency;
+    ScheduleOutcome sched;
+    int unrollFactor = 1;
+    UnrollPolicy policyChosen = UnrollPolicy::None;
+    int mii = 1;
+    /** Kernel iterations per invocation after unrolling. */
+    std::int64_t kernelIterations = 0;
+    int invocations = 1;
+};
+
+/** Per-loop result after simulation. */
+struct LoopRun
+{
+    std::string name;
+    int unrollFactor = 1;
+    int ii = 0;
+    int stageCount = 0;
+    int copies = 0;
+    double workloadBalance = 0.0;
+    Counter dynamicInsts = 0;
+    SimStats sim;
+    /** Invocations the versioning check sent to the unchained
+     *  version (0 when versioning is off or never profitable). */
+    int unchainedInvocations = 0;
+};
+
+/** Whole-benchmark result. */
+struct BenchmarkRun
+{
+    std::string name;
+    std::vector<LoopRun> loops;
+    SimStats total;
+    /** Dynamic-instruction-weighted mean loop balance. */
+    double workloadBalance = 0.0;
+
+    Cycles cycles() const { return total.totalCycles; }
+};
+
+/** The pipeline bound to one machine configuration. */
+class Toolchain
+{
+  public:
+    Toolchain(const MachineConfig &cfg, const ToolchainOptions &opts);
+
+    /** Compile one loop (no simulation). */
+    CompiledLoop compileLoop(const BenchmarkSpec &bench,
+                             const LoopSpec &loop) const;
+
+    /** Compile and simulate every loop of @p bench. */
+    BenchmarkRun runBenchmark(const BenchmarkSpec &bench) const;
+
+    /** Run the full suite. */
+    std::vector<BenchmarkRun>
+    runSuite(const std::vector<BenchmarkSpec> &suite) const;
+
+    const MachineConfig &config() const { return cfg_; }
+    const ToolchainOptions &options() const { return opts_; }
+
+  private:
+    /** Latency classes for the configured cache organisation. */
+    LatencyScheme makeScheme() const;
+
+    /** Chains policy: never for unified (no correctness need). */
+    bool chainsEnabled() const;
+
+    /** Compile at one fixed unroll factor. */
+    CompiledLoop compileAt(const BenchmarkSpec &bench,
+                           const LoopSpec &loop, int factor) const;
+
+    /** Restrict attractable loads to the abHintBudget hottest. */
+    void applyAbHints(Ddg &ddg, const ProfileMap &prof,
+                      const LatencyMap &lat) const;
+
+    MachineConfig cfg_;
+    ToolchainOptions opts_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_CORE_TOOLCHAIN_HH

@@ -1,0 +1,55 @@
+#include "versioning.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+AccessRange
+accessRange(const Ddg &ddg, const AddressResolver &resolver,
+            NodeId v, std::int64_t iterations)
+{
+    // Exact sweep: kernel trip counts are small, and symbol
+    // wrapping makes closed-form endpoint reasoning brittle.
+    const MemAccessInfo &info = ddg.memInfo(v);
+    AccessRange range{~0ULL, 0};
+    for (std::int64_t i = 0; i < std::max<std::int64_t>(1, iterations);
+         ++i) {
+        const std::uint64_t a = resolver.addressOf(v, i);
+        range.lo = std::min(range.lo, a);
+        range.hi = std::max(range.hi,
+                            a + std::uint64_t(info.granularity) - 1);
+    }
+    return range;
+}
+
+bool
+chainsDynamicallyDisjoint(const Ddg &ddg, const MemChains &chains,
+                          const AddressResolver &resolver,
+                          std::int64_t iterations)
+{
+    for (int ch = 0; ch < chains.numChains(); ++ch) {
+        const auto &members = chains.members(ch);
+        if (members.size() < 2)
+            continue;
+        for (std::size_t i = 0; i < members.size(); ++i) {
+            for (std::size_t j = i + 1; j < members.size(); ++j) {
+                const bool store_involved =
+                    ddg.memInfo(members[i]).isStore ||
+                    ddg.memInfo(members[j]).isStore;
+                if (!store_involved)
+                    continue;
+                const AccessRange a = accessRange(
+                    ddg, resolver, members[i], iterations);
+                const AccessRange b = accessRange(
+                    ddg, resolver, members[j], iterations);
+                if (a.overlaps(b))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace vliw

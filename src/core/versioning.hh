@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Loop versioning to break memory dependent chains (paper Section
+ * 5.4): the compiler emits two versions of a loop -- one with the
+ * conservative chains, one without -- plus check code that picks
+ * the unchained version whenever the chained memory references are
+ * dynamically disjoint. The paper measures a 67% compute-time
+ * reduction on one epicdec loop from exactly this.
+ *
+ * The "check code" here is the classic range-disjointness test: two
+ * chain members conflict if their dynamic address ranges overlap
+ * and at least one of them stores.
+ */
+
+#ifndef WIVLIW_CORE_VERSIONING_HH
+#define WIVLIW_CORE_VERSIONING_HH
+
+#include <cstdint>
+
+#include "ddg/chains.hh"
+#include "ddg/ddg.hh"
+#include "workloads/address_gen.hh"
+
+namespace vliw {
+
+/** Inclusive dynamic byte range touched by one memory op. */
+struct AccessRange
+{
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;   // last byte touched
+
+    bool
+    overlaps(const AccessRange &o) const
+    {
+        return lo <= o.hi && o.lo <= hi;
+    }
+};
+
+/**
+ * Range of memory node @p v over @p iterations kernel iterations of
+ * the current invocation bound in @p resolver.
+ */
+AccessRange accessRange(const Ddg &ddg, const AddressResolver &resolver,
+                        NodeId v, std::int64_t iterations);
+
+/**
+ * The runtime check: true when every chain of @p chains is
+ * dynamically serialisation-free, i.e. no two members with at least
+ * one store touch overlapping ranges this invocation. When true the
+ * unchained loop version is safe to run.
+ */
+bool chainsDynamicallyDisjoint(const Ddg &ddg, const MemChains &chains,
+                               const AddressResolver &resolver,
+                               std::int64_t iterations);
+
+} // namespace vliw
+
+#endif // WIVLIW_CORE_VERSIONING_HH

@@ -1,0 +1,87 @@
+#include "chains.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+namespace {
+
+int
+findRoot(std::vector<int> &parent, int x)
+{
+    while (parent[std::size_t(x)] != x) {
+        parent[std::size_t(x)] =
+            parent[std::size_t(parent[std::size_t(x)])];
+        x = parent[std::size_t(x)];
+    }
+    return x;
+}
+
+} // namespace
+
+MemChains::MemChains(const Ddg &ddg)
+{
+    const int n = ddg.numNodes();
+    std::vector<int> parent(static_cast<std::size_t>(n));
+    std::iota(parent.begin(), parent.end(), 0);
+
+    for (const DdgEdge &e : ddg.edges()) {
+        if (!isMemDep(e.kind))
+            continue;
+        const int a = findRoot(parent, e.src);
+        const int b = findRoot(parent, e.dst);
+        if (a != b)
+            parent[std::size_t(a)] = b;
+    }
+
+    chainOf_.assign(std::size_t(n), -1);
+    std::vector<int> root_to_chain(static_cast<std::size_t>(n), -1);
+    for (NodeId id = 0; id < n; ++id) {
+        if (!ddg.isMemNode(id))
+            continue;
+        const int root = findRoot(parent, id);
+        int &chain = root_to_chain[std::size_t(root)];
+        if (chain < 0) {
+            chain = int(members_.size());
+            members_.emplace_back();
+        }
+        chainOf_[std::size_t(id)] = chain;
+        members_[std::size_t(chain)].push_back(id);
+    }
+}
+
+int
+MemChains::chainOf(NodeId id) const
+{
+    vliw_assert(std::size_t(id) < chainOf_.size(), "bad node id");
+    const int chain = chainOf_[std::size_t(id)];
+    vliw_assert(chain >= 0, "chainOf on a non-memory node");
+    return chain;
+}
+
+const std::vector<NodeId> &
+MemChains::members(int chain) const
+{
+    vliw_assert(chain >= 0 && chain < numChains(), "bad chain index");
+    return members_[std::size_t(chain)];
+}
+
+bool
+MemChains::inSharedChain(NodeId id) const
+{
+    return members(chainOf(id)).size() > 1;
+}
+
+int
+MemChains::maxChainSize() const
+{
+    int best = 0;
+    for (const auto &m : members_)
+        best = std::max(best, int(m.size()));
+    return best;
+}
+
+} // namespace vliw

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Memory dependent chains (paper Section 4.3.2): groups of memory
+ * instructions connected by (possibly unresolved) memory dependence
+ * edges. All members of one chain must be scheduled in the same
+ * cluster so the cache module serialises them, which is how the
+ * word-interleaved architecture guarantees memory correctness
+ * without hardware coherence.
+ */
+
+#ifndef WIVLIW_DDG_CHAINS_HH
+#define WIVLIW_DDG_CHAINS_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** Partition of the memory nodes into dependence chains. */
+class MemChains
+{
+  public:
+    /** Build chains as connected components over memory edges. */
+    explicit MemChains(const Ddg &ddg);
+
+    /** Chain index of a memory node (panics for non-memory nodes). */
+    int chainOf(NodeId id) const;
+
+    /** Number of chains (singletons included). */
+    int numChains() const { return int(members_.size()); }
+
+    /** Members of chain @p chain in ascending node order. */
+    const std::vector<NodeId> &members(int chain) const;
+
+    /** True if the node shares its chain with other memory nodes. */
+    bool inSharedChain(NodeId id) const;
+
+    /** Size of the largest chain. */
+    int maxChainSize() const;
+
+  private:
+    std::vector<int> chainOf_;    // indexed by NodeId; -1 if not mem
+    std::vector<std::vector<NodeId>> members_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_CHAINS_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Recurrence analysis: strongly connected components and elementary
+ * circuit enumeration (Johnson's algorithm) over a DDG. A recurrence
+ * in the paper's sense is an elementary dependence circuit.
+ */
+
+#ifndef WIVLIW_DDG_CIRCUITS_HH
+#define WIVLIW_DDG_CIRCUITS_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** One elementary circuit (recurrence) of the DDG. */
+struct Circuit
+{
+    /** Edge indices (into Ddg::edges()) in circuit order. */
+    std::vector<int> edgeIdxs;
+    /** Node ids in circuit order (nodes[i] is edge[i]'s source). */
+    std::vector<NodeId> nodes;
+    /** Total iteration distance around the circuit (> 0). */
+    int totalDistance = 0;
+
+    /** Sum of edge latencies under @p lat. */
+    int latencySum(const Ddg &ddg, const LatencyMap &lat) const;
+
+    /** II this recurrence alone imposes: ceil(latSum / distSum). */
+    int recurrenceIi(const Ddg &ddg, const LatencyMap &lat) const;
+
+    bool contains(NodeId id) const;
+};
+
+/** Tarjan SCC decomposition; returns component id per node. */
+std::vector<int> stronglyConnectedComponents(const Ddg &ddg);
+
+/**
+ * Enumerate the elementary circuits of @p ddg.
+ *
+ * A circuit whose total iteration distance is zero would make the
+ * loop unschedulable and trips a panic (the builder produced an
+ * inconsistent graph). Enumeration is capped at @p max_circuits to
+ * bound worst-case graphs; reaching the cap is a fatal error since
+ * the latency assignment would be incomplete.
+ */
+std::vector<Circuit> findCircuits(const Ddg &ddg,
+                                  std::size_t max_circuits = 65536);
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_CIRCUITS_HH

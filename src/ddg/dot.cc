@@ -1,0 +1,96 @@
+#include "dot.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace vliw {
+
+namespace {
+
+const char *
+edgeColor(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::RegFlow: return "black";
+      case DepKind::RegAnti: return "gray50";
+      case DepKind::RegOut:  return "gray70";
+      case DepKind::MemFlow: return "red";
+      case DepKind::MemAnti: return "red3";
+      case DepKind::MemOut:  return "red4";
+    }
+    return "black";
+}
+
+std::string
+nodeLabel(const Ddg &ddg, NodeId v, const LatencyMap *lat)
+{
+    std::ostringstream os;
+    const DdgNode &n = ddg.node(v);
+    os << n.name << "\\n" << opKindName(n.kind);
+    if (ddg.isMemNode(v)) {
+        const MemAccessInfo &info = ddg.memInfo(v);
+        os << " " << info.granularity << "B";
+        if (info.indirect)
+            os << " ind";
+        else if (info.strideKnown())
+            os << " s=" << info.effectiveStride();
+    }
+    if (lat)
+        os << "\\nlat=" << (*lat)(v);
+    return os.str();
+}
+
+} // namespace
+
+void
+dumpDot(std::ostream &os, const Ddg &ddg, const DotOptions &opts)
+{
+    os << "digraph \"" << opts.name << "\" {\n";
+    os << "  node [shape=box, fontsize=10];\n";
+
+    if (opts.groupChains) {
+        const MemChains chains(ddg);
+        for (int ch = 0; ch < chains.numChains(); ++ch) {
+            const auto &members = chains.members(ch);
+            if (members.size() < 2)
+                continue;
+            os << "  subgraph cluster_chain" << ch << " {\n";
+            os << "    label=\"chain " << ch << "\";\n";
+            os << "    style=dashed; color=red;\n";
+            for (NodeId v : members)
+                os << "    n" << v << ";\n";
+            os << "  }\n";
+        }
+    }
+
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        os << "  n" << v << " [label=\""
+           << nodeLabel(ddg, v, opts.latencies) << "\"";
+        if (ddg.isMemNode(v))
+            os << ", style=filled, fillcolor=lightyellow";
+        os << "];\n";
+    }
+
+    for (const DdgEdge &e : ddg.edges()) {
+        os << "  n" << e.src << " -> n" << e.dst
+           << " [color=" << edgeColor(e.kind) << ", label=\""
+           << depKindName(e.kind);
+        if (e.distance > 0)
+            os << " d=" << e.distance;
+        os << "\"";
+        if (e.distance > 0)
+            os << ", style=dashed";
+        os << "];\n";
+    }
+    os << "}\n";
+}
+
+std::string
+toDot(const Ddg &ddg, const DotOptions &opts)
+{
+    std::ostringstream os;
+    dumpDot(os, ddg, opts);
+    return os.str();
+}
+
+} // namespace vliw

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graphviz (DOT) export of loop DDGs: nodes labelled with kind and
+ * assigned latency, edges with dependence kind and distance, memory
+ * dependent chains grouped into clusters. Meant for debugging
+ * schedules and for documentation figures.
+ */
+
+#ifndef WIVLIW_DDG_DOT_HH
+#define WIVLIW_DDG_DOT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "ddg/chains.hh"
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** Rendering options for dumpDot(). */
+struct DotOptions
+{
+    /** Graph name in the output. */
+    std::string name = "ddg";
+    /** Group memory dependent chains into subgraph clusters. */
+    bool groupChains = true;
+    /** Annotate nodes with latencies from this map (optional). */
+    const LatencyMap *latencies = nullptr;
+};
+
+/** Write @p ddg as a DOT digraph to @p os. */
+void dumpDot(std::ostream &os, const Ddg &ddg,
+             const DotOptions &opts = {});
+
+/** Convenience: DOT text as a string. */
+std::string toDot(const Ddg &ddg, const DotOptions &opts = {});
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_DOT_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Static memory-access descriptor carried by load/store DDG nodes,
+ * plus the per-instruction profile record the scheduler consumes.
+ */
+
+#ifndef WIVLIW_DDG_MEM_INFO_HH
+#define WIVLIW_DDG_MEM_INFO_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace vliw {
+
+/** Index of a data object (array) in the enclosing workload. */
+using SymbolId = std::int32_t;
+constexpr SymbolId kNoSymbol = -1;
+
+/**
+ * Compiler-visible facts about one memory instruction.
+ *
+ * @c stride and @c offset are expressed in the ORIGINAL iteration
+ * space; unrolling records its factor and the copy's phase so that
+ * the address of kernel iteration i is
+ * @code base + offset + (i * unrollFactor + unrollPhase) * stride @endcode
+ * and the effective stride (used for cluster-locality reasoning) is
+ * @c stride * @c unrollFactor.
+ */
+struct MemAccessInfo
+{
+    static constexpr std::int64_t kUnknownStride =
+        std::numeric_limits<std::int64_t>::min();
+
+    bool isStore = false;
+    /** Size of the accessed element in bytes (1, 2, 4 or 8). */
+    int granularity = 4;
+    SymbolId symbol = kNoSymbol;
+    /** Constant byte offset into the symbol. */
+    std::int64_t offset = 0;
+    /** Per-original-iteration stride in bytes. */
+    std::int64_t stride = kUnknownStride;
+    /** Address computed from loaded data (a[b[i]] pattern). */
+    bool indirect = false;
+    /** For indirect accesses: index values fall in [0, indexRange). */
+    std::int64_t indexRange = 0;
+    /**
+     * Base drift per loop invocation (bytes), e.g. a 2D row walk
+     * whose row pitch is not a multiple of N x I. Invisible to the
+     * compiler's stride analysis; makes the preferred cluster
+     * "unclear" when not a multiple of the mapping period.
+     */
+    std::int64_t invocationStride = 0;
+    /** Compiler hint: worth installing into an Attraction Buffer. */
+    bool attractable = true;
+
+    /// @name Unrolling bookkeeping (see class comment)
+    /// @{
+    int unrollFactor = 1;
+    int unrollPhase = 0;
+    /// @}
+
+    bool strideKnown() const { return stride != kUnknownStride; }
+
+    /** Stride of the unrolled instruction in bytes. */
+    std::int64_t
+    effectiveStride() const
+    {
+        return strideKnown() ? stride * unrollFactor : kUnknownStride;
+    }
+
+    /** Constant part of the unrolled instruction's address. */
+    std::int64_t
+    effectiveOffset() const
+    {
+        return strideKnown() ? offset + unrollPhase * stride : offset;
+    }
+};
+
+/**
+ * Profile-derived facts about one memory instruction, produced by the
+ * profiling pass on the profile data set (paper Section 4.2/4.3).
+ */
+struct MemProfile
+{
+    /** Cache hit rate observed while profiling. */
+    double hitRate = 1.0;
+    /** Dynamic access count per cluster (interleaved mapping). */
+    std::vector<std::uint64_t> clusterCounts;
+    /** argmax of clusterCounts; 0 if never executed. */
+    int preferredCluster = 0;
+    /**
+     * Concentration of accesses: max fraction in one cluster, in
+     * [1/N, 1]. The paper calls < 1 values "unclear" information.
+     */
+    double distribution = 1.0;
+    /**
+     * Fraction of profiled accesses that would be local if the op
+     * were placed in its preferred cluster.
+     */
+    double localRatio = 1.0;
+    /** Total profiled executions. */
+    std::uint64_t executions = 0;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_MEM_INFO_HH

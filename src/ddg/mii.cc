@@ -1,0 +1,44 @@
+#include "mii.hh"
+
+#include <algorithm>
+
+#include "support/math_util.hh"
+
+namespace vliw {
+
+int
+resMii(const Ddg &ddg, const MachineConfig &cfg)
+{
+    const int int_ops = ddg.countByFu(FuKind::Int);
+    const int fp_ops = ddg.countByFu(FuKind::Fp);
+    const int mem_ops = ddg.countByFu(FuKind::Mem);
+
+    const int int_units = cfg.numClusters * cfg.intUnitsPerCluster;
+    const int fp_units = cfg.numClusters * cfg.fpUnitsPerCluster;
+    const int mem_units = cfg.numClusters * cfg.memUnitsPerCluster;
+
+    int mii = 1;
+    mii = std::max(mii, int(ceilDiv(int_ops, int_units)));
+    mii = std::max(mii, int(ceilDiv(fp_ops, fp_units)));
+    mii = std::max(mii, int(ceilDiv(mem_ops, mem_units)));
+    return mii;
+}
+
+int
+recMii(const Ddg &ddg, const std::vector<Circuit> &circuits,
+       const LatencyMap &lat)
+{
+    int mii = 1;
+    for (const Circuit &c : circuits)
+        mii = std::max(mii, c.recurrenceIi(ddg, lat));
+    return mii;
+}
+
+int
+computeMii(const Ddg &ddg, const std::vector<Circuit> &circuits,
+           const LatencyMap &lat, const MachineConfig &cfg)
+{
+    return std::max(resMii(ddg, cfg), recMii(ddg, circuits, lat));
+}
+
+} // namespace vliw

@@ -1,0 +1,35 @@
+#include "op_types.hh"
+
+namespace vliw {
+
+const char *
+opKindName(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::IntAlu: return "int_alu";
+      case OpKind::IntMul: return "int_mul";
+      case OpKind::FpAlu:  return "fp_alu";
+      case OpKind::FpMul:  return "fp_mul";
+      case OpKind::FpDiv:  return "fp_div";
+      case OpKind::Load:   return "load";
+      case OpKind::Store:  return "store";
+      case OpKind::Copy:   return "copy";
+    }
+    return "?";
+}
+
+const char *
+depKindName(DepKind kind)
+{
+    switch (kind) {
+      case DepKind::RegFlow: return "RF";
+      case DepKind::RegAnti: return "RA";
+      case DepKind::RegOut:  return "RO";
+      case DepKind::MemFlow: return "MF";
+      case DepKind::MemAnti: return "MA";
+      case DepKind::MemOut:  return "MO";
+    }
+    return "?";
+}
+
+} // namespace vliw

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Operation and dependence kinds of the loop data-dependence graph.
+ */
+
+#ifndef WIVLIW_DDG_OP_TYPES_HH
+#define WIVLIW_DDG_OP_TYPES_HH
+
+#include <cstdint>
+
+namespace vliw {
+
+/** Node (operation) id inside one Ddg. */
+using NodeId = std::int32_t;
+constexpr NodeId kNoNode = -1;
+
+/** Operation repertoire; mapped onto FU kinds below. */
+enum class OpKind : std::uint8_t
+{
+    IntAlu,
+    IntMul,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    /** Inter-cluster register copy (inserted by the scheduler). */
+    Copy,
+};
+
+/** Functional-unit class that executes an operation. */
+enum class FuKind : std::uint8_t { Int, Fp, Mem, Bus };
+
+/** Data-dependence kinds (register and memory). */
+enum class DepKind : std::uint8_t
+{
+    RegFlow,   ///< true register dependence (value flows)
+    RegAnti,   ///< write-after-read on a register
+    RegOut,    ///< write-after-write on a register
+    MemFlow,   ///< store -> load on (possibly) the same address
+    MemAnti,   ///< load -> store
+    MemOut,    ///< store -> store
+};
+
+/** FU class executing @p kind. */
+constexpr FuKind
+fuForOp(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::IntAlu:
+      case OpKind::IntMul:
+        return FuKind::Int;
+      case OpKind::FpAlu:
+      case OpKind::FpMul:
+      case OpKind::FpDiv:
+        return FuKind::Fp;
+      case OpKind::Load:
+      case OpKind::Store:
+        return FuKind::Mem;
+      case OpKind::Copy:
+        return FuKind::Bus;
+    }
+    return FuKind::Int;
+}
+
+/** Default producer latency by op kind (loads are assigned later). */
+constexpr int
+defaultLatency(OpKind kind)
+{
+    switch (kind) {
+      case OpKind::IntAlu: return 1;
+      case OpKind::IntMul: return 3;
+      case OpKind::FpAlu:  return 2;
+      case OpKind::FpMul:  return 4;
+      case OpKind::FpDiv:  return 6;
+      case OpKind::Load:   return 1;   // placeholder; assigned later
+      case OpKind::Store:  return 1;
+      case OpKind::Copy:   return 2;
+    }
+    return 1;
+}
+
+constexpr bool
+isMemOp(OpKind kind)
+{
+    return kind == OpKind::Load || kind == OpKind::Store;
+}
+
+constexpr bool
+isMemDep(DepKind kind)
+{
+    return kind == DepKind::MemFlow || kind == DepKind::MemAnti ||
+        kind == DepKind::MemOut;
+}
+
+constexpr bool
+isRegDep(DepKind kind)
+{
+    return !isMemDep(kind);
+}
+
+const char *opKindName(OpKind kind);
+const char *depKindName(DepKind kind);
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_OP_TYPES_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-node profile storage: one MemProfile per DDG node (memory
+ * nodes only carry meaningful data). Produced by the profiling pass
+ * on the profile data set, consumed by latency assignment and the
+ * IPBC cluster heuristic.
+ */
+
+#ifndef WIVLIW_DDG_PROFILE_MAP_HH
+#define WIVLIW_DDG_PROFILE_MAP_HH
+
+#include <vector>
+
+#include "ddg/mem_info.hh"
+#include "ddg/op_types.hh"
+#include "support/logging.hh"
+
+namespace vliw {
+
+/** Dense NodeId -> MemProfile map. */
+class ProfileMap
+{
+  public:
+    ProfileMap() = default;
+
+    explicit ProfileMap(int num_nodes)
+        : profiles_(static_cast<std::size_t>(num_nodes))
+    {}
+
+    MemProfile &
+    at(NodeId id)
+    {
+        vliw_assert(std::size_t(id) < profiles_.size(),
+                    "ProfileMap: bad node id ", id);
+        return profiles_[std::size_t(id)];
+    }
+
+    const MemProfile &
+    at(NodeId id) const
+    {
+        vliw_assert(std::size_t(id) < profiles_.size(),
+                    "ProfileMap: bad node id ", id);
+        return profiles_[std::size_t(id)];
+    }
+
+    int size() const { return int(profiles_.size()); }
+
+  private:
+    std::vector<MemProfile> profiles_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_PROFILE_MAP_HH

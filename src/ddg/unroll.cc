@@ -1,0 +1,58 @@
+#include "unroll.hh"
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+Ddg
+unrollDdg(const Ddg &ddg, int factor, UnrollMap *map)
+{
+    vliw_assert(factor >= 1, "unroll factor must be >= 1, got ",
+                factor);
+
+    Ddg out;
+    UnrollMap local;
+    local.factor = factor;
+    local.copies.assign(std::size_t(ddg.numNodes()), {});
+
+    for (int k = 0; k < factor; ++k) {
+        for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+            const DdgNode &n = ddg.node(v);
+            const std::string copy_name = factor == 1
+                ? n.name : n.name + "#" + std::to_string(k);
+            NodeId id;
+            if (ddg.isMemNode(v)) {
+                MemAccessInfo info = ddg.memInfo(v);
+                // Compose with any earlier unrolling of this graph.
+                info.unrollPhase =
+                    info.unrollPhase + k * info.unrollFactor;
+                info.unrollFactor = info.unrollFactor * factor;
+                id = out.addMemNode(n.kind, info, copy_name);
+            } else {
+                id = out.addNode(n.kind, copy_name, n.fixedLatency);
+            }
+            local.copies[std::size_t(v)].push_back(id);
+            local.originalOf.push_back(v);
+            local.phaseOf.push_back(k);
+        }
+    }
+
+    for (const DdgEdge &e : ddg.edges()) {
+        for (int k = 0; k < factor; ++k) {
+            const int target = k + e.distance;
+            const int dst_copy = target % factor;
+            const int new_dist = target / factor;
+            out.addEdge(local.copies[std::size_t(e.src)]
+                            [std::size_t(k)],
+                        local.copies[std::size_t(e.dst)]
+                            [std::size_t(dst_copy)],
+                        e.kind, new_dist);
+        }
+    }
+
+    if (map)
+        *map = std::move(local);
+    return out;
+}
+
+} // namespace vliw

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DDG loop unrolling (paper Section 4.3.1 step 1).
+ *
+ * Unrolling by U replicates each node U times and rewires inter-
+ * iteration dependences: an edge a -> b with distance d becomes, for
+ * each copy k, an edge a_k -> b_{(k+d) mod U} with distance
+ * (k+d) div U. Memory instructions record their copy phase so the
+ * address of unrolled-iteration i is
+ * base + offset + (i*U + phase) * stride.
+ */
+
+#ifndef WIVLIW_DDG_UNROLL_HH
+#define WIVLIW_DDG_UNROLL_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** Correspondence between original and unrolled node ids. */
+struct UnrollMap
+{
+    int factor = 1;
+    /** copies[v][k] = id of copy k of original node v. */
+    std::vector<std::vector<NodeId>> copies;
+    /** originalOf[v'] = original node id of unrolled node v'. */
+    std::vector<NodeId> originalOf;
+    /** phaseOf[v'] = copy index (0..factor-1) of unrolled node v'. */
+    std::vector<int> phaseOf;
+};
+
+/**
+ * Unroll @p ddg by @p factor.
+ *
+ * @param ddg     original loop body graph
+ * @param factor  unroll factor (>= 1; 1 returns a plain copy)
+ * @param map     optional out-parameter with the id correspondence
+ */
+Ddg unrollDdg(const Ddg &ddg, int factor, UnrollMap *map = nullptr);
+
+} // namespace vliw
+
+#endif // WIVLIW_DDG_UNROLL_HH

@@ -1,0 +1,158 @@
+#include "machine_config.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace vliw {
+
+const char *
+cacheOrgName(CacheOrg org)
+{
+    switch (org) {
+      case CacheOrg::Interleaved: return "interleaved";
+      case CacheOrg::Unified:     return "unified";
+      case CacheOrg::MultiVliw:   return "multiVLIW";
+    }
+    return "?";
+}
+
+int
+MachineConfig::subblockBytes() const
+{
+    return blockBytes / numClusters;
+}
+
+int
+MachineConfig::wordsPerSubblock() const
+{
+    return subblockBytes() / interleaveBytes;
+}
+
+int
+MachineConfig::cacheSets() const
+{
+    const int blocks = cacheBytes / blockBytes;
+    return blocks / cacheWays;
+}
+
+int
+MachineConfig::coherentModuleSets() const
+{
+    const int blocks = moduleBytes() / blockBytes;
+    return blocks / cacheWays;
+}
+
+int
+MachineConfig::abSets() const
+{
+    return abEntries / abWays;
+}
+
+int
+MachineConfig::homeCluster(std::uint64_t addr) const
+{
+    return int((addr / std::uint64_t(interleaveBytes)) %
+               std::uint64_t(numClusters));
+}
+
+void
+MachineConfig::validate() const
+{
+    if (numClusters < 1)
+        vliw_fatal("numClusters must be >= 1, got ", numClusters);
+    if (!isPowerOfTwo(std::uint64_t(numClusters)))
+        vliw_fatal("numClusters must be a power of two");
+    if (intUnitsPerCluster < 1 || fpUnitsPerCluster < 1 ||
+        memUnitsPerCluster < 1) {
+        vliw_fatal("each cluster needs at least one unit of each kind");
+    }
+    if (!isPowerOfTwo(std::uint64_t(blockBytes)))
+        vliw_fatal("blockBytes must be a power of two");
+    if (!isPowerOfTwo(std::uint64_t(interleaveBytes)))
+        vliw_fatal("interleaveBytes must be a power of two");
+    if (cacheBytes % (blockBytes * cacheWays) != 0)
+        vliw_fatal("cacheBytes not divisible into ", cacheWays,
+                   "-way sets of ", blockBytes, "-byte blocks");
+    if (blockBytes % (numClusters * interleaveBytes) != 0) {
+        vliw_fatal("block of ", blockBytes, " bytes cannot be word-"
+                   "interleaved over ", numClusters, " clusters at ",
+                   interleaveBytes, "-byte granularity");
+    }
+    if (cacheBytes % numClusters != 0)
+        vliw_fatal("cacheBytes must divide evenly across clusters");
+    if (regBuses < 1 || memBuses < 1)
+        vliw_fatal("need at least one bus of each kind");
+    if (abEntries % abWays != 0)
+        vliw_fatal("abEntries must be a multiple of abWays");
+    if (!(latLocalHit <= latRemoteHit && latRemoteHit <= latLocalMiss &&
+          latLocalMiss <= latRemoteMiss)) {
+        vliw_fatal("access-class latencies must be monotonic "
+                   "LH <= RH <= LM <= RM");
+    }
+    if (regsPerCluster < 8)
+        vliw_fatal("regsPerCluster unrealistically small: ",
+                   regsPerCluster);
+}
+
+std::string
+MachineConfig::describe() const
+{
+    std::ostringstream os;
+    os << numClusters << "-cluster " << cacheOrgName(cacheOrg);
+    switch (cacheOrg) {
+      case CacheOrg::Interleaved:
+        os << " I=" << interleaveBytes
+           << (attractionBuffers ? " +AB" : "");
+        break;
+      case CacheOrg::Unified:
+        os << " L=" << latUnified;
+        break;
+      case CacheOrg::MultiVliw:
+        break;
+    }
+    return os.str();
+}
+
+MachineConfig
+MachineConfig::paperInterleaved()
+{
+    MachineConfig cfg;
+    cfg.cacheOrg = CacheOrg::Interleaved;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::paperInterleavedAb()
+{
+    MachineConfig cfg = paperInterleaved();
+    cfg.attractionBuffers = true;
+    cfg.abEntries = 16;
+    cfg.abWays = 2;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::paperUnified(int latency)
+{
+    MachineConfig cfg;
+    cfg.cacheOrg = CacheOrg::Unified;
+    cfg.latUnified = latency;
+    cfg.unifiedPorts = 5;
+    cfg.validate();
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::paperMultiVliw()
+{
+    MachineConfig cfg;
+    cfg.cacheOrg = CacheOrg::MultiVliw;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace vliw

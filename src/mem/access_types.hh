@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Access classification and the request/response types shared by all
+ * three memory-system models.
+ */
+
+#ifndef WIVLIW_MEM_ACCESS_TYPES_HH
+#define WIVLIW_MEM_ACCESS_TYPES_HH
+
+#include <array>
+#include <cstdint>
+
+#include "support/stats.hh"
+
+namespace vliw {
+
+/**
+ * The four access classes of Section 3 plus "combined" (a request to
+ * a subblock that is already in flight and therefore not re-issued).
+ *
+ * For the multiVLIW model the classes map onto: LocalHit = hit in the
+ * own module, RemoteHit = cache-to-cache transfer, LocalMiss = next-
+ * level fill; RemoteMiss is unused.
+ */
+enum class AccessClass : std::uint8_t
+{
+    LocalHit,
+    RemoteHit,
+    LocalMiss,
+    RemoteMiss,
+    Combined,
+};
+
+constexpr int kNumAccessClasses = 5;
+
+const char *accessClassName(AccessClass cls);
+
+/** Outcome of one memory access. */
+struct MemAccessResult
+{
+    /** Cycle the loaded value is available in the cluster. */
+    Cycles readyCycle = 0;
+    AccessClass cls = AccessClass::LocalHit;
+    /** Satisfied out of the cluster's Attraction Buffer. */
+    bool abHit = false;
+    /** The access referenced a module other than the issuing one. */
+    bool referencedRemote = false;
+};
+
+/** Counters every memory model keeps. */
+struct MemStats
+{
+    std::array<Counter, kNumAccessClasses> byClass{};
+    Counter loads = 0;
+    Counter stores = 0;
+    Counter abHits = 0;
+    Counter abInstalls = 0;
+    Counter abEvictions = 0;
+    Counter busTransfers = 0;
+    Cycles busWaitCycles = 0;
+    Counter nlRequests = 0;
+    Cycles nlWaitCycles = 0;
+    /** Dirty lines written back to the next level on eviction. */
+    Counter writebacks = 0;
+
+    Counter
+    totalAccesses() const
+    {
+        Counter total = 0;
+        for (Counter c : byClass)
+            total += c;
+        return total;
+    }
+
+    Counter
+    classCount(AccessClass cls) const
+    {
+        return byClass[std::size_t(cls)];
+    }
+
+    void
+    record(AccessClass cls, bool is_store)
+    {
+        byClass[std::size_t(cls)] += 1;
+        (is_store ? stores : loads) += 1;
+    }
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_ACCESS_TYPES_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Attraction Buffer (paper Section 3): a small per-cluster buffer
+ * that replicates whole remote subblocks. A remote access attracts
+ * the subblock so the next access to it from this cluster is local.
+ * Buffers are flushed at loop boundaries; correctness inside a loop
+ * follows from the memory-dependent-chain scheduling constraint.
+ */
+
+#ifndef WIVLIW_MEM_ATTRACTION_BUFFER_HH
+#define WIVLIW_MEM_ATTRACTION_BUFFER_HH
+
+#include <cstdint>
+
+#include "mem/tag_array.hh"
+#include "support/stats.hh"
+
+namespace vliw {
+
+/** One cluster's attraction buffer; entries are remote subblocks. */
+class AttractionBuffer
+{
+  public:
+    /**
+     * @param entries      total entries (subblocks)
+     * @param ways         associativity
+     * @param num_clusters used to build the (block, home) key
+     */
+    AttractionBuffer(int entries, int ways, int num_clusters);
+
+    /** True and LRU-touched if the subblock is present. */
+    bool lookup(std::uint64_t block, int home_cluster);
+
+    /** Present, without updating LRU. */
+    bool contains(std::uint64_t block, int home_cluster) const;
+
+    /** Install a subblock, evicting LRU if needed. */
+    void install(std::uint64_t block, int home_cluster);
+
+    /** Drop one subblock (e.g. invalidation on write policy). */
+    void invalidate(std::uint64_t block, int home_cluster);
+
+    /** Loop-boundary flush. */
+    void flush();
+
+    Counter installs() const { return installs_; }
+    Counter evictions() const { return evictions_; }
+    Counter flushes() const { return flushes_; }
+
+  private:
+    std::uint64_t key(std::uint64_t block, int home) const;
+
+    TagArray tags_;
+    int numClusters_;
+    Counter installs_ = 0;
+    Counter evictions_ = 0;
+    Counter flushes_ = 0;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_ATTRACTION_BUFFER_HH

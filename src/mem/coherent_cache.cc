@@ -1,0 +1,248 @@
+#include "coherent_cache.hh"
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+CoherentCache::CoherentCache(const MachineConfig &cfg)
+    : cfg_(cfg),
+      memBuses_(cfg.memBuses, cfg.memBusOccupancy),
+      nlPorts_(cfg.nextLevelPorts, cfg.memBusOccupancy)
+{
+    vliw_assert(cfg.cacheOrg == CacheOrg::MultiVliw,
+                "CoherentCache built from a non-multiVLIW config");
+    modules_.reserve(std::size_t(cfg.numClusters));
+    for (int c = 0; c < cfg.numClusters; ++c)
+        modules_.emplace_back(cfg.coherentModuleSets(), cfg.cacheWays);
+}
+
+CoherentCache::Msi
+CoherentCache::stateOf(int cluster, std::uint64_t block) const
+{
+    const Module &m = modules_[std::size_t(cluster)];
+    const int line = m.tags.probe(block);
+    if (line == TagArray::kNoLine)
+        return Msi::Invalid;
+    return m.state[std::size_t(line)];
+}
+
+bool
+CoherentCache::coherenceInvariantHolds() const
+{
+    // Collect every block present anywhere and check the M-exclusion
+    // invariant block by block.
+    for (int c = 0; c < cfg_.numClusters; ++c) {
+        const Module &m = modules_[std::size_t(c)];
+        const int lines = m.tags.sets() * m.tags.ways();
+        for (int line = 0; line < lines; ++line) {
+            if (!m.tags.lineValid(line))
+                continue;
+            if (m.state[std::size_t(line)] != Msi::Modified)
+                continue;
+            const std::uint64_t block = m.tags.keyOf(line);
+            for (int o = 0; o < cfg_.numClusters; ++o) {
+                if (o != c && stateOf(o, block) != Msi::Invalid)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+CoherentCache::install(int cluster, std::uint64_t block, Msi st,
+                       Cycles t)
+{
+    Module &m = modules_[std::size_t(cluster)];
+    vliw_assert(m.tags.probe(block) == TagArray::kNoLine,
+                "install of a block already present");
+    // A Modified victim is written back through the buffer: off the
+    // critical path but it does occupy a next-level port.
+    const int victim = m.tags.victimOf(block);
+    if (m.tags.lineValid(victim) &&
+        m.state[std::size_t(victim)] == Msi::Modified) {
+        nlPorts_.acquire(t);
+        stats_.writebacks += 1;
+    }
+    const int line = m.tags.insert(block);
+    m.state[std::size_t(line)] = st;
+}
+
+int
+CoherentCache::findOtherHolder(int cluster, std::uint64_t block) const
+{
+    for (int c = 0; c < cfg_.numClusters; ++c) {
+        if (c == cluster)
+            continue;
+        if (stateOf(c, block) != Msi::Invalid)
+            return c;
+    }
+    return -1;
+}
+
+void
+CoherentCache::invalidateOthers(int cluster, std::uint64_t block)
+{
+    for (int c = 0; c < cfg_.numClusters; ++c) {
+        if (c == cluster)
+            continue;
+        Module &m = modules_[std::size_t(c)];
+        const int line = m.tags.probe(block);
+        if (line != TagArray::kNoLine) {
+            m.state[std::size_t(line)] = Msi::Invalid;
+            m.tags.invalidateLine(line);
+        }
+    }
+}
+
+MemAccessResult
+CoherentCache::access(const MemRequest &req)
+{
+    const Cycles t = req.issueCycle;
+    const std::uint64_t block =
+        req.addr / std::uint64_t(cfg_.blockBytes);
+    const std::uint64_t fill_key =
+        block * std::uint64_t(cfg_.numClusters) +
+        std::uint64_t(req.cluster);
+
+    if (pendingFills_.size() > 64) {
+        std::erase_if(pendingFills_,
+                      [t](const auto &kv) { return kv.second <= t; });
+    }
+
+    Module &own = modules_[std::size_t(req.cluster)];
+    MemAccessResult res;
+
+    const int line = own.tags.touch(block);
+    const Msi st = line == TagArray::kNoLine
+        ? Msi::Invalid : own.state[std::size_t(line)];
+
+    if (!req.isStore) {
+        if (auto it = pendingFills_.find(fill_key);
+            it != pendingFills_.end() && it->second > t) {
+            // Line allocated but the fill is still in flight.
+            res.cls = AccessClass::Combined;
+            res.readyCycle = it->second;
+            stats_.record(res.cls, false);
+            return res;
+        }
+        if (st != Msi::Invalid) {
+            res.cls = AccessClass::LocalHit;
+            res.readyCycle = t + cfg_.latCoherentHit;
+            stats_.record(res.cls, false);
+            return res;
+        }
+
+        // Broadcast the read miss on the bus.
+        const Cycles bus_start = memBuses_.acquire(t);
+        const Cycles wait_bus = bus_start - t;
+        stats_.busTransfers += 1;
+        stats_.busWaitCycles += wait_bus;
+        res.referencedRemote = true;
+
+        const int holder = findOtherHolder(req.cluster, block);
+        if (holder >= 0) {
+            // Cache-to-cache transfer; a Modified supplier writes
+            // the line back while downgrading to Shared.
+            Module &sup = modules_[std::size_t(holder)];
+            const int sup_line = sup.tags.probe(block);
+            if (sup.state[std::size_t(sup_line)] == Msi::Modified) {
+                nlPorts_.acquire(t);
+                stats_.writebacks += 1;
+            }
+            sup.state[std::size_t(sup_line)] = Msi::Shared;
+            res.cls = AccessClass::RemoteHit;
+            res.readyCycle = t + cfg_.latCacheToCache + wait_bus;
+        } else {
+            const Cycles t_nl = t + wait_bus + cfg_.memBusOccupancy;
+            const Cycles nl_start = nlPorts_.acquire(t_nl);
+            const Cycles wait_nl = nl_start - t_nl;
+            stats_.nlRequests += 1;
+            stats_.nlWaitCycles += wait_nl;
+            res.cls = AccessClass::LocalMiss;
+            res.readyCycle = t + cfg_.latCoherentHit +
+                cfg_.latNextLevel + wait_bus + wait_nl;
+        }
+        pendingFills_[fill_key] = res.readyCycle;
+        install(req.cluster, block, Msi::Shared, t);
+        stats_.record(res.cls, false);
+        return res;
+    }
+
+    // Store path: needs the Modified state.
+    if (auto it = pendingFills_.find(fill_key);
+        it != pendingFills_.end() && it->second > t) {
+        res.cls = AccessClass::Combined;
+        res.readyCycle = it->second;
+        stats_.record(res.cls, true);
+        return res;
+    }
+    if (st == Msi::Modified) {
+        res.cls = AccessClass::LocalHit;
+        res.readyCycle = t + cfg_.latCoherentHit;
+        stats_.record(res.cls, true);
+        return res;
+    }
+
+    if (st == Msi::Shared) {
+        // Upgrade: invalidate the other copies over the bus; the
+        // store itself completes locally.
+        const Cycles bus_start = memBuses_.acquire(t);
+        stats_.busTransfers += 1;
+        stats_.busWaitCycles += bus_start - t;
+        invalidateOthers(req.cluster, block);
+        own.state[std::size_t(line)] = Msi::Modified;
+        res.cls = AccessClass::LocalHit;
+        res.readyCycle = t + cfg_.latCoherentHit;
+        stats_.record(res.cls, true);
+        return res;
+    }
+
+    // Write miss.
+    if (auto it = pendingFills_.find(fill_key);
+        it != pendingFills_.end() && it->second > t) {
+        res.cls = AccessClass::Combined;
+        res.readyCycle = it->second;
+        stats_.record(res.cls, true);
+        return res;
+    }
+
+    const Cycles bus_start = memBuses_.acquire(t);
+    const Cycles wait_bus = bus_start - t;
+    stats_.busTransfers += 1;
+    stats_.busWaitCycles += wait_bus;
+    res.referencedRemote = true;
+
+    const int holder = findOtherHolder(req.cluster, block);
+    if (holder >= 0) {
+        invalidateOthers(req.cluster, block);
+        res.cls = AccessClass::RemoteHit;
+        res.readyCycle = t + cfg_.latCacheToCache + wait_bus;
+    } else {
+        const Cycles t_nl = t + wait_bus + cfg_.memBusOccupancy;
+        const Cycles nl_start = nlPorts_.acquire(t_nl);
+        const Cycles wait_nl = nl_start - t_nl;
+        stats_.nlRequests += 1;
+        stats_.nlWaitCycles += wait_nl;
+        res.cls = AccessClass::LocalMiss;
+        res.readyCycle = t + cfg_.latCoherentHit +
+            cfg_.latNextLevel + wait_bus + wait_nl;
+    }
+    pendingFills_[fill_key] = res.readyCycle;
+    install(req.cluster, block, Msi::Modified, t);
+    stats_.record(res.cls, true);
+    return res;
+}
+
+void
+CoherentCache::invalidateAll()
+{
+    for (Module &m : modules_) {
+        m.tags.clear();
+        for (Msi &s : m.state)
+            s = Msi::Invalid;
+    }
+    pendingFills_.clear();
+}
+
+} // namespace vliw

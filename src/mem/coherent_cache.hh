@@ -1,0 +1,76 @@
+/**
+ * @file
+ * multiVLIW memory system (Sánchez & González, MICRO-33): one private
+ * cache per cluster kept coherent with a snoopy write-invalidate MSI
+ * protocol over the memory buses. Data may be replicated, which
+ * trades effective capacity for locality.
+ *
+ * Class mapping for the shared statistics: LocalHit = hit in the own
+ * module, RemoteHit = cache-to-cache transfer, LocalMiss = next-level
+ * fill, Combined = merged with an in-flight fill.
+ */
+
+#ifndef WIVLIW_MEM_COHERENT_CACHE_HH
+#define WIVLIW_MEM_COHERENT_CACHE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_system.hh"
+#include "mem/resource_set.hh"
+#include "mem/tag_array.hh"
+
+namespace vliw {
+
+/** Snoopy-MSI multiVLIW cache model. */
+class CoherentCache : public MemSystem
+{
+  public:
+    explicit CoherentCache(const MachineConfig &cfg);
+
+    MemAccessResult access(const MemRequest &req) override;
+    void invalidateAll() override;
+
+    /** MSI line states. */
+    enum class Msi : std::uint8_t { Invalid, Shared, Modified };
+
+    /** State of @p block in @p cluster's module (for tests). */
+    Msi stateOf(int cluster, std::uint64_t block) const;
+
+    /** Protocol invariant: at most one Modified copy per block. */
+    bool coherenceInvariantHolds() const;
+
+  private:
+    struct Module
+    {
+        TagArray tags;
+        std::vector<Msi> state;
+
+        Module(int sets, int ways)
+            : tags(sets, ways),
+              state(static_cast<std::size_t>(sets) *
+                    static_cast<std::size_t>(ways), Msi::Invalid)
+        {}
+    };
+
+    /** Install @p block into @p cluster with @p st, evicting LRU
+     *  (a Modified victim is written back around cycle @p t). */
+    void install(int cluster, std::uint64_t block, Msi st, Cycles t);
+
+    /** Any other module holding the block (kNoLine-style -1). */
+    int findOtherHolder(int cluster, std::uint64_t block) const;
+
+    /** Invalidate every copy outside @p cluster. */
+    void invalidateOthers(int cluster, std::uint64_t block);
+
+    MachineConfig cfg_;
+    std::vector<Module> modules_;
+    ResourceSet memBuses_;
+    ResourceSet nlPorts_;
+    /** Combining key: block * numClusters + cluster. */
+    std::unordered_map<std::uint64_t, Cycles> pendingFills_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_COHERENT_CACHE_HH

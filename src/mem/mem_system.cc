@@ -1,0 +1,37 @@
+#include "mem_system.hh"
+
+#include "mem/coherent_cache.hh"
+#include "mem/interleaved_cache.hh"
+#include "mem/unified_cache.hh"
+#include "support/logging.hh"
+
+namespace vliw {
+
+std::unique_ptr<MemSystem>
+makeMemSystem(const MachineConfig &cfg)
+{
+    switch (cfg.cacheOrg) {
+      case CacheOrg::Interleaved:
+        return std::make_unique<InterleavedCache>(cfg);
+      case CacheOrg::Unified:
+        return std::make_unique<UnifiedCache>(cfg);
+      case CacheOrg::MultiVliw:
+        return std::make_unique<CoherentCache>(cfg);
+    }
+    vliw_panic("unknown cache organisation");
+}
+
+const char *
+accessClassName(AccessClass cls)
+{
+    switch (cls) {
+      case AccessClass::LocalHit:   return "local_hit";
+      case AccessClass::RemoteHit:  return "remote_hit";
+      case AccessClass::LocalMiss:  return "local_miss";
+      case AccessClass::RemoteMiss: return "remote_miss";
+      case AccessClass::Combined:   return "combined";
+    }
+    return "?";
+}
+
+} // namespace vliw

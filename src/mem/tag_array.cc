@@ -1,0 +1,144 @@
+#include "tag_array.hh"
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+TagArray::TagArray(int sets, int ways)
+    : sets_(sets), ways_(ways),
+      lines_(static_cast<std::size_t>(sets) *
+             static_cast<std::size_t>(ways))
+{
+    vliw_assert(sets > 0 && ways > 0, "degenerate tag array ",
+                sets, "x", ways);
+}
+
+int
+TagArray::setOf(std::uint64_t key) const
+{
+    return int(key % std::uint64_t(sets_));
+}
+
+int
+TagArray::probe(std::uint64_t key) const
+{
+    const int set = setOf(key);
+    for (int w = 0; w < ways_; ++w) {
+        const int line = set * ways_ + w;
+        const Line &l = lines_[std::size_t(line)];
+        if (l.valid && l.key == key)
+            return line;
+    }
+    return kNoLine;
+}
+
+int
+TagArray::touch(std::uint64_t key)
+{
+    const int line = probe(key);
+    if (line != kNoLine)
+        lines_[std::size_t(line)].lastUse = ++useCounter_;
+    return line;
+}
+
+int
+TagArray::victimOf(std::uint64_t key) const
+{
+    const int set = setOf(key);
+    int victim = set * ways_;
+    for (int w = 0; w < ways_; ++w) {
+        const int line = set * ways_ + w;
+        const Line &l = lines_[std::size_t(line)];
+        if (!l.valid)
+            return line;
+        if (l.lastUse < lines_[std::size_t(victim)].lastUse)
+            victim = line;
+    }
+    return victim;
+}
+
+int
+TagArray::insert(std::uint64_t key, std::uint64_t *evicted_key,
+                 bool *did_evict)
+{
+    vliw_assert(probe(key) == kNoLine,
+                "insert of already-present key");
+    const int victim = victimOf(key);
+
+    Line &v = lines_[std::size_t(victim)];
+    if (did_evict)
+        *did_evict = v.valid;
+    if (evicted_key && v.valid)
+        *evicted_key = v.key;
+    evictedDirty_ = v.valid && v.dirty;
+    v.key = key;
+    v.valid = true;
+    v.dirty = false;
+    v.lastUse = ++useCounter_;
+    return victim;
+}
+
+void
+TagArray::markDirty(int line)
+{
+    vliw_assert(lineValid(line), "markDirty on invalid line");
+    lines_[std::size_t(line)].dirty = true;
+}
+
+bool
+TagArray::isDirty(int line) const
+{
+    return lineValid(line) && lines_[std::size_t(line)].dirty;
+}
+
+bool
+TagArray::invalidate(std::uint64_t key)
+{
+    const int line = probe(key);
+    if (line == kNoLine)
+        return false;
+    lines_[std::size_t(line)].valid = false;
+    return true;
+}
+
+void
+TagArray::invalidateLine(int line)
+{
+    vliw_assert(line >= 0 && std::size_t(line) < lines_.size(),
+                "bad line handle");
+    lines_[std::size_t(line)].valid = false;
+}
+
+std::uint64_t
+TagArray::keyOf(int line) const
+{
+    vliw_assert(lineValid(line), "keyOf on invalid line");
+    return lines_[std::size_t(line)].key;
+}
+
+bool
+TagArray::lineValid(int line) const
+{
+    return line >= 0 && std::size_t(line) < lines_.size() &&
+        lines_[std::size_t(line)].valid;
+}
+
+void
+TagArray::clear()
+{
+    for (Line &l : lines_)
+        l.valid = false;
+}
+
+int
+TagArray::occupancy() const
+{
+    int n = 0;
+    for (const Line &l : lines_) {
+        if (l.valid)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace vliw

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Generic set-associative LRU tag array used by every cache model and
+ * by the Attraction Buffers.
+ */
+
+#ifndef WIVLIW_MEM_TAG_ARRAY_HH
+#define WIVLIW_MEM_TAG_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace vliw {
+
+/** Set-associative LRU directory over opaque 64-bit keys. */
+class TagArray
+{
+  public:
+    TagArray(int sets, int ways);
+
+    /** Line handle: set * ways + way, or -1. */
+    static constexpr int kNoLine = -1;
+
+    /** Find without touching LRU state. */
+    int probe(std::uint64_t key) const;
+
+    /** Find and update LRU; kNoLine on miss. */
+    int touch(std::uint64_t key);
+
+    /**
+     * Insert @p key, evicting the set's LRU line if needed.
+     * @param evicted_key set to the displaced key (if any).
+     * @return the line handle; asserts the key is not yet present.
+     */
+    int insert(std::uint64_t key, std::uint64_t *evicted_key = nullptr,
+               bool *did_evict = nullptr);
+
+    /** The line insert(@p key) would claim (invalid-first, else
+     *  LRU); lets protocol caches inspect the victim beforehand. */
+    int victimOf(std::uint64_t key) const;
+
+    /** Drop @p key if present; true when something was removed. */
+    bool invalidate(std::uint64_t key);
+
+    /** Invalidate a line by handle. */
+    void invalidateLine(int line);
+
+    /** Key stored in @p line (line must be valid). */
+    std::uint64_t keyOf(int line) const;
+
+    bool lineValid(int line) const;
+
+    /// @name Dirty tracking (write-back caches)
+    /// @{
+    /** Mark @p line dirty; cleared automatically on insert. */
+    void markDirty(int line);
+    bool isDirty(int line) const;
+    /** Dirty state of the victim evicted by the last insert(). */
+    bool lastEvictionWasDirty() const { return evictedDirty_; }
+    /// @}
+
+    /** Invalidate everything. */
+    void clear();
+
+    int sets() const { return sets_; }
+    int ways() const { return ways_; }
+    int occupancy() const;
+
+  private:
+    int setOf(std::uint64_t key) const;
+
+    struct Line
+    {
+        std::uint64_t key = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    int sets_;
+    int ways_;
+    std::vector<Line> lines_;
+    std::uint64_t useCounter_ = 0;
+    bool evictedDirty_ = false;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_TAG_ARRAY_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Centralised (unified) multi-ported L1 data cache: the baseline
+ * clustered-VLIW memory organisation. All clusters share one cache
+ * with @c unifiedPorts read/write ports and a flat access latency of
+ * 1 (optimistic) or 5 (realistic wire-delay) cycles.
+ */
+
+#ifndef WIVLIW_MEM_UNIFIED_CACHE_HH
+#define WIVLIW_MEM_UNIFIED_CACHE_HH
+
+#include <unordered_map>
+
+#include "mem/mem_system.hh"
+#include "mem/resource_set.hh"
+#include "mem/tag_array.hh"
+
+namespace vliw {
+
+/** Unified cache model; classes used: LocalHit/LocalMiss/Combined. */
+class UnifiedCache : public MemSystem
+{
+  public:
+    explicit UnifiedCache(const MachineConfig &cfg);
+
+    MemAccessResult access(const MemRequest &req) override;
+    void invalidateAll() override;
+
+  private:
+    MachineConfig cfg_;
+    TagArray tags_;
+    ResourceSet ports_;
+    ResourceSet nlPorts_;
+    std::unordered_map<std::uint64_t, Cycles> pendingFills_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_UNIFIED_CACHE_HH

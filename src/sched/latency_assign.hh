@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Latency assignment for memory instructions (Section 4.3.1 step 2).
+ *
+ * Every load starts at the worst-class latency (remote miss). The
+ * pass then walks the recurrences from most to least II-constraining
+ * and lowers the latency of selectively chosen loads, maximising the
+ * benefit function B = (decrease in II) / (increase in expected
+ * stall), until each recurrence's II matches the MII the loop would
+ * have if every load were a local hit. When a recurrence ends up
+ * below that target, the last-lowered load is raised again to absorb
+ * the slack (footnote 3 of the paper: n1 ends at 4 cycles).
+ */
+
+#ifndef WIVLIW_SCHED_LATENCY_ASSIGN_HH
+#define WIVLIW_SCHED_LATENCY_ASSIGN_HH
+
+#include <vector>
+
+#include "ddg/circuits.hh"
+#include "ddg/ddg.hh"
+#include "ddg/profile_map.hh"
+#include "machine/machine_config.hh"
+#include "sched/lat_scheme.hh"
+
+namespace vliw {
+
+/** One latency reduction, kept for the worked-example bench/test. */
+struct LatencyStep
+{
+    NodeId node = kNoNode;
+    LatClass fromClass = 0;
+    LatClass toClass = 0;
+    int iiBefore = 0;
+    int iiAfter = 0;
+    double stallBefore = 0.0;
+    double stallAfter = 0.0;
+    double benefit = 0.0;
+};
+
+/** Result of the latency assignment pass. */
+struct LatencyAssignment
+{
+    /** Final integer latencies for every node. */
+    LatencyMap latencies;
+    /** Final class per node (loads only are meaningful). */
+    std::vector<LatClass> classOf;
+    /** The target: MII with all loads at the best-class latency. */
+    int miiTarget = 1;
+    /** Reductions in application order. */
+    std::vector<LatencyStep> trace;
+
+    int assignedLatency(NodeId id) const { return latencies(id); }
+};
+
+/**
+ * Run the assignment.
+ *
+ * @param ddg      the (already unrolled) loop body
+ * @param circuits elementary circuits of @p ddg
+ * @param prof     profile data (hit rate, local ratio) per load
+ * @param scheme   four-class (interleaved) or two-class scheme
+ * @param cfg      machine description (for ResMII)
+ */
+LatencyAssignment assignLatencies(const Ddg &ddg,
+                                  const std::vector<Circuit> &circuits,
+                                  const ProfileMap &prof,
+                                  const LatencyScheme &scheme,
+                                  const MachineConfig &cfg);
+
+/**
+ * Candidate benefits for one recurrence in its current state --
+ * exposed separately so the Section 4.3.3 example table can be
+ * printed by bench/table_latency_example.
+ */
+std::vector<LatencyStep>
+enumerateBenefits(const Ddg &ddg, const Circuit &circuit,
+                  const ProfileMap &prof, const LatencyScheme &scheme,
+                  const LatencyMap &current,
+                  const std::vector<LatClass> &class_of);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_LATENCY_ASSIGN_HH

@@ -1,0 +1,120 @@
+#include "mrt.hh"
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace vliw {
+
+namespace {
+constexpr int kNumFuKinds = 3;   // Int, Fp, Mem (Bus kept apart)
+} // namespace
+
+Mrt::Mrt(const MachineConfig &cfg, int ii)
+    : cfg_(cfg), ii_(ii)
+{
+    vliw_assert(ii >= 1, "II must be positive");
+    fuUse_.assign(std::size_t(ii) * std::size_t(cfg.numClusters) *
+                  kNumFuKinds, 0);
+    busUse_.assign(std::size_t(ii), 0);
+    clusterLoad_.assign(std::size_t(cfg.numClusters), 0);
+}
+
+int
+Mrt::row(int cycle) const
+{
+    return int(positiveMod(cycle, ii_));
+}
+
+int
+Mrt::fuCapacity(FuKind kind) const
+{
+    switch (kind) {
+      case FuKind::Int: return cfg_.intUnitsPerCluster;
+      case FuKind::Fp:  return cfg_.fpUnitsPerCluster;
+      case FuKind::Mem: return cfg_.memUnitsPerCluster;
+      case FuKind::Bus: break;
+    }
+    vliw_panic("bus slots are not FU slots");
+}
+
+int &
+Mrt::fuCount(int cluster, FuKind kind, int r)
+{
+    const std::size_t idx =
+        (std::size_t(r) * std::size_t(cfg_.numClusters) +
+         std::size_t(cluster)) * kNumFuKinds + std::size_t(kind);
+    return fuUse_[idx];
+}
+
+int
+Mrt::fuCount(int cluster, FuKind kind, int r) const
+{
+    return const_cast<Mrt *>(this)->fuCount(cluster, kind, r);
+}
+
+bool
+Mrt::fuFree(int cluster, FuKind kind, int cycle) const
+{
+    return fuCount(cluster, kind, row(cycle)) < fuCapacity(kind);
+}
+
+void
+Mrt::reserveFu(int cluster, FuKind kind, int cycle)
+{
+    int &count = fuCount(cluster, kind, row(cycle));
+    vliw_assert(count < fuCapacity(kind), "FU over-reserved");
+    ++count;
+    clusterLoad_[std::size_t(cluster)] += 1;
+}
+
+void
+Mrt::releaseFu(int cluster, FuKind kind, int cycle)
+{
+    int &count = fuCount(cluster, kind, row(cycle));
+    vliw_assert(count > 0, "FU release without reservation");
+    --count;
+    clusterLoad_[std::size_t(cluster)] -= 1;
+}
+
+int
+Mrt::clusterLoad(int cluster) const
+{
+    return clusterLoad_[std::size_t(cluster)];
+}
+
+bool
+Mrt::busFree(int cycle) const
+{
+    if (cfg_.regBusOccupancy > ii_) {
+        // A transfer would overlap itself in the kernel; no steady-
+        // state slot exists at this II.
+        return false;
+    }
+    for (int j = 0; j < cfg_.regBusOccupancy; ++j) {
+        if (busUse_[std::size_t(row(cycle + j))] >= cfg_.regBuses)
+            return false;
+    }
+    return true;
+}
+
+void
+Mrt::reserveBus(int cycle)
+{
+    vliw_assert(busFree(cycle), "bus over-reserved");
+    for (int j = 0; j < cfg_.regBusOccupancy; ++j)
+        busUse_[std::size_t(row(cycle + j))] += 1;
+    ++busTransfers_;
+}
+
+void
+Mrt::releaseBus(int cycle)
+{
+    for (int j = 0; j < cfg_.regBusOccupancy; ++j) {
+        int &use = busUse_[std::size_t(row(cycle + j))];
+        vliw_assert(use > 0, "bus release without reservation");
+        --use;
+    }
+    --busTransfers_;
+}
+
+} // namespace vliw

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Modulo reservation table over (cycle mod II, cluster, FU kind),
+ * plus the register-bus slots. Register buses run at half the core
+ * frequency, so one transfer occupies a bus for regBusOccupancy
+ * consecutive modulo rows.
+ */
+
+#ifndef WIVLIW_SCHED_MRT_HH
+#define WIVLIW_SCHED_MRT_HH
+
+#include <vector>
+
+#include "ddg/op_types.hh"
+#include "machine/machine_config.hh"
+
+namespace vliw {
+
+/** Reservation state for one II attempt. */
+class Mrt
+{
+  public:
+    Mrt(const MachineConfig &cfg, int ii);
+
+    int ii() const { return ii_; }
+
+    /** A unit of @p kind free in @p cluster at @p cycle? */
+    bool fuFree(int cluster, FuKind kind, int cycle) const;
+    void reserveFu(int cluster, FuKind kind, int cycle);
+    void releaseFu(int cluster, FuKind kind, int cycle);
+
+    /** Ops currently booked on FUs of @p cluster (all kinds). */
+    int clusterLoad(int cluster) const;
+
+    /** A register bus free for a transfer starting at @p cycle? */
+    bool busFree(int cycle) const;
+    void reserveBus(int cycle);
+    void releaseBus(int cycle);
+
+    /** Register-bus transfers booked so far. */
+    int busTransfers() const { return busTransfers_; }
+
+  private:
+    int row(int cycle) const;
+    int fuCapacity(FuKind kind) const;
+    int &fuCount(int cluster, FuKind kind, int r);
+    int fuCount(int cluster, FuKind kind, int r) const;
+
+    /** Bus slot usage at row r (how many buses are busy). */
+    int busRowUse(int r) const { return busUse_[std::size_t(r)]; }
+
+    const MachineConfig &cfg_;
+    int ii_;
+    /** [row][cluster][kind] booked count. */
+    std::vector<int> fuUse_;
+    /** [row] number of buses occupied. */
+    std::vector<int> busUse_;
+    std::vector<int> clusterLoad_;
+    int busTransfers_ = 0;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_MRT_HH

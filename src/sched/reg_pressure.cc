@@ -1,0 +1,114 @@
+#include "reg_pressure.hh"
+
+#include <algorithm>
+
+#include "support/math_util.hh"
+
+namespace vliw {
+
+namespace {
+
+/** Live interval [def, lastUse] in absolute schedule cycles. */
+struct Interval
+{
+    int cluster;
+    int def;
+    int end;
+};
+
+/** Instances of [def,end] alive at modulo row r with period ii. */
+int
+aliveAtRow(const Interval &iv, int r, int ii)
+{
+    if (iv.end < iv.def)
+        return 0;
+    // Count k with def <= r + k*ii <= end.
+    const auto lo = std::int64_t(iv.def) - r;
+    const auto hi = std::int64_t(iv.end) - r;
+    const std::int64_t k_min =
+        lo <= 0 ? -((-lo) / ii) : (lo + ii - 1) / ii;
+    const std::int64_t k_max =
+        hi >= 0 ? hi / ii : -((-hi + ii - 1) / ii);
+    return k_max >= k_min ? int(k_max - k_min + 1) : 0;
+}
+
+} // namespace
+
+std::vector<int>
+maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
+                  const MachineConfig &cfg, const Schedule &sched)
+{
+    // Lifetimes start at issue (not at write-back), so the assigned
+    // latencies in @p lat do not shift the intervals.
+    (void)lat;
+    std::vector<Interval> intervals;
+
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        if (ddg.node(v).kind == OpKind::Store)
+            continue;   // stores define no register
+        const int def_cluster = sched.clusterOf(v);
+        const int def = sched.cycleOf(v);
+
+        int end_home = def;         // last use in the home cluster
+        std::vector<std::pair<int, int>> remote_uses;
+
+        for (int eidx : ddg.outEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            if (e.kind != DepKind::RegFlow)
+                continue;
+            const int use_cluster = sched.clusterOf(e.dst);
+            const int use_time =
+                sched.cycleOf(e.dst) + sched.ii * e.distance;
+            if (use_cluster == def_cluster) {
+                end_home = std::max(end_home, use_time);
+            } else {
+                remote_uses.emplace_back(use_cluster, use_time);
+            }
+        }
+
+        // Copies: the source register lives until the transfer
+        // leaves; the replica lives from arrival to its last use.
+        for (const CopyOp &c : sched.copies) {
+            if (c.producer != v)
+                continue;
+            end_home = std::max(end_home, c.busStart);
+            int replica_end = c.readyCycle;
+            for (const auto &[use_cluster, use_time] : remote_uses) {
+                if (use_cluster == c.toCluster)
+                    replica_end = std::max(replica_end, use_time);
+            }
+            intervals.push_back(
+                {c.toCluster, c.readyCycle, replica_end});
+        }
+
+        intervals.push_back({def_cluster, def, end_home});
+    }
+
+    std::vector<int> max_live(std::size_t(cfg.numClusters), 0);
+    for (int c = 0; c < cfg.numClusters; ++c) {
+        for (int r = 0; r < sched.ii; ++r) {
+            int live = 0;
+            for (const Interval &iv : intervals) {
+                if (iv.cluster == c)
+                    live += aliveAtRow(iv, r, sched.ii);
+            }
+            max_live[std::size_t(c)] =
+                std::max(max_live[std::size_t(c)], live);
+        }
+    }
+    return max_live;
+}
+
+bool
+registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
+                   const MachineConfig &cfg, const Schedule &sched)
+{
+    (void)lat;
+    for (int live : maxLivePerCluster(ddg, lat, cfg, sched)) {
+        if (live > cfg.regsPerCluster)
+            return false;
+    }
+    return true;
+}
+
+} // namespace vliw

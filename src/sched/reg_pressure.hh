@@ -1,0 +1,35 @@
+/**
+ * @file
+ * MaxLive register-pressure estimation for a modulo schedule.
+ *
+ * Every value (non-store node, plus the copy-made replicas in other
+ * clusters) occupies a register from its definition to its last use;
+ * lifetimes longer than II overlap themselves, so the register need
+ * at modulo row r counts every iteration instance alive there.
+ */
+
+#ifndef WIVLIW_SCHED_REG_PRESSURE_HH
+#define WIVLIW_SCHED_REG_PRESSURE_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+#include "machine/machine_config.hh"
+#include "sched/schedule.hh"
+
+namespace vliw {
+
+/** Per-cluster MaxLive of @p sched. */
+std::vector<int> maxLivePerCluster(const Ddg &ddg,
+                                   const LatencyMap &lat,
+                                   const MachineConfig &cfg,
+                                   const Schedule &sched);
+
+/** True when every cluster fits in cfg.regsPerCluster registers. */
+bool registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
+                        const MachineConfig &cfg,
+                        const Schedule &sched);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_REG_PRESSURE_HH

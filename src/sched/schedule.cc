@@ -1,0 +1,166 @@
+#include "schedule.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace vliw {
+
+const CopyOp *
+Schedule::findCopy(NodeId producer, int cluster) const
+{
+    for (const CopyOp &c : copies) {
+        if (c.producer == producer && c.toCluster == cluster)
+            return &c;
+    }
+    return nullptr;
+}
+
+int
+Schedule::opsInCluster(int cluster) const
+{
+    int n = 0;
+    for (const PlacedOp &op : ops) {
+        if (op.placed() && op.cluster == cluster)
+            ++n;
+    }
+    return n;
+}
+
+double
+Schedule::workloadBalance(int num_clusters) const
+{
+    int total = 0;
+    int worst = 0;
+    for (int c = 0; c < num_clusters; ++c) {
+        const int in_c = opsInCluster(c);
+        total += in_c;
+        worst = std::max(worst, in_c);
+    }
+    return total == 0 ? 0.0 : double(worst) / double(total);
+}
+
+std::optional<std::string>
+validateSchedule(const Ddg &ddg, const LatencyMap &lat,
+                 const MachineConfig &cfg, const Schedule &sched,
+                 const MemChains *chains)
+{
+    std::ostringstream err;
+
+    // 1. Everything placed, inside a cluster.
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        const PlacedOp &op = sched.ops[std::size_t(v)];
+        if (!op.placed()) {
+            err << "node " << ddg.node(v).name << " not placed";
+            return err.str();
+        }
+        if (op.cluster < 0 || op.cluster >= cfg.numClusters) {
+            err << "node " << ddg.node(v).name << " in bad cluster "
+                << op.cluster;
+            return err.str();
+        }
+    }
+
+    // 2. Dependences, with copy routing for cross-cluster values.
+    for (const DdgEdge &e : ddg.edges()) {
+        const int t_src = sched.cycleOf(e.src);
+        const int t_dst = sched.cycleOf(e.dst);
+        const int lat_e = edgeLatency(ddg, e, lat);
+        const int slack =
+            t_dst - t_src + sched.ii * e.distance - lat_e;
+
+        if (e.kind == DepKind::RegFlow &&
+            sched.clusterOf(e.src) != sched.clusterOf(e.dst)) {
+            const CopyOp *copy =
+                sched.findCopy(e.src, sched.clusterOf(e.dst));
+            if (!copy) {
+                err << "missing copy " << ddg.node(e.src).name
+                    << " -> cluster " << sched.clusterOf(e.dst);
+                return err.str();
+            }
+            if (copy->busStart < t_src + lat(e.src)) {
+                err << "copy of " << ddg.node(e.src).name
+                    << " leaves before the value exists";
+                return err.str();
+            }
+            if (copy->readyCycle >
+                t_dst + sched.ii * e.distance) {
+                err << "copy of " << ddg.node(e.src).name
+                    << " arrives after " << ddg.node(e.dst).name
+                    << " issues";
+                return err.str();
+            }
+        } else if (slack < 0) {
+            err << "dependence " << ddg.node(e.src).name << " -"
+                << depKindName(e.kind) << "(d=" << e.distance
+                << ")-> " << ddg.node(e.dst).name
+                << " violated by " << -slack << " cycles";
+            return err.str();
+        }
+    }
+
+    // 3. FU capacity per modulo row.
+    std::map<std::tuple<int, int, int>, int> fu_use;
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        const FuKind kind = fuForOp(ddg.node(v).kind);
+        const int r = int(positiveMod(sched.cycleOf(v), sched.ii));
+        fu_use[{r, sched.clusterOf(v), int(kind)}] += 1;
+    }
+    for (const auto &[key, used] : fu_use) {
+        const auto [r, cluster, kind] = key;
+        int cap = 0;
+        switch (FuKind(kind)) {
+          case FuKind::Int: cap = cfg.intUnitsPerCluster; break;
+          case FuKind::Fp:  cap = cfg.fpUnitsPerCluster; break;
+          case FuKind::Mem: cap = cfg.memUnitsPerCluster; break;
+          case FuKind::Bus: cap = cfg.regBuses; break;
+        }
+        if (used > cap) {
+            err << "row " << r << " cluster " << cluster
+                << " overuses FU kind " << kind << ": " << used
+                << " > " << cap;
+            return err.str();
+        }
+    }
+
+    // 4. Register-bus rows.
+    std::vector<int> bus_use(std::size_t(sched.ii), 0);
+    for (const CopyOp &c : sched.copies) {
+        for (int j = 0; j < cfg.regBusOccupancy; ++j) {
+            bus_use[std::size_t(
+                positiveMod(c.busStart + j, sched.ii))] += 1;
+        }
+        if (c.readyCycle != c.busStart + cfg.regBusLatency) {
+            err << "copy latency inconsistent";
+            return err.str();
+        }
+    }
+    for (std::size_t r = 0; r < bus_use.size(); ++r) {
+        if (bus_use[r] > cfg.regBuses) {
+            err << "register buses oversubscribed at row " << r
+                << ": " << bus_use[r] << " > " << cfg.regBuses;
+            return err.str();
+        }
+    }
+
+    // 5. Memory dependent chains all in one cluster.
+    if (chains) {
+        for (int ch = 0; ch < chains->numChains(); ++ch) {
+            const auto &members = chains->members(ch);
+            for (NodeId v : members) {
+                if (sched.clusterOf(v) !=
+                    sched.clusterOf(members.front())) {
+                    err << "chain " << ch << " split across clusters";
+                    return err.str();
+                }
+            }
+        }
+    }
+
+    return std::nullopt;
+}
+
+} // namespace vliw

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The result of modulo scheduling one loop: per-operation (cycle,
+ * cluster) placements, the inter-cluster copy operations inserted by
+ * the scheduler, II and stage count.
+ */
+
+#ifndef WIVLIW_SCHED_SCHEDULE_HH
+#define WIVLIW_SCHED_SCHEDULE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddg/chains.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine_config.hh"
+
+namespace vliw {
+
+/** Placement of one DDG node. */
+struct PlacedOp
+{
+    /** May be negative until the schedule is normalised. */
+    int cycle = 0;
+    int cluster = -1;
+
+    bool placed() const { return cluster >= 0; }
+};
+
+/** One scheduled inter-cluster register transfer. */
+struct CopyOp
+{
+    NodeId producer = kNoNode;
+    int fromCluster = -1;
+    int toCluster = -1;
+    /** Issue cycle of the bus transfer (same frame as producer). */
+    int busStart = -1;
+    /** Cycle the value is available in @p toCluster. */
+    int readyCycle = -1;
+};
+
+/** A complete modulo schedule of one loop body. */
+struct Schedule
+{
+    int ii = 0;
+    /** Schedule length: max placement cycle + 1. */
+    int length = 0;
+    /** Number of overlapped stages: floor(maxCycle / ii) + 1. */
+    int stageCount = 0;
+    /** Placements indexed by NodeId. */
+    std::vector<PlacedOp> ops;
+    std::vector<CopyOp> copies;
+
+    int
+    cycleOf(NodeId v) const
+    {
+        return ops[std::size_t(v)].cycle;
+    }
+
+    int
+    clusterOf(NodeId v) const
+    {
+        return ops[std::size_t(v)].cluster;
+    }
+
+    /** The copy carrying @p producer's value into @p cluster. */
+    const CopyOp *findCopy(NodeId producer, int cluster) const;
+
+    /** Non-copy operations placed in @p cluster. */
+    int opsInCluster(int cluster) const;
+
+    /**
+     * Workload balance of the loop (paper Section 5.2):
+     * instructions in the most-loaded cluster / total instructions.
+     * 1/N is perfect balance, 1.0 fully unbalanced.
+     */
+    double workloadBalance(int num_clusters) const;
+
+    int numCopies() const { return int(copies.size()); }
+};
+
+/**
+ * Check that @p sched satisfies every dependence (with copy routing
+ * across clusters), FU capacity, bus capacity, and -- when @p chains
+ * is given -- the memory-dependent-chain single-cluster rule.
+ *
+ * @return std::nullopt when valid, else a human-readable violation.
+ */
+std::optional<std::string>
+validateSchedule(const Ddg &ddg, const LatencyMap &lat,
+                 const MachineConfig &cfg, const Schedule &sched,
+                 const MemChains *chains = nullptr);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_SCHEDULE_HH

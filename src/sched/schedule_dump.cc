@@ -1,0 +1,68 @@
+#include "schedule_dump.hh"
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/math_util.hh"
+#include "support/table.hh"
+
+namespace vliw {
+
+void
+dumpKernel(std::ostream &os, const Ddg &ddg, const Schedule &sched,
+           const MachineConfig &cfg)
+{
+    std::vector<std::string> headers;
+    headers.push_back("row");
+    for (int c = 0; c < cfg.numClusters; ++c)
+        headers.push_back("cluster" + std::to_string(c));
+    headers.push_back("buses");
+    TextTable tab(std::move(headers));
+
+    for (int row = 0; row < sched.ii; ++row) {
+        tab.newRow().cell(std::int64_t(row));
+        for (int c = 0; c < cfg.numClusters; ++c) {
+            std::string cell;
+            for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+                if (sched.clusterOf(v) != c ||
+                    positiveMod(sched.cycleOf(v), sched.ii) != row)
+                    continue;
+                if (!cell.empty())
+                    cell += " ";
+                cell += ddg.node(v).name;
+            }
+            tab.cell(cell.empty() ? "." : cell);
+        }
+        std::string buses;
+        for (const CopyOp &cp : sched.copies) {
+            if (positiveMod(cp.busStart, sched.ii) != row)
+                continue;
+            if (!buses.empty())
+                buses += " ";
+            buses += ddg.node(cp.producer).name + "->" +
+                std::to_string(cp.toCluster);
+        }
+        tab.cell(buses.empty() ? "." : buses);
+    }
+    tab.print(os);
+}
+
+void
+dumpPlacements(std::ostream &os, const Ddg &ddg,
+               const Schedule &sched)
+{
+    TextTable tab({"op", "kind", "cycle", "stage", "row", "cluster"});
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        const int cycle = sched.cycleOf(v);
+        tab.newRow().cell(ddg.node(v).name);
+        tab.cell(opKindName(ddg.node(v).kind));
+        tab.cell(std::int64_t(cycle));
+        tab.cell(std::int64_t(cycle / sched.ii));
+        tab.cell(positiveMod(cycle, sched.ii));
+        tab.cell(std::int64_t(sched.clusterOf(v)));
+    }
+    tab.print(os);
+}
+
+} // namespace vliw

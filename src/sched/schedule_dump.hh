@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human-readable rendering of modulo schedules: the kernel as one
+ * row per II cycle and one column per cluster (plus the register
+ * buses), and a flat placement listing. Shared by the examples, the
+ * CLI driver and debugging sessions.
+ */
+
+#ifndef WIVLIW_SCHED_SCHEDULE_DUMP_HH
+#define WIVLIW_SCHED_SCHEDULE_DUMP_HH
+
+#include <iosfwd>
+
+#include "ddg/ddg.hh"
+#include "machine/machine_config.hh"
+#include "sched/schedule.hh"
+
+namespace vliw {
+
+/**
+ * Print the steady-state kernel: ops appear in row
+ * (cycle mod II), bus transfers in the last column.
+ */
+void dumpKernel(std::ostream &os, const Ddg &ddg,
+                const Schedule &sched, const MachineConfig &cfg);
+
+/** Print one line per op: name, cycle, stage, cluster, FU kind. */
+void dumpPlacements(std::ostream &os, const Ddg &ddg,
+                    const Schedule &sched);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_SCHEDULE_DUMP_HH

@@ -1,0 +1,513 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sched/mrt.hh"
+#include "sched/reg_pressure.hh"
+#include "sched/sms_order.hh"
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace vliw {
+
+const char *
+heuristicName(Heuristic h)
+{
+    switch (h) {
+      case Heuristic::Base: return "BASE";
+      case Heuristic::Ibc:  return "IBC";
+      case Heuristic::Ipbc: return "IPBC";
+    }
+    return "?";
+}
+
+std::vector<int>
+ipbcChainTargets(const Ddg &ddg, const MemChains &chains,
+                 const ProfileMap &prof, int num_clusters)
+{
+    std::vector<int> targets(std::size_t(chains.numChains()), 0);
+    for (int ch = 0; ch < chains.numChains(); ++ch) {
+        std::vector<std::uint64_t> counts(
+            static_cast<std::size_t>(num_clusters), 0);
+        for (NodeId v : chains.members(ch)) {
+            const MemProfile &p = prof.at(v);
+            for (std::size_t c = 0;
+                 c < p.clusterCounts.size() && c < counts.size();
+                 ++c) {
+                counts[c] += p.clusterCounts[c];
+            }
+        }
+        int best = 0;
+        for (int c = 1; c < num_clusters; ++c) {
+            if (counts[std::size_t(c)] > counts[std::size_t(best)])
+                best = c;
+        }
+        targets[std::size_t(ch)] = best;
+        (void)ddg;
+    }
+    return targets;
+}
+
+namespace {
+
+/** One scheduling attempt at a fixed II. */
+class Attempt
+{
+  public:
+    Attempt(const Ddg &ddg, const LatencyMap &lat,
+            const ProfileMap &prof, const MachineConfig &cfg,
+            const SchedulerOptions &opts, const MemChains *chains,
+            const std::vector<int> *chain_targets, int ii)
+        : ddg_(ddg), lat_(lat), prof_(prof), cfg_(cfg), opts_(opts),
+          chains_(chains), chainTargets_(chain_targets),
+          mrt_(cfg, ii), ii_(ii)
+    {
+        sched_.ii = ii;
+        sched_.ops.assign(std::size_t(ddg.numNodes()), PlacedOp{});
+        if (chains_) {
+            chainCluster_.assign(
+                std::size_t(chains_->numChains()), -1);
+            if (chainTargets_) {
+                // IPBC pre-binds every chain to its target; the
+                // binding may still fall back if no slot exists.
+                for (std::size_t ch = 0;
+                     ch < chainCluster_.size(); ++ch) {
+                    chainCluster_[ch] = (*chainTargets_)[ch];
+                }
+            }
+        }
+    }
+
+    bool
+    run(const std::vector<NodeId> &order)
+    {
+        for (NodeId v : order) {
+            if (!place(v))
+                return false;
+        }
+        finalize();
+        return true;
+    }
+
+    Schedule take() { return std::move(sched_); }
+
+    std::vector<int>
+    chainClusterSnapshot() const
+    {
+        return chainCluster_;
+    }
+
+  private:
+    /** Candidate clusters for @p v, most attractive first. */
+    std::vector<int>
+    candidateClusters(NodeId v) const
+    {
+        const bool is_mem = ddg_.isMemNode(v);
+
+        // A chain that is already bound (a member is placed, or the
+        // IPBC pre-binding) pins the node; correctness requires the
+        // whole chain in one cluster, so the pin is only soft before
+        // any member is placed.
+        bool pinned_hard = false;
+        int pinned = -1;
+        if (is_mem && chains_ && opts_.useChains) {
+            const int ch = chains_->chainOf(v);
+            if (chainPlaced_.count(ch)) {
+                pinned = chainCluster_[std::size_t(ch)];
+                pinned_hard = true;
+            } else if (chainCluster_[std::size_t(ch)] >= 0) {
+                pinned = chainCluster_[std::size_t(ch)];
+            }
+        }
+        if (pinned_hard)
+            return {pinned};
+
+        // Communication profit: placed register-flow neighbours in
+        // each cluster (each avoids one copy); then balance.
+        std::vector<int> profit(std::size_t(cfg_.numClusters), 0);
+        auto credit = [&](NodeId other) {
+            if (sched_.ops[std::size_t(other)].placed())
+                profit[std::size_t(sched_.clusterOf(other))] += 1;
+        };
+        for (int eidx : ddg_.inEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            if (e.kind == DepKind::RegFlow)
+                credit(e.src);
+        }
+        for (int eidx : ddg_.outEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            if (e.kind == DepKind::RegFlow)
+                credit(e.dst);
+        }
+
+        std::vector<int> cands(std::size_t(cfg_.numClusters));
+        for (int c = 0; c < cfg_.numClusters; ++c)
+            cands[std::size_t(c)] = c;
+        std::stable_sort(
+            cands.begin(), cands.end(), [&](int a, int b) {
+                if (profit[std::size_t(a)] != profit[std::size_t(b)])
+                    return profit[std::size_t(a)] >
+                        profit[std::size_t(b)];
+                return mrt_.clusterLoad(a) < mrt_.clusterLoad(b);
+            });
+
+        // IPBC: the preferred cluster (or soft chain binding) goes
+        // first regardless of profit.
+        int front = -1;
+        if (pinned >= 0) {
+            front = pinned;
+        } else if (is_mem && opts_.heuristic == Heuristic::Ipbc) {
+            front = prof_.at(v).preferredCluster;
+        }
+        if (front >= 0) {
+            auto it = std::find(cands.begin(), cands.end(), front);
+            if (it != cands.end()) {
+                cands.erase(it);
+                cands.insert(cands.begin(), front);
+            }
+        }
+        return cands;
+    }
+
+    struct NewCopy
+    {
+        NodeId producer;
+        int fromCluster;
+        int toCluster;
+        int busStart;
+    };
+
+    /**
+     * Try to place @p v in @p cluster at @p cycle. On success the
+     * reservations are committed and true is returned.
+     */
+    bool
+    tryPlace(NodeId v, int cluster, int cycle)
+    {
+        const char *trace = std::getenv("WIVLIW_SCHED_TRACE");
+        const bool deep = trace && trace[0] == '2';
+        const FuKind fu = fuForOp(ddg_.node(v).kind);
+        if (!mrt_.fuFree(cluster, fu, cycle)) {
+            if (deep) {
+                std::fprintf(stderr, "  try %s cl=%d t=%d: fu busy\n",
+                             ddg_.node(v).name.c_str(), cluster,
+                             cycle);
+            }
+            return false;
+        }
+
+        // Copies needed to feed v from remote producers, and to feed
+        // remote consumers from v. Window search per transfer.
+        std::vector<NewCopy> new_copies;
+        auto fail = [&]() {
+            for (const NewCopy &c : new_copies)
+                mrt_.releaseBus(c.busStart);
+            return false;
+        };
+
+        mrt_.reserveFu(cluster, fu, cycle);
+        auto fail_fu = [&]() {
+            fail();
+            mrt_.releaseFu(cluster, fu, cycle);
+            return false;
+        };
+
+        // Producer-side copies (placed RegFlow predecessors).
+        for (int eidx : ddg_.inEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            if (e.kind != DepKind::RegFlow)
+                continue;
+            const PlacedOp &p = sched_.ops[std::size_t(e.src)];
+            if (!p.placed() || p.cluster == cluster)
+                continue;
+            const int need_by = cycle + ii_ * e.distance;
+            const int value_at = p.cycle + lat_(e.src);
+            if (!routeCopy(e.src, p.cluster, cluster, value_at,
+                           need_by, new_copies)) {
+                if (deep) {
+                    std::fprintf(stderr,
+                        "  try %s cl=%d t=%d: no route from %s "
+                        "[%d, %d]\n", ddg_.node(v).name.c_str(),
+                        cluster, cycle,
+                        ddg_.node(e.src).name.c_str(), value_at,
+                        need_by);
+                }
+                return fail_fu();
+            }
+        }
+
+        // Consumer-side copies (placed RegFlow successors).
+        for (int eidx : ddg_.outEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            if (e.kind != DepKind::RegFlow)
+                continue;
+            const PlacedOp &s = sched_.ops[std::size_t(e.dst)];
+            if (!s.placed() || s.cluster == cluster)
+                continue;
+            const int need_by = s.cycle + ii_ * e.distance;
+            const int value_at = cycle + lat_(v);
+            if (!routeCopy(v, cluster, s.cluster, value_at, need_by,
+                           new_copies)) {
+                if (deep) {
+                    std::fprintf(stderr,
+                        "  try %s cl=%d t=%d: no route to %s "
+                        "[%d, %d]\n", ddg_.node(v).name.c_str(),
+                        cluster, cycle,
+                        ddg_.node(e.dst).name.c_str(), value_at,
+                        need_by);
+                }
+                return fail_fu();
+            }
+        }
+
+        // Commit.
+        sched_.ops[std::size_t(v)] = {cycle, cluster};
+        for (const NewCopy &c : new_copies) {
+            sched_.copies.push_back(
+                {c.producer, c.fromCluster, c.toCluster, c.busStart,
+                 c.busStart + cfg_.regBusLatency});
+        }
+        if (ddg_.isMemNode(v) && chains_ && opts_.useChains) {
+            const int ch = chains_->chainOf(v);
+            chainCluster_[std::size_t(ch)] = cluster;
+            chainPlaced_.insert(ch);
+        }
+        return true;
+    }
+
+    /**
+     * Ensure @p producer's value reaches @p to_cluster no later than
+     * @p need_by. Reuses an existing copy when possible, otherwise
+     * books a bus transfer in [value_at, need_by - busLatency].
+     */
+    bool
+    routeCopy(NodeId producer, int from_cluster, int to_cluster,
+              int value_at, int need_by,
+              std::vector<NewCopy> &new_copies)
+    {
+        const int bus_lat = cfg_.regBusLatency;
+
+        // An already-committed copy of the same value into the same
+        // cluster can be shared if it arrives in time.
+        for (const CopyOp &c : sched_.copies) {
+            if (c.producer == producer && c.toCluster == to_cluster &&
+                c.readyCycle <= need_by) {
+                return true;
+            }
+        }
+        // A copy staged within this same tryPlace.
+        for (const NewCopy &c : new_copies) {
+            if (c.producer == producer && c.toCluster == to_cluster &&
+                c.busStart + bus_lat <= need_by) {
+                return true;
+            }
+        }
+
+        for (int start = value_at; start + bus_lat <= need_by;
+             ++start) {
+            if (mrt_.busFree(start)) {
+                mrt_.reserveBus(start);
+                new_copies.push_back(
+                    {producer, from_cluster, to_cluster, start});
+                return true;
+            }
+            // Scanning more than II slots revisits the same rows.
+            if (start - value_at >= ii_)
+                break;
+        }
+        return false;
+    }
+
+    /**
+     * Earliest/latest start of @p v if placed in @p cluster,
+     * including the register-bus latency of any cross-cluster
+     * register flow to or from already-placed neighbours.
+     */
+    struct Window
+    {
+        int estart = std::numeric_limits<int>::min();
+        int lstart = std::numeric_limits<int>::max();
+        bool hasPred = false;
+        bool hasSucc = false;
+    };
+
+    Window
+    windowFor(NodeId v, int cluster) const
+    {
+        Window w;
+        for (int eidx : ddg_.inEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            const PlacedOp &p = sched_.ops[std::size_t(e.src)];
+            if (!p.placed())
+                continue;
+            w.hasPred = true;
+            int lat_e = edgeLatency(ddg_, e, lat_);
+            if (e.kind == DepKind::RegFlow && p.cluster != cluster)
+                lat_e += cfg_.regBusLatency;
+            w.estart = std::max(w.estart,
+                                p.cycle + lat_e - ii_ * e.distance);
+        }
+        for (int eidx : ddg_.outEdges(v)) {
+            const DdgEdge &e = ddg_.edge(eidx);
+            const PlacedOp &s = sched_.ops[std::size_t(e.dst)];
+            if (!s.placed())
+                continue;
+            w.hasSucc = true;
+            int lat_e = edgeLatency(ddg_, e, lat_);
+            if (e.kind == DepKind::RegFlow && s.cluster != cluster)
+                lat_e += cfg_.regBusLatency;
+            w.lstart = std::min(w.lstart,
+                                s.cycle - lat_e + ii_ * e.distance);
+        }
+        return w;
+    }
+
+    /** Scheduling window and direction for @p v. */
+    bool
+    place(NodeId v)
+    {
+        for (int cluster : candidateClusters(v)) {
+            const Window w = windowFor(v, cluster);
+
+            std::vector<int> cycles;
+            cycles.reserve(std::size_t(ii_));
+            if (w.hasPred && w.hasSucc) {
+                for (int t = w.estart;
+                     t <= std::min(w.lstart, w.estart + ii_ - 1);
+                     ++t) {
+                    cycles.push_back(t);
+                }
+            } else if (w.hasPred) {
+                for (int t = w.estart; t <= w.estart + ii_ - 1; ++t)
+                    cycles.push_back(t);
+            } else if (w.hasSucc) {
+                for (int t = w.lstart; t >= w.lstart - ii_ + 1; --t)
+                    cycles.push_back(t);
+            } else {
+                for (int t = 0; t < ii_; ++t)
+                    cycles.push_back(t);
+            }
+
+            for (int t : cycles) {
+                if (tryPlace(v, cluster, t)) {
+                    if (std::getenv("WIVLIW_SCHED_TRACE")) {
+                        std::fprintf(stderr,
+                            "place %-12s pred=%d succ=%d "
+                            "E=%d L=%d -> cyc=%d cl=%d\n",
+                            ddg_.node(v).name.c_str(), w.hasPred,
+                            w.hasSucc, w.estart, w.lstart, t,
+                            cluster);
+                    }
+                    return true;
+                }
+            }
+            if (std::getenv("WIVLIW_SCHED_TRACE")) {
+                std::fprintf(stderr,
+                    "FAIL  %-12s cl=%d pred=%d succ=%d E=%d L=%d "
+                    "ii=%d\n", ddg_.node(v).name.c_str(), cluster,
+                    w.hasPred, w.hasSucc, w.estart, w.lstart, ii_);
+            }
+        }
+        return false;
+    }
+
+    /** Shift so the earliest op sits at cycle 0; derive SC/length. */
+    void
+    finalize()
+    {
+        int min_cycle = std::numeric_limits<int>::max();
+        int max_cycle = std::numeric_limits<int>::min();
+        for (const PlacedOp &op : sched_.ops) {
+            min_cycle = std::min(min_cycle, op.cycle);
+            max_cycle = std::max(max_cycle, op.cycle);
+        }
+        for (const CopyOp &c : sched_.copies)
+            min_cycle = std::min(min_cycle, c.busStart);
+
+        if (min_cycle != std::numeric_limits<int>::max() &&
+            min_cycle != 0) {
+            for (PlacedOp &op : sched_.ops)
+                op.cycle -= min_cycle;
+            for (CopyOp &c : sched_.copies) {
+                c.busStart -= min_cycle;
+                c.readyCycle -= min_cycle;
+            }
+            max_cycle -= min_cycle;
+        }
+        sched_.length = max_cycle + 1;
+        sched_.stageCount = max_cycle / sched_.ii + 1;
+    }
+
+    const Ddg &ddg_;
+    const LatencyMap &lat_;
+    const ProfileMap &prof_;
+    const MachineConfig &cfg_;
+    const SchedulerOptions &opts_;
+    const MemChains *chains_;
+    const std::vector<int> *chainTargets_;
+    Mrt mrt_;
+    int ii_;
+    Schedule sched_;
+    std::vector<int> chainCluster_;
+    std::set<int> chainPlaced_;
+};
+
+} // namespace
+
+std::optional<ScheduleOutcome>
+scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
+             const LatencyMap &lat, const ProfileMap &prof,
+             const MachineConfig &cfg, int mii,
+             const SchedulerOptions &opts)
+{
+    std::optional<MemChains> chains;
+    std::vector<int> chain_targets;
+    const MemChains *chains_ptr = nullptr;
+    const std::vector<int> *targets_ptr = nullptr;
+
+    if (opts.useChains) {
+        chains.emplace(ddg);
+        chains_ptr = &*chains;
+        if (opts.heuristic == Heuristic::Ipbc) {
+            chain_targets = ipbcChainTargets(ddg, *chains, prof,
+                                             cfg.numClusters);
+            targets_ptr = &chain_targets;
+        }
+    }
+
+    // The SMS order occasionally leaves a node whose window never
+    // opens (no backtracking); after a few failed attempts fall
+    // back to the conservative topological order, which guarantees
+    // convergence as the II grows.
+    constexpr int kSmsAttempts = 6;
+
+    for (int attempt = 0; attempt < opts.maxIiTries; ++attempt) {
+        const int ii = mii + attempt;
+        const std::vector<NodeId> order = attempt < kSmsAttempts
+            ? smsOrder(ddg, circuits, lat, ii)
+            : topologicalOrder(ddg, lat, ii);
+        Attempt run(ddg, lat, prof, cfg, opts, chains_ptr,
+                    targets_ptr, ii);
+        if (!run.run(order))
+            continue;
+
+        Schedule sched = run.take();
+        if (opts.checkRegPressure &&
+            !registerPressureOk(ddg, lat, cfg, sched)) {
+            continue;
+        }
+
+        ScheduleOutcome out;
+        out.schedule = std::move(sched);
+        out.attempts = attempt + 1;
+        out.chainClusters = run.chainClusterSnapshot();
+        return out;
+    }
+    return std::nullopt;
+}
+
+} // namespace vliw

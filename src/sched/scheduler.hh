@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Clustered modulo scheduler (paper Sections 4.2 and 4.3.1 step 4).
+ *
+ * Cluster assignment and cycle selection happen in one pass over the
+ * SMS node order, with no backtracking: when any node cannot be
+ * placed the II is increased and everything restarts. Non-memory
+ * instructions pick the cluster that minimises register-to-register
+ * communication and balances the workload (BASE). Memory
+ * instructions follow the selected heuristic:
+ *
+ *  - BASE: like any other instruction (unified cache -- there is no
+ *    locality to exploit).
+ *  - IBC (Interleaved Build Chains): like any other instruction, but
+ *    the whole memory dependent chain is pinned to the cluster the
+ *    first-scheduled member lands in.
+ *  - IPBC (Interleaved Pre-Build Chains): chains are pre-assigned to
+ *    their average preferred cluster (profile-weighted) and memory
+ *    instructions try that cluster first.
+ */
+
+#ifndef WIVLIW_SCHED_SCHEDULER_HH
+#define WIVLIW_SCHED_SCHEDULER_HH
+
+#include <optional>
+
+#include "ddg/chains.hh"
+#include "ddg/circuits.hh"
+#include "ddg/ddg.hh"
+#include "ddg/profile_map.hh"
+#include "machine/machine_config.hh"
+#include "sched/schedule.hh"
+
+namespace vliw {
+
+/** Memory-instruction cluster-assignment heuristic. */
+enum class Heuristic { Base, Ibc, Ipbc };
+
+const char *heuristicName(Heuristic h);
+
+/** Knobs of one scheduling run. */
+struct SchedulerOptions
+{
+    Heuristic heuristic = Heuristic::Base;
+    /** Enforce memory dependent chains (interleaved correctness). */
+    bool useChains = true;
+    /** Reject schedules whose MaxLive exceeds the register file. */
+    bool checkRegPressure = true;
+    /** Give up after this many II increases. */
+    int maxIiTries = 64;
+};
+
+/** Outcome of scheduleLoop(). */
+struct ScheduleOutcome
+{
+    Schedule schedule;
+    /** IIs tried until success. */
+    int attempts = 1;
+    /** Chain index -> cluster (for diagnostics). */
+    std::vector<int> chainClusters;
+};
+
+/**
+ * Modulo-schedule @p ddg starting at @p mii.
+ *
+ * @param ddg      (unrolled) loop body
+ * @param circuits its elementary circuits
+ * @param lat      assigned latencies (latency_assign.hh)
+ * @param prof     profile data (for IPBC preferred clusters)
+ * @param cfg      machine description
+ * @param mii      lower bound for the II search
+ * @param opts     heuristic and policy knobs
+ * @return the schedule, or std::nullopt if maxIiTries was exhausted
+ */
+std::optional<ScheduleOutcome>
+scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
+             const LatencyMap &lat, const ProfileMap &prof,
+             const MachineConfig &cfg, int mii,
+             const SchedulerOptions &opts);
+
+/**
+ * Pre-compute IPBC chain targets: for every chain the cluster with
+ * the highest profile-weighted access count over all members.
+ */
+std::vector<int> ipbcChainTargets(const Ddg &ddg,
+                                  const MemChains &chains,
+                                  const ProfileMap &prof,
+                                  int num_clusters);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_SCHEDULER_HH

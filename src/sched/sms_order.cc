@@ -1,0 +1,392 @@
+#include "sms_order.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+namespace {
+
+/** Forward (or reverse) reachability from a seed set, all edges. */
+std::vector<bool>
+reachable(const Ddg &ddg, const std::vector<NodeId> &seeds,
+          bool forward)
+{
+    std::vector<bool> seen(std::size_t(ddg.numNodes()), false);
+    std::deque<NodeId> work;
+    for (NodeId s : seeds) {
+        if (!seen[std::size_t(s)]) {
+            seen[std::size_t(s)] = true;
+            work.push_back(s);
+        }
+    }
+    while (!work.empty()) {
+        const NodeId v = work.front();
+        work.pop_front();
+        const auto &edges = forward ? ddg.outEdges(v) : ddg.inEdges(v);
+        for (int eidx : edges) {
+            const DdgEdge &e = ddg.edge(eidx);
+            const NodeId next = forward ? e.dst : e.src;
+            if (!seen[std::size_t(next)]) {
+                seen[std::size_t(next)] = true;
+                work.push_back(next);
+            }
+        }
+    }
+    return seen;
+}
+
+} // namespace
+
+OrderSets
+buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
+               const LatencyMap &lat)
+{
+    OrderSets out;
+    out.setOf.assign(std::size_t(ddg.numNodes()), -1);
+
+    // Recurrences sorted by constraint: descending II, then larger,
+    // then first-seen.
+    std::vector<std::size_t> circ_order(circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i)
+        circ_order[i] = i;
+    std::vector<int> circ_ii(circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i)
+        circ_ii[i] = circuits[i].recurrenceIi(ddg, lat);
+    std::stable_sort(circ_order.begin(), circ_order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         if (circ_ii[a] != circ_ii[b])
+                             return circ_ii[a] > circ_ii[b];
+                         return circuits[a].nodes.size() >
+                             circuits[b].nodes.size();
+                     });
+
+    auto assign = [&](NodeId v, int set) {
+        out.setOf[std::size_t(v)] = set;
+        out.sets[std::size_t(set)].push_back(v);
+    };
+
+    std::vector<NodeId> assigned_so_far;
+    for (std::size_t ci : circ_order) {
+        const Circuit &c = circuits[ci];
+        std::vector<NodeId> fresh;
+        for (NodeId v : c.nodes) {
+            if (out.setOf[std::size_t(v)] < 0)
+                fresh.push_back(v);
+        }
+        if (fresh.empty())
+            continue;
+
+        const int set = int(out.sets.size());
+        out.sets.emplace_back();
+
+        // Nodes on paths connecting previous sets with this
+        // recurrence join the same set (SMS set construction).
+        if (!assigned_so_far.empty()) {
+            const auto from_prev = reachable(ddg, assigned_so_far,
+                                             true);
+            const auto to_prev = reachable(ddg, assigned_so_far,
+                                           false);
+            const auto from_circ = reachable(ddg, c.nodes, true);
+            const auto to_circ = reachable(ddg, c.nodes, false);
+            for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+                if (out.setOf[std::size_t(v)] >= 0)
+                    continue;
+                const auto i = std::size_t(v);
+                const bool bridges =
+                    (from_prev[i] && to_circ[i]) ||
+                    (from_circ[i] && to_prev[i]);
+                if (bridges && !c.contains(v))
+                    assign(v, set);
+            }
+        }
+        for (NodeId v : fresh)
+            assign(v, set);
+        for (NodeId v : out.sets[std::size_t(set)])
+            assigned_so_far.push_back(v);
+    }
+
+    // Remaining nodes: weakly connected components, each one set.
+    std::vector<bool> visited(std::size_t(ddg.numNodes()), false);
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        if (out.setOf[std::size_t(v)] >= 0 || visited[std::size_t(v)])
+            continue;
+        const int set = int(out.sets.size());
+        out.sets.emplace_back();
+        std::deque<NodeId> work{v};
+        visited[std::size_t(v)] = true;
+        while (!work.empty()) {
+            const NodeId u = work.front();
+            work.pop_front();
+            assign(u, set);
+            auto push = [&](NodeId w) {
+                if (out.setOf[std::size_t(w)] < 0 &&
+                    !visited[std::size_t(w)]) {
+                    visited[std::size_t(w)] = true;
+                    work.push_back(w);
+                }
+            };
+            for (int eidx : ddg.outEdges(u))
+                push(ddg.edge(eidx).dst);
+            for (int eidx : ddg.inEdges(u))
+                push(ddg.edge(eidx).src);
+        }
+    }
+
+    return out;
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const std::vector<Circuit> &circuits,
+         const LatencyMap &lat, int ii)
+{
+    const OrderSets sets = buildOrderSets(ddg, circuits, lat);
+    const TimeFrames frames = computeTimeFrames(ddg, lat, ii);
+
+    std::vector<NodeId> order;
+    order.reserve(std::size_t(ddg.numNodes()));
+    std::vector<bool> placed(std::size_t(ddg.numNodes()), false);
+
+    enum class Dir { BottomUp, TopDown };
+
+    for (std::size_t set_idx = 0; set_idx < sets.sets.size();
+         ++set_idx) {
+        const std::vector<NodeId> &set = sets.sets[set_idx];
+        auto in_set = [&](NodeId v) {
+            return sets.setOf[std::size_t(v)] == int(set_idx);
+        };
+
+        // Unplaced set members that precede / succeed placed nodes.
+        auto preds_of_order = [&]() {
+            std::vector<NodeId> r;
+            for (NodeId v : set) {
+                if (placed[std::size_t(v)])
+                    continue;
+                for (int eidx : ddg.outEdges(v)) {
+                    if (placed[std::size_t(ddg.edge(eidx).dst)]) {
+                        r.push_back(v);
+                        break;
+                    }
+                }
+            }
+            return r;
+        };
+        auto succs_of_order = [&]() {
+            std::vector<NodeId> r;
+            for (NodeId v : set) {
+                if (placed[std::size_t(v)])
+                    continue;
+                for (int eidx : ddg.inEdges(v)) {
+                    if (placed[std::size_t(ddg.edge(eidx).src)]) {
+                        r.push_back(v);
+                        break;
+                    }
+                }
+            }
+            return r;
+        };
+
+        std::vector<NodeId> r_set;
+        Dir dir = Dir::BottomUp;
+        {
+            const auto po = preds_of_order();
+            const auto so = succs_of_order();
+            if (!po.empty() && so.empty()) {
+                r_set = po;
+                dir = Dir::BottomUp;
+            } else if (!so.empty() && po.empty()) {
+                r_set = so;
+                dir = Dir::TopDown;
+            } else if (po.empty() && so.empty()) {
+                // Isolated set: start bottom-up from the node with
+                // the highest ASAP (the bottom of the critical path).
+                NodeId pick = set.front();
+                for (NodeId v : set) {
+                    if (frames.asap[std::size_t(v)] >
+                        frames.asap[std::size_t(pick)]) {
+                        pick = v;
+                    }
+                }
+                r_set = {pick};
+                dir = Dir::BottomUp;
+            } else {
+                r_set = po;
+                dir = Dir::BottomUp;
+            }
+        }
+
+        auto take_best = [&](std::vector<NodeId> &r, bool by_depth) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < r.size(); ++i) {
+                const int a = by_depth ? frames.depth(r[i])
+                    : frames.height(r[i]);
+                const int b = by_depth ? frames.depth(r[best])
+                    : frames.height(r[best]);
+                if (a > b ||
+                    (a == b &&
+                     frames.mobility(r[i]) <
+                     frames.mobility(r[best]))) {
+                    best = i;
+                }
+            }
+            const NodeId v = r[best];
+            r.erase(r.begin() + std::ptrdiff_t(best));
+            return v;
+        };
+
+        while (!r_set.empty()) {
+            if (dir == Dir::BottomUp) {
+                while (!r_set.empty()) {
+                    const NodeId v = take_best(r_set, true);
+                    if (placed[std::size_t(v)])
+                        continue;
+                    placed[std::size_t(v)] = true;
+                    order.push_back(v);
+                    for (int eidx : ddg.inEdges(v)) {
+                        const NodeId p = ddg.edge(eidx).src;
+                        if (in_set(p) && !placed[std::size_t(p)])
+                            r_set.push_back(p);
+                    }
+                }
+                dir = Dir::TopDown;
+                r_set = succs_of_order();
+            } else {
+                while (!r_set.empty()) {
+                    const NodeId v = take_best(r_set, false);
+                    if (placed[std::size_t(v)])
+                        continue;
+                    placed[std::size_t(v)] = true;
+                    order.push_back(v);
+                    for (int eidx : ddg.outEdges(v)) {
+                        const NodeId s = ddg.edge(eidx).dst;
+                        if (in_set(s) && !placed[std::size_t(s)])
+                            r_set.push_back(s);
+                    }
+                }
+                dir = Dir::BottomUp;
+                r_set = preds_of_order();
+            }
+        }
+    }
+
+    vliw_assert(int(order.size()) == ddg.numNodes(),
+                "SMS ordering lost nodes: ", order.size(), " of ",
+                ddg.numNodes());
+    return order;
+}
+
+bool
+checkOrderConnectivity(const Ddg &ddg, const OrderSets &sets,
+                       const std::vector<NodeId> &order)
+{
+    std::vector<bool> seen(std::size_t(ddg.numNodes()), false);
+    std::vector<int> seeds_per_set(sets.sets.size(), 0);
+    for (NodeId v : order) {
+        bool has_neighbour = false;
+        for (int eidx : ddg.inEdges(v)) {
+            if (seen[std::size_t(ddg.edge(eidx).src)])
+                has_neighbour = true;
+        }
+        for (int eidx : ddg.outEdges(v)) {
+            if (seen[std::size_t(ddg.edge(eidx).dst)])
+                has_neighbour = true;
+        }
+        if (!has_neighbour)
+            seeds_per_set[std::size_t(
+                sets.setOf[std::size_t(v)])] += 1;
+        seen[std::size_t(v)] = true;
+    }
+    for (int seeds : seeds_per_set) {
+        if (seeds > 1)
+            return false;
+    }
+    return true;
+}
+
+std::vector<NodeId>
+topologicalOrder(const Ddg &ddg, const LatencyMap &lat, int ii)
+{
+    const TimeFrames frames = computeTimeFrames(ddg, lat, ii);
+    const int n = ddg.numNodes();
+    std::vector<int> pending(std::size_t(n), 0);
+    for (const DdgEdge &e : ddg.edges()) {
+        if (e.distance == 0 && e.src != e.dst)
+            pending[std::size_t(e.dst)] += 1;
+    }
+
+    // Ready nodes picked by smallest ASAP, then id.
+    auto better = [&](NodeId a, NodeId b) {
+        if (frames.asap[std::size_t(a)] !=
+            frames.asap[std::size_t(b)]) {
+            return frames.asap[std::size_t(a)] <
+                frames.asap[std::size_t(b)];
+        }
+        return a < b;
+    };
+
+    std::vector<NodeId> ready;
+    for (NodeId v = 0; v < n; ++v) {
+        if (pending[std::size_t(v)] == 0)
+            ready.push_back(v);
+    }
+
+    std::vector<NodeId> order;
+    order.reserve(std::size_t(n));
+    while (!ready.empty()) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+            if (better(ready[i], ready[best]))
+                best = i;
+        }
+        const NodeId v = ready[best];
+        ready.erase(ready.begin() + std::ptrdiff_t(best));
+        order.push_back(v);
+        for (int eidx : ddg.outEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            if (e.distance != 0 || e.dst == v)
+                continue;
+            if (--pending[std::size_t(e.dst)] == 0)
+                ready.push_back(e.dst);
+        }
+    }
+    vliw_assert(int(order.size()) == n,
+                "topological order incomplete: zero-distance cycle");
+    return order;
+}
+
+bool
+checkOrderInvariant(const Ddg &ddg, const OrderSets &sets,
+                    const std::vector<NodeId> &order)
+{
+    std::vector<int> pos(std::size_t(ddg.numNodes()), -1);
+    for (std::size_t i = 0; i < order.size(); ++i)
+        pos[std::size_t(order[i])] = int(i);
+
+    std::vector<int> violations_per_set(sets.sets.size(), 0);
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        bool has_earlier_pred = false;
+        bool has_earlier_succ = false;
+        for (int eidx : ddg.inEdges(v)) {
+            const NodeId p = ddg.edge(eidx).src;
+            if (p != v && pos[std::size_t(p)] < pos[std::size_t(v)])
+                has_earlier_pred = true;
+        }
+        for (int eidx : ddg.outEdges(v)) {
+            const NodeId s = ddg.edge(eidx).dst;
+            if (s != v && pos[std::size_t(s)] < pos[std::size_t(v)])
+                has_earlier_succ = true;
+        }
+        if (has_earlier_pred && has_earlier_succ)
+            violations_per_set[std::size_t(
+                sets.setOf[std::size_t(v)])] += 1;
+    }
+    for (int v : violations_per_set) {
+        if (v > 1)
+            return false;
+    }
+    return true;
+}
+
+} // namespace vliw

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Swing-Modulo-Scheduling node ordering (Llosa et al., PACT'96;
+ * paper Section 4.3.1 step 3).
+ *
+ * Nodes are grouped into priority sets: the most II-constraining
+ * recurrence first, then the next recurrence plus any nodes on paths
+ * connecting it to already-grouped sets, and finally the remaining
+ * nodes as weakly-connected components. Inside each set the order
+ * alternates bottom-up (priority: depth) and top-down (priority:
+ * height) sweeps, so that every node except at most one per set has
+ * only predecessors or only successors among earlier nodes -- the
+ * property that keeps register lifetimes short.
+ */
+
+#ifndef WIVLIW_SCHED_SMS_ORDER_HH
+#define WIVLIW_SCHED_SMS_ORDER_HH
+
+#include <vector>
+
+#include "ddg/circuits.hh"
+#include "ddg/ddg.hh"
+#include "sched/time_frames.hh"
+
+namespace vliw {
+
+/** The priority sets, exposed for tests and diagnostics. */
+struct OrderSets
+{
+    std::vector<std::vector<NodeId>> sets;
+    /** setOf[v] = index of the set containing v. */
+    std::vector<int> setOf;
+};
+
+/** Build the SMS priority sets. */
+OrderSets buildOrderSets(const Ddg &ddg,
+                         const std::vector<Circuit> &circuits,
+                         const LatencyMap &lat);
+
+/** Full SMS ordering of all nodes. @p ii is the scheduling II. */
+std::vector<NodeId> smsOrder(const Ddg &ddg,
+                             const std::vector<Circuit> &circuits,
+                             const LatencyMap &lat, int ii);
+
+/**
+ * Verify the SMS invariant on @p order: inside each set, every node
+ * except at most one per set has only predecessors or only
+ * successors among the nodes ordered before it. Used by tests.
+ */
+bool checkOrderInvariant(const Ddg &ddg, const OrderSets &sets,
+                         const std::vector<NodeId> &order);
+
+/**
+ * Weaker, always-guaranteed property of the sweep construction:
+ * inside each set, at most one node (the sweep seed) is ordered
+ * with no previously-ordered neighbour at all. This is what keeps
+ * partial schedules connected and register lifetimes short.
+ */
+bool checkOrderConnectivity(const Ddg &ddg, const OrderSets &sets,
+                            const std::vector<NodeId> &order);
+
+/**
+ * Conservative fallback ordering: a topological sort over the
+ * same-iteration (distance 0) edges, ties broken by ASAP.
+ *
+ * Under this order a node's already-placed successors are only
+ * reachable through loop-carried (distance >= 1) edges, so every
+ * scheduling window is guaranteed to open once the II grows -- the
+ * property the no-backtracking scheduler needs to terminate on
+ * graphs where the SMS order leaves an unplaceable node.
+ */
+std::vector<NodeId> topologicalOrder(const Ddg &ddg,
+                                     const LatencyMap &lat, int ii);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_SMS_ORDER_HH

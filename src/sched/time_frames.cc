@@ -1,0 +1,58 @@
+#include "time_frames.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+TimeFrames
+computeTimeFrames(const Ddg &ddg, const LatencyMap &lat, int ii)
+{
+    const int n = ddg.numNodes();
+    TimeFrames frames;
+    frames.asap.assign(std::size_t(n), 0);
+
+    // Longest path with weights lat - ii*dist. With ii >= RecMII all
+    // cycles have non-positive weight, so |V| rounds converge.
+    bool changed = true;
+    for (int round = 0; changed && round <= n; ++round) {
+        vliw_assert(round < n || !changed,
+                    "ASAP relaxation diverged: ii ", ii,
+                    " below RecMII");
+        changed = false;
+        for (const DdgEdge &e : ddg.edges()) {
+            const int w = edgeLatency(ddg, e, lat) - ii * e.distance;
+            const int t = frames.asap[std::size_t(e.src)] + w;
+            if (t > frames.asap[std::size_t(e.dst)]) {
+                frames.asap[std::size_t(e.dst)] = t;
+                changed = true;
+            }
+        }
+    }
+
+    frames.length = 0;
+    for (int t : frames.asap)
+        frames.length = std::max(frames.length, t);
+
+    frames.alap.assign(std::size_t(n), frames.length);
+    changed = true;
+    for (int round = 0; changed && round <= n; ++round) {
+        vliw_assert(round < n || !changed,
+                    "ALAP relaxation diverged: ii ", ii,
+                    " below RecMII");
+        changed = false;
+        for (const DdgEdge &e : ddg.edges()) {
+            const int w = edgeLatency(ddg, e, lat) - ii * e.distance;
+            const int t = frames.alap[std::size_t(e.dst)] - w;
+            if (t < frames.alap[std::size_t(e.src)]) {
+                frames.alap[std::size_t(e.src)] = t;
+                changed = true;
+            }
+        }
+    }
+
+    return frames;
+}
+
+} // namespace vliw

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * ASAP/ALAP time frames of a DDG at a given II, via longest-path
+ * relaxation with edge weights latency - II * distance. Depth,
+ * height and mobility drive the SMS ordering priorities.
+ */
+
+#ifndef WIVLIW_SCHED_TIME_FRAMES_HH
+#define WIVLIW_SCHED_TIME_FRAMES_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** Per-node scheduling freedom at a fixed II. */
+struct TimeFrames
+{
+    std::vector<int> asap;
+    std::vector<int> alap;
+    /** Critical-path length: max ASAP over all nodes. */
+    int length = 0;
+
+    int depth(NodeId v) const { return asap[std::size_t(v)]; }
+    int height(NodeId v) const { return length - alap[std::size_t(v)]; }
+    int
+    mobility(NodeId v) const
+    {
+        return alap[std::size_t(v)] - asap[std::size_t(v)];
+    }
+};
+
+/**
+ * Compute frames; @p ii must be >= RecMII or the relaxation would
+ * diverge (this panics after |V| rounds in that case).
+ */
+TimeFrames computeTimeFrames(const Ddg &ddg, const LatencyMap &lat,
+                             int ii);
+
+} // namespace vliw
+
+#endif // WIVLIW_SCHED_TIME_FRAMES_HH

@@ -1,0 +1,63 @@
+#include "unroll_policy.hh"
+
+#include <algorithm>
+
+#include "support/math_util.hh"
+
+namespace vliw {
+
+const char *
+unrollPolicyName(UnrollPolicy policy)
+{
+    switch (policy) {
+      case UnrollPolicy::None:      return "no-unroll";
+      case UnrollPolicy::TimesN:    return "unrollxN";
+      case UnrollPolicy::Ouf:       return "OUF";
+      case UnrollPolicy::Selective: return "selective";
+    }
+    return "?";
+}
+
+int
+individualUnrollFactor(const MemAccessInfo &info,
+                       const MemProfile &prof,
+                       const MachineConfig &cfg)
+{
+    const std::int64_t ni = cfg.mappingPeriod();
+    if (!info.strideKnown() || info.indirect)
+        return 1;
+    if (info.granularity > cfg.interleaveBytes)
+        return 1;
+    if (prof.hitRate <= 0.0)
+        return 1;
+    const std::int64_t s_mod = positiveMod(info.stride, ni);
+    const std::int64_t g = gcdZ(ni, s_mod) == 0
+        ? ni : gcdZ(ni, s_mod == 0 ? ni : s_mod);
+    return int(ni / g);
+}
+
+int
+computeOuf(const Ddg &ddg, const ProfileMap &prof,
+           const MachineConfig &cfg)
+{
+    const std::int64_t ni = cfg.mappingPeriod();
+    std::int64_t uf = 1;
+    for (NodeId v : ddg.memNodes()) {
+        const int ui = individualUnrollFactor(ddg.memInfo(v),
+                                              prof.at(v), cfg);
+        if (ui > 1)
+            uf = lcmPos(uf, ui);
+    }
+    return int(std::min<std::int64_t>(uf, ni));
+}
+
+double
+estimateTexec(double avg_iterations, int unroll_factor,
+              int stage_count, int ii)
+{
+    const double kernel_iters =
+        std::max(1.0, avg_iterations / double(unroll_factor));
+    return (kernel_iters + double(stage_count) - 1.0) * double(ii);
+}
+
+} // namespace vliw

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Statistics collected by the VLIW core simulator: cycle split
+ * (compute vs stall), dynamic access classification, stall
+ * attribution by blocking-access class (Figure 6) and, for remote
+ * hits, by cause (Figure 5).
+ */
+
+#ifndef WIVLIW_SIM_SIM_STATS_HH
+#define WIVLIW_SIM_SIM_STATS_HH
+
+#include <array>
+
+#include "mem/access_types.hh"
+#include "support/stats.hh"
+
+namespace vliw {
+
+/**
+ * Why a stalling remote hit was remote (paper Figure 5). The
+ * factors are not mutually exclusive; an access can count several.
+ */
+struct StallFactors
+{
+    /** Instruction dynamically touches more than one cluster. */
+    Counter multiCluster = 0;
+    /** Profile's preferred-cluster information is not concentrated. */
+    Counter unclearPreferred = 0;
+    /** Scheduled in a cluster other than the profiled preferred. */
+    Counter notInPreferred = 0;
+    /** Element wider than the interleaving factor. */
+    Counter granularity = 0;
+
+    void
+    merge(const StallFactors &o)
+    {
+        multiCluster += o.multiCluster;
+        unclearPreferred += o.unclearPreferred;
+        notInPreferred += o.notInPreferred;
+        granularity += o.granularity;
+    }
+
+    Counter
+    total() const
+    {
+        return multiCluster + unclearPreferred + notInPreferred +
+            granularity;
+    }
+};
+
+/** Aggregated outcome of simulating one (or more) loops. */
+struct SimStats
+{
+    Cycles totalCycles = 0;
+    Cycles stallCycles = 0;
+
+    /** Dynamic memory accesses by class. */
+    std::array<Counter, kNumAccessClasses> accessesByClass{};
+    /** Stall cycles attributed to the class of the blocking access. */
+    std::array<Cycles, kNumAccessClasses> stallByClass{};
+    /** Remote-hit accesses that stalled, classified by cause. */
+    StallFactors remoteHitFactors;
+
+    Counter dynamicOps = 0;
+    Counter dynamicCopies = 0;
+    Counter memAccesses = 0;
+    Counter abHits = 0;
+
+    Cycles computeCycles() const { return totalCycles - stallCycles; }
+
+    double
+    stallRatio() const
+    {
+        return totalCycles == 0
+            ? 0.0 : double(stallCycles) / double(totalCycles);
+    }
+
+    Counter
+    localAccesses() const
+    {
+        return accessesByClass[std::size_t(AccessClass::LocalHit)] +
+            accessesByClass[std::size_t(AccessClass::LocalMiss)];
+    }
+
+    /** Fraction of all accesses that are local hits (Figure 4). */
+    double
+    localHitRatio() const
+    {
+        Counter total = 0;
+        for (Counter c : accessesByClass)
+            total += c;
+        return total == 0 ? 0.0 :
+            double(accessesByClass[std::size_t(
+                AccessClass::LocalHit)]) / double(total);
+    }
+
+    void
+    merge(const SimStats &o)
+    {
+        totalCycles += o.totalCycles;
+        stallCycles += o.stallCycles;
+        for (std::size_t i = 0; i < accessesByClass.size(); ++i) {
+            accessesByClass[i] += o.accessesByClass[i];
+            stallByClass[i] += o.stallByClass[i];
+        }
+        remoteHitFactors.merge(o.remoteHitFactors);
+        dynamicOps += o.dynamicOps;
+        dynamicCopies += o.dynamicCopies;
+        memAccesses += o.memAccesses;
+        abHits += o.abHits;
+    }
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_SIM_SIM_STATS_HH

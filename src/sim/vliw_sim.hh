@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Lock-step cycle simulator for a modulo-scheduled loop on the
+ * clustered VLIW core.
+ *
+ * The machine issues one long instruction word per cycle; when any
+ * operation reads a register whose producing load has not completed,
+ * the whole machine stalls until the value arrives (stall-on-use,
+ * as in the paper: "stall time is basically due to memory
+ * instructions that have been scheduled too close to their
+ * consumers"). Compute operations and register copies have fixed
+ * latencies the scheduler honoured, so only loads ever stall.
+ */
+
+#ifndef WIVLIW_SIM_VLIW_SIM_HH
+#define WIVLIW_SIM_VLIW_SIM_HH
+
+#include <functional>
+
+#include "ddg/ddg.hh"
+#include "ddg/profile_map.hh"
+#include "machine/machine_config.hh"
+#include "mem/mem_system.hh"
+#include "sched/schedule.hh"
+#include "sim/sim_stats.hh"
+
+namespace vliw {
+
+/** Address of memory node @p v in kernel iteration @p iter. */
+using AddressFn = std::function<std::uint64_t(NodeId v,
+                                              std::int64_t iter)>;
+
+/** Everything needed to execute one scheduled loop. */
+struct LoopExecution
+{
+    const Ddg *ddg = nullptr;
+    const Schedule *schedule = nullptr;
+    const LatencyMap *latencies = nullptr;
+    /** Profile data for stall-factor attribution (may be null). */
+    const ProfileMap *profile = nullptr;
+    /** Kernel iterations to run (post-unroll trip count). */
+    std::int64_t iterations = 0;
+    AddressFn addressOf;
+    /** Absolute cycle the loop starts at (keeps bus state sane). */
+    Cycles startCycle = 0;
+    /** Preferred-cluster concentration below this is "unclear". */
+    double unclearThreshold = 0.9;
+};
+
+/** Result: stats plus the absolute end cycle. */
+struct LoopSimResult
+{
+    SimStats stats;
+    Cycles endCycle = 0;
+};
+
+/** Execute @p loop against @p mem. */
+LoopSimResult simulateLoop(const LoopExecution &loop, MemSystem &mem,
+                           const MachineConfig &cfg);
+
+} // namespace vliw
+
+#endif // WIVLIW_SIM_VLIW_SIM_HH

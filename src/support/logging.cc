@@ -1,0 +1,47 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vliw {
+namespace detail {
+
+namespace {
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform: return "info";
+      case LogLevel::Warn:   return "warn";
+      case LogLevel::Fatal:  return "fatal";
+      case LogLevel::Panic:  return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::FILE *sink = level == LogLevel::Inform ? stdout : stderr;
+    std::fprintf(sink, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+void
+terminate(LogLevel level, const std::string &msg, const char *file,
+          int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                 msg.c_str(), file, line);
+    if (level == LogLevel::Panic) {
+        // Throwing keeps panics testable; std::terminate fires if
+        // nothing catches it, which preserves the abort() semantics.
+        throw std::logic_error(msg);
+    }
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace vliw

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * gem5-style status and error reporting helpers.
+ *
+ * panic()  - an internal invariant was violated (a wivliw bug); aborts.
+ * fatal()  - the user asked for something impossible (bad config);
+ *            exits with an error code.
+ * warn()   - something is off but the run can continue.
+ * inform() - plain status output.
+ */
+
+#ifndef WIVLIW_SUPPORT_LOGGING_HH
+#define WIVLIW_SUPPORT_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace vliw {
+
+/** Severity used by the shared message sink. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+namespace detail {
+
+/** Format and emit one message; terminates for Fatal/Panic. */
+[[noreturn]] void terminate(LogLevel level, const std::string &msg,
+                            const char *file, int line);
+void emit(LogLevel level, const std::string &msg);
+
+/** Minimal {}-free printf-style formatting over a stream. */
+inline void
+streamAll(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+streamAll(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    detail::streamAll(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::streamAll(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort: internal invariant broken. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, const Args &...args)
+{
+    detail::terminate(LogLevel::Panic, detail::concat(args...),
+                      file, line);
+}
+
+/** Exit(1): unusable user configuration. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, const Args &...args)
+{
+    detail::terminate(LogLevel::Fatal, detail::concat(args...),
+                      file, line);
+}
+
+/** Non-fatal warning on stderr. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::emit(LogLevel::Warn, detail::concat(args...));
+}
+
+/** Status message on stdout. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::emit(LogLevel::Inform, detail::concat(args...));
+}
+
+#define vliw_panic(...) ::vliw::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define vliw_fatal(...) ::vliw::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert-like check that survives NDEBUG builds. */
+#define vliw_assert(cond, ...)                                        \
+    do {                                                              \
+        if (!(cond)) {                                                \
+            ::vliw::panicAt(__FILE__, __LINE__,                       \
+                            "assertion failed: " #cond " ",          \
+                            ##__VA_ARGS__);                           \
+        }                                                             \
+    } while (0)
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_LOGGING_HH

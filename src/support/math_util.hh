@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small integer helpers used across the scheduler and the simulator.
+ */
+
+#ifndef WIVLIW_SUPPORT_MATH_UTIL_HH
+#define WIVLIW_SUPPORT_MATH_UTIL_HH
+
+#include <cstdint>
+#include <numeric>
+
+#include "logging.hh"
+
+namespace vliw {
+
+/** Ceiling division for non-negative numerators. */
+inline std::int64_t
+ceilDiv(std::int64_t num, std::int64_t den)
+{
+    vliw_assert(den > 0, "ceilDiv by non-positive denominator");
+    vliw_assert(num >= 0, "ceilDiv of negative numerator");
+    return (num + den - 1) / den;
+}
+
+/** gcd that tolerates a zero operand: gcd(a, 0) == a. */
+inline std::int64_t
+gcdZ(std::int64_t a, std::int64_t b)
+{
+    return std::gcd(a, b);
+}
+
+/** lcm with overflow guard; inputs must be positive. */
+inline std::int64_t
+lcmPos(std::int64_t a, std::int64_t b)
+{
+    vliw_assert(a > 0 && b > 0, "lcmPos needs positive operands");
+    return a / std::gcd(a, b) * b;
+}
+
+/** True iff @p v is a power of two (v > 0). */
+inline bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** log2 of a power of two. */
+inline int
+floorLog2(std::uint64_t v)
+{
+    vliw_assert(v != 0, "floorLog2(0)");
+    int n = 0;
+    while (v >>= 1)
+        ++n;
+    return n;
+}
+
+/** Mathematical modulo: result in [0, m). */
+inline std::int64_t
+positiveMod(std::int64_t a, std::int64_t m)
+{
+    vliw_assert(m > 0, "positiveMod by non-positive modulus");
+    std::int64_t r = a % m;
+    return r < 0 ? r + m : r;
+}
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_MATH_UTIL_HH

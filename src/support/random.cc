@@ -1,0 +1,85 @@
+#include "random.hh"
+
+#include "logging.hh"
+
+namespace vliw {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t v, int k)
+{
+    return (v << k) | (v >> (64 - k));
+}
+
+} // namespace
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : state_)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    vliw_assert(bound != 0, "nextBelow(0)");
+    // Rejection sampling to stay unbiased.
+    const std::uint64_t limit = ~0ULL - ~0ULL % bound;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return v % bound;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    vliw_assert(lo <= hi, "nextRange with lo > hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(nextBelow(span));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+Rng
+Rng::split(std::uint64_t stream_tag) const
+{
+    // Mix the tag with the current state without advancing it.
+    std::uint64_t mix = state_[0] ^ rotl(state_[3], 13) ^
+        (stream_tag * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL);
+    return Rng(splitmix64(mix));
+}
+
+} // namespace vliw

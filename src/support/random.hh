@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Deterministic pseudo-random source (xoshiro256**).
+ *
+ * All stochastic inputs of the workload generators flow through this
+ * class so every experiment is bit-reproducible from its seed.
+ */
+
+#ifndef WIVLIW_SUPPORT_RANDOM_HH
+#define WIVLIW_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace vliw {
+
+/** Small, fast, seedable PRNG with a split() helper for substreams. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed (splitmix64). */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return nextDouble() < p; }
+
+    /**
+     * Derive an independent generator for a named substream so
+     * adding draws to one component never perturbs another.
+     */
+    Rng split(std::uint64_t stream_tag) const;
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_RANDOM_HH

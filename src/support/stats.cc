@@ -1,0 +1,32 @@
+#include "stats.hh"
+
+namespace vliw {
+
+double
+amean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : vals)
+        sum += v;
+    return sum / double(vals.size());
+}
+
+double
+weightedMean(const std::vector<double> &vals,
+             const std::vector<double> &weights)
+{
+    vliw_assert(vals.size() == weights.size(),
+                "weightedMean with mismatched sizes");
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+        num += vals[i] * weights[i];
+        den += weights[i];
+    }
+    vliw_assert(den > 0.0, "weightedMean with zero total weight");
+    return num / den;
+}
+
+} // namespace vliw

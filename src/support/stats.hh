@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Lightweight statistics helpers: accumulators and mean utilities used
+ * by the simulator stats blocks and the bench harnesses.
+ */
+
+#ifndef WIVLIW_SUPPORT_STATS_HH
+#define WIVLIW_SUPPORT_STATS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "logging.hh"
+
+namespace vliw {
+
+using Counter = std::uint64_t;
+using Cycles = std::int64_t;
+
+/** Streaming accumulator for min/max/mean. */
+class Accum
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        n_ += 1;
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+
+    std::uint64_t count() const { return n_; }
+    double sum() const { return sum_; }
+    double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t n_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Arithmetic mean of a vector (paper's AMEAN). Empty -> 0. */
+double amean(const std::vector<double> &vals);
+
+/** Weighted arithmetic mean; weights must not be all zero. */
+double weightedMean(const std::vector<double> &vals,
+                    const std::vector<double> &weights);
+
+/** Ratio with a zero-denominator guard. */
+inline double
+safeRatio(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_STATS_HH

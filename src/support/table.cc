@@ -1,0 +1,122 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "logging.hh"
+
+namespace vliw {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    vliw_assert(!headers_.empty(), "table needs at least one column");
+}
+
+TextTable &
+TextTable::newRow()
+{
+    if (!rows_.empty()) {
+        vliw_assert(rows_.back().size() == headers_.size(),
+                    "previous row incomplete: ", rows_.back().size(),
+                    " of ", headers_.size(), " cells");
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const std::string &text)
+{
+    vliw_assert(!rows_.empty(), "cell() before newRow()");
+    vliw_assert(rows_.back().size() < headers_.size(),
+                "row has too many cells");
+    rows_.back().push_back(text);
+    return *this;
+}
+
+TextTable &
+TextTable::cell(const char *text)
+{
+    return cell(std::string(text));
+}
+
+TextTable &
+TextTable::cell(std::int64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+TextTable &
+TextTable::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+TextTable &
+TextTable::cell(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return cell(std::string(buf));
+}
+
+TextTable &
+TextTable::percentCell(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision,
+                  fraction * 100.0);
+    return cell(std::string(buf));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text =
+                c < cells.size() ? cells[c] : std::string();
+            os << text;
+            if (c + 1 < headers_.size()) {
+                os << std::string(widths[c] - text.size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    print_row(headers_);
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+} // namespace vliw

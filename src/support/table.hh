@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fixed-width text table writer for the bench harnesses.
+ *
+ * Every bench binary prints the rows/series of one paper table or
+ * figure; this class keeps that output aligned and diffable, and can
+ * also emit CSV for plotting.
+ */
+
+#ifndef WIVLIW_SUPPORT_TABLE_HH
+#define WIVLIW_SUPPORT_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vliw {
+
+/** Column-aligned text/CSV table. */
+class TextTable
+{
+  public:
+    /** @param headers column titles, fixed for the table lifetime. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Start a new row; cells are appended with cell(). */
+    TextTable &newRow();
+
+    /** Append one preformatted cell to the current row. */
+    TextTable &cell(const std::string &text);
+    TextTable &cell(const char *text);
+    TextTable &cell(std::int64_t v);
+    TextTable &cell(std::uint64_t v);
+    /** Doubles are printed with @p precision decimals. */
+    TextTable &cell(double v, int precision = 3);
+    /** Value formatted as a percentage with @p precision decimals. */
+    TextTable &percentCell(double fraction, int precision = 1);
+
+    /** Render aligned text with a header underline. */
+    void print(std::ostream &os) const;
+
+    /** Render comma-separated values (header row included). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t columnCount() const { return headers_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_TABLE_HH

@@ -1,0 +1,74 @@
+#include "address_gen.hh"
+
+#include "support/logging.hh"
+#include "support/math_util.hh"
+
+namespace vliw {
+
+namespace {
+
+/** splitmix64 step: cheap stateless per-index hash. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+AddressResolver::AddressResolver(const Ddg &ddg,
+                                 const BenchmarkSpec &bench,
+                                 const DataSet &ds)
+{
+    gens_.resize(std::size_t(ddg.numNodes()));
+    for (NodeId v : ddg.memNodes()) {
+        const MemAccessInfo &info = ddg.memInfo(v);
+        vliw_assert(info.symbol >= 0 &&
+                    std::size_t(info.symbol) < bench.symbols.size(),
+                    "memory node without a bound symbol");
+        OpGen gen;
+        gen.base = ds.symbolBase[std::size_t(info.symbol)];
+        gen.symSize = ds.wrapSize[std::size_t(info.symbol)];
+        gen.streamSeed = mix(ds.seed ^ (std::uint64_t(v) << 32) ^
+                             std::uint64_t(info.symbol));
+        gen.info = &info;
+        gens_[std::size_t(v)] = gen;
+    }
+}
+
+std::uint64_t
+AddressResolver::addressOf(NodeId v, std::int64_t iter) const
+{
+    const OpGen &gen = gens_[std::size_t(v)];
+    vliw_assert(gen.info, "addressOf on a non-memory node");
+    const MemAccessInfo &info = *gen.info;
+
+    // Original-iteration index of this unrolled instance.
+    const std::int64_t gi =
+        iter * info.unrollFactor + info.unrollPhase;
+
+    std::int64_t linear;
+    if (info.indirect) {
+        const std::int64_t range = info.indexRange > 0
+            ? info.indexRange
+            : std::max<std::int64_t>(1,
+                                     gen.symSize / info.granularity);
+        const std::int64_t idx = std::int64_t(
+            mix(gen.streamSeed + std::uint64_t(gi)) %
+            std::uint64_t(range));
+        linear = info.offset + idx * info.granularity;
+    } else {
+        linear = info.offset + gi * info.stride;
+    }
+    linear += std::int64_t(invocation_) * info.invocationStride;
+
+    // Wrap inside the symbol; sizes are padded to the mapping
+    // period so wrapping never changes the home cluster pattern.
+    const std::int64_t wrapped = positiveMod(linear, gen.symSize);
+    return gen.base + std::uint64_t(wrapped);
+}
+
+} // namespace vliw

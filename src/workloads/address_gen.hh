@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Address resolution: binds a (possibly unrolled) loop body to a
+ * DataSet and yields the byte address of every memory-node instance.
+ *
+ * Direct accesses follow base + offset + global_iteration * stride,
+ * wrapping inside the symbol (sizes are padded to whole mapping
+ * periods so wrapping preserves the cluster mapping). Indirect
+ * accesses draw deterministic pseudo-random indices from the data
+ * set's seed, modelling a[b[i]] table walks.
+ */
+
+#ifndef WIVLIW_WORKLOADS_ADDRESS_GEN_HH
+#define WIVLIW_WORKLOADS_ADDRESS_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ddg/ddg.hh"
+#include "workloads/dataset.hh"
+#include "workloads/loop_spec.hh"
+
+namespace vliw {
+
+/** Per-loop, per-data-set address oracle. */
+class AddressResolver
+{
+  public:
+    /**
+     * @param ddg   the loop body actually executed (unrolled)
+     * @param bench symbol table owner
+     * @param ds    bound data set
+     */
+    AddressResolver(const Ddg &ddg, const BenchmarkSpec &bench,
+                    const DataSet &ds);
+
+    /** Select which invocation of the loop is running. */
+    void setInvocation(int invocation) { invocation_ = invocation; }
+
+    /** Address of memory node @p v at kernel iteration @p iter. */
+    std::uint64_t addressOf(NodeId v, std::int64_t iter) const;
+
+  private:
+    struct OpGen
+    {
+        std::uint64_t base = 0;
+        std::int64_t symSize = 0;
+        std::uint64_t streamSeed = 0;
+        const MemAccessInfo *info = nullptr;
+    };
+
+    std::vector<OpGen> gens_;   // indexed by NodeId (mem nodes only)
+    int invocation_ = 0;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_WORKLOADS_ADDRESS_GEN_HH

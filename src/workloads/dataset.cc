@@ -1,0 +1,72 @@
+#include "dataset.hh"
+
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace vliw {
+
+namespace {
+
+/** Stable 64-bit hash of a symbol name (globals' fixed placement). */
+std::uint64_t
+nameHash(const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : name) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+DataSet
+makeDataSet(const BenchmarkSpec &bench, const MachineConfig &cfg,
+            std::uint64_t seed, bool aligned)
+{
+    DataSet ds;
+    ds.seed = seed;
+    ds.aligned = aligned;
+
+    const std::uint64_t period = std::uint64_t(cfg.mappingPeriod());
+    // Even without variable alignment, allocators guarantee 8-byte
+    // alignment, so cluster-mapping offsets come in 8-byte steps (a
+    // two-cluster shift at I = 4, exactly the paper's gsmdec
+    // anecdote of the preferred cluster moving from 1 to 3). This
+    // also keeps 8-byte elements inside one cache block.
+    const std::uint64_t alloc_align = 8;
+    const std::uint64_t slots =
+        period > alloc_align ? period / alloc_align : 1;
+    Rng rng(seed ^ nameHash(bench.name));
+
+    // Symbols laid out back-to-back from a fixed origin, each
+    // padded to a whole mapping period plus an inter-symbol gap so
+    // accesses never cross into a neighbour.
+    std::uint64_t cursor = 0x100000;
+    for (const SymbolSpec &sym : bench.symbols) {
+        // Address wrapping inside a symbol must preserve the
+        // cluster mapping, so the wrap modulus is the size rounded
+        // up to a whole mapping period.
+        const std::uint64_t wrap =
+            (std::uint64_t(sym.sizeBytes) + period - 1) /
+            period * period;
+        ds.wrapSize.push_back(std::int64_t(wrap));
+        const std::uint64_t padded = wrap + period;
+
+        std::uint64_t offset = 0;
+        if (sym.storage == SymbolSpec::Storage::Global) {
+            // Same position in every run of the program.
+            offset = (nameHash(sym.name) % slots) * alloc_align;
+        } else if (!aligned) {
+            // Unpadded stack/heap data lands wherever this input's
+            // allocation history puts it.
+            offset = rng.nextBelow(slots) * alloc_align;
+        }
+        ds.symbolBase.push_back(cursor + offset);
+        cursor += padded + period;
+    }
+    return ds;
+}
+
+} // namespace vliw

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Data sets: the dynamic placement of a benchmark's symbols plus the
+ * seed that drives its data-dependent (indirect) access streams.
+ *
+ * The paper profiles with one input file and executes with another;
+ * what changes between inputs is where dynamically allocated data
+ * lands (so the preferred cluster of an access can move) and which
+ * indices data-dependent accesses touch. Variable alignment
+ * (Section 4.3.4) pads stack frames and malloc results to N x I, so
+ * with it enabled the cluster mapping is identical across data sets;
+ * global symbols always land at the same place either way.
+ */
+
+#ifndef WIVLIW_WORKLOADS_DATASET_HH
+#define WIVLIW_WORKLOADS_DATASET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/machine_config.hh"
+#include "workloads/loop_spec.hh"
+
+namespace vliw {
+
+/** Bound symbol addresses + stream seed for one input file. */
+struct DataSet
+{
+    std::uint64_t seed = 0;
+    bool aligned = false;
+    /** Base byte address per SymbolId. */
+    std::vector<std::uint64_t> symbolBase;
+    /**
+     * Wrap modulus per SymbolId: the symbol size rounded up to a
+     * whole mapping period, so address wrapping preserves the
+     * cluster mapping for any interleaving factor.
+     */
+    std::vector<std::int64_t> wrapSize;
+};
+
+/**
+ * Lay out @p bench's symbols for one input.
+ *
+ * @param bench   the benchmark
+ * @param cfg     machine (mapping period N x I)
+ * @param seed    input-file identity; drives unaligned offsets and
+ *                indirect index streams
+ * @param aligned variable alignment (padding) on or off
+ */
+DataSet makeDataSet(const BenchmarkSpec &bench,
+                    const MachineConfig &cfg, std::uint64_t seed,
+                    bool aligned);
+
+} // namespace vliw
+
+#endif // WIVLIW_WORKLOADS_DATASET_HH

@@ -1,0 +1,124 @@
+#include "kernels.hh"
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+KernelBuilder::KernelBuilder(std::string loop_name)
+{
+    loop_.name = std::move(loop_name);
+}
+
+std::string
+KernelBuilder::autoName(const char *prefix)
+{
+    return std::string(prefix) + std::to_string(unnamed_++);
+}
+
+NodeId
+KernelBuilder::load(SymbolId sym, int gran, std::int64_t stride,
+                    const MemOpts &opts, std::string name)
+{
+    MemAccessInfo info;
+    info.isStore = false;
+    info.granularity = gran;
+    info.symbol = sym;
+    info.offset = opts.offset;
+    info.stride = opts.indirect
+        ? MemAccessInfo::kUnknownStride : stride;
+    info.indirect = opts.indirect;
+    info.indexRange = opts.indexRange;
+    info.invocationStride = opts.invocationStride;
+    info.attractable = opts.attractable;
+    return loop_.body.addMemNode(
+        OpKind::Load, info,
+        name.empty() ? autoName("ld") : std::move(name));
+}
+
+NodeId
+KernelBuilder::store(SymbolId sym, int gran, std::int64_t stride,
+                     NodeId value, const MemOpts &opts,
+                     std::string name)
+{
+    MemAccessInfo info;
+    info.isStore = true;
+    info.granularity = gran;
+    info.symbol = sym;
+    info.offset = opts.offset;
+    info.stride = opts.indirect
+        ? MemAccessInfo::kUnknownStride : stride;
+    info.indirect = opts.indirect;
+    info.indexRange = opts.indexRange;
+    info.invocationStride = opts.invocationStride;
+    info.attractable = opts.attractable;
+    const NodeId st = loop_.body.addMemNode(
+        OpKind::Store, info,
+        name.empty() ? autoName("st") : std::move(name));
+    if (value != kNoNode)
+        loop_.body.addEdge(value, st, DepKind::RegFlow, 0);
+    return st;
+}
+
+NodeId
+KernelBuilder::compute(OpKind kind, const std::vector<NodeId> &inputs,
+                       std::string name, int latency)
+{
+    const NodeId op = loop_.body.addNode(
+        kind, name.empty() ? autoName("op") : std::move(name),
+        latency);
+    for (NodeId in : inputs)
+        loop_.body.addEdge(in, op, DepKind::RegFlow, 0);
+    return op;
+}
+
+void
+KernelBuilder::flow(NodeId src, NodeId dst, int distance)
+{
+    loop_.body.addEdge(src, dst, DepKind::RegFlow, distance);
+}
+
+void
+KernelBuilder::anti(NodeId src, NodeId dst, int distance)
+{
+    loop_.body.addEdge(src, dst, DepKind::RegAnti, distance);
+}
+
+void
+KernelBuilder::selfRecurrence(NodeId op, int distance)
+{
+    loop_.body.addEdge(op, op, DepKind::RegFlow, distance);
+}
+
+void
+KernelBuilder::chain(const std::vector<NodeId> &mem_ops)
+{
+    vliw_assert(mem_ops.size() >= 2, "chain needs >= 2 memory ops");
+    for (std::size_t i = 0; i + 1 < mem_ops.size(); ++i) {
+        const NodeId a = mem_ops[i];
+        const NodeId b = mem_ops[i + 1];
+        const bool a_store = loop_.body.memInfo(a).isStore;
+        const bool b_store = loop_.body.memInfo(b).isStore;
+        DepKind kind = DepKind::MemAnti;
+        if (a_store && b_store)
+            kind = DepKind::MemOut;
+        else if (a_store && !b_store)
+            kind = DepKind::MemFlow;
+        loop_.body.addEdge(a, b, kind, 0);
+    }
+}
+
+LoopSpec
+KernelBuilder::take(std::int64_t avg_iterations, int invocations)
+{
+    vliw_assert(avg_iterations >= 8,
+                "loops iterating < 8 times are not modulo-scheduled "
+                "(paper Section 5.1): ", loop_.name);
+    vliw_assert(avg_iterations % 16 == 0,
+                "trip counts must divide evenly by every unroll "
+                "factor (multiple of 16): ", loop_.name);
+    loop_.avgIterations = avg_iterations;
+    loop_.invocations = invocations;
+    return std::move(loop_);
+}
+
+} // namespace vliw

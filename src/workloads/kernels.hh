@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Small builder DSL for loop kernels: wraps Ddg construction with
+ * memory-descriptor plumbing so the benchmark specs read like the
+ * loops they model.
+ */
+
+#ifndef WIVLIW_WORKLOADS_KERNELS_HH
+#define WIVLIW_WORKLOADS_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/loop_spec.hh"
+
+namespace vliw {
+
+/** Optional attributes of one memory access. */
+struct MemOpts
+{
+    std::int64_t offset = 0;
+    bool indirect = false;
+    std::int64_t indexRange = 0;
+    std::int64_t invocationStride = 0;
+    bool attractable = true;
+};
+
+/** Fluent construction of one LoopSpec. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string loop_name);
+
+    /** Strided (or indirect) load of @p gran bytes. */
+    NodeId load(SymbolId sym, int gran, std::int64_t stride,
+                const MemOpts &opts = {}, std::string name = "");
+
+    /**
+     * Store; @p value (if valid) adds the RegFlow edge carrying the
+     * stored register.
+     */
+    NodeId store(SymbolId sym, int gran, std::int64_t stride,
+                 NodeId value, const MemOpts &opts = {},
+                 std::string name = "");
+
+    /** Compute op consuming @p inputs (RegFlow, same iteration). */
+    NodeId compute(OpKind kind, const std::vector<NodeId> &inputs,
+                   std::string name = "", int latency = 0);
+
+    /** Extra register-flow dependence. */
+    void flow(NodeId src, NodeId dst, int distance = 0);
+
+    /** Register anti-dependence. */
+    void anti(NodeId src, NodeId dst, int distance = 0);
+
+    /** Make @p op a loop-carried recurrence on itself. */
+    void selfRecurrence(NodeId op, int distance = 1);
+
+    /**
+     * Serialise @p mem_ops with conservative (unresolved) memory
+     * dependences, forming one memory dependent chain.
+     */
+    void chain(const std::vector<NodeId> &mem_ops);
+
+    /** Finish: attach trip count and invocation count. */
+    LoopSpec take(std::int64_t avg_iterations, int invocations);
+
+    Ddg &ddg() { return loop_.body; }
+
+  private:
+    LoopSpec loop_;
+    int unnamed_ = 0;
+
+    std::string autoName(const char *prefix);
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_WORKLOADS_KERNELS_HH

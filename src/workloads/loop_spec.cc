@@ -1,0 +1,16 @@
+#include "loop_spec.hh"
+
+#include "support/logging.hh"
+
+namespace vliw {
+
+SymbolId
+BenchmarkSpec::addSymbol(const std::string &name, std::int64_t size,
+                         SymbolSpec::Storage storage)
+{
+    vliw_assert(size > 0, "symbol ", name, " with non-positive size");
+    symbols.push_back({name, size, storage});
+    return SymbolId(symbols.size() - 1);
+}
+
+} // namespace vliw

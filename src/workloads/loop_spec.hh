@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Workload description layer: data symbols, loops (DDG bodies with
+ * trip counts) and whole benchmarks. This layer substitutes the
+ * IMPACT-compiled Mediabench binaries of the paper (see DESIGN.md
+ * section 3): each benchmark is a parameterised set of loop kernels
+ * whose memory behaviour reproduces the characteristics the paper
+ * reports (element sizes, strides, indirect accesses, dependence
+ * chains, preferred-cluster stability).
+ */
+
+#ifndef WIVLIW_WORKLOADS_LOOP_SPEC_HH
+#define WIVLIW_WORKLOADS_LOOP_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "ddg/ddg.hh"
+
+namespace vliw {
+
+/** One data object (array) of a benchmark. */
+struct SymbolSpec
+{
+    /** Where the object lives; drives the variable-alignment rule. */
+    enum class Storage { Global, Stack, Heap };
+
+    std::string name;
+    std::int64_t sizeBytes = 0;
+    Storage storage = Storage::Global;
+};
+
+/** One modulo-schedulable loop of a benchmark. */
+struct LoopSpec
+{
+    std::string name;
+    /** Original (pre-unrolling) loop body. */
+    Ddg body;
+    /** Average iterations per invocation (original space). */
+    std::int64_t avgIterations = 256;
+    /** How many times the loop runs per benchmark execution. */
+    int invocations = 2;
+};
+
+/** A whole benchmark: symbols plus its loop mix. */
+struct BenchmarkSpec
+{
+    std::string name;
+    std::vector<SymbolSpec> symbols;
+    std::vector<LoopSpec> loops;
+    /** Table 1: dominant element size in bytes and its share. */
+    int mainDataSize = 4;
+    double mainDataShare = 1.0;
+
+    SymbolId addSymbol(const std::string &name, std::int64_t size,
+                       SymbolSpec::Storage storage);
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_WORKLOADS_LOOP_SPEC_HH

@@ -1,0 +1,868 @@
+#include "mediabench.hh"
+
+#include "support/logging.hh"
+#include "workloads/kernels.hh"
+
+namespace vliw {
+
+namespace {
+
+using Storage = SymbolSpec::Storage;
+
+constexpr std::int64_t kKiB = 1024;
+
+/** Append a short arithmetic chain after @p in (density filler). */
+NodeId
+computeChain(KernelBuilder &kb, NodeId in, int ops,
+             OpKind kind = OpKind::IntAlu)
+{
+    NodeId cur = in;
+    for (int i = 0; i < ops; ++i)
+        cur = kb.compute(kind, {cur});
+    return cur;
+}
+
+/**
+ * epicdec: wavelet image decoder, 4-byte data (84%). Carries the
+ * paper's signature 19-memory-op dependence chain (one loop of the
+ * inverse wavelet transform updates the pyramid in place), which
+ * drags the whole chain to one cluster and overflows small
+ * Attraction Buffers (Sections 5.2 and 5.4).
+ */
+BenchmarkSpec
+makeEpicdec()
+{
+    BenchmarkSpec b;
+    b.name = "epicdec";
+    b.mainDataSize = 4;
+    b.mainDataShare = 0.84;
+    const SymbolId img = b.addSymbol("pyramid", 16 * kKiB,
+                                     Storage::Heap);
+    const SymbolId coeff = b.addSymbol("coeffs", 6 * kKiB,
+                                       Storage::Heap);
+    const SymbolId qtab = b.addSymbol("qtable", 256, Storage::Global);
+    const SymbolId mask = b.addSymbol("mask", 2 * kKiB,
+                                      Storage::Heap);
+    const SymbolId gstate = b.addSymbol("gain_state", 64,
+                                        Storage::Stack);
+
+    {
+        KernelBuilder kb("unquantize");
+        const NodeId c = kb.load(coeff, 4, 4, {}, "ld_coeff");
+        const NodeId q = kb.load(qtab, 4, 4, {}, "ld_qtab");
+        const NodeId m = kb.compute(OpKind::IntMul, {c, q}, "mul");
+        const NodeId sh = computeChain(kb, m, 4);
+        kb.store(img, 4, 4, sh, {}, "st_img");
+        b.loops.push_back(kb.take(512, 2));
+    }
+    {
+        // In-place reconstruction: 10 loads + 9 stores on the same
+        // (unresolvable) array form one 19-op memory chain; the
+        // 40-byte sliding window revisits subblocks every iteration,
+        // which is where Attraction Buffers earn their keep.
+        KernelBuilder kb("wavelet_recon");
+        std::vector<NodeId> mem_ops;
+        std::vector<NodeId> lds;
+        for (int k = 0; k < 10; ++k) {
+            const NodeId ld = kb.load(
+                img, 4, 4, {.offset = 4 * k},
+                "ld_w" + std::to_string(k));
+            lds.push_back(ld);
+            mem_ops.push_back(ld);
+        }
+        for (int k = 0; k < 9; ++k) {
+            const NodeId sum = kb.compute(
+                OpKind::IntAlu, {lds[std::size_t(k)],
+                                 lds[std::size_t(k + 1)]});
+            const NodeId scale = computeChain(kb, sum, 2);
+            mem_ops.push_back(kb.store(
+                img, 4, 4, scale, {.offset = 4 * k},
+                "st_w" + std::to_string(k)));
+        }
+        kb.chain(mem_ops);
+        b.loops.push_back(kb.take(256, 2));
+    }
+    {
+        // Band merge: reads one wavelet band and writes another.
+        // The compiler cannot prove the bands disjoint (both are
+        // offsets into the pyramid), so a conservative chain links
+        // them -- the false-alias case the paper's Section 5.4 loop
+        // versioning is designed to break. The one-word skew makes
+        // the chained placement lose a cluster of locality.
+        KernelBuilder kb("band_merge");
+        const NodeId lo = kb.load(img, 4, 4, {}, "ld_band");
+        const NodeId f = computeChain(kb, lo, 3);
+        const NodeId st = kb.store(
+            img, 4, 4, f, {.offset = 12 * kKiB + 4}, "st_band");
+        kb.chain({lo, st});
+        b.loops.push_back(kb.take(512, 2));
+    }
+    {
+        // Adaptive gain control through a tiny filter-state buffer:
+        // a through-memory recurrence the latency assigner must keep
+        // at the local-hit latency.
+        KernelBuilder kb("gain_track");
+        const NodeId g = kb.load(gstate, 4, 4, {}, "ld_g");
+        const NodeId u = computeChain(kb, g, 3);
+        const NodeId st = kb.store(gstate, 4, 4, u, {.offset = 4},
+                                   "st_g");
+        kb.chain({g, st});
+        kb.ddg().addEdge(st, g, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(256, 2));
+    }
+    {
+        KernelBuilder kb("clip_output");
+        const NodeId v = kb.load(img, 4, 4, {}, "ld_px");
+        const NodeId cl = computeChain(kb, v, 3);
+        kb.store(mask, 1, 1, cl, {}, "st_mask");
+        b.loops.push_back(kb.take(512, 2));
+    }
+    {
+        KernelBuilder kb("energy_sum");
+        const NodeId v = kb.load(coeff, 4, 4, {}, "ld_c");
+        const NodeId sq = kb.compute(OpKind::IntMul, {v}, "sq");
+        const NodeId sh = computeChain(kb, sq, 2);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {sh}, "acc");
+        kb.selfRecurrence(acc);
+        b.loops.push_back(kb.take(512, 2));
+    }
+    return b;
+}
+
+/**
+ * epicenc: wavelet encoder, 4-byte data (89%). Its filter loops walk
+ * 2D rows whose pitch is not a multiple of N x I, so the preferred
+ * cluster drifts across invocations -- the paper measures an
+ * "unclear" preferred-cluster distribution of 0.57.
+ */
+BenchmarkSpec
+makeEpicenc()
+{
+    BenchmarkSpec b;
+    b.name = "epicenc";
+    b.mainDataSize = 4;
+    b.mainDataShare = 0.89;
+    const SymbolId img = b.addSymbol("image", 12 * kKiB,
+                                     Storage::Heap);
+    const SymbolId lo = b.addSymbol("lowband", 6 * kKiB,
+                                    Storage::Heap);
+    const SymbolId hi = b.addSymbol("highband", 6 * kKiB,
+                                    Storage::Heap);
+    const SymbolId fir = b.addSymbol("filter_taps", 64,
+                                     Storage::Global);
+    const SymbolId qstate = b.addSymbol("q_state", 64,
+                                        Storage::Stack);
+
+    {
+        // Row pitch 24 bytes: 24 mod 16 = 8, the base drifts two
+        // clusters every invocation ("unclear" preferred cluster).
+        KernelBuilder kb("filter_row");
+        const NodeId x0 = kb.load(img, 4, 4,
+                                  {.invocationStride = 24}, "ld_x0");
+        const NodeId x1 = kb.load(img, 4, 4,
+                                  {.offset = 4, .invocationStride = 24},
+                                  "ld_x1");
+        const NodeId t0 = kb.load(fir, 4, 4, {}, "ld_tap");
+        const NodeId m0 = kb.compute(OpKind::IntMul, {x0, t0});
+        const NodeId m1 = kb.compute(OpKind::IntMul, {x1, t0});
+        const NodeId s = kb.compute(OpKind::IntAlu, {m0, m1});
+        const NodeId r = computeChain(kb, s, 3);
+        kb.store(lo, 4, 4, r, {.invocationStride = 24}, "st_lo");
+        b.loops.push_back(kb.take(256, 4));
+    }
+    {
+        KernelBuilder kb("filter_col");
+        const NodeId x0 = kb.load(img, 4, 4,
+                                  {.invocationStride = 40}, "ld_c0");
+        const NodeId d = computeChain(kb, x0, 4);
+        kb.store(hi, 4, 4, d, {.invocationStride = 40}, "st_hi");
+        b.loops.push_back(kb.take(256, 4));
+    }
+    {
+        // Running quantiser state: feedback through a tiny buffer.
+        KernelBuilder kb("quantize");
+        const NodeId prev = kb.load(qstate, 4, 4, {}, "ld_prev");
+        const NodeId q = kb.compute(OpKind::IntMul, {prev}, "scale");
+        const NodeId r = computeChain(kb, q, 2);
+        const NodeId st = kb.store(qstate, 4, 4, r, {.offset = 4},
+                                   "st_q");
+        kb.chain({prev, st});
+        kb.ddg().addEdge(st, prev, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(256, 2));
+    }
+    {
+        KernelBuilder kb("dc_predict");
+        const NodeId x = kb.load(hi, 4, 4, {}, "ld_dc");
+        const NodeId t = computeChain(kb, x, 3);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {t}, "acc");
+        kb.selfRecurrence(acc);
+        b.loops.push_back(kb.take(512, 2));
+    }
+    return b;
+}
+
+/** Shared shape of the two tiny ADPCM codecs (2-byte data). */
+BenchmarkSpec
+makeG721(const std::string &name, double share)
+{
+    BenchmarkSpec b;
+    b.name = name;
+    b.mainDataSize = 2;
+    b.mainDataShare = share;
+    const SymbolId pcm = b.addSymbol("pcm", 4 * kKiB,
+                                     Storage::Heap);
+    const SymbolId state = b.addSymbol("predictor_state", 64,
+                                       Storage::Stack);
+    const SymbolId table = b.addSymbol("step_table", 128,
+                                       Storage::Global);
+
+    {
+        // Adaptive predictor: the updated weight written this
+        // iteration is reloaded the next -- a through-memory
+        // recurrence on a tiny, cache-resident state array, so the
+        // stall time of g721 is negligible (paper Figure 6 drops it).
+        KernelBuilder kb("predictor");
+        const NodeId s = kb.load(pcm, 2, 2, {}, "ld_s");
+        const NodeId w = kb.load(state, 2, 2, {}, "ld_w");
+        const NodeId m = kb.compute(OpKind::IntMul, {s, w});
+        const NodeId u = computeChain(kb, m, 3);
+        const NodeId st = kb.store(state, 2, 2, u, {}, "st_w");
+        kb.chain({w, st});
+        kb.ddg().addEdge(st, w, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(64, 6));
+    }
+    {
+        // Step-size adaptation: the table value loaded this
+        // iteration selects the next index -- an indirect load on a
+        // recurrence (the ADPCM serial bottleneck). The table is 64
+        // entries, so Attraction Buffers absorb it entirely.
+        KernelBuilder kb("step_adapt");
+        const NodeId t = kb.load(table, 2, 2,
+                                 {.indirect = true, .indexRange = 64},
+                                 "ld_step");
+        const NodeId idx = kb.compute(OpKind::IntAlu, {t}, "clamp");
+        kb.flow(idx, t, 1);   // next iteration's table index
+        const NodeId d = computeChain(kb, idx, 2);
+        kb.store(pcm, 2, 2, d, {.offset = 2 * kKiB}, "st_y");
+        b.loops.push_back(kb.take(128, 4));
+    }
+    {
+        KernelBuilder kb("error_acc");
+        const NodeId s = kb.load(pcm, 2, 2, {}, "ld_e");
+        const NodeId t = computeChain(kb, s, 3);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {t}, "acc");
+        kb.selfRecurrence(acc);
+        b.loops.push_back(kb.take(128, 4));
+    }
+    return b;
+}
+
+/**
+ * gsmdec: GSM full-rate decoder, 2-byte data (99%). Includes the
+ * paper's Section 4.3.4 anecdote: a 120-element 2-byte heap array
+ * walked with stride 16, whose preferred cluster flips from input to
+ * input unless variables are aligned.
+ */
+BenchmarkSpec
+makeGsmdec()
+{
+    BenchmarkSpec b;
+    b.name = "gsmdec";
+    b.mainDataSize = 2;
+    b.mainDataShare = 0.99;
+    const SymbolId dp = b.addSymbol("dp_history", 240,
+                                    Storage::Heap);
+    const SymbolId frame = b.addSymbol("frame", 4 * kKiB,
+                                       Storage::Heap);
+    const SymbolId lar = b.addSymbol("lar_coeff", 128,
+                                     Storage::Stack);
+    const SymbolId vstate = b.addSymbol("lattice_state", 64,
+                                        Storage::Stack);
+
+    {
+        // The gsmdec anecdote loop: stride 16 over 120 2-byte
+        // elements (the subsampled long-term history walk).
+        KernelBuilder kb("longterm_pred");
+        const NodeId h = kb.load(dp, 2, 16, {}, "ld_dp");
+        const NodeId g = kb.load(lar, 2, 2, {}, "ld_gain");
+        const NodeId m = kb.compute(OpKind::IntMul, {h, g});
+        const NodeId sat = computeChain(kb, m, 3);
+        kb.store(frame, 2, 2, sat, {}, "st_e");
+        b.loops.push_back(kb.take(112, 4));
+    }
+    {
+        // Short-term synthesis lattice: the reflection state buffer
+        // is read-modify-written every sample.
+        KernelBuilder kb("shortterm_syn");
+        const NodeId x = kb.load(frame, 2, 2, {}, "ld_sr");
+        const NodeId v = kb.load(vstate, 2, 2, {}, "ld_v");
+        const NodeId rp = kb.load(lar, 2, 2, {}, "ld_rp");
+        const NodeId m = kb.compute(OpKind::IntMul, {v, rp});
+        const NodeId a = kb.compute(OpKind::IntAlu, {m, x}, "acc");
+        const NodeId r = computeChain(kb, a, 2);
+        const NodeId st = kb.store(vstate, 2, 2, r, {}, "st_v");
+        kb.chain({v, st});
+        kb.ddg().addEdge(st, v, DepKind::MemFlow, 1);
+        kb.store(frame, 2, 2, r, {.offset = 2 * kKiB}, "st_sr");
+        b.loops.push_back(kb.take(160, 4));
+    }
+    {
+        KernelBuilder kb("deemphasis");
+        const NodeId x = kb.load(frame, 2, 2, {}, "ld_msr");
+        const NodeId f = kb.compute(OpKind::IntAlu, {x}, "filt");
+        kb.selfRecurrence(f);
+        const NodeId o = computeChain(kb, f, 2);
+        kb.store(frame, 2, 2, o, {.offset = 2 * kKiB + 1024},
+                 "st_out");
+        b.loops.push_back(kb.take(160, 4));
+    }
+    {
+        // Sliding residual window: neighbouring samples re-read the
+        // subblock the previous iteration touched.
+        KernelBuilder kb("add_residual");
+        const NodeId e0 = kb.load(frame, 2, 2, {}, "ld_e0");
+        const NodeId e1 = kb.load(frame, 2, 2, {.offset = 2},
+                                  "ld_e1");
+        const NodeId s = kb.compute(OpKind::IntAlu, {e0, e1}, "mix");
+        const NodeId r = computeChain(kb, s, 3);
+        const NodeId st = kb.store(frame, 2, 2, r, {}, "st_r");
+        kb.chain({e0, e1, st});
+        b.loops.push_back(kb.take(160, 4));
+    }
+    return b;
+}
+
+/** gsmenc: GSM encoder; adds the LTP cross-correlation search. */
+BenchmarkSpec
+makeGsmenc()
+{
+    BenchmarkSpec b;
+    b.name = "gsmenc";
+    b.mainDataSize = 2;
+    b.mainDataShare = 0.99;
+    const SymbolId wt = b.addSymbol("weighted", 4 * kKiB,
+                                    Storage::Heap);
+    const SymbolId dp = b.addSymbol("dp_history", 240,
+                                    Storage::Heap);
+    const SymbolId acf = b.addSymbol("autocorr", 128,
+                                     Storage::Stack);
+    const SymbolId zstate = b.addSymbol("offset_state", 64,
+                                        Storage::Stack);
+
+    {
+        KernelBuilder kb("ltp_search");
+        const NodeId a = kb.load(wt, 2, 2, {}, "ld_wt");
+        const NodeId h = kb.load(dp, 2, 2, {}, "ld_dp");
+        const NodeId m = kb.compute(OpKind::IntMul, {a, h});
+        const NodeId t = computeChain(kb, m, 2);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {t}, "mac");
+        kb.selfRecurrence(acc);
+        b.loops.push_back(kb.take(112, 4));
+    }
+    {
+        // Weighting FIR: a 3-tap sliding window with a MAC tree.
+        KernelBuilder kb("weighting_fir");
+        const NodeId x0 = kb.load(wt, 2, 2, {}, "ld_f0");
+        const NodeId x1 = kb.load(wt, 2, 2, {.offset = 2}, "ld_f1");
+        const NodeId x2 = kb.load(wt, 2, 2, {.offset = 4}, "ld_f2");
+        const NodeId m0 = kb.compute(OpKind::IntMul, {x0, x2});
+        const NodeId m1 = kb.compute(OpKind::IntMul, {x1, x1});
+        const NodeId s = kb.compute(OpKind::IntAlu, {m0, m1});
+        const NodeId r = computeChain(kb, s, 3);
+        kb.store(wt, 2, 2, r, {.offset = 2 * kKiB}, "st_f");
+        b.loops.push_back(kb.take(160, 4));
+    }
+    {
+        KernelBuilder kb("autocorrelation");
+        const NodeId x0 = kb.load(wt, 2, 2, {}, "ld_x0");
+        const NodeId x1 = kb.load(wt, 2, 2, {.offset = 2}, "ld_x1");
+        const NodeId m = kb.compute(OpKind::IntMul, {x0, x1});
+        const NodeId t = computeChain(kb, m, 2);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {t}, "mac");
+        kb.selfRecurrence(acc);
+        kb.store(acf, 2, 2, acc, {}, "st_acf");
+        b.loops.push_back(kb.take(160, 4));
+    }
+    {
+        // Offset-compensation filter: feedback through tiny state.
+        KernelBuilder kb("preprocess");
+        const NodeId z = kb.load(zstate, 2, 2, {}, "ld_z");
+        const NodeId s = computeChain(kb, z, 3);
+        const NodeId st = kb.store(zstate, 2, 2, s, {.offset = 2},
+                                   "st_z");
+        kb.chain({z, st});
+        kb.ddg().addEdge(st, z, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(160, 4));
+    }
+    return b;
+}
+
+/**
+ * jpegdec: 1-byte data dominates (53%); ~40% of accesses are
+ * indirect (Huffman/dequant table walks), and the preferred-cluster
+ * distribution is diffuse (0.81 in the paper).
+ */
+BenchmarkSpec
+makeJpegdec()
+{
+    BenchmarkSpec b;
+    b.name = "jpegdec";
+    b.mainDataSize = 1;
+    b.mainDataShare = 0.53;
+    const SymbolId bits = b.addSymbol("bitstream", 8 * kKiB,
+                                      Storage::Heap);
+    const SymbolId huff = b.addSymbol("huff_table", 1 * kKiB,
+                                      Storage::Global);
+    const SymbolId coef = b.addSymbol("coef_block", 4 * kKiB,
+                                      Storage::Stack);
+    const SymbolId pix = b.addSymbol("pixels", 12 * kKiB,
+                                     Storage::Heap);
+    const SymbolId cconv = b.addSymbol("range_table", 1 * kKiB,
+                                       Storage::Global);
+
+    {
+        // Huffman decode: the decoded symbol selects the next table
+        // state -- an indirect load on the critical recurrence.
+        KernelBuilder kb("huff_decode");
+        const NodeId raw = kb.load(bits, 1, 1, {}, "ld_bits");
+        const NodeId h = kb.load(huff, 2, 2,
+                                 {.indirect = true, .indexRange = 512},
+                                 "ld_huff");
+        const NodeId v = kb.compute(OpKind::IntAlu, {raw, h}, "dec");
+        kb.flow(v, h, 1);   // state machine: next table index
+        const NodeId r = computeChain(kb, v, 2);
+        kb.store(coef, 2, 2, r, {}, "st_coef");
+        b.loops.push_back(kb.take(256, 3));
+    }
+    {
+        // In-place IDCT pass over the coefficient block.
+        KernelBuilder kb("idct_col");
+        const NodeId c0 = kb.load(coef, 2, 16, {}, "ld_c0");
+        const NodeId c1 = kb.load(coef, 2, 16, {.offset = 4},
+                                  "ld_c1");
+        const NodeId s = kb.compute(OpKind::IntAlu, {c0, c1});
+        const NodeId m = kb.compute(OpKind::IntMul, {s}, "scale");
+        const NodeId r = computeChain(kb, m, 3);
+        const NodeId st = kb.store(coef, 2, 16, r, {.offset = 8},
+                                   "st_c");
+        kb.chain({c0, c1, st});
+        b.loops.push_back(kb.take(128, 3));
+    }
+    {
+        KernelBuilder kb("color_convert");
+        const NodeId y = kb.load(pix, 1, 1, {}, "ld_y");
+        const NodeId cb = kb.load(pix, 1, 1, {.offset = 4 * kKiB},
+                                  "ld_cb");
+        const NodeId r = kb.load(cconv, 1, 1,
+                                 {.indirect = true, .indexRange = 768},
+                                 "ld_range");
+        const NodeId m0 = kb.compute(OpKind::IntMul, {cb}, "cr_mul");
+        const NodeId mix = kb.compute(OpKind::IntAlu, {y, m0, r});
+        const NodeId o = computeChain(kb, mix, 4);
+        kb.store(pix, 1, 1, o, {.offset = 8 * kKiB}, "st_rgb");
+        b.loops.push_back(kb.take(512, 3));
+    }
+    {
+        KernelBuilder kb("upsample");
+        const NodeId c = kb.load(pix, 1, 1, {}, "ld_chroma");
+        const NodeId a = computeChain(kb, c, 4);
+        kb.store(pix, 1, 1, a, {.offset = 4 * kKiB + 2048}, "st_up");
+        b.loops.push_back(kb.take(512, 3));
+    }
+    return b;
+}
+
+/**
+ * jpegenc: 4-byte data (70%), ~23% indirect. The forward-DCT row
+ * loop reproduces the paper's "loop 67" trade-off: IBC packs its
+ * eight cross-fed loads for fewer copies, IPBC spreads them to
+ * their preferred clusters at the price of extra communications.
+ */
+BenchmarkSpec
+makeJpegenc()
+{
+    BenchmarkSpec b;
+    b.name = "jpegenc";
+    b.mainDataSize = 4;
+    b.mainDataShare = 0.70;
+    const SymbolId rgb = b.addSymbol("rgb", 12 * kKiB,
+                                     Storage::Heap);
+    const SymbolId ycc = b.addSymbol("ycc_table", 2 * kKiB,
+                                     Storage::Global);
+    const SymbolId work = b.addSymbol("dct_work", 8 * kKiB,
+                                      Storage::Stack);
+    const SymbolId quant = b.addSymbol("quant_table", 256,
+                                       Storage::Global);
+
+    {
+        KernelBuilder kb("rgb_to_ycc");
+        const NodeId px = kb.load(rgb, 1, 1, {}, "ld_px");
+        const NodeId t = kb.load(ycc, 4, 4,
+                                 {.indirect = true, .indexRange = 512},
+                                 "ld_ycctab");
+        const NodeId s = kb.compute(OpKind::IntAlu, {px, t}, "sum");
+        const NodeId r = computeChain(kb, s, 4);
+        kb.store(work, 4, 4, r, {}, "st_y");
+        b.loops.push_back(kb.take(512, 3));
+    }
+    {
+        // "loop 67": an 8-point butterfly row; loads map to all four
+        // clusters and feed a shared reduction tree.
+        KernelBuilder kb("fdct_row");
+        std::vector<NodeId> lds;
+        for (int k = 0; k < 8; ++k) {
+            lds.push_back(kb.load(work, 4, 32, {.offset = 4 * k},
+                                  "ld_d" + std::to_string(k)));
+        }
+        std::vector<NodeId> sums;
+        for (int k = 0; k < 4; ++k) {
+            sums.push_back(kb.compute(
+                OpKind::IntAlu,
+                {lds[std::size_t(k)], lds[std::size_t(7 - k)]},
+                "s" + std::to_string(k)));
+        }
+        const NodeId t0 = kb.compute(OpKind::IntAlu,
+                                     {sums[0], sums[1]});
+        const NodeId t1 = kb.compute(OpKind::IntAlu,
+                                     {sums[2], sums[3]});
+        const NodeId t2 = kb.compute(OpKind::IntMul, {t0, t1},
+                                     "rot");
+        const NodeId t3 = computeChain(kb, t2, 3);
+        kb.store(work, 4, 32, t3, {.offset = 4 * kKiB}, "st_row");
+        b.loops.push_back(kb.take(128, 3));
+    }
+    {
+        KernelBuilder kb("quantize_coef");
+        const NodeId c = kb.load(work, 4, 4, {}, "ld_coef");
+        const NodeId q = kb.load(quant, 4, 4, {}, "ld_q");
+        const NodeId d = kb.compute(OpKind::IntMul, {c, q}, "qmul");
+        const NodeId r = computeChain(kb, d, 3);
+        const NodeId st = kb.store(work, 4, 4, r, {}, "st_coef");
+        kb.chain({c, st});
+        b.loops.push_back(kb.take(256, 3));
+    }
+    {
+        KernelBuilder kb("downsample");
+        const NodeId p0 = kb.load(rgb, 1, 1, {}, "ld_p0");
+        const NodeId p1 = kb.load(rgb, 1, 1, {.offset = 1}, "ld_p1");
+        const NodeId a = kb.compute(OpKind::IntAlu, {p0, p1}, "avg");
+        const NodeId r = computeChain(kb, a, 2);
+        kb.store(rgb, 1, 1, r, {.offset = 8 * kKiB}, "st_ds");
+        b.loops.push_back(kb.take(512, 3));
+    }
+    return b;
+}
+
+/**
+ * mpeg2dec: half the dynamic accesses are 8-byte doubles (49%),
+ * which are wider than the 4-byte interleaving factor and therefore
+ * always remote -- yet cause no stalls, because the latency assigner
+ * sees localRatio 0 and schedules them long (paper Section 5.2).
+ */
+BenchmarkSpec
+makeMpeg2dec()
+{
+    BenchmarkSpec b;
+    b.name = "mpeg2dec";
+    b.mainDataSize = 8;
+    b.mainDataShare = 0.49;
+    const SymbolId blk = b.addSymbol("block_d", 8 * kKiB,
+                                     Storage::Heap);
+    const SymbolId ref = b.addSymbol("ref_frame", 24 * kKiB,
+                                     Storage::Heap);
+    const SymbolId out = b.addSymbol("out_frame", 12 * kKiB,
+                                     Storage::Heap);
+
+    {
+        // Double-precision IDCT: wide accesses, deep FP pipeline.
+        KernelBuilder kb("idct_double");
+        const NodeId d0 = kb.load(blk, 8, 8, {}, "ld_d0");
+        const NodeId d1 = kb.load(blk, 8, 8, {.offset = 8}, "ld_d1");
+        const NodeId m = kb.compute(OpKind::FpMul, {d0, d1});
+        const NodeId a = kb.compute(OpKind::FpAlu, {m}, "fadd");
+        const NodeId r = computeChain(kb, a, 5, OpKind::FpAlu);
+        kb.store(blk, 8, 8, r, {.offset = 4 * kKiB}, "st_d");
+        b.loops.push_back(kb.take(512, 3));
+    }
+    {
+        KernelBuilder kb("motion_comp");
+        const NodeId r = kb.load(ref, 1, 1, {}, "ld_ref");
+        const NodeId p = kb.load(out, 1, 1, {}, "ld_pred");
+        const NodeId avg = kb.compute(OpKind::IntAlu, {r, p}, "avg");
+        const NodeId rnd = kb.compute(OpKind::IntMul, {avg}, "wgt");
+        const NodeId o = computeChain(kb, rnd, 4);
+        kb.store(out, 1, 1, o, {.offset = 4 * kKiB}, "st_mc");
+        b.loops.push_back(kb.take(384, 3));
+    }
+    {
+        KernelBuilder kb("saturate");
+        const NodeId v = kb.load(out, 2, 2, {}, "ld_s");
+        const NodeId c = computeChain(kb, v, 4);
+        kb.store(out, 2, 2, c, {.offset = 8 * kKiB}, "st_s");
+        b.loops.push_back(kb.take(256, 3));
+    }
+    return b;
+}
+
+/** pegwit codecs: Galois-field table walks; decode is 93% indirect. */
+BenchmarkSpec
+makePegwit(const std::string &name, double share,
+           bool mostly_indirect)
+{
+    BenchmarkSpec b;
+    b.name = name;
+    b.mainDataSize = 2;
+    b.mainDataShare = share;
+    const SymbolId gf = b.addSymbol("gf_table", 2 * kKiB,
+                                    Storage::Global);
+    const SymbolId msg = b.addSymbol("message", 4 * kKiB,
+                                     Storage::Heap);
+    const SymbolId keyst = b.addSymbol("key_state", 128,
+                                       Storage::Stack);
+
+    {
+        KernelBuilder kb("gf_mult");
+        const NodeId x = kb.load(msg, 2, 2, {}, "ld_m");
+        const NodeId t0 = kb.load(
+            gf, 2, 2, {.indirect = true, .indexRange = 1024},
+            "ld_gf0");
+        const NodeId t1 = kb.load(
+            gf, 2, 2, {.indirect = true, .indexRange = 1024},
+            "ld_gf1");
+        const NodeId xo = kb.compute(OpKind::IntAlu, {x, t0, t1},
+                                     "xor");
+        const NodeId r = computeChain(kb, xo, 5);
+        kb.store(msg, 2, 2, r, {.offset = 2 * kKiB}, "st_m");
+        b.loops.push_back(kb.take(256, 3));
+    }
+    {
+        // Key schedule: each mixed word is reloaded next iteration.
+        KernelBuilder kb("key_mix");
+        MemOpts opts;
+        if (mostly_indirect) {
+            opts.indirect = true;
+            opts.indexRange = 64;
+        }
+        const NodeId k = kb.load(keyst, 2, 2, opts, "ld_k");
+        const NodeId r = computeChain(kb, k, 3);
+        const NodeId st = kb.store(keyst, 2, 2, r, {.offset = 2},
+                                   "st_k");
+        kb.chain({k, st});
+        if (!mostly_indirect)
+            kb.ddg().addEdge(st, k, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(128, 3));
+    }
+    {
+        KernelBuilder kb("hash_block");
+        MemOpts opts;
+        if (mostly_indirect) {
+            opts.indirect = true;
+            opts.indexRange = 1024;
+        }
+        const NodeId m = kb.load(msg, 2, 2, opts, "ld_h");
+        const NodeId a = kb.compute(OpKind::IntAlu, {m}, "mixa");
+        const NodeId c = kb.compute(OpKind::IntMul, {a}, "mixb");
+        const NodeId t = computeChain(kb, c, 2);
+        const NodeId acc = kb.compute(OpKind::IntAlu, {t}, "acc");
+        kb.selfRecurrence(acc);
+        b.loops.push_back(kb.take(256, 3));
+    }
+    return b;
+}
+
+/** pgp codecs: multiprecision arithmetic with in-place chains. */
+BenchmarkSpec
+makePgp(const std::string &name, double share, int extra_bytes)
+{
+    BenchmarkSpec b;
+    b.name = name;
+    b.mainDataSize = 4;
+    b.mainDataShare = share;
+    const SymbolId mpa = b.addSymbol("mpi_a", 4 * kKiB,
+                                     Storage::Heap);
+    const SymbolId mpb = b.addSymbol("mpi_b", 4 * kKiB,
+                                     Storage::Heap);
+    const SymbolId mpr = b.addSymbol("mpi_r", 4 * kKiB,
+                                     Storage::Heap);
+    const SymbolId sbox = b.addSymbol("idea_sbox", 2 * kKiB,
+                                      Storage::Global);
+
+    {
+        // Multiprecision multiply-accumulate: result limbs are
+        // read-modify-written in place (the chains that cost pgp
+        // 20-25% of its local hits in the paper); the carry stays
+        // in a register.
+        KernelBuilder kb("mpi_mul_row");
+        const NodeId a = kb.load(mpa, 4, 4, {}, "ld_a");
+        const NodeId bb = kb.load(mpb, 4, 4, {}, "ld_b");
+        const NodeId r0 = kb.load(mpr, 4, 4, {}, "ld_r0");
+        const NodeId m = kb.compute(OpKind::IntMul, {a, bb});
+        const NodeId s0 = kb.compute(OpKind::IntAlu, {m, r0},
+                                     "addlo");
+        const NodeId s1 = kb.compute(OpKind::IntAlu, {s0}, "carry");
+        kb.selfRecurrence(s1);
+        const NodeId r = computeChain(kb, s0, 2);
+        const NodeId st0 = kb.store(mpr, 4, 4, r, {}, "st_r0");
+        kb.chain({r0, st0});
+        b.loops.push_back(kb.take(256, 3));
+    }
+    {
+        KernelBuilder kb("idea_round");
+        const NodeId x = kb.load(mpa, 4, 4, {.offset = 2 * kKiB},
+                                 "ld_x");
+        const NodeId s = kb.load(sbox, 2, 2,
+                                 {.indirect = true, .indexRange = 512},
+                                 "ld_sbox");
+        const NodeId m = kb.compute(OpKind::IntMul, {x, s},
+                                    "modmul");
+        const NodeId r = computeChain(kb, m, 4);
+        kb.store(mpr, 4, 4, r, {.offset = 2 * kKiB}, "st_y");
+        b.loops.push_back(kb.take(256, 3));
+    }
+    {
+        KernelBuilder kb("buffer_pack");
+        const NodeId v = kb.load(mpr, 4, 4, {}, "ld_pack");
+        const NodeId t = computeChain(kb, v, 3);
+        kb.store(mpb, extra_bytes, extra_bytes, t,
+                 {.offset = 2 * kKiB}, "st_pack");
+        b.loops.push_back(kb.take(256, 3));
+    }
+    return b;
+}
+
+/** rasta: audio analysis; in-place FFT butterflies chain 8 mem ops. */
+BenchmarkSpec
+makeRasta()
+{
+    BenchmarkSpec b;
+    b.name = "rasta";
+    b.mainDataSize = 4;
+    b.mainDataShare = 0.95;
+    const SymbolId re = b.addSymbol("fft_re", 4 * kKiB,
+                                    Storage::Heap);
+    const SymbolId im = b.addSymbol("fft_im", 4 * kKiB,
+                                    Storage::Heap);
+    const SymbolId win = b.addSymbol("window", 1 * kKiB,
+                                     Storage::Global);
+    const SymbolId bands = b.addSymbol("band_energy", 512,
+                                       Storage::Stack);
+    const SymbolId istate = b.addSymbol("iir_state", 64,
+                                        Storage::Stack);
+
+    {
+        // Radix-2 butterfly, in place on both planes: two chains of
+        // 4 memory ops (paper: chains cost rasta 29% local hits).
+        KernelBuilder kb("fft_butterfly");
+        const NodeId ar = kb.load(re, 4, 8, {}, "ld_ar");
+        const NodeId ai = kb.load(im, 4, 8, {}, "ld_ai");
+        const NodeId br = kb.load(re, 4, 8, {.offset = 4}, "ld_br");
+        const NodeId bi = kb.load(im, 4, 8, {.offset = 4}, "ld_bi");
+        const NodeId tr = kb.compute(OpKind::FpMul, {br, bi},
+                                     "tw_r");
+        const NodeId ti = kb.compute(OpKind::FpMul, {br, bi},
+                                     "tw_i");
+        const NodeId sr = kb.compute(OpKind::FpAlu, {ar, tr});
+        const NodeId si = kb.compute(OpKind::FpAlu, {ai, ti});
+        const NodeId dr = kb.compute(OpKind::FpAlu, {ar, tr});
+        const NodeId di = kb.compute(OpKind::FpAlu, {ai, ti});
+        const NodeId st0 = kb.store(re, 4, 8, sr, {}, "st_ar");
+        const NodeId st1 = kb.store(im, 4, 8, si, {}, "st_ai");
+        const NodeId st2 = kb.store(re, 4, 8, dr, {.offset = 4},
+                                    "st_br");
+        const NodeId st3 = kb.store(im, 4, 8, di, {.offset = 4},
+                                    "st_bi");
+        kb.chain({ar, br, st0, st2});
+        kb.chain({ai, bi, st1, st3});
+        b.loops.push_back(kb.take(128, 4));
+    }
+    {
+        // First-order IIR through a small state buffer.
+        KernelBuilder kb("iir_filter");
+        const NodeId y = kb.load(istate, 4, 4, {}, "ld_y1");
+        const NodeId f = kb.compute(OpKind::FpMul, {y}, "pole");
+        const NodeId o = computeChain(kb, f, 2, OpKind::FpAlu);
+        const NodeId st = kb.store(istate, 4, 4, o, {.offset = 4},
+                                   "st_y");
+        kb.chain({y, st});
+        kb.ddg().addEdge(st, y, DepKind::MemFlow, 1);
+        b.loops.push_back(kb.take(256, 4));
+    }
+    {
+        KernelBuilder kb("windowing");
+        const NodeId x = kb.load(re, 4, 4, {}, "ld_x");
+        const NodeId w = kb.load(win, 4, 4, {}, "ld_w");
+        const NodeId m = kb.compute(OpKind::FpMul, {x, w});
+        const NodeId r = computeChain(kb, m, 2, OpKind::FpAlu);
+        kb.store(re, 4, 4, r, {.offset = 2 * kKiB}, "st_xw");
+        b.loops.push_back(kb.take(256, 4));
+    }
+    {
+        KernelBuilder kb("band_integrate");
+        const NodeId p = kb.load(re, 4, 4, {}, "ld_pow");
+        const NodeId sq = kb.compute(OpKind::FpMul, {p}, "sq");
+        const NodeId t = computeChain(kb, sq, 2, OpKind::FpAlu);
+        const NodeId acc = kb.compute(OpKind::FpAlu, {t}, "acc");
+        kb.selfRecurrence(acc);
+        kb.store(bands, 4, 4, acc, {}, "st_band");
+        b.loops.push_back(kb.take(256, 4));
+    }
+    return b;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+mediabenchNames()
+{
+    static const std::vector<std::string> names = {
+        "epicdec", "epicenc", "g721dec", "g721enc", "gsmdec",
+        "gsmenc", "jpegdec", "jpegenc", "mpeg2dec", "pegwitdec",
+        "pegwitenc", "pgpdec", "pgpenc", "rasta",
+    };
+    return names;
+}
+
+BenchmarkSpec
+makeBenchmark(const std::string &name)
+{
+    if (name == "epicdec")
+        return makeEpicdec();
+    if (name == "epicenc")
+        return makeEpicenc();
+    if (name == "g721dec")
+        return makeG721("g721dec", 0.89);
+    if (name == "g721enc")
+        return makeG721("g721enc", 0.917);
+    if (name == "gsmdec")
+        return makeGsmdec();
+    if (name == "gsmenc")
+        return makeGsmenc();
+    if (name == "jpegdec")
+        return makeJpegdec();
+    if (name == "jpegenc")
+        return makeJpegenc();
+    if (name == "mpeg2dec")
+        return makeMpeg2dec();
+    if (name == "pegwitdec")
+        return makePegwit("pegwitdec", 0.758, true);
+    if (name == "pegwitenc")
+        return makePegwit("pegwitenc", 0.836, false);
+    if (name == "pgpdec")
+        return makePgp("pgpdec", 0.921, 4);
+    if (name == "pgpenc")
+        return makePgp("pgpenc", 0.732, 2);
+    if (name == "rasta")
+        return makeRasta();
+    vliw_panic("unknown benchmark ", name);
+}
+
+std::vector<BenchmarkSpec>
+mediabenchSuite()
+{
+    std::vector<BenchmarkSpec> suite;
+    for (const std::string &name : mediabenchNames())
+        suite.push_back(makeBenchmark(name));
+    return suite;
+}
+
+} // namespace vliw

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The synthetic Mediabench-like suite (paper Table 1).
+ *
+ * Each benchmark is a set of loop kernels whose memory behaviour
+ * models what the paper reports for the real program: dominant
+ * element size, strides, indirect-access fraction, memory dependent
+ * chains, preferred-cluster stability across inputs, and working-set
+ * size. See DESIGN.md section 3 for the substitution rationale.
+ */
+
+#ifndef WIVLIW_WORKLOADS_MEDIABENCH_HH
+#define WIVLIW_WORKLOADS_MEDIABENCH_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/loop_spec.hh"
+
+namespace vliw {
+
+/** The 14 benchmark names in the paper's order. */
+const std::vector<std::string> &mediabenchNames();
+
+/** Build one benchmark by name (panics on unknown names). */
+BenchmarkSpec makeBenchmark(const std::string &name);
+
+/** Build the whole suite. */
+std::vector<BenchmarkSpec> mediabenchSuite();
+
+} // namespace vliw
+
+#endif // WIVLIW_WORKLOADS_MEDIABENCH_HH

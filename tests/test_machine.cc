@@ -1,0 +1,98 @@
+/** @file Unit tests for the machine description. */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.hh"
+
+namespace vliw {
+namespace {
+
+TEST(MachineConfig, PaperInterleavedGeometry)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    EXPECT_EQ(cfg.numClusters, 4);
+    EXPECT_EQ(cfg.cacheBytes, 8 * 1024);
+    EXPECT_EQ(cfg.blockBytes, 32);
+    EXPECT_EQ(cfg.moduleBytes(), 2 * 1024);
+    EXPECT_EQ(cfg.subblockBytes(), 8);
+    EXPECT_EQ(cfg.wordsPerSubblock(), 2);
+    EXPECT_EQ(cfg.cacheSets(), 128);
+    EXPECT_EQ(cfg.mappingPeriod(), 16);
+}
+
+TEST(MachineConfig, PaperLatencies)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    EXPECT_EQ(cfg.latLocalHit, 1);
+    EXPECT_EQ(cfg.latRemoteHit, 5);
+    EXPECT_EQ(cfg.latLocalMiss, 10);
+    EXPECT_EQ(cfg.latRemoteMiss, 15);
+    EXPECT_EQ(cfg.latNextLevel, 10);
+    EXPECT_EQ(cfg.regBuses, 4);
+    EXPECT_EQ(cfg.memBuses, 4);
+}
+
+TEST(MachineConfig, HomeClusterMapping)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    // Word w of a block maps to cluster w mod 4 (Figure 1).
+    EXPECT_EQ(cfg.homeCluster(0), 0);
+    EXPECT_EQ(cfg.homeCluster(4), 1);
+    EXPECT_EQ(cfg.homeCluster(8), 2);
+    EXPECT_EQ(cfg.homeCluster(12), 3);
+    EXPECT_EQ(cfg.homeCluster(16), 0);   // word 4 -> cluster 0 again
+    EXPECT_EQ(cfg.homeCluster(3), 0);    // byte inside word 0
+    EXPECT_EQ(cfg.homeCluster(7), 1);
+}
+
+TEST(MachineConfig, UnifiedPreset)
+{
+    const MachineConfig cfg1 = MachineConfig::paperUnified(1);
+    EXPECT_EQ(cfg1.cacheOrg, CacheOrg::Unified);
+    EXPECT_EQ(cfg1.latUnified, 1);
+    EXPECT_EQ(cfg1.unifiedPorts, 5);
+    const MachineConfig cfg5 = MachineConfig::paperUnified(5);
+    EXPECT_EQ(cfg5.latUnified, 5);
+}
+
+TEST(MachineConfig, MultiVliwPreset)
+{
+    const MachineConfig cfg = MachineConfig::paperMultiVliw();
+    EXPECT_EQ(cfg.cacheOrg, CacheOrg::MultiVliw);
+    EXPECT_EQ(cfg.coherentModuleSets(), 32);
+    EXPECT_EQ(cfg.latCacheToCache, 5);
+}
+
+TEST(MachineConfig, AttractionBufferPreset)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
+    EXPECT_TRUE(cfg.attractionBuffers);
+    EXPECT_EQ(cfg.abEntries, 16);
+    EXPECT_EQ(cfg.abSets(), 8);
+}
+
+TEST(MachineConfig, ValidateRejectsBadGeometry)
+{
+    MachineConfig cfg = MachineConfig::paperInterleaved();
+    cfg.numClusters = 3;   // not a power of two
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(MachineConfig, ValidateRejectsNonMonotonicLatencies)
+{
+    MachineConfig cfg = MachineConfig::paperInterleaved();
+    cfg.latRemoteHit = 20;   // above local miss
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1), "");
+}
+
+TEST(MachineConfig, DescribeNames)
+{
+    EXPECT_NE(MachineConfig::paperInterleavedAb().describe()
+                  .find("+AB"), std::string::npos);
+    EXPECT_NE(MachineConfig::paperUnified(5).describe().find("L=5"),
+              std::string::npos);
+    EXPECT_STREQ(cacheOrgName(CacheOrg::MultiVliw), "multiVLIW");
+}
+
+} // namespace
+} // namespace vliw

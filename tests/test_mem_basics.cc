@@ -1,0 +1,137 @@
+/** @file Tests for TagArray, ResourceSet and AttractionBuffer. */
+
+#include <gtest/gtest.h>
+
+#include "mem/attraction_buffer.hh"
+#include "mem/resource_set.hh"
+#include "mem/tag_array.hh"
+
+namespace vliw {
+namespace {
+
+TEST(TagArray, HitAfterInsert)
+{
+    TagArray tags(4, 2);
+    EXPECT_EQ(tags.probe(17), TagArray::kNoLine);
+    tags.insert(17);
+    EXPECT_NE(tags.probe(17), TagArray::kNoLine);
+    EXPECT_NE(tags.touch(17), TagArray::kNoLine);
+}
+
+TEST(TagArray, LruEviction)
+{
+    TagArray tags(1, 2);   // one set, two ways
+    tags.insert(10);
+    tags.insert(20);
+    (void)tags.touch(10);  // 20 becomes LRU
+    std::uint64_t evicted = 0;
+    bool did = false;
+    tags.insert(30, &evicted, &did);
+    EXPECT_TRUE(did);
+    EXPECT_EQ(evicted, 20u);
+    EXPECT_NE(tags.probe(10), TagArray::kNoLine);
+    EXPECT_EQ(tags.probe(20), TagArray::kNoLine);
+}
+
+TEST(TagArray, SetIndexingSeparatesKeys)
+{
+    TagArray tags(4, 1);
+    tags.insert(0);    // set 0
+    tags.insert(1);    // set 1
+    tags.insert(4);    // set 0: evicts key 0
+    EXPECT_EQ(tags.probe(0), TagArray::kNoLine);
+    EXPECT_NE(tags.probe(1), TagArray::kNoLine);
+    EXPECT_NE(tags.probe(4), TagArray::kNoLine);
+}
+
+TEST(TagArray, InvalidateAndClear)
+{
+    TagArray tags(2, 2);
+    tags.insert(5);
+    tags.insert(6);
+    EXPECT_TRUE(tags.invalidate(5));
+    EXPECT_FALSE(tags.invalidate(5));
+    EXPECT_EQ(tags.occupancy(), 1);
+    tags.clear();
+    EXPECT_EQ(tags.occupancy(), 0);
+}
+
+TEST(TagArray, DoubleInsertPanics)
+{
+    TagArray tags(2, 2);
+    tags.insert(9);
+    EXPECT_THROW(tags.insert(9), std::logic_error);
+}
+
+TEST(ResourceSet, GrantsInParallelUpToCount)
+{
+    ResourceSet buses(2, 2);
+    EXPECT_EQ(buses.acquire(10), 10);
+    EXPECT_EQ(buses.acquire(10), 10);   // second server
+    EXPECT_EQ(buses.acquire(10), 12);   // queued behind first
+    EXPECT_EQ(buses.waitCycles(), 2);
+    EXPECT_EQ(buses.grants(), 3u);
+}
+
+TEST(ResourceSet, PeekDoesNotBook)
+{
+    ResourceSet ports(1, 3);
+    EXPECT_EQ(ports.peek(5), 5);
+    EXPECT_EQ(ports.acquire(5), 5);
+    EXPECT_EQ(ports.peek(5), 8);
+    EXPECT_EQ(ports.peek(9), 9);
+}
+
+TEST(ResourceSet, ResetClearsState)
+{
+    ResourceSet ports(1, 4);
+    (void)ports.acquire(0);
+    ports.reset();
+    EXPECT_EQ(ports.acquire(0), 0);
+}
+
+TEST(AttractionBuffer, AttractAndHit)
+{
+    AttractionBuffer ab(16, 2, 4);
+    EXPECT_FALSE(ab.lookup(100, 2));
+    ab.install(100, 2);
+    EXPECT_TRUE(ab.lookup(100, 2));
+    // Same block, different home cluster: a different subblock.
+    EXPECT_FALSE(ab.lookup(100, 3));
+    EXPECT_EQ(ab.installs(), 1u);
+}
+
+TEST(AttractionBuffer, FlushDropsEverything)
+{
+    AttractionBuffer ab(16, 2, 4);
+    ab.install(1, 0);
+    ab.install(2, 1);
+    ab.flush();
+    EXPECT_FALSE(ab.contains(1, 0));
+    EXPECT_FALSE(ab.contains(2, 1));
+    EXPECT_EQ(ab.flushes(), 1u);
+}
+
+TEST(AttractionBuffer, CapacityEvicts)
+{
+    AttractionBuffer ab(4, 2, 4);   // 2 sets x 2 ways
+    // Fill one set (keys congruent mod 2) beyond capacity.
+    ab.install(0, 0);    // key 0 -> set 0
+    ab.install(2, 0);    // key 8 -> set 0
+    ab.install(4, 0);    // key 16 -> set 0: evicts LRU (key 0)
+    EXPECT_EQ(ab.evictions(), 1u);
+    EXPECT_FALSE(ab.contains(0, 0));
+    EXPECT_TRUE(ab.contains(2, 0));
+    EXPECT_TRUE(ab.contains(4, 0));
+}
+
+TEST(AttractionBuffer, ReinstallIsIdempotent)
+{
+    AttractionBuffer ab(8, 2, 4);
+    ab.install(7, 1);
+    ab.install(7, 1);
+    EXPECT_EQ(ab.installs(), 1u);
+}
+
+} // namespace
+} // namespace vliw

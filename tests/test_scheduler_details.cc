@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Focused behavioural tests of the clustered scheduler: copy reuse,
+ * IBC chain binding, bus-constrained II escalation, heuristic
+ * divergence, and profiler-driven expectations on suite loops.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/toolchain.hh"
+#include "ddg/mii.hh"
+#include "sched/latency_assign.hh"
+#include "sched/scheduler.hh"
+#include "workloads/dataset.hh"
+#include "workloads/kernels.hh"
+#include "workloads/profiler.hh"
+
+namespace vliw {
+namespace {
+
+MemAccessInfo
+loadInfo(std::int64_t stride = 16)
+{
+    MemAccessInfo info;
+    info.granularity = 4;
+    info.symbol = 0;
+    info.stride = stride;
+    return info;
+}
+
+ProfileMap
+uniformProfile(const Ddg &g, int preferred, int clusters = 4)
+{
+    ProfileMap prof(g.numNodes());
+    for (NodeId v : g.memNodes()) {
+        MemProfile &p = prof.at(v);
+        p.hitRate = 0.95;
+        p.localRatio = 1.0;
+        p.distribution = 1.0;
+        p.preferredCluster = preferred;
+        p.executions = 1000;
+        p.clusterCounts.assign(std::size_t(clusters), 0);
+        p.clusterCounts[std::size_t(preferred)] = 1000;
+    }
+    return prof;
+}
+
+TEST(SchedulerDetails, CopyIsReusedAcrossConsumers)
+{
+    // One producer feeding three consumers; if any consumer lands
+    // remotely, all same-cluster consumers must share one copy.
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    Ddg g;
+    const NodeId ld = g.addMemNode(OpKind::Load, loadInfo(), "ld");
+    std::vector<NodeId> uses;
+    for (int i = 0; i < 3; ++i) {
+        const NodeId u = g.addNode(OpKind::IntAlu);
+        g.addEdge(ld, u, DepKind::RegFlow, 0);
+        uses.push_back(u);
+    }
+
+    const ProfileMap prof = uniformProfile(g, 2);
+    const auto circuits = findCircuits(g);
+    const LatencyMap lat(g, 15);
+    SchedulerOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    const auto out = scheduleLoop(g, circuits, lat, prof, cfg, 2,
+                                  opts);
+    ASSERT_TRUE(out.has_value());
+
+    // Copies per destination cluster never exceed one.
+    std::map<int, int> copies_to;
+    for (const CopyOp &c : out->schedule.copies) {
+        ASSERT_EQ(c.producer, ld);
+        copies_to[c.toCluster] += 1;
+    }
+    for (const auto &[cluster, n] : copies_to)
+        EXPECT_EQ(n, 1) << "duplicate copy into " << cluster;
+}
+
+TEST(SchedulerDetails, IbcBindsChainToFirstMemberCluster)
+{
+    // Two chained memory ops plus a compute producer; under IBC the
+    // chain follows the first-scheduled member, not the profile.
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    Ddg g;
+    const NodeId ld = g.addMemNode(OpKind::Load, loadInfo(), "ld");
+    MemAccessInfo st_info = loadInfo();
+    st_info.isStore = true;
+    const NodeId st = g.addMemNode(OpKind::Store, st_info, "st");
+    const NodeId mid = g.addNode(OpKind::IntAlu, "mid");
+    g.addEdge(ld, mid, DepKind::RegFlow, 0);
+    g.addEdge(mid, st, DepKind::RegFlow, 0);
+    g.addEdge(ld, st, DepKind::MemAnti, 0);
+
+    // Profile says cluster 3, but IBC must ignore it.
+    const ProfileMap prof = uniformProfile(g, 3);
+    const auto circuits = findCircuits(g);
+    const LatencyMap lat(g, 15);
+    SchedulerOptions opts;
+    opts.heuristic = Heuristic::Ibc;
+    const auto out = scheduleLoop(g, circuits, lat, prof, cfg, 2,
+                                  opts);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(out->schedule.clusterOf(ld),
+              out->schedule.clusterOf(st));
+
+    // IPBC with the same input pins the chain to cluster 3.
+    opts.heuristic = Heuristic::Ipbc;
+    const auto ipbc = scheduleLoop(g, circuits, lat, prof, cfg, 2,
+                                   opts);
+    ASSERT_TRUE(ipbc.has_value());
+    EXPECT_EQ(ipbc->schedule.clusterOf(ld), 3);
+    EXPECT_EQ(ipbc->schedule.clusterOf(st), 3);
+}
+
+TEST(SchedulerDetails, BusSaturationEscalatesIi)
+{
+    // A single producer fanned out to every cluster: at MII the four
+    // buses cannot carry all the copies, so the II must grow (or
+    // the consumers must pack into fewer clusters).
+    MachineConfig cfg = MachineConfig::paperInterleaved();
+    cfg.regBuses = 1;
+    cfg.validate();
+
+    Ddg g;
+    const NodeId src = g.addNode(OpKind::FpDiv, "src", 6);
+    // 12 int consumers force spreading over clusters at small II.
+    for (int i = 0; i < 12; ++i) {
+        const NodeId u = g.addNode(OpKind::IntAlu);
+        g.addEdge(src, u, DepKind::RegFlow, 0);
+    }
+
+    ProfileMap prof(g.numNodes());
+    const auto circuits = findCircuits(g);
+    const LatencyMap lat(g, 1);
+    SchedulerOptions opts;
+    opts.heuristic = Heuristic::Base;
+    opts.useChains = false;
+    const auto out = scheduleLoop(g, circuits, lat, prof, cfg,
+                                  resMii(g, cfg), opts);
+    ASSERT_TRUE(out.has_value());
+    const auto err = validateSchedule(g, lat, cfg, out->schedule);
+    EXPECT_FALSE(err.has_value()) << err.value_or("");
+    // With one bus, at most II/2 transfers fit per kernel.
+    EXPECT_LE(int(out->schedule.copies.size()),
+              out->schedule.ii / cfg.regBusOccupancy * cfg.regBuses);
+}
+
+TEST(SchedulerDetails, HeuristicsDivergeOnConflictedLoops)
+{
+    // jpegenc's fdct_row is the paper's "loop 67": IBC and IPBC must
+    // produce genuinely different cluster assignments.
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const BenchmarkSpec bench = makeBenchmark("jpegenc");
+    const LoopSpec *fdct = nullptr;
+    for (const LoopSpec &loop : bench.loops) {
+        if (loop.name == "fdct_row")
+            fdct = &loop;
+    }
+    ASSERT_NE(fdct, nullptr);
+
+    ToolchainOptions a;
+    a.heuristic = Heuristic::Ibc;
+    ToolchainOptions b;
+    b.heuristic = Heuristic::Ipbc;
+    const CompiledLoop ibc =
+        Toolchain(cfg, a).compileLoop(bench, *fdct);
+    const CompiledLoop ipbc =
+        Toolchain(cfg, b).compileLoop(bench, *fdct);
+
+    int differing = 0;
+    ASSERT_EQ(ibc.ddg.numNodes(), ipbc.ddg.numNodes());
+    for (NodeId v = 0; v < ibc.ddg.numNodes(); ++v) {
+        if (ibc.ddg.isMemNode(v) &&
+            ibc.sched.schedule.clusterOf(v) !=
+                ipbc.sched.schedule.clusterOf(v))
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(SchedulerDetails, EpicencProfilesAsUnclear)
+{
+    // The invocation-drifting filter loops must profile with a
+    // diffuse preferred-cluster distribution (paper: 0.57).
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const BenchmarkSpec bench = makeBenchmark("epicenc");
+    const DataSet ds = makeDataSet(bench, cfg, 0x9E1C, true);
+
+    const LoopSpec &row = bench.loops.front();
+    ASSERT_EQ(row.name, "filter_row");
+    AddressResolver addr(row.body, bench, ds);
+    const ProfileMap prof = profileLoop(
+        row.body, addr, row.avgIterations, row.invocations, cfg);
+
+    bool any_unclear = false;
+    for (NodeId v : row.body.memNodes()) {
+        if (row.body.memInfo(v).invocationStride != 0)
+            any_unclear |= prof.at(v).distribution < 0.9;
+    }
+    EXPECT_TRUE(any_unclear);
+}
+
+TEST(SchedulerDetails, GsmdecAnecdoteClusterMovesWithoutAlignment)
+{
+    // Section 4.3.4: the 240-byte heap array's preferred cluster
+    // changes between inputs when variables are not aligned, and is
+    // pinned when they are.
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const BenchmarkSpec bench = makeBenchmark("gsmdec");
+    const LoopSpec &lt = bench.loops.front();
+    ASSERT_EQ(lt.name, "longterm_pred");
+
+    NodeId dp_load = kNoNode;
+    for (NodeId v : lt.body.memNodes()) {
+        if (lt.body.node(v).name == "ld_dp")
+            dp_load = v;
+    }
+    ASSERT_NE(dp_load, kNoNode);
+
+    auto preferred = [&](std::uint64_t seed, bool aligned) {
+        const DataSet ds = makeDataSet(bench, cfg, seed, aligned);
+        AddressResolver addr(lt.body, bench, ds);
+        const ProfileMap prof = profileLoop(
+            lt.body, addr, lt.avgIterations, lt.invocations, cfg);
+        return prof.at(dp_load).preferredCluster;
+    };
+
+    // Aligned: identical across inputs.
+    const int pinned = preferred(1, true);
+    for (std::uint64_t seed = 2; seed < 8; ++seed)
+        EXPECT_EQ(preferred(seed, true), pinned);
+
+    // Unaligned: at least one input moves it.
+    bool moved = false;
+    for (std::uint64_t seed = 1; seed < 16 && !moved; ++seed)
+        moved = preferred(seed, false) != preferred(seed + 16, false);
+    EXPECT_TRUE(moved);
+}
+
+TEST(SchedulerDetails, StoresNeverGetAssignedLatencies)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const BenchmarkSpec bench = makeBenchmark("pgpdec");
+    ToolchainOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    const Toolchain chain(cfg, opts);
+    for (const LoopSpec &loop : bench.loops) {
+        const CompiledLoop compiled = chain.compileLoop(bench, loop);
+        for (NodeId v : compiled.ddg.memNodes()) {
+            if (compiled.ddg.node(v).kind == OpKind::Store) {
+                EXPECT_EQ(compiled.latency.latencies(v), 1)
+                    << loop.name;
+            }
+        }
+    }
+}
+
+TEST(SchedulerDetails, AssignedLatenciesBoundedByClassRange)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const BenchmarkSpec bench = makeBenchmark("rasta");
+    ToolchainOptions opts;
+    opts.heuristic = Heuristic::Ipbc;
+    const Toolchain chain(cfg, opts);
+    for (const LoopSpec &loop : bench.loops) {
+        const CompiledLoop compiled = chain.compileLoop(bench, loop);
+        for (NodeId v : compiled.ddg.memNodes()) {
+            if (compiled.ddg.node(v).kind != OpKind::Load)
+                continue;
+            const int assigned = compiled.latency.latencies(v);
+            EXPECT_GE(assigned, cfg.latLocalHit) << loop.name;
+            // Slack removal may exceed the remote-miss latency only
+            // when a recurrence has room for it; it must still be
+            // sane relative to the II.
+            EXPECT_LE(assigned,
+                      std::max(cfg.latRemoteMiss,
+                               compiled.sched.schedule.ii *
+                                   compiled.sched.schedule
+                                       .stageCount))
+                << loop.name;
+        }
+    }
+}
+
+} // namespace
+} // namespace vliw

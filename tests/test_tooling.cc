@@ -1,0 +1,115 @@
+/** @file Tests for the DOT export and the schedule dumpers. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ddg/dot.hh"
+#include "ddg/mii.hh"
+#include "sched/latency_assign.hh"
+#include "sched/schedule_dump.hh"
+#include "sched/scheduler.hh"
+#include "util_paper_example.hh"
+
+namespace vliw {
+namespace {
+
+using testutil::makePaperExample;
+
+TEST(Dot, ContainsNodesEdgesAndChains)
+{
+    auto ex = makePaperExample();
+    DotOptions opts;
+    opts.name = "fig3";
+    const std::string dot = toDot(ex.ddg, opts);
+
+    EXPECT_NE(dot.find("digraph \"fig3\""), std::string::npos);
+    // All eight nodes and their kinds.
+    EXPECT_NE(dot.find("n1\\nload"), std::string::npos);
+    EXPECT_NE(dot.find("n7\\nfp_div"), std::string::npos);
+    // Memory chain cluster.
+    EXPECT_NE(dot.find("cluster_chain"), std::string::npos);
+    // Loop-carried edges dashed with a distance label.
+    EXPECT_NE(dot.find("d=1"), std::string::npos);
+    EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+    // Memory dependence edges in red.
+    EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dot, LatencyAnnotations)
+{
+    auto ex = makePaperExample();
+    LatencyMap lat(ex.ddg, 15);
+    lat.set(ex.n1, 4);
+    DotOptions opts;
+    opts.latencies = &lat;
+    const std::string dot = toDot(ex.ddg, opts);
+    EXPECT_NE(dot.find("lat=4"), std::string::npos);
+    EXPECT_NE(dot.find("lat=15"), std::string::npos);
+}
+
+TEST(Dot, BalancedBracesAndDeterminism)
+{
+    auto ex = makePaperExample();
+    const std::string a = toDot(ex.ddg);
+    const std::string b = toDot(ex.ddg);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(std::count(a.begin(), a.end(), '{'),
+              std::count(a.begin(), a.end(), '}'));
+}
+
+class DumpTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ex = makePaperExample();
+        const auto circuits = findCircuits(ex.ddg);
+        const LatencyScheme scheme = LatencyScheme::fourClass(cfg);
+        assignment = assignLatencies(ex.ddg, circuits, ex.profile,
+                                     scheme, cfg);
+        const int mii = std::max(
+            assignment.miiTarget,
+            computeMii(ex.ddg, circuits, assignment.latencies, cfg));
+        SchedulerOptions opts;
+        opts.heuristic = Heuristic::Ipbc;
+        auto out = scheduleLoop(ex.ddg, circuits,
+                                assignment.latencies, ex.profile,
+                                cfg, mii, opts);
+        ASSERT_TRUE(out.has_value());
+        sched = std::move(out->schedule);
+    }
+
+    MachineConfig cfg = MachineConfig::paperInterleaved();
+    testutil::PaperExample ex{};
+    LatencyAssignment assignment{};
+    Schedule sched{};
+};
+
+TEST_F(DumpTest, KernelShowsEveryOpOnce)
+{
+    std::ostringstream os;
+    dumpKernel(os, ex.ddg, sched, cfg);
+    const std::string text = os.str();
+    for (NodeId v = 0; v < ex.ddg.numNodes(); ++v) {
+        EXPECT_NE(text.find(ex.ddg.node(v).name), std::string::npos)
+            << ex.ddg.node(v).name;
+    }
+    // One row per II cycle plus header/rule.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+              sched.ii + 2);
+}
+
+TEST_F(DumpTest, PlacementsListEveryOp)
+{
+    std::ostringstream os;
+    dumpPlacements(os, ex.ddg, sched);
+    const std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'),
+              ex.ddg.numNodes() + 2);
+    EXPECT_NE(text.find("fp_div"), std::string::npos);
+}
+
+} // namespace
+} // namespace vliw

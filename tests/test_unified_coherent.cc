@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the unified-cache baseline and the multiVLIW coherent
+ * cache (MSI protocol transitions, cache-to-cache transfers, the
+ * coherence invariant under random traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherent_cache.hh"
+#include "mem/unified_cache.hh"
+#include "support/random.hh"
+
+namespace vliw {
+namespace {
+
+MemRequest
+req(int cluster, std::uint64_t addr, Cycles t, bool store = false,
+    int size = 4)
+{
+    MemRequest r;
+    r.cluster = cluster;
+    r.addr = addr;
+    r.size = size;
+    r.isStore = store;
+    r.issueCycle = t;
+    return r;
+}
+
+TEST(UnifiedCache, HitAndMissLatencies)
+{
+    const MachineConfig cfg = MachineConfig::paperUnified(5);
+    UnifiedCache cache(cfg);
+    const auto miss = cache.access(req(0, 64, 100));
+    EXPECT_EQ(miss.cls, AccessClass::LocalMiss);
+    EXPECT_EQ(miss.readyCycle, 100 + 5 + cfg.latNextLevel);
+    const auto hit = cache.access(req(3, 64, 200));
+    EXPECT_EQ(hit.cls, AccessClass::LocalHit);
+    EXPECT_EQ(hit.readyCycle, 200 + 5);
+}
+
+TEST(UnifiedCache, OptimisticOneCycleConfig)
+{
+    const MachineConfig cfg = MachineConfig::paperUnified(1);
+    UnifiedCache cache(cfg);
+    (void)cache.access(req(0, 0, 10));
+    const auto hit = cache.access(req(2, 0, 50));
+    EXPECT_EQ(hit.readyCycle, 50 + 1);
+}
+
+TEST(UnifiedCache, CombiningOnPendingFill)
+{
+    const MachineConfig cfg = MachineConfig::paperUnified(1);
+    UnifiedCache cache(cfg);
+    const auto first = cache.access(req(0, 0, 100));
+    const auto second = cache.access(req(1, 0, 101));
+    EXPECT_EQ(second.cls, AccessClass::Combined);
+    EXPECT_EQ(second.readyCycle, first.readyCycle);
+}
+
+TEST(UnifiedCache, NoClusterLocality)
+{
+    // The unified cache never reports remote classes.
+    const MachineConfig cfg = MachineConfig::paperUnified(1);
+    UnifiedCache cache(cfg);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const auto r = cache.access(
+            req(int(rng.nextBelow(4)),
+                rng.nextBelow(4096) * 4, 200 + i));
+        EXPECT_TRUE(r.cls == AccessClass::LocalHit ||
+                    r.cls == AccessClass::LocalMiss ||
+                    r.cls == AccessClass::Combined);
+    }
+}
+
+class CoherentCacheTest : public ::testing::Test
+{
+  protected:
+    MachineConfig cfg = MachineConfig::paperMultiVliw();
+};
+
+TEST_F(CoherentCacheTest, LoadMissInstallsShared)
+{
+    CoherentCache cache(cfg);
+    const auto miss = cache.access(req(0, 0, 100));
+    EXPECT_EQ(miss.cls, AccessClass::LocalMiss);
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Shared);
+    const auto hit = cache.access(req(0, 0, 200));
+    EXPECT_EQ(hit.cls, AccessClass::LocalHit);
+    EXPECT_EQ(hit.readyCycle, 200 + cfg.latCoherentHit);
+}
+
+TEST_F(CoherentCacheTest, CacheToCacheTransfer)
+{
+    CoherentCache cache(cfg);
+    (void)cache.access(req(0, 0, 100));
+    const auto c2c = cache.access(req(1, 0, 200));
+    EXPECT_EQ(c2c.cls, AccessClass::RemoteHit);
+    EXPECT_EQ(c2c.readyCycle, 200 + cfg.latCacheToCache);
+    // Both keep a Shared copy: replication.
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Shared);
+    EXPECT_EQ(cache.stateOf(1, 0), CoherentCache::Msi::Shared);
+}
+
+TEST_F(CoherentCacheTest, StoreInvalidatesOtherCopies)
+{
+    CoherentCache cache(cfg);
+    (void)cache.access(req(0, 0, 100));   // S in 0
+    (void)cache.access(req(1, 0, 200));   // S in 0 and 1
+    const auto st = cache.access(req(0, 0, 300, true));
+    EXPECT_EQ(st.cls, AccessClass::LocalHit);   // upgrade
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Modified);
+    EXPECT_EQ(cache.stateOf(1, 0), CoherentCache::Msi::Invalid);
+    EXPECT_TRUE(cache.coherenceInvariantHolds());
+}
+
+TEST_F(CoherentCacheTest, StoreMissFetchesExclusive)
+{
+    CoherentCache cache(cfg);
+    const auto st = cache.access(req(2, 64, 100, true));
+    EXPECT_EQ(st.cls, AccessClass::LocalMiss);
+    EXPECT_EQ(cache.stateOf(2, 2), CoherentCache::Msi::Modified);
+}
+
+TEST_F(CoherentCacheTest, StoreToRemoteModifiedTransfersOwnership)
+{
+    CoherentCache cache(cfg);
+    (void)cache.access(req(0, 0, 100, true));   // M in 0
+    const auto st = cache.access(req(1, 0, 200, true));
+    EXPECT_EQ(st.cls, AccessClass::RemoteHit);
+    EXPECT_EQ(cache.stateOf(1, 0), CoherentCache::Msi::Modified);
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Invalid);
+    EXPECT_TRUE(cache.coherenceInvariantHolds());
+}
+
+TEST_F(CoherentCacheTest, ReadAfterRemoteWriteDowngrades)
+{
+    CoherentCache cache(cfg);
+    (void)cache.access(req(0, 0, 100, true));   // M in 0
+    const auto ld = cache.access(req(1, 0, 200));
+    EXPECT_EQ(ld.cls, AccessClass::RemoteHit);
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Shared);
+    EXPECT_EQ(cache.stateOf(1, 0), CoherentCache::Msi::Shared);
+}
+
+TEST_F(CoherentCacheTest, CombiningOnPendingFill)
+{
+    CoherentCache cache(cfg);
+    const auto first = cache.access(req(0, 0, 100));
+    const auto second = cache.access(req(0, 0, 101));
+    EXPECT_EQ(second.cls, AccessClass::Combined);
+    EXPECT_EQ(second.readyCycle, first.readyCycle);
+}
+
+TEST_F(CoherentCacheTest, ModifiedEvictionWritesBack)
+{
+    CoherentCache cache(cfg);
+    const auto way_span = std::uint64_t(cfg.coherentModuleSets()) *
+        cfg.blockBytes;
+    (void)cache.access(req(0, 0, 100, true));          // M in 0
+    (void)cache.access(req(0, way_span, 200));         // fills way 2
+    (void)cache.access(req(0, 2 * way_span, 300));     // evicts M
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST_F(CoherentCacheTest, DowngradeFromModifiedWritesBack)
+{
+    CoherentCache cache(cfg);
+    (void)cache.access(req(0, 0, 100, true));   // M in 0
+    (void)cache.access(req(1, 0, 200));         // read -> downgrade
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+    EXPECT_EQ(cache.stateOf(0, 0), CoherentCache::Msi::Shared);
+}
+
+class CoherentProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(CoherentProperty, InvariantHoldsUnderRandomTraffic)
+{
+    const MachineConfig cfg = MachineConfig::paperMultiVliw();
+    CoherentCache cache(cfg);
+    Rng rng{std::uint64_t(GetParam())};
+    Cycles t = 0;
+    for (int i = 0; i < 600; ++i) {
+        t += Cycles(rng.nextBelow(3));
+        const auto r = req(int(rng.nextBelow(4)),
+                           rng.nextBelow(256) * 4, t,
+                           rng.chance(0.4));
+        const auto res = cache.access(r);
+        EXPECT_GE(res.readyCycle, t);
+    }
+    EXPECT_TRUE(cache.coherenceInvariantHolds());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherentProperty,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace vliw

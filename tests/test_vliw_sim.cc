@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the lock-step VLIW core simulator: exact cycle counts,
+ * stall-on-use semantics, copy timing, and stall attribution. A stub
+ * memory system gives full control over access outcomes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_system.hh"
+#include "sim/vliw_sim.hh"
+
+namespace vliw {
+namespace {
+
+/** Memory model with a fixed latency and classification. */
+class StubMem : public MemSystem
+{
+  public:
+    int latency = 1;
+    AccessClass cls = AccessClass::LocalHit;
+
+    MemAccessResult
+    access(const MemRequest &req) override
+    {
+        MemAccessResult res;
+        res.cls = cls;
+        res.readyCycle = req.issueCycle + latency;
+        stats_.record(cls, req.isStore);
+        return res;
+    }
+
+    void invalidateAll() override {}
+};
+
+MemAccessInfo
+loadInfo(std::int64_t stride = 4)
+{
+    MemAccessInfo info;
+    info.granularity = 4;
+    info.symbol = 0;
+    info.stride = stride;
+    return info;
+}
+
+/** ld -> add, both in cluster 0, ld at cycle 0, add at 0 + gap. */
+struct TinyLoop
+{
+    Ddg ddg;
+    Schedule sched;
+    LatencyMap lat{};
+    NodeId ld = kNoNode;
+    NodeId add = kNoNode;
+
+    TinyLoop(int ii, int gap, int assigned_lat)
+    {
+        ld = ddg.addMemNode(OpKind::Load, loadInfo(), "ld");
+        add = ddg.addNode(OpKind::IntAlu, "add");
+        ddg.addEdge(ld, add, DepKind::RegFlow, 0);
+
+        sched.ii = ii;
+        sched.ops.assign(2, PlacedOp{});
+        sched.ops[std::size_t(ld)] = {0, 0};
+        sched.ops[std::size_t(add)] = {gap, 0};
+        sched.length = gap + 1;
+        sched.stageCount = gap / ii + 1;
+
+        lat = LatencyMap(ddg, assigned_lat);
+    }
+
+    LoopExecution
+    exec(std::int64_t iters, const ProfileMap *prof = nullptr) const
+    {
+        LoopExecution e;
+        e.ddg = &ddg;
+        e.schedule = &sched;
+        e.latencies = &lat;
+        e.profile = prof;
+        e.iterations = iters;
+        e.addressOf = [](NodeId, std::int64_t iter) {
+            return std::uint64_t(iter) * 4;
+        };
+        return e;
+    }
+};
+
+TEST(VliwSim, ExactCyclesWithoutStall)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 1;
+
+    TinyLoop loop(2, 1, 1);
+    const auto result = simulateLoop(loop.exec(10), mem, cfg);
+    // (iters - 1) * II + length = 9*2 + 2 = 20, no stall.
+    EXPECT_EQ(result.stats.totalCycles, 20);
+    EXPECT_EQ(result.stats.stallCycles, 0);
+    EXPECT_EQ(result.stats.dynamicOps, 20u);
+    EXPECT_EQ(result.stats.memAccesses, 10u);
+    EXPECT_EQ(result.endCycle, 20);
+}
+
+TEST(VliwSim, StallOnUseWhenLoadIsLate)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;              // actual
+    mem.cls = AccessClass::RemoteHit;
+
+    TinyLoop loop(2, 1, 1);       // consumer expects latency 1
+    const auto result = simulateLoop(loop.exec(10), mem, cfg);
+    // Every iteration stalls 4 cycles at the consumer.
+    EXPECT_EQ(result.stats.stallCycles, 40);
+    EXPECT_EQ(result.stats.totalCycles, 20 + 40);
+    EXPECT_EQ(result.stats.stallByClass[std::size_t(
+                  AccessClass::RemoteHit)], 40);
+}
+
+TEST(VliwSim, NoStallWhenAssignedLatencyCovers)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;
+    mem.cls = AccessClass::RemoteHit;
+
+    TinyLoop loop(2, 5, 5);       // scheduled far enough
+    const auto result = simulateLoop(loop.exec(10), mem, cfg);
+    EXPECT_EQ(result.stats.stallCycles, 0);
+}
+
+TEST(VliwSim, StoreNeverStallsTheCore)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 50;             // glacial memory
+
+    Ddg g;
+    MemAccessInfo si = loadInfo();
+    si.isStore = true;
+    const NodeId st = g.addMemNode(OpKind::Store, si, "st");
+    Schedule s;
+    s.ii = 1;
+    s.ops.assign(1, PlacedOp{});
+    s.ops[std::size_t(st)] = {0, 0};
+    s.length = 1;
+    s.stageCount = 1;
+    const LatencyMap lat(g, 1);
+
+    LoopExecution e;
+    e.ddg = &g;
+    e.schedule = &s;
+    e.latencies = &lat;
+    e.iterations = 16;
+    e.addressOf = [](NodeId, std::int64_t i) {
+        return std::uint64_t(i) * 4;
+    };
+    const auto result = simulateLoop(e, mem, cfg);
+    EXPECT_EQ(result.stats.stallCycles, 0);
+    EXPECT_EQ(result.stats.totalCycles, 16);
+}
+
+TEST(VliwSim, CrossIterationDependenceUsesOlderInstance)
+{
+    // ld feeds add at distance 1: iteration i's add needs iteration
+    // i-1's load, which completed long ago -> no stall even with a
+    // slow memory, as long as II covers the latency.
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;
+
+    Ddg g;
+    const NodeId ld = g.addMemNode(OpKind::Load, loadInfo(), "ld");
+    const NodeId add = g.addNode(OpKind::IntAlu, "add");
+    g.addEdge(ld, add, DepKind::RegFlow, 1);
+
+    Schedule s;
+    s.ii = 6;
+    s.ops.assign(2, PlacedOp{});
+    s.ops[std::size_t(ld)] = {0, 0};
+    s.ops[std::size_t(add)] = {0, 0};   // same cycle, previous iter
+    s.length = 1;
+    s.stageCount = 1;
+
+    const LatencyMap lat(g, 5);
+    LoopExecution e;
+    e.ddg = &g;
+    e.schedule = &s;
+    e.latencies = &lat;
+    e.iterations = 8;
+    e.addressOf = [](NodeId, std::int64_t i) {
+        return std::uint64_t(i) * 4;
+    };
+    const auto result = simulateLoop(e, mem, cfg);
+    EXPECT_EQ(result.stats.stallCycles, 0);
+}
+
+TEST(VliwSim, CopyCarriesValueAcrossClusters)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 1;
+
+    // ld in cluster 0 at cycle 0 (assigned 1); copy at cycle 1;
+    // consumer in cluster 1 at cycle 3 (= 1 + busLatency 2).
+    Ddg g;
+    const NodeId ld = g.addMemNode(OpKind::Load, loadInfo(), "ld");
+    const NodeId add = g.addNode(OpKind::IntAlu, "add");
+    g.addEdge(ld, add, DepKind::RegFlow, 0);
+
+    Schedule s;
+    s.ii = 4;
+    s.ops.assign(2, PlacedOp{});
+    s.ops[std::size_t(ld)] = {0, 0};
+    s.ops[std::size_t(add)] = {3, 1};
+    s.copies.push_back({ld, 0, 1, 1, 3});
+    s.length = 4;
+    s.stageCount = 1;
+
+    const LatencyMap lat(g, 1);
+    LoopExecution e;
+    e.ddg = &g;
+    e.schedule = &s;
+    e.latencies = &lat;
+    e.iterations = 5;
+    e.addressOf = [](NodeId, std::int64_t i) {
+        return std::uint64_t(i) * 4;
+    };
+    const auto result = simulateLoop(e, mem, cfg);
+    EXPECT_EQ(result.stats.stallCycles, 0);
+    EXPECT_EQ(result.stats.dynamicCopies, 5u);
+}
+
+TEST(VliwSim, LateLoadStallsTheCopy)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;              // load is 4 cycles late
+    mem.cls = AccessClass::RemoteHit;
+
+    Ddg g;
+    const NodeId ld = g.addMemNode(OpKind::Load, loadInfo(), "ld");
+    const NodeId add = g.addNode(OpKind::IntAlu, "add");
+    g.addEdge(ld, add, DepKind::RegFlow, 0);
+
+    Schedule s;
+    s.ii = 8;
+    s.ops.assign(2, PlacedOp{});
+    s.ops[std::size_t(ld)] = {0, 0};
+    s.ops[std::size_t(add)] = {3, 1};
+    s.copies.push_back({ld, 0, 1, 1, 3});
+    s.length = 4;
+    s.stageCount = 1;
+
+    const LatencyMap lat(g, 1);
+    LoopExecution e;
+    e.ddg = &g;
+    e.schedule = &s;
+    e.latencies = &lat;
+    e.iterations = 4;
+    e.addressOf = [](NodeId, std::int64_t i) {
+        return std::uint64_t(i) * 4;
+    };
+    const auto result = simulateLoop(e, mem, cfg);
+    // The copy issues at 1 but the value arrives at 5: 4 cycles of
+    // stall per iteration, charged to the remote hit.
+    EXPECT_EQ(result.stats.stallCycles, 16);
+    EXPECT_EQ(result.stats.stallByClass[std::size_t(
+                  AccessClass::RemoteHit)], 16);
+}
+
+TEST(VliwSim, StallFactorsAttributed)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;
+    mem.cls = AccessClass::RemoteHit;
+
+    TinyLoop loop(2, 1, 1);
+    // Mark the op as unclear-preferred and not-in-preferred.
+    ProfileMap prof(loop.ddg.numNodes());
+    prof.at(loop.ld).distribution = 0.5;
+    prof.at(loop.ld).preferredCluster = 3;   // scheduled in 0
+
+    const auto result =
+        simulateLoop(loop.exec(6, &prof), mem, cfg);
+    EXPECT_GT(result.stats.remoteHitFactors.unclearPreferred, 0u);
+    EXPECT_GT(result.stats.remoteHitFactors.notInPreferred, 0u);
+    EXPECT_EQ(result.stats.remoteHitFactors.granularity, 0u);
+}
+
+TEST(VliwSim, WideGranularityFactor)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    mem.latency = 5;
+    mem.cls = AccessClass::RemoteHit;
+
+    Ddg g;
+    MemAccessInfo info = loadInfo(8);
+    info.granularity = 8;
+    const NodeId ld = g.addMemNode(OpKind::Load, info, "ld");
+    const NodeId add = g.addNode(OpKind::FpAlu, "add");
+    g.addEdge(ld, add, DepKind::RegFlow, 0);
+
+    Schedule s;
+    s.ii = 2;
+    s.ops.assign(2, PlacedOp{});
+    s.ops[std::size_t(ld)] = {0, 0};
+    s.ops[std::size_t(add)] = {1, 0};
+    s.length = 2;
+    s.stageCount = 1;
+
+    const LatencyMap lat(g, 1);
+    ProfileMap prof(g.numNodes());
+    LoopExecution e;
+    e.ddg = &g;
+    e.schedule = &s;
+    e.latencies = &lat;
+    e.profile = &prof;
+    e.iterations = 4;
+    e.addressOf = [](NodeId, std::int64_t i) {
+        return std::uint64_t(i) * 8;
+    };
+    const auto result = simulateLoop(e, mem, cfg);
+    EXPECT_GT(result.stats.remoteHitFactors.granularity, 0u);
+}
+
+TEST(VliwSim, StartCycleOffsetsEverything)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    TinyLoop loop(2, 1, 1);
+    auto e = loop.exec(10);
+    e.startCycle = 1000;
+    const auto result = simulateLoop(e, mem, cfg);
+    EXPECT_EQ(result.endCycle, 1000 + 20);
+    EXPECT_EQ(result.stats.totalCycles, 20);
+}
+
+TEST(VliwSim, ZeroIterationsIsEmpty)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    StubMem mem;
+    TinyLoop loop(2, 1, 1);
+    const auto result = simulateLoop(loop.exec(0), mem, cfg);
+    EXPECT_EQ(result.stats.totalCycles, 0);
+    EXPECT_EQ(result.endCycle, 0);
+}
+
+} // namespace
+} // namespace vliw

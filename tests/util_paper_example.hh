@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's Section 4.3.3 worked example (Figure 3 DDG),
+ * reconstructed so that every number in the text reproduces:
+ *
+ *   REC1: n5(sub,2) -RF-> n1(load) -RF-> n2(load) -RF-> n3(add,1)
+ *         -RF-> n4(store), closed by n4 -RA(d=1)-> n5.
+ *         II(all loads local-hit) = 5; II(all remote-miss) = 33.
+ *   REC2: n6(load) -RF-> n7(div,6) -RF-> n8(add,1) -RF(d=1)-> n6.
+ *         II(local-hit) = 8; II(remote-miss) = 22.
+ *   Memory chain {n1, n2, n4} via MA edges; profiles: n1 hit 0.6,
+ *   n2 hit 0.9, both localRatio 0.5, preferred cluster 1 (n4: 2);
+ *   n6 preferred cluster 2. Loop MII = 8.
+ */
+
+#ifndef WIVLIW_TESTS_UTIL_PAPER_EXAMPLE_HH
+#define WIVLIW_TESTS_UTIL_PAPER_EXAMPLE_HH
+
+#include "ddg/ddg.hh"
+#include "ddg/profile_map.hh"
+
+namespace vliw::testutil {
+
+struct PaperExample
+{
+    Ddg ddg;
+    ProfileMap profile;
+    NodeId n1, n2, n3, n4, n5, n6, n7, n8;
+};
+
+inline PaperExample
+makePaperExample(int num_clusters = 4)
+{
+    PaperExample ex;
+    Ddg &g = ex.ddg;
+
+    MemAccessInfo load_info;
+    load_info.granularity = 4;
+    load_info.symbol = 0;
+    load_info.stride = 16;
+
+    MemAccessInfo store_info = load_info;
+    store_info.isStore = true;
+
+    ex.n1 = g.addMemNode(OpKind::Load, load_info, "n1");
+    ex.n2 = g.addMemNode(OpKind::Load, load_info, "n2");
+    ex.n3 = g.addNode(OpKind::IntAlu, "n3", 1);
+    ex.n4 = g.addMemNode(OpKind::Store, store_info, "n4");
+    ex.n5 = g.addNode(OpKind::IntAlu, "n5", 2);
+    ex.n6 = g.addMemNode(OpKind::Load, load_info, "n6");
+    ex.n7 = g.addNode(OpKind::FpDiv, "n7", 6);
+    ex.n8 = g.addNode(OpKind::IntAlu, "n8", 1);
+
+    // REC1 (II with local-hit loads: 2+1+1+1+0 = 5).
+    g.addEdge(ex.n5, ex.n1, DepKind::RegFlow, 0);
+    g.addEdge(ex.n1, ex.n2, DepKind::RegFlow, 0);
+    g.addEdge(ex.n2, ex.n3, DepKind::RegFlow, 0);
+    g.addEdge(ex.n3, ex.n4, DepKind::RegFlow, 0);
+    g.addEdge(ex.n4, ex.n5, DepKind::RegAnti, 1);
+
+    // Memory dependent chain {n1, n2, n4}.
+    g.addEdge(ex.n1, ex.n2, DepKind::MemAnti, 0);
+    g.addEdge(ex.n2, ex.n4, DepKind::MemAnti, 0);
+
+    // REC2 (II with a local-hit load: 1+6+1 = 8).
+    g.addEdge(ex.n6, ex.n7, DepKind::RegFlow, 0);
+    g.addEdge(ex.n7, ex.n8, DepKind::RegFlow, 0);
+    g.addEdge(ex.n8, ex.n6, DepKind::RegFlow, 1);
+
+    ex.profile = ProfileMap(g.numNodes());
+    auto set_profile = [&](NodeId v, double hit, double local,
+                           int preferred) {
+        MemProfile &p = ex.profile.at(v);
+        p.hitRate = hit;
+        p.localRatio = local;
+        p.preferredCluster = preferred;
+        p.distribution = local;
+        p.executions = 1000;
+        p.clusterCounts.assign(std::size_t(num_clusters), 0);
+        p.clusterCounts[std::size_t(preferred)] = 500;
+        for (int c = 0; c < num_clusters; ++c) {
+            if (c != preferred)
+                p.clusterCounts[std::size_t(c)] += 166;
+        }
+    };
+    set_profile(ex.n1, 0.6, 0.5, 1);
+    set_profile(ex.n2, 0.9, 0.5, 1);
+    set_profile(ex.n4, 1.0, 0.5, 2);
+    set_profile(ex.n6, 0.9, 0.5, 2);
+    return ex;
+}
+
+} // namespace vliw::testutil
+
+#endif // WIVLIW_TESTS_UTIL_PAPER_EXAMPLE_HH

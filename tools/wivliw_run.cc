@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Command-line driver: compile and simulate any benchmark of the
+ * suite under any architecture/heuristic/unrolling combination, and
+ * optionally dump schedules or DOT graphs. Run with --help.
+ *
+ *   wivliw_run --bench gsmdec --arch interleaved-ab --heuristic ipbc
+ *   wivliw_run --bench epicdec --dump-kernel --loop wavelet_recon
+ *   wivliw_run --all --arch unified5 --heuristic base --csv
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/toolchain.hh"
+#include "ddg/dot.hh"
+#include "sched/schedule_dump.hh"
+#include "support/table.hh"
+
+using namespace vliw;
+
+namespace {
+
+struct CliOptions
+{
+    std::string bench;
+    bool all = false;
+    std::string arch = "interleaved-ab";
+    std::string heuristic = "ipbc";
+    std::string unroll = "selective";
+    std::string dumpLoop;
+    bool dumpKernelFlag = false;
+    bool dumpDotFlag = false;
+    bool versioning = false;
+    bool noAlign = false;
+    bool noChains = false;
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: wivliw_run [options]\n"
+        "  --bench NAME       one of the 14 suite benchmarks\n"
+        "  --all              run the whole suite\n"
+        "  --arch A           interleaved | interleaved-ab |\n"
+        "                     unified1 | unified5 | multivliw\n"
+        "  --heuristic H      base | ibc | ipbc\n"
+        "  --unroll U         none | xN | ouf | selective\n"
+        "  --no-align         disable variable alignment\n"
+        "  --no-chains        drop memory dependent chains\n"
+        "  --versioning       enable Section 5.4 loop versioning\n"
+        "  --dump-kernel      print each loop's kernel\n"
+        "  --dump-dot         print each loop's DDG as DOT\n"
+        "  --loop NAME        restrict dumps to one loop\n"
+        "  --csv              machine-readable per-benchmark output\n"
+        "  --help             this text\n");
+    std::exit(code);
+}
+
+MachineConfig
+parseArch(const std::string &arch)
+{
+    if (arch == "interleaved")
+        return MachineConfig::paperInterleaved();
+    if (arch == "interleaved-ab")
+        return MachineConfig::paperInterleavedAb();
+    if (arch == "unified1")
+        return MachineConfig::paperUnified(1);
+    if (arch == "unified5")
+        return MachineConfig::paperUnified(5);
+    if (arch == "multivliw")
+        return MachineConfig::paperMultiVliw();
+    std::fprintf(stderr, "unknown --arch '%s'\n", arch.c_str());
+    usage(2);
+}
+
+Heuristic
+parseHeuristic(const std::string &name)
+{
+    if (name == "base")
+        return Heuristic::Base;
+    if (name == "ibc")
+        return Heuristic::Ibc;
+    if (name == "ipbc")
+        return Heuristic::Ipbc;
+    std::fprintf(stderr, "unknown --heuristic '%s'\n", name.c_str());
+    usage(2);
+}
+
+UnrollPolicy
+parseUnroll(const std::string &name)
+{
+    if (name == "none")
+        return UnrollPolicy::None;
+    if (name == "xN")
+        return UnrollPolicy::TimesN;
+    if (name == "ouf")
+        return UnrollPolicy::Ouf;
+    if (name == "selective")
+        return UnrollPolicy::Selective;
+    std::fprintf(stderr, "unknown --unroll '%s'\n", name.c_str());
+    usage(2);
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions cli;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--bench")
+            cli.bench = value("--bench");
+        else if (arg == "--all")
+            cli.all = true;
+        else if (arg == "--arch")
+            cli.arch = value("--arch");
+        else if (arg == "--heuristic")
+            cli.heuristic = value("--heuristic");
+        else if (arg == "--unroll")
+            cli.unroll = value("--unroll");
+        else if (arg == "--loop")
+            cli.dumpLoop = value("--loop");
+        else if (arg == "--dump-kernel")
+            cli.dumpKernelFlag = true;
+        else if (arg == "--dump-dot")
+            cli.dumpDotFlag = true;
+        else if (arg == "--versioning")
+            cli.versioning = true;
+        else if (arg == "--no-align")
+            cli.noAlign = true;
+        else if (arg == "--no-chains")
+            cli.noChains = true;
+        else if (arg == "--csv")
+            cli.csv = true;
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (!cli.all && cli.bench.empty()) {
+        std::fprintf(stderr, "pick --bench NAME or --all\n");
+        usage(2);
+    }
+    return cli;
+}
+
+void
+dumpLoops(const Toolchain &chain, const BenchmarkSpec &bench,
+          const CliOptions &cli)
+{
+    for (const LoopSpec &loop : bench.loops) {
+        if (!cli.dumpLoop.empty() && loop.name != cli.dumpLoop)
+            continue;
+        const CompiledLoop compiled = chain.compileLoop(bench, loop);
+        std::printf("\n%s/%s: UF=%d (%s) II=%d SC=%d copies=%d\n",
+                    bench.name.c_str(), loop.name.c_str(),
+                    compiled.unrollFactor,
+                    unrollPolicyName(compiled.policyChosen),
+                    compiled.sched.schedule.ii,
+                    compiled.sched.schedule.stageCount,
+                    compiled.sched.schedule.numCopies());
+        if (cli.dumpKernelFlag) {
+            dumpKernel(std::cout, compiled.ddg,
+                       compiled.sched.schedule, chain.config());
+        }
+        if (cli.dumpDotFlag) {
+            DotOptions dot;
+            dot.name = bench.name + "_" + loop.name;
+            dot.latencies = &compiled.latency.latencies;
+            dumpDot(std::cout, compiled.ddg, dot);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions cli = parseArgs(argc, argv);
+
+    const MachineConfig cfg = parseArch(cli.arch);
+    ToolchainOptions opts;
+    opts.heuristic = parseHeuristic(cli.heuristic);
+    opts.unroll = parseUnroll(cli.unroll);
+    opts.varAlignment = !cli.noAlign;
+    opts.memChains = !cli.noChains;
+    opts.loopVersioning = cli.versioning;
+    const Toolchain chain(cfg, opts);
+
+    std::vector<BenchmarkSpec> benches;
+    if (cli.all) {
+        benches = mediabenchSuite();
+    } else {
+        benches.push_back(makeBenchmark(cli.bench));
+    }
+
+    TextTable tab({"benchmark", "cycles", "compute", "stall",
+                   "local hits", "ab hits", "copies"});
+    for (const BenchmarkSpec &bench : benches) {
+        if (cli.dumpKernelFlag || cli.dumpDotFlag)
+            dumpLoops(chain, bench, cli);
+
+        const BenchmarkRun run = chain.runBenchmark(bench);
+        int copies = 0;
+        for (const LoopRun &lr : run.loops)
+            copies += lr.copies;
+        tab.newRow().cell(run.name);
+        tab.cell(std::int64_t(run.total.totalCycles));
+        tab.cell(std::int64_t(run.total.computeCycles()));
+        tab.cell(std::int64_t(run.total.stallCycles));
+        tab.percentCell(run.total.localHitRatio());
+        tab.cell(std::uint64_t(run.total.abHits));
+        tab.cell(std::int64_t(copies));
+    }
+    if (cli.csv)
+        tab.printCsv(std::cout);
+    else
+        tab.print(std::cout);
+    return 0;
+}
