@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/toolchain.hh"
+#include "engine/engine.hh"
 #include "support/stats.hh"
 #include "support/table.hh"
 
@@ -31,11 +32,46 @@ makeOpts(Heuristic h, UnrollPolicy unroll = UnrollPolicy::Selective,
     return opts;
 }
 
+/**
+ * The shared batch engine behind every harness in bench/: one
+ * worker pool sized to the machine and one compile cache that
+ * persists across experiment arms, so e.g. the interleaved and
+ * interleaved-ab arms of one figure compile the suite once.
+ * Results are bit-identical to the serial Toolchain loop.
+ */
+inline engine::ExperimentEngine &
+sharedEngine()
+{
+    static engine::ExperimentEngine eng{engine::EngineOptions{
+        /*jobs=*/0, /*compileCache=*/true}};
+    return eng;
+}
+
+/** Specs for the whole suite under one configuration arm. */
+inline std::vector<engine::ExperimentSpec>
+suiteSpecs(const std::string &archName, const MachineConfig &cfg,
+           const ToolchainOptions &opts)
+{
+    std::vector<engine::ExperimentSpec> specs;
+    for (const std::string &bench : mediabenchNames()) {
+        engine::ExperimentSpec spec;
+        spec.bench = bench;
+        spec.arch = {archName, cfg};
+        spec.opts = opts;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
 /** Run the whole Mediabench-like suite under one configuration. */
 inline std::vector<BenchmarkRun>
 runSuite(const MachineConfig &cfg, const ToolchainOptions &opts)
 {
-    return Toolchain(cfg, opts).runSuite(mediabenchSuite());
+    std::vector<BenchmarkRun> runs;
+    for (engine::ExperimentResult &r :
+         sharedEngine().run(suiteSpecs(cfg.describe(), cfg, opts)))
+        runs.push_back(std::move(r.run));
+    return runs;
 }
 
 /** Fraction of accesses in @p cls. */

@@ -25,16 +25,37 @@ using namespace vliw::bench;
 int
 main()
 {
-    const auto base = runSuite(MachineConfig::paperUnified(1),
-                               makeOpts(Heuristic::Base));
-    const auto ipbc = runSuite(MachineConfig::paperInterleavedAb(),
-                               makeOpts(Heuristic::Ipbc));
-    const auto ibc = runSuite(MachineConfig::paperInterleavedAb(),
-                              makeOpts(Heuristic::Ibc));
-    const auto mv = runSuite(MachineConfig::paperMultiVliw(),
-                             makeOpts(Heuristic::Ibc));
-    const auto u5 = runSuite(MachineConfig::paperUnified(5),
-                             makeOpts(Heuristic::Base));
+    // All five arms go to the experiment engine as one batch so the
+    // worker pool spans the whole figure, not one arm at a time.
+    struct Arm { std::string arch; Heuristic h; };
+    const std::vector<Arm> arms = {
+        {"unified1", Heuristic::Base},
+        {"interleaved-ab", Heuristic::Ipbc},
+        {"interleaved-ab", Heuristic::Ibc},
+        {"multivliw", Heuristic::Ibc},
+        {"unified5", Heuristic::Base},
+    };
+    std::vector<engine::ExperimentSpec> specs;
+    for (const Arm &arm : arms) {
+        for (engine::ExperimentSpec &spec : suiteSpecs(
+                 arm.arch, engine::makeArch(arm.arch).config,
+                 makeOpts(arm.h)))
+            specs.push_back(std::move(spec));
+    }
+    const auto results = sharedEngine().run(specs);
+
+    const std::size_t n = mediabenchNames().size();
+    auto arm_slice = [&](std::size_t arm) {
+        std::vector<BenchmarkRun> runs;
+        for (std::size_t i = 0; i < n; ++i)
+            runs.push_back(results[arm * n + i].run);
+        return runs;
+    };
+    const auto base = arm_slice(0);
+    const auto ipbc = arm_slice(1);
+    const auto ibc = arm_slice(2);
+    const auto mv = arm_slice(3);
+    const auto u5 = arm_slice(4);
 
     std::printf("Figure 8: cycle counts normalised to unified "
                 "(L=1); 'c+s' = compute + stall\n");

@@ -10,6 +10,7 @@
 
 #include "core/toolchain.hh"
 #include "ddg/mii.hh"
+#include "engine/engine.hh"
 #include "sched/latency_assign.hh"
 #include "sched/scheduler.hh"
 #include "sched/sms_order.hh"
@@ -126,6 +127,49 @@ BM_SimulateBenchmark(benchmark::State &state)
         benchmark::DoNotOptimize(chain.runBenchmark(bench));
 }
 BENCHMARK(BM_SimulateBenchmark);
+
+// ---- experiment engine (the batch path everything above feeds) ----
+
+engine::ExperimentGrid
+sweepGrid()
+{
+    engine::ExperimentGrid grid;
+    grid.benches = {"gsmdec", "rasta", "epicdec"};
+    grid.archs = {};   // all five architectures
+    return grid;
+}
+
+/** Whole grid, compiling every cell from scratch. */
+void
+BM_EngineSweepCold(benchmark::State &state)
+{
+    const engine::ExperimentGrid grid = sweepGrid();
+    engine::EngineOptions opts;
+    opts.jobs = int(state.range(0));
+    opts.compileCache = false;
+    for (auto _ : state) {
+        engine::ExperimentEngine eng(opts);
+        benchmark::DoNotOptimize(eng.run(grid));
+    }
+}
+BENCHMARK(BM_EngineSweepCold)->Arg(1)->Arg(4);
+
+/**
+ * Whole grid against a persistent compile cache: after the first
+ * iteration every compile is memoized, so this measures the
+ * simulate-only steady state a long experiment campaign sees.
+ */
+void
+BM_EngineSweepCached(benchmark::State &state)
+{
+    const engine::ExperimentGrid grid = sweepGrid();
+    engine::EngineOptions opts;
+    opts.jobs = int(state.range(0));
+    engine::ExperimentEngine eng(opts);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eng.run(grid));
+}
+BENCHMARK(BM_EngineSweepCached)->Arg(1)->Arg(4);
 
 } // namespace
 

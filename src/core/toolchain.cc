@@ -187,9 +187,42 @@ Toolchain::compileLoop(const BenchmarkSpec &bench,
     return best;
 }
 
-BenchmarkRun
-Toolchain::runBenchmark(const BenchmarkSpec &bench) const
+CompiledBenchmark
+Toolchain::compileBenchmark(const BenchmarkSpec &bench) const
 {
+    CompiledBenchmark out;
+    out.name = bench.name;
+    out.loops.reserve(bench.loops.size());
+
+    for (const LoopSpec &loop : bench.loops) {
+        CompiledLoopVersions v;
+        v.primary = compileLoop(bench, loop);
+
+        // Loop versioning (Section 5.4): a chain-free second
+        // version plus the dynamic disjointness check.
+        if (opts_.loopVersioning && chainsEnabled()) {
+            v.chains.emplace(v.primary.ddg);
+            if (v.chains->maxChainSize() > 1) {
+                ToolchainOptions no_chain_opts = opts_;
+                no_chain_opts.memChains = false;
+                no_chain_opts.loopVersioning = false;
+                v.unchained = Toolchain(cfg_, no_chain_opts)
+                    .compileLoop(bench, loop);
+            }
+        }
+        out.loops.push_back(std::move(v));
+    }
+    return out;
+}
+
+BenchmarkRun
+Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
+                             const CompiledBenchmark &compiledBench) const
+{
+    vliw_assert(compiledBench.loops.size() == bench.loops.size(),
+                "compiled benchmark ", compiledBench.name,
+                " does not match spec ", bench.name);
+
     BenchmarkRun run;
     run.name = bench.name;
 
@@ -201,23 +234,13 @@ Toolchain::runBenchmark(const BenchmarkSpec &bench) const
     std::vector<double> balances;
     std::vector<double> weights;
 
-    for (const LoopSpec &loop : bench.loops) {
-        CompiledLoop compiled = compileLoop(bench, loop);
-
-        // Loop versioning (Section 5.4): a chain-free second
-        // version plus the dynamic disjointness check.
-        std::optional<CompiledLoop> unchained;
-        std::optional<MemChains> chains;
-        if (opts_.loopVersioning && chainsEnabled()) {
-            chains.emplace(compiled.ddg);
-            if (chains->maxChainSize() > 1) {
-                ToolchainOptions no_chain_opts = opts_;
-                no_chain_opts.memChains = false;
-                no_chain_opts.loopVersioning = false;
-                unchained = Toolchain(cfg_, no_chain_opts)
-                    .compileLoop(bench, loop);
-            }
-        }
+    for (std::size_t li = 0; li < bench.loops.size(); ++li) {
+        const LoopSpec &loop = bench.loops[li];
+        const CompiledLoopVersions &versions = compiledBench.loops[li];
+        const CompiledLoop &compiled = versions.primary;
+        const std::optional<MemChains> &chains = versions.chains;
+        const std::optional<CompiledLoop> &unchained =
+            versions.unchained;
 
         AddressResolver exec_addr(compiled.ddg, bench, exec_ds);
         std::optional<AddressResolver> unchained_addr;
@@ -279,6 +302,12 @@ Toolchain::runBenchmark(const BenchmarkSpec &bench) const
     run.workloadBalance = balances.empty()
         ? 0.0 : weightedMean(balances, weights);
     return run;
+}
+
+BenchmarkRun
+Toolchain::runBenchmark(const BenchmarkSpec &bench) const
+{
+    return simulateBenchmark(bench, compileBenchmark(bench));
 }
 
 std::vector<BenchmarkRun>

@@ -17,9 +17,11 @@
 #ifndef WIVLIW_CORE_TOOLCHAIN_HH
 #define WIVLIW_CORE_TOOLCHAIN_HH
 
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "ddg/chains.hh"
 #include "ddg/profile_map.hh"
 #include "machine/machine_config.hh"
 #include "sched/latency_assign.hh"
@@ -79,6 +81,30 @@ struct CompiledLoop
     int invocations = 1;
 };
 
+/**
+ * One loop compiled for execution: the primary version plus, when
+ * loop versioning (Section 5.4) applies, the primary body's chains
+ * and the chain-free second version the runtime check selects.
+ */
+struct CompiledLoopVersions
+{
+    CompiledLoop primary;
+    std::optional<MemChains> chains;
+    std::optional<CompiledLoop> unchained;
+};
+
+/**
+ * Every compiler artifact of one benchmark. Immutable once built;
+ * simulation only reads it, so one instance can back any number of
+ * (possibly concurrent) simulations whose configuration agrees on
+ * the compile-relevant options.
+ */
+struct CompiledBenchmark
+{
+    std::string name;
+    std::vector<CompiledLoopVersions> loops;
+};
+
 /** Per-loop result after simulation. */
 struct LoopRun
 {
@@ -116,6 +142,21 @@ class Toolchain
     /** Compile one loop (no simulation). */
     CompiledLoop compileLoop(const BenchmarkSpec &bench,
                              const LoopSpec &loop) const;
+
+    /**
+     * Compile every loop of @p bench (versioned second bodies
+     * included), without simulating anything.
+     */
+    CompiledBenchmark compileBenchmark(const BenchmarkSpec &bench) const;
+
+    /**
+     * Simulate a previously compiled benchmark on the EXECUTION
+     * data set. @p compiled may come from this toolchain or from a
+     * cache shared between toolchains whose compile-relevant
+     * options match (see engine::compileKey).
+     */
+    BenchmarkRun simulateBenchmark(const BenchmarkSpec &bench,
+                                   const CompiledBenchmark &compiled) const;
 
     /** Compile and simulate every loop of @p bench. */
     BenchmarkRun runBenchmark(const BenchmarkSpec &bench) const;

@@ -1,0 +1,98 @@
+#include "compile_cache.hh"
+
+#include <sstream>
+
+namespace vliw::engine {
+
+std::string
+compileKey(const MachineConfig &cfg, const ToolchainOptions &opts,
+           const std::string &bench)
+{
+    std::ostringstream key;
+    key << bench
+        // Core geometry the scheduler packs into.
+        << "|c" << cfg.numClusters
+        << "u" << cfg.intUnitsPerCluster
+        << "," << cfg.fpUnitsPerCluster
+        << "," << cfg.memUnitsPerCluster
+        << "r" << cfg.regsPerCluster
+        // Inter-cluster copies are scheduled operations.
+        << "|b" << cfg.regBuses << "," << cfg.regBusOccupancy
+        << "," << cfg.regBusLatency
+        // Cache organisation picks the latency scheme; geometry
+        // drives the profiling pass and the data-set layout.
+        << "|o" << int(cfg.cacheOrg)
+        << "$" << cfg.cacheBytes << "," << cfg.blockBytes
+        << "," << cfg.cacheWays << "," << cfg.interleaveBytes
+        // Every latency class the assigner can hand out.
+        << "|l" << cfg.latLocalHit << "," << cfg.latRemoteHit
+        << "," << cfg.latLocalMiss << "," << cfg.latRemoteMiss
+        << "," << cfg.latUnified << "," << cfg.latCoherentHit
+        << "," << cfg.latCacheToCache << "," << cfg.latNextLevel
+        // Toolchain options seen by the compiler.
+        << "|h" << int(opts.heuristic) << "u" << int(opts.unroll)
+        << (opts.varAlignment ? "a" : "-")
+        << (opts.memChains ? "m" : "-")
+        << (opts.loopVersioning ? "v" : "-")
+        << "|s" << std::hex << opts.profileSeed << std::dec
+        << "|p" << opts.profile.maxIterations
+        << "|t" << opts.maxIiTries;
+    // Attraction Buffers enter the compiler's view only through
+    // the hint pass; key them only when that pass runs so plain
+    // AB-vs-no-AB arms still share compiles.
+    if (opts.abHints) {
+        key << "|ab" << (cfg.attractionBuffers ? 1 : 0)
+            << "," << opts.abHintBudget;
+    }
+    return key.str();
+}
+
+CompileCache::Entry
+CompileCache::compile(const MachineConfig &cfg,
+                      const ToolchainOptions &opts,
+                      const BenchmarkSpec &bench)
+{
+    const std::string key = compileKey(cfg, opts, bench.name);
+
+    std::shared_future<Entry> future;
+    std::promise<Entry> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            stats_.hits += 1;
+            stats_.hitsByBench[bench.name] += 1;
+            future = it->second;
+        } else {
+            stats_.misses += 1;
+            stats_.missesByBench[bench.name] += 1;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+            owner = true;
+        }
+    }
+
+    if (owner) {
+        const Toolchain chain(cfg, opts);
+        promise.set_value(std::make_shared<const CompiledBenchmark>(
+            chain.compileBenchmark(bench)));
+    }
+    return future.get();
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+}
+
+} // namespace vliw::engine

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Memoization of compileBenchmark() across experiments.
+ *
+ * The key is the compile-relevant subset of (MachineConfig,
+ * ToolchainOptions, benchmark): everything the compiler actually
+ * reads — cluster geometry, register buses, cache organisation and
+ * latencies, heuristic, unrolling, alignment, chains, the PROFILE
+ * seed — and nothing it does not: Attraction Buffer presence and
+ * geometry (simulation hardware, unless abHints puts them in the
+ * compiler's view), unified-cache ports, memory buses and the
+ * next-level port count only shape execution. Consequently
+ * `interleaved` and `interleaved-ab` (and any sweep over AB sizes,
+ * port counts or bus counts) compile once and simulate many times,
+ * which is where the bulk of a grid's CPU time goes.
+ *
+ * Concurrency: the first requester of a key compiles; concurrent
+ * requesters of the same key block on a shared future instead of
+ * duplicating the work, and count as hits. Entries are immutable
+ * shared_ptr<const CompiledBenchmark>, safe to simulate from any
+ * number of threads at once.
+ */
+
+#ifndef WIVLIW_ENGINE_COMPILE_CACHE_HH
+#define WIVLIW_ENGINE_COMPILE_CACHE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/toolchain.hh"
+
+namespace vliw::engine {
+
+/**
+ * The memo key: a printable encoding of every compile input. Two
+ * (config, options, bench) triples with equal keys are guaranteed
+ * to produce bit-identical CompiledBenchmark artifacts.
+ */
+std::string compileKey(const MachineConfig &cfg,
+                       const ToolchainOptions &opts,
+                       const std::string &bench);
+
+/** Hit/miss accounting, totals plus a per-benchmark breakdown. */
+struct CompileCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::map<std::string, std::uint64_t> hitsByBench;
+    std::map<std::string, std::uint64_t> missesByBench;
+};
+
+/** Thread-safe once-per-key compile memo. */
+class CompileCache
+{
+  public:
+    using Entry = std::shared_ptr<const CompiledBenchmark>;
+
+    /**
+     * Return the compiled form of @p bench under (@p cfg, @p opts),
+     * compiling at most once per distinct key process-wide.
+     */
+    Entry compile(const MachineConfig &cfg,
+                  const ToolchainOptions &opts,
+                  const BenchmarkSpec &bench);
+
+    CompileCacheStats stats() const;
+
+    /** Distinct compiled configurations currently held. */
+    std::size_t size() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_future<Entry>> entries_;
+    CompileCacheStats stats_;
+};
+
+} // namespace vliw::engine
+
+#endif // WIVLIW_ENGINE_COMPILE_CACHE_HH

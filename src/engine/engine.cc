@@ -1,0 +1,43 @@
+#include "engine.hh"
+
+#include "engine/worker_pool.hh"
+#include "workloads/mediabench.hh"
+
+namespace vliw::engine {
+
+ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
+    : opts_(opts)
+{
+}
+
+std::vector<ExperimentResult>
+ExperimentEngine::run(const std::vector<ExperimentSpec> &specs)
+{
+    std::vector<ExperimentResult> results(specs.size());
+
+    WorkerPool pool(opts_.jobs);
+    parallelFor(pool, specs.size(), [&](std::size_t i) {
+        const ExperimentSpec &spec = specs[i];
+        const BenchmarkSpec bench = makeBenchmark(spec.bench);
+        const Toolchain chain(spec.arch.config, spec.opts);
+
+        BenchmarkRun run;
+        if (opts_.compileCache) {
+            const CompileCache::Entry compiled =
+                cache_.compile(spec.arch.config, spec.opts, bench);
+            run = chain.simulateBenchmark(bench, *compiled);
+        } else {
+            run = chain.runBenchmark(bench);
+        }
+        results[i] = ExperimentResult{spec, std::move(run)};
+    });
+    return results;
+}
+
+std::vector<ExperimentResult>
+ExperimentEngine::run(const ExperimentGrid &grid)
+{
+    return run(grid.expand());
+}
+
+} // namespace vliw::engine

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The batch experiment engine: expands an ExperimentGrid (or takes
+ * a pre-built job list), runs every job on a worker pool, and
+ * memoizes compilation through the CompileCache.
+ *
+ * Determinism contract: results are returned in grid order, every
+ * job derives all randomness from its own per-experiment seeds, and
+ * each job writes only to its own slot — so a `jobs = N` run is
+ * bit-identical to a `jobs = 1` run of the same grid, and to the
+ * serial Toolchain::runBenchmark() loop the bench harnesses used
+ * before this engine existed.
+ */
+
+#ifndef WIVLIW_ENGINE_ENGINE_HH
+#define WIVLIW_ENGINE_ENGINE_HH
+
+#include <vector>
+
+#include "engine/compile_cache.hh"
+#include "engine/experiment.hh"
+
+namespace vliw::engine {
+
+/** Execution knobs. */
+struct EngineOptions
+{
+    /** Concurrent workers; 0 picks hardware concurrency. */
+    int jobs = 1;
+    /** Share compiles between arch/AB variants (see compileKey). */
+    bool compileCache = true;
+};
+
+/** Runs experiment batches; reusable across batches. */
+class ExperimentEngine
+{
+  public:
+    explicit ExperimentEngine(const EngineOptions &opts = {});
+
+    /** Run every spec; results come back in spec order. */
+    std::vector<ExperimentResult>
+    run(const std::vector<ExperimentSpec> &specs);
+
+    /** Expand @p grid and run it. */
+    std::vector<ExperimentResult> run(const ExperimentGrid &grid);
+
+    /** Cache accounting accumulated over every run() so far. */
+    CompileCacheStats cacheStats() const { return cache_.stats(); }
+
+    const EngineOptions &options() const { return opts_; }
+
+  private:
+    EngineOptions opts_;
+    CompileCache cache_;
+};
+
+} // namespace vliw::engine
+
+#endif // WIVLIW_ENGINE_ENGINE_HH

@@ -1,0 +1,136 @@
+#include "experiment.hh"
+
+#include "support/logging.hh"
+#include "workloads/mediabench.hh"
+
+namespace vliw::engine {
+
+const std::vector<std::string> &
+archNames()
+{
+    static const std::vector<std::string> names = {
+        "interleaved", "interleaved-ab", "unified1", "unified5",
+        "multivliw"};
+    return names;
+}
+
+std::optional<ArchSpec>
+findArch(const std::string &name)
+{
+    if (name == "interleaved")
+        return ArchSpec{name, MachineConfig::paperInterleaved()};
+    if (name == "interleaved-ab")
+        return ArchSpec{name, MachineConfig::paperInterleavedAb()};
+    if (name == "unified1")
+        return ArchSpec{name, MachineConfig::paperUnified(1)};
+    if (name == "unified5")
+        return ArchSpec{name, MachineConfig::paperUnified(5)};
+    if (name == "multivliw")
+        return ArchSpec{name, MachineConfig::paperMultiVliw()};
+    return std::nullopt;
+}
+
+ArchSpec
+makeArch(const std::string &name)
+{
+    auto arch = findArch(name);
+    if (!arch)
+        vliw_panic("unknown architecture ", name);
+    return *arch;
+}
+
+std::optional<Heuristic>
+findHeuristic(const std::string &name)
+{
+    if (name == "base")
+        return Heuristic::Base;
+    if (name == "ibc")
+        return Heuristic::Ibc;
+    if (name == "ipbc")
+        return Heuristic::Ipbc;
+    return std::nullopt;
+}
+
+std::optional<UnrollPolicy>
+findUnrollPolicy(const std::string &name)
+{
+    if (name == "none")
+        return UnrollPolicy::None;
+    if (name == "xN")
+        return UnrollPolicy::TimesN;
+    if (name == "ouf")
+        return UnrollPolicy::Ouf;
+    if (name == "selective")
+        return UnrollPolicy::Selective;
+    return std::nullopt;
+}
+
+std::string
+ExperimentSpec::label() const
+{
+    std::string out = bench + "/" + arch.name + "/" +
+        heuristicName(opts.heuristic) + "/" +
+        unrollPolicyName(opts.unroll);
+    if (!opts.varAlignment)
+        out += "/noalign";
+    if (!opts.memChains)
+        out += "/nochains";
+    if (opts.loopVersioning)
+        out += "/versioned";
+    return out;
+}
+
+std::size_t
+ExperimentGrid::size() const
+{
+    const std::size_t nb =
+        benches.empty() ? mediabenchNames().size() : benches.size();
+    const std::size_t na =
+        archs.empty() ? archNames().size() : archs.size();
+    return nb * na * heuristics.size() * unrolls.size() *
+        alignment.size() * chains.size() * versioning.size();
+}
+
+std::vector<ExperimentSpec>
+ExperimentGrid::expand() const
+{
+    const std::vector<std::string> &bench_axis =
+        benches.empty() ? mediabenchNames() : benches;
+    const std::vector<std::string> &arch_axis =
+        archs.empty() ? archNames() : archs;
+
+    std::vector<ArchSpec> arch_specs;
+    arch_specs.reserve(arch_axis.size());
+    for (const std::string &name : arch_axis)
+        arch_specs.push_back(makeArch(name));
+
+    std::vector<ExperimentSpec> out;
+    out.reserve(size());
+    for (const std::string &bench : bench_axis) {
+        for (const ArchSpec &arch : arch_specs) {
+            for (Heuristic h : heuristics) {
+                for (UnrollPolicy u : unrolls) {
+                    for (bool align : alignment) {
+                        for (bool chain : chains) {
+                            for (bool ver : versioning) {
+                                ExperimentSpec spec;
+                                spec.bench = bench;
+                                spec.arch = arch;
+                                spec.opts = base;
+                                spec.opts.heuristic = h;
+                                spec.opts.unroll = u;
+                                spec.opts.varAlignment = align;
+                                spec.opts.memChains = chain;
+                                spec.opts.loopVersioning = ver;
+                                out.push_back(std::move(spec));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace vliw::engine

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Experiment descriptions for the batch engine: a named machine
+ * configuration (the paper's Table 2 points), a single experiment
+ * (benchmark x architecture x toolchain options), and a declarative
+ * grid whose expansion is the cross-product of its axes in a fixed,
+ * documented order. The grid is what the paper's evaluation
+ * (Figures 4-8, Table 1) actually is: every figure is one slice of
+ * benchmarks x architectures x heuristics x unrolling policies.
+ */
+
+#ifndef WIVLIW_ENGINE_EXPERIMENT_HH
+#define WIVLIW_ENGINE_EXPERIMENT_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+#include "machine/machine_config.hh"
+
+namespace vliw::engine {
+
+/** A machine configuration with the CLI name it goes by. */
+struct ArchSpec
+{
+    std::string name;
+    MachineConfig config;
+};
+
+/** The five paper architectures, in report order. */
+const std::vector<std::string> &archNames();
+
+/** Look an architecture up by name; nullopt for unknown names. */
+std::optional<ArchSpec> findArch(const std::string &name);
+
+/** Look an architecture up by name; panics for unknown names. */
+ArchSpec makeArch(const std::string &name);
+
+/** Parse a heuristic CLI name (base | ibc | ipbc). */
+std::optional<Heuristic> findHeuristic(const std::string &name);
+
+/** Parse an unroll-policy CLI name (none | xN | ouf | selective). */
+std::optional<UnrollPolicy> findUnrollPolicy(const std::string &name);
+
+/** One benchmark under one architecture with one option set. */
+struct ExperimentSpec
+{
+    std::string bench;
+    ArchSpec arch;
+    ToolchainOptions opts;
+
+    /** Stable human-readable identity, unique within any grid. */
+    std::string label() const;
+};
+
+/**
+ * Declarative cross-product of experiment axes. Expansion order is
+ * row-major over (bench, arch, heuristic, unroll, alignment,
+ * chains, versioning), with the benchmark as the slowest axis so
+ * all arch/option variants of one benchmark are adjacent — that
+ * adjacency is what makes the compile cache effective even with a
+ * bounded job queue.
+ */
+struct ExperimentGrid
+{
+    /** Benchmarks to run; empty means the whole 14-entry suite. */
+    std::vector<std::string> benches;
+    /** Architectures; empty means all five paper configurations. */
+    std::vector<std::string> archs;
+    std::vector<Heuristic> heuristics{Heuristic::Ipbc};
+    std::vector<UnrollPolicy> unrolls{UnrollPolicy::Selective};
+    std::vector<bool> alignment{true};
+    std::vector<bool> chains{true};
+    std::vector<bool> versioning{false};
+    /** Seeds, profiling caps etc. shared by every cell. */
+    ToolchainOptions base;
+
+    /** Number of experiments expand() will produce. */
+    std::size_t size() const;
+
+    /** Materialise the cross-product (panics on unknown names). */
+    std::vector<ExperimentSpec> expand() const;
+};
+
+/** Outcome of one experiment. */
+struct ExperimentResult
+{
+    ExperimentSpec spec;
+    BenchmarkRun run;
+};
+
+} // namespace vliw::engine
+
+#endif // WIVLIW_ENGINE_EXPERIMENT_HH

@@ -1,0 +1,155 @@
+#include "report.hh"
+
+#include <ostream>
+
+namespace vliw::engine {
+
+namespace {
+
+/** Minimal JSON string escaping (names here are ASCII anyway). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+const char *
+boolName(bool v)
+{
+    return v ? "true" : "false";
+}
+
+} // namespace
+
+ReportRow
+makeRow(const ExperimentResult &result)
+{
+    ReportRow row;
+    row.bench = result.spec.bench;
+    row.arch = result.spec.arch.name;
+    row.heuristic = heuristicName(result.spec.opts.heuristic);
+    row.unroll = unrollPolicyName(result.spec.opts.unroll);
+    row.varAlignment = result.spec.opts.varAlignment;
+    row.memChains = result.spec.opts.memChains;
+    row.loopVersioning = result.spec.opts.loopVersioning;
+    row.cycles = result.run.total.totalCycles;
+    row.computeCycles = result.run.total.computeCycles();
+    row.stallCycles = result.run.total.stallCycles;
+    row.localHitRatio = result.run.total.localHitRatio();
+    row.abHits = result.run.total.abHits;
+    row.memAccesses = result.run.total.memAccesses;
+    row.workloadBalance = result.run.workloadBalance;
+    for (const LoopRun &lr : result.run.loops)
+        row.copies += lr.copies;
+    return row;
+}
+
+TextTable
+sweepTable(const std::vector<ExperimentResult> &results)
+{
+    TextTable tab({"benchmark", "arch", "heuristic", "unroll",
+                   "cycles", "compute", "stall", "local hits",
+                   "ab hits", "copies"});
+    for (const ExperimentResult &r : results) {
+        const ReportRow row = makeRow(r);
+        tab.newRow().cell(row.bench);
+        tab.cell(row.arch);
+        tab.cell(row.heuristic);
+        tab.cell(row.unroll);
+        tab.cell(row.cycles);
+        tab.cell(row.computeCycles);
+        tab.cell(row.stallCycles);
+        tab.percentCell(row.localHitRatio);
+        tab.cell(row.abHits);
+        tab.cell(row.copies);
+    }
+    return tab;
+}
+
+void
+writeCsv(std::ostream &os,
+         const std::vector<ExperimentResult> &results)
+{
+    os << "benchmark,arch,heuristic,unroll,align,chains,versioning,"
+          "cycles,compute,stall,local_hit_ratio,ab_hits,"
+          "mem_accesses,workload_balance,copies\n";
+    for (const ExperimentResult &r : results) {
+        const ReportRow row = makeRow(r);
+        os << row.bench << ',' << row.arch << ',' << row.heuristic
+           << ',' << row.unroll << ',' << int(row.varAlignment)
+           << ',' << int(row.memChains) << ','
+           << int(row.loopVersioning) << ',' << row.cycles << ','
+           << row.computeCycles << ',' << row.stallCycles << ','
+           << row.localHitRatio << ',' << row.abHits << ','
+           << row.memAccesses << ',' << row.workloadBalance << ','
+           << row.copies << '\n';
+    }
+}
+
+void
+writeJson(std::ostream &os,
+          const std::vector<ExperimentResult> &results,
+          const CompileCacheStats *cache)
+{
+    os << "{\n  \"experiments\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const ReportRow row = makeRow(results[i]);
+        os << "    {\"benchmark\": \"" << jsonEscape(row.bench)
+           << "\", \"arch\": \"" << jsonEscape(row.arch)
+           << "\", \"heuristic\": \"" << jsonEscape(row.heuristic)
+           << "\", \"unroll\": \"" << jsonEscape(row.unroll)
+           << "\", \"align\": " << boolName(row.varAlignment)
+           << ", \"chains\": " << boolName(row.memChains)
+           << ", \"versioning\": " << boolName(row.loopVersioning)
+           << ", \"cycles\": " << row.cycles
+           << ", \"compute\": " << row.computeCycles
+           << ", \"stall\": " << row.stallCycles
+           << ", \"local_hit_ratio\": " << row.localHitRatio
+           << ", \"ab_hits\": " << row.abHits
+           << ", \"mem_accesses\": " << row.memAccesses
+           << ", \"workload_balance\": " << row.workloadBalance
+           << ", \"copies\": " << row.copies << "}"
+           << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]";
+    if (cache) {
+        os << ",\n  \"cache\": {\"hits\": " << cache->hits
+           << ", \"misses\": " << cache->misses
+           << ", \"hits_by_benchmark\": {";
+        bool first = true;
+        for (const auto &[bench, hits] : cache->hitsByBench) {
+            os << (first ? "" : ", ") << "\"" << jsonEscape(bench)
+               << "\": " << hits;
+            first = false;
+        }
+        os << "}}";
+    }
+    os << "\n}\n";
+}
+
+void
+writeCacheSummary(std::ostream &os, const CompileCacheStats &stats)
+{
+    os << "compile cache: " << stats.hits << " hits, "
+       << stats.misses << " misses\n";
+    for (const auto &[bench, hits] : stats.hitsByBench) {
+        auto it = stats.missesByBench.find(bench);
+        const std::uint64_t misses =
+            it == stats.missesByBench.end() ? 0 : it->second;
+        os << "  " << bench << ": " << hits << " hits, " << misses
+           << " misses\n";
+    }
+}
+
+} // namespace vliw::engine

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Aggregation and serialisation of experiment batches: the existing
+ * fixed-width table the single-run driver prints, CSV for plotting,
+ * and JSON for downstream tooling. All three emit one record per
+ * experiment with the same field set, plus optional compile-cache
+ * accounting.
+ */
+
+#ifndef WIVLIW_ENGINE_REPORT_HH
+#define WIVLIW_ENGINE_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "engine/compile_cache.hh"
+#include "engine/experiment.hh"
+#include "support/table.hh"
+
+namespace vliw::engine {
+
+/** The per-experiment record every output format shares. */
+struct ReportRow
+{
+    std::string bench;
+    std::string arch;
+    std::string heuristic;
+    std::string unroll;
+    bool varAlignment = true;
+    bool memChains = true;
+    bool loopVersioning = false;
+    std::int64_t cycles = 0;
+    std::int64_t computeCycles = 0;
+    std::int64_t stallCycles = 0;
+    double localHitRatio = 0.0;
+    std::uint64_t abHits = 0;
+    std::uint64_t memAccesses = 0;
+    double workloadBalance = 0.0;
+    /** Inter-cluster copies summed over the benchmark's kernels. */
+    std::int64_t copies = 0;
+};
+
+/** Flatten one result into the shared record. */
+ReportRow makeRow(const ExperimentResult &result);
+
+/** Build the aligned text table over @p results. */
+TextTable sweepTable(const std::vector<ExperimentResult> &results);
+
+/** CSV: header plus one line per experiment. */
+void writeCsv(std::ostream &os,
+              const std::vector<ExperimentResult> &results);
+
+/**
+ * JSON: {"experiments": [...], "cache": {...}}; pass null stats to
+ * omit the cache object.
+ */
+void writeJson(std::ostream &os,
+               const std::vector<ExperimentResult> &results,
+               const CompileCacheStats *cache = nullptr);
+
+/** Human-readable cache summary (one line + per-bench detail). */
+void writeCacheSummary(std::ostream &os,
+                       const CompileCacheStats &stats);
+
+} // namespace vliw::engine
+
+#endif // WIVLIW_ENGINE_REPORT_HH

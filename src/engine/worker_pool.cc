@@ -1,0 +1,76 @@
+#include "worker_pool.hh"
+
+#include <algorithm>
+
+namespace vliw::engine {
+
+WorkerPool::WorkerPool(int threads)
+{
+    if (threads <= 0)
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    workers_.reserve(std::size_t(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+WorkerPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queue_.push_back(std::move(job));
+    }
+    workAvailable_.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock,
+                  [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+WorkerPool::workerMain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        workAvailable_.wait(
+            lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty())
+            return;     // shutdown with a drained queue
+        std::function<void()> job = std::move(queue_.front());
+        queue_.pop_front();
+        ++inFlight_;
+        lock.unlock();
+        job();
+        lock.lock();
+        --inFlight_;
+        if (queue_.empty() && inFlight_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
+parallelFor(WorkerPool &pool, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([i, &fn] { fn(i); });
+    pool.wait();
+}
+
+} // namespace vliw::engine

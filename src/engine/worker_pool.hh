@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size worker pool over a mutex/condvar job queue.
+ *
+ * The pool is deliberately minimal: jobs are opaque closures, the
+ * queue is FIFO, and wait() gives a full barrier. Determinism of
+ * the experiment engine does not come from the pool (thread
+ * interleaving is arbitrary) but from the jobs themselves: every
+ * experiment seeds its own Rng streams and writes to its own
+ * result slot, so execution order cannot influence any value.
+ */
+
+#ifndef WIVLIW_ENGINE_WORKER_POOL_HH
+#define WIVLIW_ENGINE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vliw::engine {
+
+/** Fixed-size thread pool; destruction joins after draining. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 picks the hardware
+     *        concurrency (at least 1). With 1 worker the pool
+     *        degenerates to serial FIFO execution, which is what
+     *        the determinism tests compare against.
+     */
+    explicit WorkerPool(int threads = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue one job. Jobs must not throw. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    int threadCount() const { return int(workers_.size()); }
+
+  private:
+    void workerMain();
+
+    std::mutex mu_;
+    std::condition_variable workAvailable_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0;
+    bool shutdown_ = false;
+};
+
+/**
+ * Run fn(0) ... fn(n-1) on @p pool and wait for all of them.
+ * Indices let each call target its own output slot, which is the
+ * pattern every deterministic parallel stage in the engine uses.
+ */
+void parallelFor(WorkerPool &pool, std::size_t n,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace vliw::engine
+
+#endif // WIVLIW_ENGINE_WORKER_POOL_HH

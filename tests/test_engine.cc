@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Tests for the batch experiment engine: grid expansion, the worker
+ * pool, compile-result memoization, the determinism contract
+ * (parallel == serial == direct Toolchain, bit for bit), and the
+ * report serialisers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "engine/compile_cache.hh"
+#include "engine/engine.hh"
+#include "engine/report.hh"
+#include "engine/worker_pool.hh"
+#include "workloads/mediabench.hh"
+
+namespace vliw {
+namespace {
+
+using engine::CompileCacheStats;
+using engine::EngineOptions;
+using engine::ExperimentEngine;
+using engine::ExperimentGrid;
+using engine::ExperimentResult;
+using engine::ExperimentSpec;
+using engine::WorkerPool;
+
+/** Field-by-field equality over everything SimStats records. */
+::testing::AssertionResult
+simStatsEqual(const SimStats &a, const SimStats &b)
+{
+    if (a.totalCycles != b.totalCycles)
+        return ::testing::AssertionFailure()
+            << "totalCycles " << a.totalCycles << " vs "
+            << b.totalCycles;
+    if (a.stallCycles != b.stallCycles)
+        return ::testing::AssertionFailure()
+            << "stallCycles " << a.stallCycles << " vs "
+            << b.stallCycles;
+    if (a.accessesByClass != b.accessesByClass)
+        return ::testing::AssertionFailure() << "accessesByClass";
+    if (a.stallByClass != b.stallByClass)
+        return ::testing::AssertionFailure() << "stallByClass";
+    if (a.remoteHitFactors.multiCluster !=
+            b.remoteHitFactors.multiCluster ||
+        a.remoteHitFactors.unclearPreferred !=
+            b.remoteHitFactors.unclearPreferred ||
+        a.remoteHitFactors.notInPreferred !=
+            b.remoteHitFactors.notInPreferred ||
+        a.remoteHitFactors.granularity !=
+            b.remoteHitFactors.granularity)
+        return ::testing::AssertionFailure() << "remoteHitFactors";
+    if (a.dynamicOps != b.dynamicOps || a.dynamicCopies != b.dynamicCopies)
+        return ::testing::AssertionFailure() << "dynamic op counts";
+    if (a.memAccesses != b.memAccesses || a.abHits != b.abHits)
+        return ::testing::AssertionFailure() << "memAccesses/abHits";
+    return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult
+resultsEqual(const std::vector<ExperimentResult> &a,
+             const std::vector<ExperimentResult> &b)
+{
+    if (a.size() != b.size())
+        return ::testing::AssertionFailure()
+            << "result counts " << a.size() << " vs " << b.size();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].spec.label() != b[i].spec.label())
+            return ::testing::AssertionFailure()
+                << "order differs at " << i << ": "
+                << a[i].spec.label() << " vs " << b[i].spec.label();
+        auto stats = simStatsEqual(a[i].run.total, b[i].run.total);
+        if (!stats)
+            return ::testing::AssertionFailure()
+                << a[i].spec.label() << ": " << stats.message();
+        if (a[i].run.loops.size() != b[i].run.loops.size())
+            return ::testing::AssertionFailure()
+                << a[i].spec.label() << ": loop counts differ";
+        for (std::size_t l = 0; l < a[i].run.loops.size(); ++l) {
+            const LoopRun &la = a[i].run.loops[l];
+            const LoopRun &lb = b[i].run.loops[l];
+            if (la.ii != lb.ii || la.unrollFactor != lb.unrollFactor ||
+                la.stageCount != lb.stageCount ||
+                la.copies != lb.copies ||
+                la.unchainedInvocations != lb.unchainedInvocations)
+                return ::testing::AssertionFailure()
+                    << a[i].spec.label() << "/" << la.name
+                    << ": loop fields differ";
+            auto loop_stats = simStatsEqual(la.sim, lb.sim);
+            if (!loop_stats)
+                return ::testing::AssertionFailure()
+                    << a[i].spec.label() << "/" << la.name << ": "
+                    << loop_stats.message();
+        }
+    }
+    return ::testing::AssertionSuccess();
+}
+
+// ---- grid expansion ----
+
+TEST(ExperimentGrid, DefaultGridCoversSuiteTimesArchitectures)
+{
+    ExperimentGrid grid;
+    EXPECT_EQ(grid.size(), mediabenchNames().size() *
+                               engine::archNames().size());
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), grid.size());
+
+    std::set<std::string> labels;
+    for (const ExperimentSpec &spec : specs)
+        labels.insert(spec.label());
+    EXPECT_EQ(labels.size(), specs.size()) << "labels not unique";
+}
+
+TEST(ExperimentGrid, ExpansionIsBenchMajorRowMajor)
+{
+    ExperimentGrid grid;
+    grid.benches = {"gsmdec", "rasta"};
+    grid.archs = {"interleaved", "unified1"};
+    grid.heuristics = {Heuristic::Base, Heuristic::Ipbc};
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_EQ(specs[0].label(), "gsmdec/interleaved/BASE/selective");
+    EXPECT_EQ(specs[1].label(), "gsmdec/interleaved/IPBC/selective");
+    EXPECT_EQ(specs[2].label(), "gsmdec/unified1/BASE/selective");
+    EXPECT_EQ(specs[4].label(), "rasta/interleaved/BASE/selective");
+    EXPECT_EQ(specs[7].label(), "rasta/unified1/IPBC/selective");
+}
+
+TEST(ExperimentGrid, OptionAxesReachToolchainOptions)
+{
+    ExperimentGrid grid;
+    grid.benches = {"gsmdec"};
+    grid.archs = {"interleaved"};
+    grid.alignment = {true, false};
+    grid.chains = {true, false};
+    grid.versioning = {false, true};
+    const auto specs = grid.expand();
+    ASSERT_EQ(specs.size(), 8u);
+    EXPECT_TRUE(specs[0].opts.varAlignment);
+    EXPECT_TRUE(specs[0].opts.memChains);
+    EXPECT_FALSE(specs[0].opts.loopVersioning);
+    EXPECT_TRUE(specs[1].opts.loopVersioning);
+    EXPECT_FALSE(specs[2].opts.memChains);
+    EXPECT_FALSE(specs[4].opts.varAlignment);
+}
+
+TEST(ExperimentGrid, UnknownAxisNamesPanic)
+{
+    ExperimentGrid grid;
+    grid.archs = {"no-such-arch"};
+    EXPECT_THROW(grid.expand(), std::logic_error);
+}
+
+// ---- worker pool ----
+
+TEST(WorkerPool, RunsEveryJobExactlyOnce)
+{
+    WorkerPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    constexpr std::size_t kJobs = 500;
+    std::vector<std::atomic<int>> hits(kJobs);
+    parallelFor(pool, kJobs,
+                [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kJobs; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+}
+
+TEST(WorkerPool, ReusableAcrossBatchesAndWaitIsABarrier)
+{
+    WorkerPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 3; ++batch) {
+        for (int i = 0; i < 32; ++i)
+            pool.submit([&count] { count.fetch_add(1); });
+        pool.wait();
+        EXPECT_EQ(count.load(), 32 * (batch + 1));
+    }
+}
+
+TEST(WorkerPool, SingleThreadRunsFifo)
+{
+    WorkerPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// ---- compile key / cache ----
+
+TEST(CompileKey, ExcludesSimulationOnlyHardware)
+{
+    const ToolchainOptions opts;
+    // Attraction Buffers, unified ports, memory buses: execution
+    // hardware the compiler never reads.
+    EXPECT_EQ(engine::compileKey(MachineConfig::paperInterleaved(),
+                                 opts, "gsmdec"),
+              engine::compileKey(MachineConfig::paperInterleavedAb(),
+                                 opts, "gsmdec"));
+    MachineConfig ports = MachineConfig::paperUnified(1);
+    ports.unifiedPorts += 2;
+    EXPECT_EQ(engine::compileKey(MachineConfig::paperUnified(1),
+                                 opts, "gsmdec"),
+              engine::compileKey(ports, opts, "gsmdec"));
+}
+
+TEST(CompileKey, CoversCompileRelevantInputs)
+{
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+    const ToolchainOptions opts;
+    const std::string base = engine::compileKey(cfg, opts, "gsmdec");
+
+    EXPECT_NE(base, engine::compileKey(cfg, opts, "rasta"));
+    EXPECT_NE(base,
+              engine::compileKey(MachineConfig::paperUnified(1),
+                                 opts, "gsmdec"));
+    EXPECT_NE(base,
+              engine::compileKey(MachineConfig::paperUnified(5),
+                                 opts, "gsmdec"));
+
+    ToolchainOptions changed = opts;
+    changed.heuristic = Heuristic::Base;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+    changed = opts;
+    changed.unroll = UnrollPolicy::Ouf;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+    changed = opts;
+    changed.varAlignment = false;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+    changed = opts;
+    changed.memChains = false;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+    changed = opts;
+    changed.profileSeed += 1;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+    changed = opts;
+    changed.loopVersioning = true;
+    EXPECT_NE(base, engine::compileKey(cfg, changed, "gsmdec"));
+
+    // With the hint pass enabled the Attraction Buffers enter the
+    // compiler's view, so the AB arms must stop sharing.
+    ToolchainOptions hinted = opts;
+    hinted.abHints = true;
+    EXPECT_NE(engine::compileKey(MachineConfig::paperInterleaved(),
+                                 hinted, "gsmdec"),
+              engine::compileKey(MachineConfig::paperInterleavedAb(),
+                                 hinted, "gsmdec"));
+}
+
+TEST(CompileCache, SharesCompilesAcrossArchVariants)
+{
+    ExperimentGrid grid;
+    grid.benches = {"gsmdec", "rasta"};
+    grid.archs = {"interleaved", "interleaved-ab"};
+
+    ExperimentEngine cached{EngineOptions{/*jobs=*/1, true}};
+    const auto warm = cached.run(grid);
+    const CompileCacheStats stats = cached.cacheStats();
+    EXPECT_EQ(stats.misses, 2u);    // one compile per benchmark
+    EXPECT_EQ(stats.hits, 2u);      // one reuse per benchmark
+    for (const std::string &bench : grid.benches) {
+        ASSERT_TRUE(stats.hitsByBench.count(bench)) << bench;
+        EXPECT_GE(stats.hitsByBench.at(bench), 1u) << bench;
+    }
+
+    // Memoization must be invisible in the results.
+    ExperimentEngine cold{EngineOptions{/*jobs=*/1, false}};
+    const auto cold_results = cold.run(grid);
+    EXPECT_TRUE(resultsEqual(warm, cold_results));
+    EXPECT_EQ(cold.cacheStats().hits + cold.cacheStats().misses, 0u);
+}
+
+TEST(CompileCache, DistinctLatenciesDoNotShare)
+{
+    ExperimentGrid grid;
+    grid.benches = {"gsmdec"};
+    grid.archs = {"unified1", "unified5"};
+    grid.heuristics = {Heuristic::Base};
+
+    ExperimentEngine eng{EngineOptions{/*jobs=*/1, true}};
+    eng.run(grid);
+    EXPECT_EQ(eng.cacheStats().misses, 2u);
+    EXPECT_EQ(eng.cacheStats().hits, 0u);
+}
+
+TEST(CompileCache, PersistsAcrossBatches)
+{
+    ExperimentGrid grid;
+    grid.benches = {"gsmdec"};
+    grid.archs = {"interleaved"};
+
+    ExperimentEngine eng{EngineOptions{/*jobs=*/2, true}};
+    eng.run(grid);
+    eng.run(grid);
+    EXPECT_EQ(eng.cacheStats().misses, 1u);
+    EXPECT_EQ(eng.cacheStats().hits, 1u);
+}
+
+// ---- determinism ----
+
+class EngineDeterminism : public ::testing::Test
+{
+  protected:
+    static ExperimentGrid
+    grid()
+    {
+        ExperimentGrid g;
+        g.benches = {"gsmdec", "epicdec"};
+        g.archs = {"interleaved", "interleaved-ab", "unified5"};
+        g.heuristics = {Heuristic::Ipbc};
+        return g;
+    }
+};
+
+TEST_F(EngineDeterminism, ParallelMatchesSerialBitForBit)
+{
+    ExperimentEngine serial{EngineOptions{/*jobs=*/1, true}};
+    ExperimentEngine parallel{EngineOptions{/*jobs=*/8, true}};
+    const auto a = serial.run(grid());
+    const auto b = parallel.run(grid());
+    EXPECT_TRUE(resultsEqual(a, b));
+}
+
+TEST_F(EngineDeterminism, EngineMatchesDirectToolchain)
+{
+    ExperimentEngine eng{EngineOptions{/*jobs=*/4, true}};
+    const auto results = eng.run(grid());
+    for (const ExperimentResult &r : results) {
+        const Toolchain chain(r.spec.arch.config, r.spec.opts);
+        const BenchmarkRun direct =
+            chain.runBenchmark(makeBenchmark(r.spec.bench));
+        EXPECT_TRUE(simStatsEqual(direct.total, r.run.total))
+            << r.spec.label();
+    }
+}
+
+TEST_F(EngineDeterminism, RepeatedRunsAreIdentical)
+{
+    ExperimentEngine eng{EngineOptions{/*jobs=*/8, true}};
+    const auto a = eng.run(grid());
+    const auto b = eng.run(grid());
+    EXPECT_TRUE(resultsEqual(a, b));
+}
+
+// Versioning compiles a second loop body per hot chain; it must not
+// disturb the determinism contract either.
+TEST(EngineDeterminismVersioning, ParallelMatchesSerial)
+{
+    ExperimentGrid g;
+    g.benches = {"epicdec"};
+    g.archs = {"interleaved"};
+    g.versioning = {false, true};
+    ExperimentEngine serial{EngineOptions{/*jobs=*/1, true}};
+    ExperimentEngine parallel{EngineOptions{/*jobs=*/8, true}};
+    EXPECT_TRUE(resultsEqual(serial.run(g), parallel.run(g)));
+}
+
+// ---- report ----
+
+class ReportTest : public ::testing::Test
+{
+  protected:
+    static const std::vector<ExperimentResult> &
+    results()
+    {
+        static const std::vector<ExperimentResult> r = [] {
+            ExperimentGrid g;
+            g.benches = {"gsmdec"};
+            g.archs = {"interleaved", "interleaved-ab"};
+            ExperimentEngine eng{EngineOptions{/*jobs=*/2, true}};
+            return eng.run(g);
+        }();
+        return r;
+    }
+};
+
+TEST_F(ReportTest, RowFlattensRunAndSpec)
+{
+    const engine::ReportRow row = engine::makeRow(results()[1]);
+    EXPECT_EQ(row.bench, "gsmdec");
+    EXPECT_EQ(row.arch, "interleaved-ab");
+    EXPECT_EQ(row.heuristic, "IPBC");
+    EXPECT_EQ(row.unroll, "selective");
+    EXPECT_EQ(row.cycles, results()[1].run.total.totalCycles);
+    EXPECT_EQ(row.cycles, row.computeCycles + row.stallCycles);
+    EXPECT_GT(row.memAccesses, 0u);
+    EXPECT_GT(row.copies, 0);
+}
+
+TEST_F(ReportTest, TableHasOneRowPerExperiment)
+{
+    const TextTable tab = engine::sweepTable(results());
+    EXPECT_EQ(tab.rowCount(), results().size());
+    EXPECT_EQ(tab.columnCount(), 10u);
+}
+
+TEST_F(ReportTest, CsvHasHeaderAndOneLinePerExperiment)
+{
+    std::ostringstream os;
+    engine::writeCsv(os, results());
+    const std::string text = os.str();
+    EXPECT_EQ(std::size_t(std::count(text.begin(), text.end(), '\n')),
+              results().size() + 1);
+    EXPECT_EQ(text.rfind("benchmark,arch,heuristic", 0), 0u);
+    EXPECT_NE(text.find("gsmdec,interleaved-ab,IPBC,selective"),
+              std::string::npos);
+}
+
+TEST_F(ReportTest, JsonIsBalancedAndCarriesCacheStats)
+{
+    CompileCacheStats stats;
+    stats.hits = 3;
+    stats.misses = 2;
+    stats.hitsByBench["gsmdec"] = 3;
+    std::ostringstream os;
+    engine::writeJson(os, results(), &stats);
+    const std::string text = os.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+    EXPECT_NE(text.find("\"experiments\""), std::string::npos);
+    EXPECT_NE(text.find("\"cache\": {\"hits\": 3, \"misses\": 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("\"arch\": \"interleaved-ab\""),
+              std::string::npos);
+
+    // Without stats the cache object is omitted entirely.
+    std::ostringstream bare;
+    engine::writeJson(bare, results());
+    EXPECT_EQ(bare.str().find("\"cache\""), std::string::npos);
+}
+
+} // namespace
+} // namespace vliw

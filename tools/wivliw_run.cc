@@ -1,21 +1,30 @@
 /**
  * @file
  * Command-line driver: compile and simulate any benchmark of the
- * suite under any architecture/heuristic/unrolling combination, and
- * optionally dump schedules or DOT graphs. Run with --help.
+ * suite under any architecture/heuristic/unrolling combination,
+ * optionally dump schedules or DOT graphs, or sweep a whole grid of
+ * configurations in parallel through the experiment engine. Run
+ * with --help.
  *
  *   wivliw_run --bench gsmdec --arch interleaved-ab --heuristic ipbc
  *   wivliw_run --bench epicdec --dump-kernel --loop wavelet_recon
  *   wivliw_run --all --arch unified5 --heuristic base --csv
+ *   wivliw_run --sweep --jobs 8 --json        # 14 benches x 5 archs
+ *   wivliw_run --sweep --benches gsmdec,rasta \
+ *              --archs interleaved,interleaved-ab --heuristics \
+ *              base,ibc,ipbc --csv
  */
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "core/toolchain.hh"
 #include "ddg/dot.hh"
+#include "engine/engine.hh"
+#include "engine/report.hh"
 #include "sched/schedule_dump.hh"
 #include "support/table.hh"
 
@@ -37,6 +46,17 @@ struct CliOptions
     bool noAlign = false;
     bool noChains = false;
     bool csv = false;
+    bool json = false;
+    // Sweep mode.
+    bool sweep = false;
+    int jobs = 1;
+    bool compileCache = true;
+    std::string benches;        // comma lists; empty = full axis
+    std::string archs;
+    std::string heuristics;
+    std::string unrolls;
+    /** First sweep-only flag seen, for misuse diagnostics. */
+    std::string sweepOnlyFlag;
 };
 
 [[noreturn]] void
@@ -45,6 +65,7 @@ usage(int code)
     std::fprintf(
         code ? stderr : stdout,
         "usage: wivliw_run [options]\n"
+        "single-run mode:\n"
         "  --bench NAME       one of the 14 suite benchmarks\n"
         "  --all              run the whole suite\n"
         "  --arch A           interleaved | interleaved-ab |\n"
@@ -57,37 +78,85 @@ usage(int code)
         "  --dump-kernel      print each loop's kernel\n"
         "  --dump-dot         print each loop's DDG as DOT\n"
         "  --loop NAME        restrict dumps to one loop\n"
-        "  --csv              machine-readable per-benchmark output\n"
+        "sweep mode (cross-product through the experiment engine):\n"
+        "  --sweep            run benches x archs x heuristics x\n"
+        "                     unrolls; defaults to the whole suite\n"
+        "                     on all five architectures\n"
+        "  --benches LIST     comma-separated benchmark subset\n"
+        "  --archs LIST       comma-separated architecture subset\n"
+        "  --heuristics LIST  comma-separated heuristic subset\n"
+        "  --unrolls LIST     comma-separated unroll subset\n"
+        "  --jobs N           worker threads (default 1; 0 = auto);\n"
+        "                     results are identical for every N\n"
+        "  --no-compile-cache recompile every arch variant\n"
+        "common:\n"
+        "  --csv              machine-readable output\n"
+        "  --json             JSON output (sweep includes cache)\n"
         "  --help             this text\n");
     std::exit(code);
+}
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::istringstream is(list);
+    std::string item;
+    while (std::getline(is, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Join @p names for error messages. */
+std::string
+joinNames(const std::vector<std::string> &names)
+{
+    std::string out;
+    for (const std::string &name : names)
+        out += (out.empty() ? "" : ", ") + name;
+    return out;
+}
+
+bool
+knownBenchmark(const std::string &name)
+{
+    for (const std::string &known : mediabenchNames())
+        if (known == name)
+            return true;
+    return false;
+}
+
+/** Exit(2) with the valid names when @p name is not a benchmark. */
+void
+checkBenchmark(const std::string &name)
+{
+    if (knownBenchmark(name))
+        return;
+    std::fprintf(stderr,
+                 "unknown benchmark '%s'; valid names are:\n  %s\n",
+                 name.c_str(),
+                 joinNames(mediabenchNames()).c_str());
+    std::exit(2);
 }
 
 MachineConfig
 parseArch(const std::string &arch)
 {
-    if (arch == "interleaved")
-        return MachineConfig::paperInterleaved();
-    if (arch == "interleaved-ab")
-        return MachineConfig::paperInterleavedAb();
-    if (arch == "unified1")
-        return MachineConfig::paperUnified(1);
-    if (arch == "unified5")
-        return MachineConfig::paperUnified(5);
-    if (arch == "multivliw")
-        return MachineConfig::paperMultiVliw();
-    std::fprintf(stderr, "unknown --arch '%s'\n", arch.c_str());
+    if (auto spec = engine::findArch(arch))
+        return spec->config;
+    std::fprintf(stderr,
+                 "unknown --arch '%s'; valid names are:\n  %s\n",
+                 arch.c_str(),
+                 joinNames(engine::archNames()).c_str());
     usage(2);
 }
 
 Heuristic
 parseHeuristic(const std::string &name)
 {
-    if (name == "base")
-        return Heuristic::Base;
-    if (name == "ibc")
-        return Heuristic::Ibc;
-    if (name == "ipbc")
-        return Heuristic::Ipbc;
+    if (auto h = engine::findHeuristic(name))
+        return *h;
     std::fprintf(stderr, "unknown --heuristic '%s'\n", name.c_str());
     usage(2);
 }
@@ -95,14 +164,8 @@ parseHeuristic(const std::string &name)
 UnrollPolicy
 parseUnroll(const std::string &name)
 {
-    if (name == "none")
-        return UnrollPolicy::None;
-    if (name == "xN")
-        return UnrollPolicy::TimesN;
-    if (name == "ouf")
-        return UnrollPolicy::Ouf;
-    if (name == "selective")
-        return UnrollPolicy::Selective;
+    if (auto u = engine::findUnrollPolicy(name))
+        return *u;
     std::fprintf(stderr, "unknown --unroll '%s'\n", name.c_str());
     usage(2);
 }
@@ -144,6 +207,41 @@ parseArgs(int argc, char **argv)
             cli.noChains = true;
         else if (arg == "--csv")
             cli.csv = true;
+        else if (arg == "--json")
+            cli.json = true;
+        else if (arg == "--sweep")
+            cli.sweep = true;
+        else if (arg == "--jobs") {
+            const std::string v = value("--jobs");
+            char *end = nullptr;
+            cli.jobs = int(std::strtol(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0') {
+                std::fprintf(stderr, "--jobs wants a number, got '%s'\n",
+                             v.c_str());
+                usage(2);
+            }
+            cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--no-compile-cache") {
+            cli.compileCache = false;
+            cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--benches") {
+            cli.benches = value("--benches");
+            cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--archs") {
+            cli.archs = value("--archs");
+            cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--heuristics") {
+            cli.heuristics = value("--heuristics");
+            cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--unrolls") {
+            cli.unrolls = value("--unrolls");
+            cli.sweepOnlyFlag = arg;
+        }
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else {
@@ -152,8 +250,17 @@ parseArgs(int argc, char **argv)
             usage(2);
         }
     }
-    if (!cli.all && cli.bench.empty()) {
-        std::fprintf(stderr, "pick --bench NAME or --all\n");
+    if (cli.jobs < 0) {
+        std::fprintf(stderr, "--jobs wants a count >= 0\n");
+        usage(2);
+    }
+    if (!cli.sweep && !cli.sweepOnlyFlag.empty()) {
+        std::fprintf(stderr, "%s only makes sense with --sweep\n",
+                     cli.sweepOnlyFlag.c_str());
+        usage(2);
+    }
+    if (!cli.sweep && !cli.all && cli.bench.empty()) {
+        std::fprintf(stderr, "pick --bench NAME, --all or --sweep\n");
         usage(2);
     }
     return cli;
@@ -187,12 +294,87 @@ dumpLoops(const Toolchain &chain, const BenchmarkSpec &bench,
     }
 }
 
+/**
+ * Split a user-provided axis list, rejecting lists that collapse to
+ * nothing (",", ", ,"): silently expanding those to the full axis
+ * (or to zero experiments) buries typos.
+ */
+std::vector<std::string>
+splitAxis(const char *flag, const std::string &list)
+{
+    std::vector<std::string> out = splitList(list);
+    if (!list.empty() && out.empty()) {
+        std::fprintf(stderr, "%s '%s' names nothing\n", flag,
+                     list.c_str());
+        std::exit(2);
+    }
+    return out;
+}
+
+int
+runSweep(const CliOptions &cli)
+{
+    engine::ExperimentGrid grid;
+    grid.benches = splitAxis("--benches", cli.benches);
+    for (const std::string &name : grid.benches)
+        checkBenchmark(name);
+    grid.archs = splitAxis("--archs", cli.archs);
+    for (const std::string &name : grid.archs) {
+        if (!engine::findArch(name)) {
+            std::fprintf(
+                stderr,
+                "unknown architecture '%s'; valid names are:\n  %s\n",
+                name.c_str(),
+                joinNames(engine::archNames()).c_str());
+            return 2;
+        }
+    }
+    grid.heuristics.clear();
+    for (const std::string &name :
+         splitAxis("--heuristics", cli.heuristics))
+        grid.heuristics.push_back(parseHeuristic(name));
+    if (grid.heuristics.empty())
+        grid.heuristics = {parseHeuristic(cli.heuristic)};
+    grid.unrolls.clear();
+    for (const std::string &name : splitAxis("--unrolls", cli.unrolls))
+        grid.unrolls.push_back(parseUnroll(name));
+    if (grid.unrolls.empty())
+        grid.unrolls = {parseUnroll(cli.unroll)};
+    grid.alignment = {!cli.noAlign};
+    grid.chains = {!cli.noChains};
+    grid.versioning = {cli.versioning};
+
+    engine::EngineOptions eng_opts;
+    eng_opts.jobs = cli.jobs;
+    eng_opts.compileCache = cli.compileCache;
+    engine::ExperimentEngine eng(eng_opts);
+    const auto results = eng.run(grid);
+    const engine::CompileCacheStats cache = eng.cacheStats();
+
+    if (cli.json) {
+        engine::writeJson(std::cout, results,
+                          cli.compileCache ? &cache : nullptr);
+    } else if (cli.csv) {
+        engine::writeCsv(std::cout, results);
+    } else {
+        engine::sweepTable(results).print(std::cout);
+    }
+    if (!cli.json && cli.compileCache)
+        engine::writeCacheSummary(std::cerr, cache);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const CliOptions cli = parseArgs(argc, argv);
+    if (cli.sweep)
+        return runSweep(cli);
+
+    if (!cli.bench.empty())
+        checkBenchmark(cli.bench);
 
     const MachineConfig cfg = parseArch(cli.arch);
     ToolchainOptions opts;
@@ -210,13 +392,22 @@ main(int argc, char **argv)
         benches.push_back(makeBenchmark(cli.bench));
     }
 
+    std::vector<engine::ExperimentResult> results;
     TextTable tab({"benchmark", "cycles", "compute", "stall",
                    "local hits", "ab hits", "copies"});
     for (const BenchmarkSpec &bench : benches) {
         if (cli.dumpKernelFlag || cli.dumpDotFlag)
             dumpLoops(chain, bench, cli);
 
-        const BenchmarkRun run = chain.runBenchmark(bench);
+        BenchmarkRun run = chain.runBenchmark(bench);
+        if (cli.json) {
+            engine::ExperimentSpec spec;
+            spec.bench = bench.name;
+            spec.arch = {cli.arch, cfg};
+            spec.opts = opts;
+            results.push_back({std::move(spec), std::move(run)});
+            continue;
+        }
         int copies = 0;
         for (const LoopRun &lr : run.loops)
             copies += lr.copies;
@@ -228,7 +419,9 @@ main(int argc, char **argv)
         tab.cell(std::uint64_t(run.total.abHits));
         tab.cell(std::int64_t(copies));
     }
-    if (cli.csv)
+    if (cli.json)
+        engine::writeJson(std::cout, results);
+    else if (cli.csv)
         tab.printCsv(std::cout);
     else
         tab.print(std::cout);
