@@ -24,6 +24,16 @@ Circuit::recurrenceIi(const Ddg &ddg, const LatencyMap &lat) const
     return int(ceilDiv(latencySum(ddg, lat), totalDistance));
 }
 
+std::vector<int>
+recurrenceIis(const Ddg &ddg, const std::vector<Circuit> &circuits,
+              const LatencyMap &lat)
+{
+    std::vector<int> iis(circuits.size());
+    for (std::size_t i = 0; i < circuits.size(); ++i)
+        iis[i] = circuits[i].recurrenceIi(ddg, lat);
+    return iis;
+}
+
 bool
 Circuit::contains(NodeId id) const
 {

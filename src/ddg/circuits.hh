@@ -33,6 +33,16 @@ struct Circuit
     bool contains(NodeId id) const;
 };
 
+/**
+ * recurrenceIi() for every circuit at once. The values depend only
+ * on the DDG and the assigned latencies -- never on the scheduling
+ * II -- so callers retrying a loop at growing IIs compute them once
+ * and reuse the vector across every attempt.
+ */
+std::vector<int> recurrenceIis(const Ddg &ddg,
+                               const std::vector<Circuit> &circuits,
+                               const LatencyMap &lat);
+
 /** Tarjan SCC decomposition; returns component id per node. */
 std::vector<int> stronglyConnectedComponents(const Ddg &ddg);
 

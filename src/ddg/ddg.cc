@@ -129,6 +129,31 @@ Ddg::countByFu(FuKind kind) const
     return count;
 }
 
+void
+RegFlowCsr::build(const Ddg &ddg)
+{
+    const std::size_t n = std::size_t(ddg.numNodes());
+    inOff.assign(n + 1, 0);
+    outOff.assign(n + 1, 0);
+    in.clear();
+    out.clear();
+
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        for (int eidx : ddg.inEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            if (e.kind == DepKind::RegFlow)
+                in.push_back({e.src, e.distance});
+        }
+        inOff[std::size_t(v) + 1] = int(in.size());
+        for (int eidx : ddg.outEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            if (e.kind == DepKind::RegFlow)
+                out.push_back({e.dst, e.distance});
+        }
+        outOff[std::size_t(v) + 1] = int(out.size());
+    }
+}
+
 LatencyMap::LatencyMap(const Ddg &ddg, int load_default)
 {
     lat_.resize(std::size_t(ddg.numNodes()));

@@ -8,6 +8,7 @@
 #ifndef WIVLIW_DDG_DDG_HH
 #define WIVLIW_DDG_DDG_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -90,6 +91,40 @@ class Ddg
     std::vector<MemAccessInfo> memInfos_;
     std::vector<std::vector<int>> out_;
     std::vector<std::vector<int>> in_;
+};
+
+/**
+ * Compressed (CSR) side-index of the register-flow edges only.
+ *
+ * The scheduler's cluster-affinity and copy-routing loops touch
+ * nothing but RegFlow edges, yet the Ddg adjacency interleaves every
+ * dependence kind; filtering per visit re-reads each edge record
+ * just to discard most of them. This index is II-invariant, so the
+ * scheduler builds it once per loop and every attempt iterates a
+ * dense span instead. Edge indices keep Ddg insertion order, which
+ * keeps tie-breaks (and therefore schedules) bit-identical to
+ * filtering inEdges()/outEdges() on the fly.
+ */
+struct RegFlowCsr
+{
+    /** One RegFlow neighbour with the edge's iteration distance. */
+    struct Arc
+    {
+        NodeId other;
+        std::int32_t distance;
+    };
+
+    /** in[inOff[v] .. inOff[v+1]) = RegFlow arcs entering v
+     *  (other = producer). */
+    std::vector<int> inOff;
+    std::vector<Arc> in;
+    /** out[outOff[v] .. outOff[v+1]) = RegFlow arcs leaving v
+     *  (other = consumer). */
+    std::vector<int> outOff;
+    std::vector<Arc> out;
+
+    /** Rebuild from @p ddg, reusing this object's capacity. */
+    void build(const Ddg &ddg);
 };
 
 /**

@@ -1,9 +1,23 @@
 #include "engine.hh"
 
+#include <chrono>
+
 #include "engine/worker_pool.hh"
 #include "workloads/mediabench.hh"
 
 namespace vliw::engine {
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point from)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - from)
+        .count();
+}
+
+} // namespace
 
 ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
     : opts_(opts)
@@ -21,15 +35,26 @@ ExperimentEngine::run(const std::vector<ExperimentSpec> &specs)
         const BenchmarkSpec bench = makeBenchmark(spec.bench);
         const Toolchain chain(spec.arch.config, spec.opts);
 
-        BenchmarkRun run;
+        ExperimentResult result;
+        result.spec = spec;
+
+        const auto compile_start = std::chrono::steady_clock::now();
+        CompileCache::Entry compiled;
+        CompiledBenchmark local;
         if (opts_.compileCache) {
-            const CompileCache::Entry compiled =
+            compiled =
                 cache_.compile(spec.arch.config, spec.opts, bench);
-            run = chain.simulateBenchmark(bench, *compiled);
         } else {
-            run = chain.runBenchmark(bench);
+            local = chain.compileBenchmark(bench);
         }
-        results[i] = ExperimentResult{spec, std::move(run)};
+        result.compileMs = msSince(compile_start);
+
+        const auto sim_start = std::chrono::steady_clock::now();
+        result.run = chain.simulateBenchmark(
+            bench, compiled ? *compiled : local);
+        result.simulateMs = msSince(sim_start);
+
+        results[i] = std::move(result);
     });
     return results;
 }

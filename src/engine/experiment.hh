@@ -88,6 +88,15 @@ struct ExperimentResult
 {
     ExperimentSpec spec;
     BenchmarkRun run;
+    /**
+     * Wall time of this job's compile and simulate phases. The
+     * engine always measures them (the cost is two clock reads per
+     * phase); reports only show them when asked (--timing). With
+     * the compile cache enabled, a memoized compile reports the
+     * cache-lookup time — the cost this job actually paid.
+     */
+    double compileMs = 0.0;
+    double simulateMs = 0.0;
 };
 
 } // namespace vliw::engine

@@ -52,15 +52,52 @@ makeRow(const ExperimentResult &result)
     row.workloadBalance = result.run.workloadBalance;
     for (const LoopRun &lr : result.run.loops)
         row.copies += lr.copies;
+    row.compileMs = result.compileMs;
+    row.simulateMs = result.simulateMs;
     return row;
 }
 
-TextTable
-sweepTable(const std::vector<ExperimentResult> &results)
+namespace {
+
+/** Fixed-point milliseconds so table/CSV cells stay stable. */
+std::string
+msCell(double ms)
 {
-    TextTable tab({"benchmark", "arch", "heuristic", "unroll",
-                   "cycles", "compute", "stall", "local hits",
-                   "ab hits", "copies"});
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", ms);
+    return buf;
+}
+
+struct TimingTotals
+{
+    double compileMs = 0.0;
+    double simulateMs = 0.0;
+};
+
+TimingTotals
+timingTotals(const std::vector<ExperimentResult> &results)
+{
+    TimingTotals t;
+    for (const ExperimentResult &r : results) {
+        t.compileMs += r.compileMs;
+        t.simulateMs += r.simulateMs;
+    }
+    return t;
+}
+
+} // namespace
+
+TextTable
+sweepTable(const std::vector<ExperimentResult> &results, bool timing)
+{
+    std::vector<std::string> headers = {
+        "benchmark", "arch", "heuristic", "unroll", "cycles",
+        "compute", "stall", "local hits", "ab hits", "copies"};
+    if (timing) {
+        headers.push_back("compile ms");
+        headers.push_back("simulate ms");
+    }
+    TextTable tab(headers);
     for (const ExperimentResult &r : results) {
         const ReportRow row = makeRow(r);
         tab.newRow().cell(row.bench);
@@ -73,17 +110,24 @@ sweepTable(const std::vector<ExperimentResult> &results)
         tab.percentCell(row.localHitRatio);
         tab.cell(row.abHits);
         tab.cell(row.copies);
+        if (timing) {
+            tab.cell(msCell(row.compileMs));
+            tab.cell(msCell(row.simulateMs));
+        }
     }
     return tab;
 }
 
 void
 writeCsv(std::ostream &os,
-         const std::vector<ExperimentResult> &results)
+         const std::vector<ExperimentResult> &results, bool timing)
 {
     os << "benchmark,arch,heuristic,unroll,align,chains,versioning,"
           "cycles,compute,stall,local_hit_ratio,ab_hits,"
-          "mem_accesses,workload_balance,copies\n";
+          "mem_accesses,workload_balance,copies";
+    if (timing)
+        os << ",compile_ms,simulate_ms";
+    os << '\n';
     for (const ExperimentResult &r : results) {
         const ReportRow row = makeRow(r);
         os << row.bench << ',' << row.arch << ',' << row.heuristic
@@ -93,14 +137,19 @@ writeCsv(std::ostream &os,
            << row.computeCycles << ',' << row.stallCycles << ','
            << row.localHitRatio << ',' << row.abHits << ','
            << row.memAccesses << ',' << row.workloadBalance << ','
-           << row.copies << '\n';
+           << row.copies;
+        if (timing) {
+            os << ',' << msCell(row.compileMs) << ','
+               << msCell(row.simulateMs);
+        }
+        os << '\n';
     }
 }
 
 void
 writeJson(std::ostream &os,
           const std::vector<ExperimentResult> &results,
-          const CompileCacheStats *cache)
+          const CompileCacheStats *cache, bool timing)
 {
     os << "{\n  \"experiments\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -119,10 +168,20 @@ writeJson(std::ostream &os,
            << ", \"ab_hits\": " << row.abHits
            << ", \"mem_accesses\": " << row.memAccesses
            << ", \"workload_balance\": " << row.workloadBalance
-           << ", \"copies\": " << row.copies << "}"
-           << (i + 1 < results.size() ? "," : "") << "\n";
+           << ", \"copies\": " << row.copies;
+        if (timing) {
+            os << ", \"compile_ms\": " << msCell(row.compileMs)
+               << ", \"simulate_ms\": " << msCell(row.simulateMs);
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]";
+    if (timing) {
+        const TimingTotals totals = timingTotals(results);
+        os << ",\n  \"timing\": {\"compile_ms\": "
+           << msCell(totals.compileMs) << ", \"simulate_ms\": "
+           << msCell(totals.simulateMs) << "}";
+    }
     if (cache) {
         os << ",\n  \"cache\": {\"hits\": " << cache->hits
            << ", \"misses\": " << cache->misses
@@ -150,6 +209,16 @@ writeCacheSummary(std::ostream &os, const CompileCacheStats &stats)
         os << "  " << bench << ": " << hits << " hits, " << misses
            << " misses\n";
     }
+}
+
+void
+writeTimingSummary(std::ostream &os,
+                   const std::vector<ExperimentResult> &results)
+{
+    const TimingTotals totals = timingTotals(results);
+    os << "timing: compile " << msCell(totals.compileMs)
+       << " ms, simulate " << msCell(totals.simulateMs)
+       << " ms over " << results.size() << " jobs\n";
 }
 
 } // namespace vliw::engine

@@ -39,29 +39,43 @@ struct ReportRow
     double workloadBalance = 0.0;
     /** Inter-cluster copies summed over the benchmark's kernels. */
     std::int64_t copies = 0;
+    /** Per-job wall times (reported only with timing enabled). */
+    double compileMs = 0.0;
+    double simulateMs = 0.0;
 };
 
 /** Flatten one result into the shared record. */
 ReportRow makeRow(const ExperimentResult &result);
 
-/** Build the aligned text table over @p results. */
-TextTable sweepTable(const std::vector<ExperimentResult> &results);
+/**
+ * Build the aligned text table over @p results. With @p timing,
+ * two extra columns carry each job's compile/simulate wall time.
+ */
+TextTable sweepTable(const std::vector<ExperimentResult> &results,
+                     bool timing = false);
 
 /** CSV: header plus one line per experiment. */
 void writeCsv(std::ostream &os,
-              const std::vector<ExperimentResult> &results);
+              const std::vector<ExperimentResult> &results,
+              bool timing = false);
 
 /**
  * JSON: {"experiments": [...], "cache": {...}}; pass null stats to
- * omit the cache object.
+ * omit the cache object. With @p timing each experiment carries
+ * compile_ms/simulate_ms and a "timing" object holds the totals.
  */
 void writeJson(std::ostream &os,
                const std::vector<ExperimentResult> &results,
-               const CompileCacheStats *cache = nullptr);
+               const CompileCacheStats *cache = nullptr,
+               bool timing = false);
 
 /** Human-readable cache summary (one line + per-bench detail). */
 void writeCacheSummary(std::ostream &os,
                        const CompileCacheStats &stats);
+
+/** One-line aggregate of compile/simulate wall time. */
+void writeTimingSummary(std::ostream &os,
+                        const std::vector<ExperimentResult> &results);
 
 } // namespace vliw::engine
 

@@ -1,5 +1,7 @@
 #include "mrt.hh"
 
+#include <limits>
+
 #include "support/logging.hh"
 #include "support/math_util.hh"
 
@@ -10,28 +12,39 @@ constexpr int kNumFuKinds = 3;   // Int, Fp, Mem (Bus kept apart)
 } // namespace
 
 Mrt::Mrt(const MachineConfig &cfg, int ii)
-    : cfg_(cfg), ii_(ii)
+{
+    reset(cfg, ii);
+}
+
+void
+Mrt::reset(const MachineConfig &cfg, int ii)
 {
     vliw_assert(ii >= 1, "II must be positive");
+    cfg_ = &cfg;
+    ii_ = ii;
     fuUse_.assign(std::size_t(ii) * std::size_t(cfg.numClusters) *
                   kNumFuKinds, 0);
     busUse_.assign(std::size_t(ii), 0);
     clusterLoad_.assign(std::size_t(cfg.numClusters), 0);
+    busTransfers_ = 0;
 }
 
 int
 Mrt::row(int cycle) const
 {
-    return int(positiveMod(cycle, ii_));
+    // Hot enough that the 64-bit positiveMod() detour shows up:
+    // one 32-bit division plus a sign fix-up.
+    const int r = cycle % ii_;
+    return r < 0 ? r + ii_ : r;
 }
 
 int
 Mrt::fuCapacity(FuKind kind) const
 {
     switch (kind) {
-      case FuKind::Int: return cfg_.intUnitsPerCluster;
-      case FuKind::Fp:  return cfg_.fpUnitsPerCluster;
-      case FuKind::Mem: return cfg_.memUnitsPerCluster;
+      case FuKind::Int: return cfg_->intUnitsPerCluster;
+      case FuKind::Fp:  return cfg_->fpUnitsPerCluster;
+      case FuKind::Mem: return cfg_->memUnitsPerCluster;
       case FuKind::Bus: break;
     }
     vliw_panic("bus slots are not FU slots");
@@ -41,7 +54,7 @@ int &
 Mrt::fuCount(int cluster, FuKind kind, int r)
 {
     const std::size_t idx =
-        (std::size_t(r) * std::size_t(cfg_.numClusters) +
+        (std::size_t(r) * std::size_t(cfg_->numClusters) +
          std::size_t(cluster)) * kNumFuKinds + std::size_t(kind);
     return fuUse_[idx];
 }
@@ -85,23 +98,51 @@ Mrt::clusterLoad(int cluster) const
 bool
 Mrt::busFree(int cycle) const
 {
-    if (cfg_.regBusOccupancy > ii_) {
+    if (cfg_->regBusOccupancy > ii_) {
         // A transfer would overlap itself in the kernel; no steady-
         // state slot exists at this II.
         return false;
     }
-    for (int j = 0; j < cfg_.regBusOccupancy; ++j) {
-        if (busUse_[std::size_t(row(cycle + j))] >= cfg_.regBuses)
+    for (int j = 0; j < cfg_->regBusOccupancy; ++j) {
+        if (busUse_[std::size_t(row(cycle + j))] >= cfg_->regBuses)
             return false;
     }
     return true;
+}
+
+int
+Mrt::firstFreeBusStart(int first, int last) const
+{
+    if (cfg_->regBusOccupancy > ii_) {
+        // A transfer would overlap itself in the kernel; no steady-
+        // state slot exists at this II.
+        return std::numeric_limits<int>::min();
+    }
+    int r = row(first);
+    for (int start = first; start <= last; ++start) {
+        bool free = true;
+        int probe = r;
+        for (int j = 0; j < cfg_->regBusOccupancy; ++j) {
+            if (busUse_[std::size_t(probe)] >= cfg_->regBuses) {
+                free = false;
+                break;
+            }
+            if (++probe == ii_)
+                probe = 0;
+        }
+        if (free)
+            return start;
+        if (++r == ii_)
+            r = 0;
+    }
+    return std::numeric_limits<int>::min();
 }
 
 void
 Mrt::reserveBus(int cycle)
 {
     vliw_assert(busFree(cycle), "bus over-reserved");
-    for (int j = 0; j < cfg_.regBusOccupancy; ++j)
+    for (int j = 0; j < cfg_->regBusOccupancy; ++j)
         busUse_[std::size_t(row(cycle + j))] += 1;
     ++busTransfers_;
 }
@@ -109,7 +150,7 @@ Mrt::reserveBus(int cycle)
 void
 Mrt::releaseBus(int cycle)
 {
-    for (int j = 0; j < cfg_.regBusOccupancy; ++j) {
+    for (int j = 0; j < cfg_->regBusOccupancy; ++j) {
         int &use = busUse_[std::size_t(row(cycle + j))];
         vliw_assert(use > 0, "bus release without reservation");
         --use;

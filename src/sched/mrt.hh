@@ -20,7 +20,17 @@ namespace vliw {
 class Mrt
 {
   public:
+    /** Empty table; reset() must run before any reservation. */
+    Mrt() = default;
+
     Mrt(const MachineConfig &cfg, int ii);
+
+    /**
+     * Rebind to @p cfg and clear every reservation for a fresh
+     * attempt at @p ii. Reuses the row storage, so a workspace-held
+     * table stops allocating once it has seen its largest II.
+     */
+    void reset(const MachineConfig &cfg, int ii);
 
     int ii() const { return ii_; }
 
@@ -37,6 +47,14 @@ class Mrt
     void reserveBus(int cycle);
     void releaseBus(int cycle);
 
+    /**
+     * First start in [first, last] (inclusive) with a free bus, or
+     * INT_MIN. Equivalent to probing busFree() per start, but the
+     * modulo row advances incrementally instead of dividing per
+     * probe.
+     */
+    int firstFreeBusStart(int first, int last) const;
+
     /** Register-bus transfers booked so far. */
     int busTransfers() const { return busTransfers_; }
 
@@ -49,8 +67,8 @@ class Mrt
     /** Bus slot usage at row r (how many buses are busy). */
     int busRowUse(int r) const { return busUse_[std::size_t(r)]; }
 
-    const MachineConfig &cfg_;
-    int ii_;
+    const MachineConfig *cfg_ = nullptr;
+    int ii_ = 0;
     /** [row][cluster][kind] booked count. */
     std::vector<int> fuUse_;
     /** [row] number of buses occupied. */

@@ -6,42 +6,45 @@
 
 namespace vliw {
 
-namespace {
-
-/** Live interval [def, lastUse] in absolute schedule cycles. */
-struct Interval
-{
-    int cluster;
-    int def;
-    int end;
-};
-
-/** Instances of [def,end] alive at modulo row r with period ii. */
-int
-aliveAtRow(const Interval &iv, int r, int ii)
-{
-    if (iv.end < iv.def)
-        return 0;
-    // Count k with def <= r + k*ii <= end.
-    const auto lo = std::int64_t(iv.def) - r;
-    const auto hi = std::int64_t(iv.end) - r;
-    const std::int64_t k_min =
-        lo <= 0 ? -((-lo) / ii) : (lo + ii - 1) / ii;
-    const std::int64_t k_max =
-        hi >= 0 ? hi / ii : -((-hi + ii - 1) / ii);
-    return k_max >= k_min ? int(k_max - k_min + 1) : 0;
-}
-
-} // namespace
-
 std::vector<int>
 maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
                   const MachineConfig &cfg, const Schedule &sched)
 {
+    RegPressureScratch scratch;
+    return maxLivePerCluster(ddg, lat, cfg, sched, scratch);
+}
+
+const std::vector<int> &
+maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
+                  const MachineConfig &cfg, const Schedule &sched,
+                  RegPressureScratch &s)
+{
     // Lifetimes start at issue (not at write-back), so the assigned
     // latencies in @p lat do not shift the intervals.
     (void)lat;
-    std::vector<Interval> intervals;
+    using Interval = RegPressureScratch::Interval;
+    std::vector<Interval> &intervals = s.intervals;
+    intervals.clear();
+    std::vector<std::pair<int, int>> &remote_uses = s.remoteUses;
+
+    // Bucket the copies by producer so the per-node pass below
+    // walks each node's own copies instead of the whole list.
+    const int n = ddg.numNodes();
+    s.copyOff.assign(std::size_t(n) + 1, 0);
+    for (const CopyOp &c : sched.copies)
+        s.copyOff[std::size_t(c.producer) + 1] += 1;
+    for (int v = 0; v < n; ++v)
+        s.copyOff[std::size_t(v) + 1] += s.copyOff[std::size_t(v)];
+    s.copyIdx.resize(sched.copies.size());
+    {
+        std::vector<int> &cursor = s.maxLive;   // reused as scratch
+        cursor.assign(std::size_t(n), 0);
+        for (std::size_t i = 0; i < sched.copies.size(); ++i) {
+            const auto p = std::size_t(sched.copies[i].producer);
+            s.copyIdx[std::size_t(s.copyOff[p]) +
+                      std::size_t(cursor[p]++)] = int(i);
+        }
+    }
 
     for (NodeId v = 0; v < ddg.numNodes(); ++v) {
         if (ddg.node(v).kind == OpKind::Store)
@@ -50,7 +53,7 @@ maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
         const int def = sched.cycleOf(v);
 
         int end_home = def;         // last use in the home cluster
-        std::vector<std::pair<int, int>> remote_uses;
+        remote_uses.clear();
 
         for (int eidx : ddg.outEdges(v)) {
             const DdgEdge &e = ddg.edge(eidx);
@@ -68,9 +71,10 @@ maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
 
         // Copies: the source register lives until the transfer
         // leaves; the replica lives from arrival to its last use.
-        for (const CopyOp &c : sched.copies) {
-            if (c.producer != v)
-                continue;
+        for (int k = s.copyOff[std::size_t(v)];
+             k < s.copyOff[std::size_t(v) + 1]; ++k) {
+            const CopyOp &c =
+                sched.copies[std::size_t(s.copyIdx[std::size_t(k)])];
             end_home = std::max(end_home, c.busStart);
             int replica_end = c.readyCycle;
             for (const auto &[use_cluster, use_time] : remote_uses) {
@@ -84,27 +88,66 @@ maxLivePerCluster(const Ddg &ddg, const LatencyMap &lat,
         intervals.push_back({def_cluster, def, end_home});
     }
 
-    std::vector<int> max_live(std::size_t(cfg.numClusters), 0);
-    for (int c = 0; c < cfg.numClusters; ++c) {
-        for (int r = 0; r < sched.ii; ++r) {
-            int live = 0;
-            for (const Interval &iv : intervals) {
-                if (iv.cluster == c)
-                    live += aliveAtRow(iv, r, sched.ii);
-            }
-            max_live[std::size_t(c)] =
-                std::max(max_live[std::size_t(c)], live);
+    // An interval spanning `span` cycles overlaps every modulo row
+    // floor(span / ii) times, plus once more for the span % ii rows
+    // starting at its definition row. Two range increments on a
+    // per-cluster difference array replace the per-(cluster, row,
+    // interval) divisions the naive count would do.
+    const int ii = sched.ii;
+    const std::size_t rows = std::size_t(ii);
+    s.wraps.assign(std::size_t(cfg.numClusters), 0);
+    s.diff.assign(std::size_t(cfg.numClusters) * (rows + 1), 0);
+    for (const Interval &iv : intervals) {
+        if (iv.end < iv.def)
+            continue;
+        const int span = iv.end - iv.def + 1;
+        s.wraps[std::size_t(iv.cluster)] += span / ii;
+        const int rem = span % ii;
+        if (rem == 0)
+            continue;
+        int *d = s.diff.data() +
+            std::size_t(iv.cluster) * (rows + 1);
+        const int start = int(positiveMod(iv.def, ii));
+        if (start + rem <= ii) {
+            d[start] += 1;
+            d[start + rem] -= 1;
+        } else {
+            d[start] += 1;
+            d[ii] -= 1;
+            d[0] += 1;
+            d[start + rem - ii] -= 1;
         }
     }
-    return max_live;
+
+    s.maxLive.assign(std::size_t(cfg.numClusters), 0);
+    for (int c = 0; c < cfg.numClusters; ++c) {
+        const int *d = s.diff.data() + std::size_t(c) * (rows + 1);
+        int partial = 0;
+        int best = 0;
+        for (int r = 0; r < ii; ++r) {
+            partial += d[r];
+            best = std::max(best, partial);
+        }
+        s.maxLive[std::size_t(c)] = s.wraps[std::size_t(c)] + best;
+    }
+    return s.maxLive;
 }
 
 bool
 registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
                    const MachineConfig &cfg, const Schedule &sched)
 {
-    (void)lat;
-    for (int live : maxLivePerCluster(ddg, lat, cfg, sched)) {
+    RegPressureScratch scratch;
+    return registerPressureOk(ddg, lat, cfg, sched, scratch);
+}
+
+bool
+registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
+                   const MachineConfig &cfg, const Schedule &sched,
+                   RegPressureScratch &scratch)
+{
+    for (int live :
+         maxLivePerCluster(ddg, lat, cfg, sched, scratch)) {
         if (live > cfg.regsPerCluster)
             return false;
     }

@@ -25,10 +25,46 @@ std::vector<int> maxLivePerCluster(const Ddg &ddg,
                                    const MachineConfig &cfg,
                                    const Schedule &sched);
 
+/** Reusable storage for the MaxLive computation. */
+struct RegPressureScratch
+{
+    struct Interval
+    {
+        int cluster;
+        int def;
+        int end;
+    };
+
+    std::vector<Interval> intervals;
+    std::vector<std::pair<int, int>> remoteUses;
+    std::vector<int> wraps;
+    std::vector<int> diff;
+    std::vector<int> maxLive;
+    /** Copy indices bucketed by producer (CSR offsets + ids). */
+    std::vector<int> copyOff;
+    std::vector<int> copyIdx;
+};
+
+/**
+ * As above into @p scratch.maxLive; with a warm scratch the
+ * computation allocates nothing (the scheduler's accept path).
+ */
+const std::vector<int> &maxLivePerCluster(const Ddg &ddg,
+                                          const LatencyMap &lat,
+                                          const MachineConfig &cfg,
+                                          const Schedule &sched,
+                                          RegPressureScratch &scratch);
+
 /** True when every cluster fits in cfg.regsPerCluster registers. */
 bool registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
                         const MachineConfig &cfg,
                         const Schedule &sched);
+
+/** Allocation-free variant of registerPressureOk(). */
+bool registerPressureOk(const Ddg &ddg, const LatencyMap &lat,
+                        const MachineConfig &cfg,
+                        const Schedule &sched,
+                        RegPressureScratch &scratch);
 
 } // namespace vliw
 

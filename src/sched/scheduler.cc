@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
 #include <cstdio>
-#include <cstdlib>
 
 #include "sched/mrt.hh"
 #include "sched/reg_pressure.hh"
+#include "sched/sched_workspace.hh"
 #include "sched/sms_order.hh"
 #include "support/logging.hh"
 #include "support/math_util.hh"
+#include "support/trace.hh"
 
 namespace vliw {
 
@@ -26,20 +26,26 @@ heuristicName(Heuristic h)
 }
 
 std::vector<int>
-ipbcChainTargets(const Ddg &ddg, const MemChains &chains,
-                 const ProfileMap &prof, int num_clusters)
+ipbcChainTargets(const MemChains &chains, const ProfileMap &prof,
+                 int num_clusters)
 {
     std::vector<int> targets(std::size_t(chains.numChains()), 0);
+    std::vector<std::uint64_t> counts(
+        static_cast<std::size_t>(num_clusters));
     for (int ch = 0; ch < chains.numChains(); ++ch) {
-        std::vector<std::uint64_t> counts(
-            static_cast<std::size_t>(num_clusters), 0);
+        std::fill(counts.begin(), counts.end(), 0);
         for (NodeId v : chains.members(ch)) {
             const MemProfile &p = prof.at(v);
-            for (std::size_t c = 0;
-                 c < p.clusterCounts.size() && c < counts.size();
-                 ++c) {
+            // One width check up front replaces the per-element
+            // bound guard the accumulation used to carry.
+            vliw_assert(p.clusterCounts.empty() ||
+                        p.clusterCounts.size() ==
+                            std::size_t(num_clusters),
+                        "profile cluster histogram width ",
+                        p.clusterCounts.size(), " != cluster count ",
+                        num_clusters);
+            for (std::size_t c = 0; c < p.clusterCounts.size(); ++c)
                 counts[c] += p.clusterCounts[c];
-            }
         }
         int best = 0;
         for (int c = 1; c < num_clusters; ++c) {
@@ -47,37 +53,39 @@ ipbcChainTargets(const Ddg &ddg, const MemChains &chains,
                 best = c;
         }
         targets[std::size_t(ch)] = best;
-        (void)ddg;
     }
     return targets;
 }
 
 namespace {
 
-/** One scheduling attempt at a fixed II. */
+/**
+ * One scheduling attempt at a fixed II.
+ *
+ * All mutable state lives in the SchedWorkspace so consecutive
+ * attempts (and consecutive loops, when the caller reuses the
+ * workspace) recycle the same heap storage. The placement loop --
+ * place() / tryPlace() / routeCopy() -- allocates nothing once the
+ * workspace buffers have reached steady-state capacity.
+ */
 class Attempt
 {
   public:
     Attempt(const Ddg &ddg, const LatencyMap &lat,
             const ProfileMap &prof, const MachineConfig &cfg,
-            const SchedulerOptions &opts, const MemChains *chains,
-            const std::vector<int> *chain_targets, int ii)
+            const SchedulerOptions &opts,
+            const std::vector<int> *chain_targets,
+            SchedWorkspace &ws, int ii)
         : ddg_(ddg), lat_(lat), prof_(prof), cfg_(cfg), opts_(opts),
-          chains_(chains), chainTargets_(chain_targets),
-          mrt_(cfg, ii), ii_(ii)
+          chainsActive_(opts.useChains), ws_(ws), ii_(ii)
     {
-        sched_.ii = ii;
-        sched_.ops.assign(std::size_t(ddg.numNodes()), PlacedOp{});
-        if (chains_) {
-            chainCluster_.assign(
-                std::size_t(chains_->numChains()), -1);
-            if (chainTargets_) {
-                // IPBC pre-binds every chain to its target; the
-                // binding may still fall back if no slot exists.
-                for (std::size_t ch = 0;
-                     ch < chainCluster_.size(); ++ch) {
-                    chainCluster_[ch] = (*chainTargets_)[ch];
-                }
+        ws_.beginAttempt(ii);
+        if (chainsActive_ && chain_targets) {
+            // IPBC pre-binds every chain to its target; the
+            // binding may still fall back if no slot exists.
+            for (std::size_t ch = 0;
+                 ch < ws_.chainCluster.size(); ++ch) {
+                ws_.chainCluster[ch] = (*chain_targets)[ch];
             }
         }
     }
@@ -93,20 +101,34 @@ class Attempt
         return true;
     }
 
-    Schedule take() { return std::move(sched_); }
+    /** Materialise the final Schedule (one copy out of the pool). */
+    Schedule
+    take() const
+    {
+        Schedule sched;
+        sched.ii = ii_;
+        sched.length = length_;
+        sched.stageCount = stageCount_;
+        sched.ops = ws_.ops;
+        sched.copies = ws_.copies;
+        return sched;
+    }
 
     std::vector<int>
     chainClusterSnapshot() const
     {
-        return chainCluster_;
+        return ws_.chainCluster;
     }
 
   private:
-    /** Candidate clusters for @p v, most attractive first. */
-    std::vector<int>
-    candidateClusters(NodeId v) const
+    /**
+     * Candidate clusters for @p v into ws_.cands, most attractive
+     * first.
+     */
+    void
+    candidateClusters(NodeId v)
     {
-        const bool is_mem = ddg_.isMemNode(v);
+        const bool is_mem = ws_.isMem(v);
 
         // A chain that is already bound (a member is placed, or the
         // IPBC pre-binding) pins the node; correctness requires the
@@ -114,46 +136,62 @@ class Attempt
         // any member is placed.
         bool pinned_hard = false;
         int pinned = -1;
-        if (is_mem && chains_ && opts_.useChains) {
-            const int ch = chains_->chainOf(v);
-            if (chainPlaced_.count(ch)) {
-                pinned = chainCluster_[std::size_t(ch)];
+        if (is_mem && chainsActive_) {
+            const int ch = ws_.chainOf(v);
+            if (ws_.chainPlaced[std::size_t(ch)]) {
+                pinned = ws_.chainCluster[std::size_t(ch)];
                 pinned_hard = true;
-            } else if (chainCluster_[std::size_t(ch)] >= 0) {
-                pinned = chainCluster_[std::size_t(ch)];
+            } else if (ws_.chainCluster[std::size_t(ch)] >= 0) {
+                pinned = ws_.chainCluster[std::size_t(ch)];
             }
         }
-        if (pinned_hard)
-            return {pinned};
+        if (pinned_hard) {
+            ws_.cands.assign(1, pinned);
+            return;
+        }
 
         // Communication profit: placed register-flow neighbours in
         // each cluster (each avoids one copy); then balance.
-        std::vector<int> profit(std::size_t(cfg_.numClusters), 0);
+        ws_.profit.assign(std::size_t(cfg_.numClusters), 0);
         auto credit = [&](NodeId other) {
-            if (sched_.ops[std::size_t(other)].placed())
-                profit[std::size_t(sched_.clusterOf(other))] += 1;
+            if (ws_.ops[std::size_t(other)].placed()) {
+                ws_.profit[std::size_t(
+                    ws_.ops[std::size_t(other)].cluster)] += 1;
+            }
         };
-        for (int eidx : ddg_.inEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            if (e.kind == DepKind::RegFlow)
-                credit(e.src);
+        const RegFlowCsr &csr = ws_.regFlow();
+        for (int i = csr.inOff[std::size_t(v)];
+             i < csr.inOff[std::size_t(v) + 1]; ++i) {
+            credit(csr.in[std::size_t(i)].other);
         }
-        for (int eidx : ddg_.outEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            if (e.kind == DepKind::RegFlow)
-                credit(e.dst);
+        for (int i = csr.outOff[std::size_t(v)];
+             i < csr.outOff[std::size_t(v) + 1]; ++i) {
+            credit(csr.out[std::size_t(i)].other);
         }
 
-        std::vector<int> cands(std::size_t(cfg_.numClusters));
+        ws_.cands.resize(std::size_t(cfg_.numClusters));
         for (int c = 0; c < cfg_.numClusters; ++c)
-            cands[std::size_t(c)] = c;
-        std::stable_sort(
-            cands.begin(), cands.end(), [&](int a, int b) {
-                if (profit[std::size_t(a)] != profit[std::size_t(b)])
-                    return profit[std::size_t(a)] >
-                        profit[std::size_t(b)];
-                return mrt_.clusterLoad(a) < mrt_.clusterLoad(b);
-            });
+            ws_.cands[std::size_t(c)] = c;
+        // Stable insertion sort: same order std::stable_sort gives,
+        // without its temporary merge buffer (an allocation per
+        // placed node on a handful of elements).
+        auto before = [&](int a, int b) {
+            if (ws_.profit[std::size_t(a)] !=
+                ws_.profit[std::size_t(b)]) {
+                return ws_.profit[std::size_t(a)] >
+                    ws_.profit[std::size_t(b)];
+            }
+            return ws_.mrt.clusterLoad(a) < ws_.mrt.clusterLoad(b);
+        };
+        for (std::size_t i = 1; i < ws_.cands.size(); ++i) {
+            const int c = ws_.cands[i];
+            std::size_t j = i;
+            while (j > 0 && before(c, ws_.cands[j - 1])) {
+                ws_.cands[j] = ws_.cands[j - 1];
+                --j;
+            }
+            ws_.cands[j] = c;
+        }
 
         // IPBC: the preferred cluster (or soft chain binding) goes
         // first regardless of profit.
@@ -164,34 +202,24 @@ class Attempt
             front = prof_.at(v).preferredCluster;
         }
         if (front >= 0) {
-            auto it = std::find(cands.begin(), cands.end(), front);
-            if (it != cands.end()) {
-                cands.erase(it);
-                cands.insert(cands.begin(), front);
+            auto it = std::find(ws_.cands.begin(), ws_.cands.end(),
+                                front);
+            if (it != ws_.cands.end()) {
+                ws_.cands.erase(it);
+                ws_.cands.insert(ws_.cands.begin(), front);
             }
         }
-        return cands;
     }
-
-    struct NewCopy
-    {
-        NodeId producer;
-        int fromCluster;
-        int toCluster;
-        int busStart;
-    };
 
     /**
      * Try to place @p v in @p cluster at @p cycle. On success the
      * reservations are committed and true is returned.
      */
     bool
-    tryPlace(NodeId v, int cluster, int cycle)
+    tryPlace(NodeId v, FuKind fu, int cluster, int cycle)
     {
-        const char *trace = std::getenv("WIVLIW_SCHED_TRACE");
-        const bool deep = trace && trace[0] == '2';
-        const FuKind fu = fuForOp(ddg_.node(v).kind);
-        if (!mrt_.fuFree(cluster, fu, cycle)) {
+        const bool deep = trace_ >= 2;
+        if (!ws_.mrt.fuFree(cluster, fu, cycle)) {
             if (deep) {
                 std::fprintf(stderr, "  try %s cl=%d t=%d: fu busy\n",
                              ddg_.node(v).name.c_str(), cluster,
@@ -202,38 +230,39 @@ class Attempt
 
         // Copies needed to feed v from remote producers, and to feed
         // remote consumers from v. Window search per transfer.
-        std::vector<NewCopy> new_copies;
+        ws_.staged.clear();
         auto fail = [&]() {
-            for (const NewCopy &c : new_copies)
-                mrt_.releaseBus(c.busStart);
+            for (const StagedCopy &c : ws_.staged)
+                ws_.mrt.releaseBus(c.busStart);
             return false;
         };
 
-        mrt_.reserveFu(cluster, fu, cycle);
+        ws_.mrt.reserveFu(cluster, fu, cycle);
         auto fail_fu = [&]() {
             fail();
-            mrt_.releaseFu(cluster, fu, cycle);
+            ws_.mrt.releaseFu(cluster, fu, cycle);
             return false;
         };
 
+        const RegFlowCsr &csr = ws_.regFlow();
+
         // Producer-side copies (placed RegFlow predecessors).
-        for (int eidx : ddg_.inEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            if (e.kind != DepKind::RegFlow)
-                continue;
-            const PlacedOp &p = sched_.ops[std::size_t(e.src)];
+        for (int i = csr.inOff[std::size_t(v)];
+             i < csr.inOff[std::size_t(v) + 1]; ++i) {
+            const RegFlowCsr::Arc &a = csr.in[std::size_t(i)];
+            const PlacedOp &p = ws_.ops[std::size_t(a.other)];
             if (!p.placed() || p.cluster == cluster)
                 continue;
-            const int need_by = cycle + ii_ * e.distance;
-            const int value_at = p.cycle + lat_(e.src);
-            if (!routeCopy(e.src, p.cluster, cluster, value_at,
-                           need_by, new_copies)) {
+            const int need_by = cycle + ii_ * a.distance;
+            const int value_at = p.cycle + lat_(a.other);
+            if (!routeCopy(a.other, p.cluster, cluster, value_at,
+                           need_by)) {
                 if (deep) {
                     std::fprintf(stderr,
                         "  try %s cl=%d t=%d: no route from %s "
                         "[%d, %d]\n", ddg_.node(v).name.c_str(),
                         cluster, cycle,
-                        ddg_.node(e.src).name.c_str(), value_at,
+                        ddg_.node(a.other).name.c_str(), value_at,
                         need_by);
                 }
                 return fail_fu();
@@ -241,23 +270,22 @@ class Attempt
         }
 
         // Consumer-side copies (placed RegFlow successors).
-        for (int eidx : ddg_.outEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            if (e.kind != DepKind::RegFlow)
-                continue;
-            const PlacedOp &s = sched_.ops[std::size_t(e.dst)];
+        const int value_ready = cycle + lat_(v);
+        for (int i = csr.outOff[std::size_t(v)];
+             i < csr.outOff[std::size_t(v) + 1]; ++i) {
+            const RegFlowCsr::Arc &a = csr.out[std::size_t(i)];
+            const PlacedOp &s = ws_.ops[std::size_t(a.other)];
             if (!s.placed() || s.cluster == cluster)
                 continue;
-            const int need_by = s.cycle + ii_ * e.distance;
-            const int value_at = cycle + lat_(v);
-            if (!routeCopy(v, cluster, s.cluster, value_at, need_by,
-                           new_copies)) {
+            const int need_by = s.cycle + ii_ * a.distance;
+            if (!routeCopy(v, cluster, s.cluster, value_ready,
+                           need_by)) {
                 if (deep) {
                     std::fprintf(stderr,
                         "  try %s cl=%d t=%d: no route to %s "
                         "[%d, %d]\n", ddg_.node(v).name.c_str(),
                         cluster, cycle,
-                        ddg_.node(e.dst).name.c_str(), value_at,
+                        ddg_.node(a.other).name.c_str(), value_ready,
                         need_by);
                 }
                 return fail_fu();
@@ -265,18 +293,27 @@ class Attempt
         }
 
         // Commit.
-        sched_.ops[std::size_t(v)] = {cycle, cluster};
-        for (const NewCopy &c : new_copies) {
-            sched_.copies.push_back(
+        ws_.ops[std::size_t(v)] = {cycle, cluster};
+        for (const StagedCopy &c : ws_.staged) {
+            const int ready = c.busStart + cfg_.regBusLatency;
+            ws_.copies.push_back(
                 {c.producer, c.fromCluster, c.toCluster, c.busStart,
-                 c.busStart + cfg_.regBusLatency});
+                 ready});
+            ws_.noteCopy(copyKey(c.producer, c.toCluster), ready);
         }
-        if (ddg_.isMemNode(v) && chains_ && opts_.useChains) {
-            const int ch = chains_->chainOf(v);
-            chainCluster_[std::size_t(ch)] = cluster;
-            chainPlaced_.insert(ch);
+        if (chainsActive_ && ws_.isMem(v)) {
+            const int ch = ws_.chainOf(v);
+            ws_.chainCluster[std::size_t(ch)] = cluster;
+            ws_.chainPlaced[std::size_t(ch)] = 1;
         }
         return true;
+    }
+
+    std::size_t
+    copyKey(NodeId producer, int to_cluster) const
+    {
+        return std::size_t(producer) *
+            std::size_t(cfg_.numClusters) + std::size_t(to_cluster);
     }
 
     /**
@@ -286,38 +323,34 @@ class Attempt
      */
     bool
     routeCopy(NodeId producer, int from_cluster, int to_cluster,
-              int value_at, int need_by,
-              std::vector<NewCopy> &new_copies)
+              int value_at, int need_by)
     {
         const int bus_lat = cfg_.regBusLatency;
 
         // An already-committed copy of the same value into the same
-        // cluster can be shared if it arrives in time.
-        for (const CopyOp &c : sched_.copies) {
-            if (c.producer == producer && c.toCluster == to_cluster &&
-                c.readyCycle <= need_by) {
-                return true;
-            }
-        }
+        // cluster can be shared if it arrives in time. The earliest
+        // ready cycle per (producer, cluster) answers that in O(1).
+        if (ws_.copyReady[copyKey(producer, to_cluster)] <= need_by)
+            return true;
         // A copy staged within this same tryPlace.
-        for (const NewCopy &c : new_copies) {
-            if (c.producer == producer && c.toCluster == to_cluster &&
+        for (const StagedCopy &c : ws_.staged) {
+            if (c.producer == producer &&
+                c.toCluster == to_cluster &&
                 c.busStart + bus_lat <= need_by) {
                 return true;
             }
         }
 
-        for (int start = value_at; start + bus_lat <= need_by;
-             ++start) {
-            if (mrt_.busFree(start)) {
-                mrt_.reserveBus(start);
-                new_copies.push_back(
-                    {producer, from_cluster, to_cluster, start});
-                return true;
-            }
-            // Scanning more than II slots revisits the same rows.
-            if (start - value_at >= ii_)
-                break;
+        // Scanning more than II slots would revisit the same rows,
+        // so the search window is min(need_by - busLat, value_at
+        // + II).
+        const int last = std::min(need_by - bus_lat, value_at + ii_);
+        const int start = ws_.mrt.firstFreeBusStart(value_at, last);
+        if (start != std::numeric_limits<int>::min()) {
+            ws_.mrt.reserveBus(start);
+            ws_.staged.push_back(
+                {producer, from_cluster, to_cluster, start});
+            return true;
         }
         return false;
     }
@@ -335,33 +368,56 @@ class Attempt
         bool hasSucc = false;
     };
 
-    Window
-    windowFor(NodeId v, int cluster) const
+    /**
+     * Collect every placed neighbour's window contribution for
+     * @p v once; windowFor() then evaluates any candidate cluster
+     * from the compact lists without re-walking the edges.
+     */
+    void
+    gatherDeps(NodeId v)
     {
-        Window w;
-        for (int eidx : ddg_.inEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            const PlacedOp &p = sched_.ops[std::size_t(e.src)];
+        const SchedGraph &graph = ws_.schedGraph();
+        ws_.preds.clear();
+        ws_.succs.clear();
+        for (std::int32_t k = graph.inOff[std::size_t(v)];
+             k < graph.inOff[std::size_t(v) + 1]; ++k) {
+            const SchedGraph::Arc &a = graph.in[std::size_t(k)];
+            const PlacedOp &p = ws_.ops[std::size_t(a.other)];
             if (!p.placed())
                 continue;
-            w.hasPred = true;
-            int lat_e = edgeLatency(ddg_, e, lat_);
-            if (e.kind == DepKind::RegFlow && p.cluster != cluster)
-                lat_e += cfg_.regBusLatency;
-            w.estart = std::max(w.estart,
-                                p.cycle + lat_e - ii_ * e.distance);
+            ws_.preds.push_back(
+                {p.cycle + a.latency - ii_ * a.distance, p.cluster,
+                 a.regFlow != 0});
         }
-        for (int eidx : ddg_.outEdges(v)) {
-            const DdgEdge &e = ddg_.edge(eidx);
-            const PlacedOp &s = sched_.ops[std::size_t(e.dst)];
+        for (std::int32_t k = graph.outOff[std::size_t(v)];
+             k < graph.outOff[std::size_t(v) + 1]; ++k) {
+            const SchedGraph::Arc &a = graph.out[std::size_t(k)];
+            const PlacedOp &s = ws_.ops[std::size_t(a.other)];
             if (!s.placed())
                 continue;
-            w.hasSucc = true;
-            int lat_e = edgeLatency(ddg_, e, lat_);
-            if (e.kind == DepKind::RegFlow && s.cluster != cluster)
-                lat_e += cfg_.regBusLatency;
-            w.lstart = std::min(w.lstart,
-                                s.cycle - lat_e + ii_ * e.distance);
+            ws_.succs.push_back(
+                {s.cycle - a.latency + ii_ * a.distance, s.cluster,
+                 a.regFlow != 0});
+        }
+    }
+
+    Window
+    windowFor(int cluster) const
+    {
+        Window w;
+        w.hasPred = !ws_.preds.empty();
+        w.hasSucc = !ws_.succs.empty();
+        for (const PlacedDep &d : ws_.preds) {
+            const int bound = d.base +
+                (d.regFlow && d.cluster != cluster
+                     ? cfg_.regBusLatency : 0);
+            w.estart = std::max(w.estart, bound);
+        }
+        for (const PlacedDep &d : ws_.succs) {
+            const int bound = d.base -
+                (d.regFlow && d.cluster != cluster
+                     ? cfg_.regBusLatency : 0);
+            w.lstart = std::min(w.lstart, bound);
         }
         return w;
     }
@@ -370,42 +426,52 @@ class Attempt
     bool
     place(NodeId v)
     {
-        for (int cluster : candidateClusters(v)) {
-            const Window w = windowFor(v, cluster);
+        candidateClusters(v);
+        gatherDeps(v);
+        const FuKind fu = ws_.fuKindOf(v);
+        for (int cluster : ws_.cands) {
+            const Window w = windowFor(cluster);
 
-            std::vector<int> cycles;
-            cycles.reserve(std::size_t(ii_));
+            // Probe the window in direction order: forward from the
+            // earliest start when predecessors bound it, backward
+            // from the latest start when only successors do.
+            int first;
+            int last;
+            int step = 1;
             if (w.hasPred && w.hasSucc) {
-                for (int t = w.estart;
-                     t <= std::min(w.lstart, w.estart + ii_ - 1);
-                     ++t) {
-                    cycles.push_back(t);
-                }
+                first = w.estart;
+                last = std::min(w.lstart, w.estart + ii_ - 1);
             } else if (w.hasPred) {
-                for (int t = w.estart; t <= w.estart + ii_ - 1; ++t)
-                    cycles.push_back(t);
+                first = w.estart;
+                last = w.estart + ii_ - 1;
             } else if (w.hasSucc) {
-                for (int t = w.lstart; t >= w.lstart - ii_ + 1; --t)
-                    cycles.push_back(t);
+                first = w.lstart;
+                last = w.lstart - ii_ + 1;
+                step = -1;
             } else {
-                for (int t = 0; t < ii_; ++t)
-                    cycles.push_back(t);
+                first = 0;
+                last = ii_ - 1;
             }
 
-            for (int t : cycles) {
-                if (tryPlace(v, cluster, t)) {
-                    if (std::getenv("WIVLIW_SCHED_TRACE")) {
-                        std::fprintf(stderr,
-                            "place %-12s pred=%d succ=%d "
-                            "E=%d L=%d -> cyc=%d cl=%d\n",
-                            ddg_.node(v).name.c_str(), w.hasPred,
-                            w.hasSucc, w.estart, w.lstart, t,
-                            cluster);
-                    }
-                    return true;
+            bool placed_v = false;
+            int t = first;
+            for (; step > 0 ? t <= last : t >= last; t += step) {
+                if (tryPlace(v, fu, cluster, t)) {
+                    placed_v = true;
+                    break;
                 }
             }
-            if (std::getenv("WIVLIW_SCHED_TRACE")) {
+            if (placed_v) {
+                if (trace_ >= 1) {
+                    std::fprintf(stderr,
+                        "place %-12s pred=%d succ=%d "
+                        "E=%d L=%d -> cyc=%d cl=%d\n",
+                        ddg_.node(v).name.c_str(), w.hasPred,
+                        w.hasSucc, w.estart, w.lstart, t, cluster);
+                }
+                return true;
+            }
+            if (trace_ >= 1) {
                 std::fprintf(stderr,
                     "FAIL  %-12s cl=%d pred=%d succ=%d E=%d L=%d "
                     "ii=%d\n", ddg_.node(v).name.c_str(), cluster,
@@ -421,25 +487,25 @@ class Attempt
     {
         int min_cycle = std::numeric_limits<int>::max();
         int max_cycle = std::numeric_limits<int>::min();
-        for (const PlacedOp &op : sched_.ops) {
+        for (const PlacedOp &op : ws_.ops) {
             min_cycle = std::min(min_cycle, op.cycle);
             max_cycle = std::max(max_cycle, op.cycle);
         }
-        for (const CopyOp &c : sched_.copies)
+        for (const CopyOp &c : ws_.copies)
             min_cycle = std::min(min_cycle, c.busStart);
 
         if (min_cycle != std::numeric_limits<int>::max() &&
             min_cycle != 0) {
-            for (PlacedOp &op : sched_.ops)
+            for (PlacedOp &op : ws_.ops)
                 op.cycle -= min_cycle;
-            for (CopyOp &c : sched_.copies) {
+            for (CopyOp &c : ws_.copies) {
                 c.busStart -= min_cycle;
                 c.readyCycle -= min_cycle;
             }
             max_cycle -= min_cycle;
         }
-        sched_.length = max_cycle + 1;
-        sched_.stageCount = max_cycle / sched_.ii + 1;
+        length_ = max_cycle + 1;
+        stageCount_ = max_cycle / ii_ + 1;
     }
 
     const Ddg &ddg_;
@@ -447,13 +513,12 @@ class Attempt
     const ProfileMap &prof_;
     const MachineConfig &cfg_;
     const SchedulerOptions &opts_;
-    const MemChains *chains_;
-    const std::vector<int> *chainTargets_;
-    Mrt mrt_;
+    const bool chainsActive_;
+    SchedWorkspace &ws_;
+    const int trace_ = schedTraceLevel();
     int ii_;
-    Schedule sched_;
-    std::vector<int> chainCluster_;
-    std::set<int> chainPlaced_;
+    int length_ = 0;
+    int stageCount_ = 0;
 };
 
 } // namespace
@@ -462,22 +527,17 @@ std::optional<ScheduleOutcome>
 scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
              const LatencyMap &lat, const ProfileMap &prof,
              const MachineConfig &cfg, int mii,
-             const SchedulerOptions &opts)
+             const SchedulerOptions &opts, SchedWorkspace &ws)
 {
-    std::optional<MemChains> chains;
-    std::vector<int> chain_targets;
-    const MemChains *chains_ptr = nullptr;
-    const std::vector<int> *targets_ptr = nullptr;
+    // Everything the II search cannot change -- RegFlow adjacency,
+    // recurrence IIs, SMS priority sets, memory chains -- is
+    // computed here once; each II retry below only re-runs ordering
+    // and placement.
+    ws.beginLoop(ddg, circuits, lat, cfg, opts.useChains);
 
-    if (opts.useChains) {
-        chains.emplace(ddg);
-        chains_ptr = &*chains;
-        if (opts.heuristic == Heuristic::Ipbc) {
-            chain_targets = ipbcChainTargets(ddg, *chains, prof,
-                                             cfg.numClusters);
-            targets_ptr = &chain_targets;
-        }
-    }
+    const std::vector<int> *targets_ptr = nullptr;
+    if (opts.useChains && opts.heuristic == Heuristic::Ipbc)
+        targets_ptr = &ws.ipbcTargets(prof, cfg.numClusters);
 
     // The SMS order occasionally leaves a node whose window never
     // opens (no backtracking); after a few failed attempts fall
@@ -487,17 +547,18 @@ scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
 
     for (int attempt = 0; attempt < opts.maxIiTries; ++attempt) {
         const int ii = mii + attempt;
-        const std::vector<NodeId> order = attempt < kSmsAttempts
-            ? smsOrder(ddg, circuits, lat, ii)
-            : topologicalOrder(ddg, lat, ii);
-        Attempt run(ddg, lat, prof, cfg, opts, chains_ptr,
-                    targets_ptr, ii);
+        std::vector<NodeId> topo;
+        const std::vector<NodeId> &order = attempt < kSmsAttempts
+            ? smsOrder(ws.schedGraph(), ws.orderSets(), ii, ws.sms)
+            : (topo = topologicalOrder(ddg, ws.edgeWeights(), ii));
+        Attempt run(ddg, lat, prof, cfg, opts, targets_ptr, ws,
+                    ii);
         if (!run.run(order))
             continue;
 
         Schedule sched = run.take();
         if (opts.checkRegPressure &&
-            !registerPressureOk(ddg, lat, cfg, sched)) {
+            !registerPressureOk(ddg, lat, cfg, sched, ws.regp)) {
             continue;
         }
 
@@ -508,6 +569,20 @@ scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
         return out;
     }
     return std::nullopt;
+}
+
+std::optional<ScheduleOutcome>
+scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
+             const LatencyMap &lat, const ProfileMap &prof,
+             const MachineConfig &cfg, int mii,
+             const SchedulerOptions &opts)
+{
+    // One workspace per thread: repeated compiles on the same
+    // thread (unroll candidates, II escalation, whole sweeps) hit
+    // warm buffers without any caller-side plumbing.
+    static thread_local SchedWorkspace ws;
+    return scheduleLoop(ddg, circuits, lat, prof, cfg, mii, opts,
+                        ws);
 }
 
 } // namespace vliw

@@ -33,6 +33,8 @@
 
 namespace vliw {
 
+class SchedWorkspace;
+
 /** Memory-instruction cluster-assignment heuristic. */
 enum class Heuristic { Base, Ibc, Ipbc };
 
@@ -71,6 +73,12 @@ struct ScheduleOutcome
  * @param mii      lower bound for the II search
  * @param opts     heuristic and policy knobs
  * @return the schedule, or std::nullopt if maxIiTries was exhausted
+ *
+ * All scratch state lives in a per-thread SchedWorkspace
+ * (sched_workspace.hh), so repeated calls on one thread reuse warm
+ * buffers; the II search computes every II-invariant analysis
+ * (RegFlow adjacency, recurrence IIs, SMS priority sets) once and
+ * only re-runs ordering and placement per retry.
  */
 std::optional<ScheduleOutcome>
 scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
@@ -78,12 +86,20 @@ scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
              const MachineConfig &cfg, int mii,
              const SchedulerOptions &opts);
 
+/** As above with an explicit (caller-owned) workspace. */
+std::optional<ScheduleOutcome>
+scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
+             const LatencyMap &lat, const ProfileMap &prof,
+             const MachineConfig &cfg, int mii,
+             const SchedulerOptions &opts, SchedWorkspace &ws);
+
 /**
  * Pre-compute IPBC chain targets: for every chain the cluster with
  * the highest profile-weighted access count over all members.
+ * Every profiled node's cluster histogram must be empty or exactly
+ * @p num_clusters wide.
  */
-std::vector<int> ipbcChainTargets(const Ddg &ddg,
-                                  const MemChains &chains,
+std::vector<int> ipbcChainTargets(const MemChains &chains,
                                   const ProfileMap &prof,
                                   int num_clusters);
 

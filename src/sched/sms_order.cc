@@ -1,7 +1,6 @@
 #include "sms_order.hh"
 
 #include <algorithm>
-#include <deque>
 
 #include "support/logging.hh"
 
@@ -10,21 +9,21 @@ namespace vliw {
 namespace {
 
 /** Forward (or reverse) reachability from a seed set, all edges. */
-std::vector<bool>
-reachable(const Ddg &ddg, const std::vector<NodeId> &seeds,
-          bool forward)
+void
+reachableInto(const Ddg &ddg, const std::vector<NodeId> &seeds,
+              bool forward, std::vector<bool> &seen,
+              std::vector<NodeId> &work)
 {
-    std::vector<bool> seen(std::size_t(ddg.numNodes()), false);
-    std::deque<NodeId> work;
+    seen.assign(std::size_t(ddg.numNodes()), false);
+    work.clear();
     for (NodeId s : seeds) {
         if (!seen[std::size_t(s)]) {
             seen[std::size_t(s)] = true;
             work.push_back(s);
         }
     }
-    while (!work.empty()) {
-        const NodeId v = work.front();
-        work.pop_front();
+    for (std::size_t head = 0; head < work.size(); ++head) {
+        const NodeId v = work[head];
         const auto &edges = forward ? ddg.outEdges(v) : ddg.inEdges(v);
         for (int eidx : edges) {
             const DdgEdge &e = ddg.edge(eidx);
@@ -35,7 +34,6 @@ reachable(const Ddg &ddg, const std::vector<NodeId> &seeds,
             }
         }
     }
-    return seen;
 }
 
 } // namespace
@@ -44,34 +42,80 @@ OrderSets
 buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
                const LatencyMap &lat)
 {
+    return buildOrderSets(ddg, circuits,
+                          recurrenceIis(ddg, circuits, lat));
+}
+
+OrderSets
+buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
+               const std::vector<int> &circ_ii)
+{
     OrderSets out;
+    OrderSetsScratch scratch;
+    buildOrderSets(ddg, circuits, circ_ii, out, scratch);
+    return out;
+}
+
+void
+buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
+               const std::vector<int> &circ_ii, OrderSets &out,
+               OrderSetsScratch &s)
+{
+    vliw_assert(circ_ii.size() == circuits.size(),
+                "recurrence IIs do not match the circuit list");
     out.setOf.assign(std::size_t(ddg.numNodes()), -1);
 
+    // Sets are reused in place: new_set() recycles a previous run's
+    // inner vector when one exists, and the tail is trimmed at the
+    // end.
+    std::size_t active_sets = 0;
+    auto new_set = [&]() {
+        if (active_sets < out.sets.size())
+            out.sets[active_sets].clear();
+        else
+            out.sets.emplace_back();
+        return int(active_sets++);
+    };
+
     // Recurrences sorted by constraint: descending II, then larger,
-    // then first-seen.
-    std::vector<std::size_t> circ_order(circuits.size());
+    // then first-seen. Insertion sort keeps the std::stable_sort
+    // order without its temporary buffer; fall back to the real
+    // thing for degenerate circuit counts.
+    std::vector<std::size_t> &circ_order = s.circOrder;
+    circ_order.resize(circuits.size());
     for (std::size_t i = 0; i < circuits.size(); ++i)
         circ_order[i] = i;
-    std::vector<int> circ_ii(circuits.size());
-    for (std::size_t i = 0; i < circuits.size(); ++i)
-        circ_ii[i] = circuits[i].recurrenceIi(ddg, lat);
-    std::stable_sort(circ_order.begin(), circ_order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         if (circ_ii[a] != circ_ii[b])
-                             return circ_ii[a] > circ_ii[b];
-                         return circuits[a].nodes.size() >
-                             circuits[b].nodes.size();
-                     });
+    auto before = [&](std::size_t a, std::size_t b) {
+        if (circ_ii[a] != circ_ii[b])
+            return circ_ii[a] > circ_ii[b];
+        return circuits[a].nodes.size() > circuits[b].nodes.size();
+    };
+    if (circ_order.size() <= 32) {
+        for (std::size_t i = 1; i < circ_order.size(); ++i) {
+            const std::size_t c = circ_order[i];
+            std::size_t j = i;
+            while (j > 0 && before(c, circ_order[j - 1])) {
+                circ_order[j] = circ_order[j - 1];
+                --j;
+            }
+            circ_order[j] = c;
+        }
+    } else {
+        std::stable_sort(circ_order.begin(), circ_order.end(),
+                         before);
+    }
 
     auto assign = [&](NodeId v, int set) {
         out.setOf[std::size_t(v)] = set;
         out.sets[std::size_t(set)].push_back(v);
     };
 
-    std::vector<NodeId> assigned_so_far;
+    std::vector<NodeId> &assigned_so_far = s.assigned;
+    assigned_so_far.clear();
     for (std::size_t ci : circ_order) {
         const Circuit &c = circuits[ci];
-        std::vector<NodeId> fresh;
+        std::vector<NodeId> &fresh = s.fresh;
+        fresh.clear();
         for (NodeId v : c.nodes) {
             if (out.setOf[std::size_t(v)] < 0)
                 fresh.push_back(v);
@@ -79,25 +123,24 @@ buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
         if (fresh.empty())
             continue;
 
-        const int set = int(out.sets.size());
-        out.sets.emplace_back();
+        const int set = new_set();
 
         // Nodes on paths connecting previous sets with this
         // recurrence join the same set (SMS set construction).
         if (!assigned_so_far.empty()) {
-            const auto from_prev = reachable(ddg, assigned_so_far,
-                                             true);
-            const auto to_prev = reachable(ddg, assigned_so_far,
-                                           false);
-            const auto from_circ = reachable(ddg, c.nodes, true);
-            const auto to_circ = reachable(ddg, c.nodes, false);
+            reachableInto(ddg, assigned_so_far, true, s.fromPrev,
+                          s.work);
+            reachableInto(ddg, assigned_so_far, false, s.toPrev,
+                          s.work);
+            reachableInto(ddg, c.nodes, true, s.fromCirc, s.work);
+            reachableInto(ddg, c.nodes, false, s.toCirc, s.work);
             for (NodeId v = 0; v < ddg.numNodes(); ++v) {
                 if (out.setOf[std::size_t(v)] >= 0)
                     continue;
                 const auto i = std::size_t(v);
                 const bool bridges =
-                    (from_prev[i] && to_circ[i]) ||
-                    (from_circ[i] && to_prev[i]);
+                    (s.fromPrev[i] && s.toCirc[i]) ||
+                    (s.fromCirc[i] && s.toPrev[i]);
                 if (bridges && !c.contains(v))
                     assign(v, set);
             }
@@ -109,17 +152,17 @@ buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
     }
 
     // Remaining nodes: weakly connected components, each one set.
-    std::vector<bool> visited(std::size_t(ddg.numNodes()), false);
+    std::vector<bool> &visited = s.visited;
+    visited.assign(std::size_t(ddg.numNodes()), false);
+    std::vector<NodeId> &work = s.work;
     for (NodeId v = 0; v < ddg.numNodes(); ++v) {
         if (out.setOf[std::size_t(v)] >= 0 || visited[std::size_t(v)])
             continue;
-        const int set = int(out.sets.size());
-        out.sets.emplace_back();
-        std::deque<NodeId> work{v};
+        const int set = new_set();
+        work.assign(1, v);
         visited[std::size_t(v)] = true;
-        while (!work.empty()) {
-            const NodeId u = work.front();
-            work.pop_front();
+        for (std::size_t head = 0; head < work.size(); ++head) {
+            const NodeId u = work[head];
             assign(u, set);
             auto push = [&](NodeId w) {
                 if (out.setOf[std::size_t(w)] < 0 &&
@@ -135,19 +178,55 @@ buildOrderSets(const Ddg &ddg, const std::vector<Circuit> &circuits,
         }
     }
 
-    return out;
+    out.sets.resize(active_sets);
 }
 
 std::vector<NodeId>
 smsOrder(const Ddg &ddg, const std::vector<Circuit> &circuits,
          const LatencyMap &lat, int ii)
 {
-    const OrderSets sets = buildOrderSets(ddg, circuits, lat);
-    const TimeFrames frames = computeTimeFrames(ddg, lat, ii);
+    return smsOrder(ddg, buildOrderSets(ddg, circuits, lat), lat,
+                    ii);
+}
 
-    std::vector<NodeId> order;
-    order.reserve(std::size_t(ddg.numNodes()));
-    std::vector<bool> placed(std::size_t(ddg.numNodes()), false);
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const OrderSets &sets,
+         const LatencyMap &lat, int ii)
+{
+    EdgeWeights weights;
+    weights.build(ddg, lat);
+    return smsOrder(ddg, sets, weights, ii);
+}
+
+std::vector<NodeId>
+smsOrder(const Ddg &ddg, const OrderSets &sets,
+         const EdgeWeights &weights, int ii)
+{
+    SchedGraph graph;
+    graph.build(ddg, weights);
+    SmsScratch scratch;
+    return smsOrder(graph, sets, ii, scratch);
+}
+
+const std::vector<NodeId> &
+smsOrder(const SchedGraph &graph, const OrderSets &sets, int ii,
+         SmsScratch &scratch)
+{
+    const int num_nodes = graph.numNodes();
+    computeTimeFrames(graph, ii, scratch.frames,
+                      scratch.framesScratch);
+    const TimeFrames &frames = scratch.frames;
+
+    std::vector<NodeId> &order = scratch.order;
+    order.clear();
+    order.reserve(std::size_t(num_nodes));
+    std::vector<bool> &placed = scratch.placed;
+    placed.assign(std::size_t(num_nodes), false);
+    // Sweep worklists, reused across every set and direction flip
+    // (the ordering runs once per II attempt, so churn here was a
+    // measurable slice of the II-escalation path).
+    std::vector<NodeId> &r_set = scratch.rset;
+    std::vector<NodeId> &peers = scratch.peers;
 
     enum class Dir { BottomUp, TopDown };
 
@@ -159,62 +238,59 @@ smsOrder(const Ddg &ddg, const std::vector<Circuit> &circuits,
         };
 
         // Unplaced set members that precede / succeed placed nodes.
-        auto preds_of_order = [&]() {
-            std::vector<NodeId> r;
+        auto fill_preds = [&](std::vector<NodeId> &r) {
+            r.clear();
             for (NodeId v : set) {
                 if (placed[std::size_t(v)])
                     continue;
-                for (int eidx : ddg.outEdges(v)) {
-                    if (placed[std::size_t(ddg.edge(eidx).dst)]) {
+                for (std::int32_t k = graph.outOff[std::size_t(v)];
+                     k < graph.outOff[std::size_t(v) + 1]; ++k) {
+                    if (placed[std::size_t(
+                            graph.out[std::size_t(k)].other)]) {
                         r.push_back(v);
                         break;
                     }
                 }
             }
-            return r;
         };
-        auto succs_of_order = [&]() {
-            std::vector<NodeId> r;
+        auto fill_succs = [&](std::vector<NodeId> &r) {
+            r.clear();
             for (NodeId v : set) {
                 if (placed[std::size_t(v)])
                     continue;
-                for (int eidx : ddg.inEdges(v)) {
-                    if (placed[std::size_t(ddg.edge(eidx).src)]) {
+                for (std::int32_t k = graph.inOff[std::size_t(v)];
+                     k < graph.inOff[std::size_t(v) + 1]; ++k) {
+                    if (placed[std::size_t(
+                            graph.in[std::size_t(k)].other)]) {
                         r.push_back(v);
                         break;
                     }
                 }
             }
-            return r;
         };
 
-        std::vector<NodeId> r_set;
         Dir dir = Dir::BottomUp;
-        {
-            const auto po = preds_of_order();
-            const auto so = succs_of_order();
-            if (!po.empty() && so.empty()) {
-                r_set = po;
-                dir = Dir::BottomUp;
-            } else if (!so.empty() && po.empty()) {
-                r_set = so;
-                dir = Dir::TopDown;
-            } else if (po.empty() && so.empty()) {
-                // Isolated set: start bottom-up from the node with
-                // the highest ASAP (the bottom of the critical path).
-                NodeId pick = set.front();
-                for (NodeId v : set) {
-                    if (frames.asap[std::size_t(v)] >
-                        frames.asap[std::size_t(pick)]) {
-                        pick = v;
-                    }
+        fill_preds(r_set);
+        fill_succs(peers);
+        if (!r_set.empty() && peers.empty()) {
+            dir = Dir::BottomUp;
+        } else if (!peers.empty() && r_set.empty()) {
+            r_set.swap(peers);
+            dir = Dir::TopDown;
+        } else if (r_set.empty() && peers.empty()) {
+            // Isolated set: start bottom-up from the node with
+            // the highest ASAP (the bottom of the critical path).
+            NodeId pick = set.front();
+            for (NodeId v : set) {
+                if (frames.asap[std::size_t(v)] >
+                    frames.asap[std::size_t(pick)]) {
+                    pick = v;
                 }
-                r_set = {pick};
-                dir = Dir::BottomUp;
-            } else {
-                r_set = po;
-                dir = Dir::BottomUp;
             }
+            r_set.assign(1, pick);
+            dir = Dir::BottomUp;
+        } else {
+            dir = Dir::BottomUp;   // r_set already holds the preds
         }
 
         auto take_best = [&](std::vector<NodeId> &r, bool by_depth) {
@@ -244,14 +320,17 @@ smsOrder(const Ddg &ddg, const std::vector<Circuit> &circuits,
                         continue;
                     placed[std::size_t(v)] = true;
                     order.push_back(v);
-                    for (int eidx : ddg.inEdges(v)) {
-                        const NodeId p = ddg.edge(eidx).src;
+                    for (std::int32_t k =
+                             graph.inOff[std::size_t(v)];
+                         k < graph.inOff[std::size_t(v) + 1]; ++k) {
+                        const NodeId p =
+                            graph.in[std::size_t(k)].other;
                         if (in_set(p) && !placed[std::size_t(p)])
                             r_set.push_back(p);
                     }
                 }
                 dir = Dir::TopDown;
-                r_set = succs_of_order();
+                fill_succs(r_set);
             } else {
                 while (!r_set.empty()) {
                     const NodeId v = take_best(r_set, false);
@@ -259,21 +338,24 @@ smsOrder(const Ddg &ddg, const std::vector<Circuit> &circuits,
                         continue;
                     placed[std::size_t(v)] = true;
                     order.push_back(v);
-                    for (int eidx : ddg.outEdges(v)) {
-                        const NodeId s = ddg.edge(eidx).dst;
+                    for (std::int32_t k =
+                             graph.outOff[std::size_t(v)];
+                         k < graph.outOff[std::size_t(v) + 1]; ++k) {
+                        const NodeId s =
+                            graph.out[std::size_t(k)].other;
                         if (in_set(s) && !placed[std::size_t(s)])
                             r_set.push_back(s);
                     }
                 }
                 dir = Dir::BottomUp;
-                r_set = preds_of_order();
+                fill_preds(r_set);
             }
         }
     }
 
-    vliw_assert(int(order.size()) == ddg.numNodes(),
+    vliw_assert(int(order.size()) == num_nodes,
                 "SMS ordering lost nodes: ", order.size(), " of ",
-                ddg.numNodes());
+                num_nodes);
     return order;
 }
 
@@ -308,7 +390,15 @@ checkOrderConnectivity(const Ddg &ddg, const OrderSets &sets,
 std::vector<NodeId>
 topologicalOrder(const Ddg &ddg, const LatencyMap &lat, int ii)
 {
-    const TimeFrames frames = computeTimeFrames(ddg, lat, ii);
+    EdgeWeights weights;
+    weights.build(ddg, lat);
+    return topologicalOrder(ddg, weights, ii);
+}
+
+std::vector<NodeId>
+topologicalOrder(const Ddg &ddg, const EdgeWeights &weights, int ii)
+{
+    const TimeFrames frames = computeTimeFrames(ddg, weights, ii);
     const int n = ddg.numNodes();
     std::vector<int> pending(std::size_t(n), 0);
     for (const DdgEdge &e : ddg.edges()) {

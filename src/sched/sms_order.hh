@@ -32,10 +32,76 @@ struct OrderSets
     std::vector<int> setOf;
 };
 
-/** Build the SMS priority sets. */
+/**
+ * Build the SMS priority sets with the circuits' recurrence IIs
+ * already computed (see recurrenceIis()). The sets depend only on
+ * the graph and the latencies -- not on the scheduling II -- so an
+ * II-escalation loop builds them once and reorders cheaply per
+ * attempt via the OrderSets overload of smsOrder().
+ */
+OrderSets buildOrderSets(const Ddg &ddg,
+                         const std::vector<Circuit> &circuits,
+                         const std::vector<int> &circuit_iis);
+
+/** Convenience overload computing the recurrence IIs itself. */
 OrderSets buildOrderSets(const Ddg &ddg,
                          const std::vector<Circuit> &circuits,
                          const LatencyMap &lat);
+
+/** Reusable storage for buildOrderSets(). */
+struct OrderSetsScratch
+{
+    std::vector<std::size_t> circOrder;
+    std::vector<bool> fromPrev;
+    std::vector<bool> toPrev;
+    std::vector<bool> fromCirc;
+    std::vector<bool> toCirc;
+    std::vector<bool> visited;
+    std::vector<NodeId> work;
+    std::vector<NodeId> assigned;
+    std::vector<NodeId> fresh;
+};
+
+/**
+ * Allocation-reusing variant: writes the sets into @p out (whose
+ * vectors keep their storage between calls) and runs the
+ * reachability sweeps from @p scratch.
+ */
+void buildOrderSets(const Ddg &ddg,
+                    const std::vector<Circuit> &circuits,
+                    const std::vector<int> &circuit_iis,
+                    OrderSets &out, OrderSetsScratch &scratch);
+
+/** Reusable storage for the per-attempt ordering work. */
+struct SmsScratch
+{
+    TimeFrames frames;
+    TimeFramesScratch framesScratch;
+    std::vector<bool> placed;
+    std::vector<NodeId> rset;
+    std::vector<NodeId> peers;
+    std::vector<NodeId> order;
+};
+
+/**
+ * SMS ordering from pre-built priority sets and packed adjacency.
+ * Only the time frames and the bottom-up / top-down sweeps run
+ * here; everything II-invariant lives in @p sets and @p graph.
+ * @p ii is the scheduling II (it shapes the time frames). The
+ * result lives in @p scratch.order until the next call; with a warm
+ * scratch the ordering allocates nothing.
+ */
+const std::vector<NodeId> &smsOrder(const SchedGraph &graph,
+                                    const OrderSets &sets, int ii,
+                                    SmsScratch &scratch);
+
+/** As above into a fresh scratch (allocates; tests/tools). */
+std::vector<NodeId> smsOrder(const Ddg &ddg, const OrderSets &sets,
+                             const EdgeWeights &weights, int ii);
+
+/** As above, building the edge latencies on the fly. */
+std::vector<NodeId> smsOrder(const Ddg &ddg, const OrderSets &sets,
+                             const LatencyMap &lat, int ii);
 
 /** Full SMS ordering of all nodes. @p ii is the scheduling II. */
 std::vector<NodeId> smsOrder(const Ddg &ddg,
@@ -71,6 +137,11 @@ bool checkOrderConnectivity(const Ddg &ddg, const OrderSets &sets,
  */
 std::vector<NodeId> topologicalOrder(const Ddg &ddg,
                                      const LatencyMap &lat, int ii);
+
+/** As above with pre-built edge latencies (the II-retry path). */
+std::vector<NodeId> topologicalOrder(const Ddg &ddg,
+                                     const EdgeWeights &weights,
+                                     int ii);
 
 } // namespace vliw
 

@@ -1,32 +1,117 @@
 #include "time_frames.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "support/logging.hh"
 
 namespace vliw {
 
+void
+EdgeWeights::build(const Ddg &ddg, const LatencyMap &lat)
+{
+    latency.resize(std::size_t(ddg.numEdges()));
+    for (int e = 0; e < ddg.numEdges(); ++e)
+        latency[std::size_t(e)] = edgeLatency(ddg, ddg.edge(e), lat);
+}
+
+void
+SchedGraph::build(const Ddg &ddg, const EdgeWeights &weights)
+{
+    const std::size_t n = std::size_t(ddg.numNodes());
+    inOff.assign(n + 1, 0);
+    outOff.assign(n + 1, 0);
+    in.clear();
+    out.clear();
+    in.reserve(std::size_t(ddg.numEdges()));
+    out.reserve(std::size_t(ddg.numEdges()));
+
+    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
+        for (int eidx : ddg.inEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            in.push_back({e.src, weights.latency[std::size_t(eidx)],
+                          e.distance,
+                          e.kind == DepKind::RegFlow ? 1 : 0});
+        }
+        inOff[std::size_t(v) + 1] = std::int32_t(in.size());
+        for (int eidx : ddg.outEdges(v)) {
+            const DdgEdge &e = ddg.edge(eidx);
+            out.push_back({e.dst, weights.latency[std::size_t(eidx)],
+                           e.distance,
+                           e.kind == DepKind::RegFlow ? 1 : 0});
+        }
+        outOff[std::size_t(v) + 1] = std::int32_t(out.size());
+    }
+}
+
 TimeFrames
 computeTimeFrames(const Ddg &ddg, const LatencyMap &lat, int ii)
 {
-    const int n = ddg.numNodes();
+    EdgeWeights w;
+    w.build(ddg, lat);
+    return computeTimeFrames(ddg, w, ii);
+}
+
+TimeFrames
+computeTimeFrames(const Ddg &ddg, const EdgeWeights &w, int ii)
+{
+    SchedGraph graph;
+    graph.build(ddg, w);
     TimeFrames frames;
+    TimeFramesScratch scratch;
+    computeTimeFrames(graph, ii, frames, scratch);
+    return frames;
+}
+
+void
+computeTimeFrames(const Ddg &ddg, const EdgeWeights &w, int ii,
+                  TimeFrames &frames, TimeFramesScratch &scratch)
+{
+    SchedGraph graph;
+    graph.build(ddg, w);
+    computeTimeFrames(graph, ii, frames, scratch);
+}
+
+/*
+ * Worklist Bellman-Ford. The longest-path fixpoint is unique for
+ * ii >= RecMII (every cycle has non-positive weight), so relaxing
+ * from a queue converges to exactly the values the round-based
+ * all-edges sweep produced -- it just skips the nodes whose frames
+ * are already final instead of re-scanning every edge per round.
+ */
+void
+computeTimeFrames(const SchedGraph &graph, int ii, TimeFrames &frames,
+                  TimeFramesScratch &scratch)
+{
+    const int n = graph.numNodes();
     frames.asap.assign(std::size_t(n), 0);
 
-    // Longest path with weights lat - ii*dist. With ii >= RecMII all
-    // cycles have non-positive weight, so |V| rounds converge.
-    bool changed = true;
-    for (int round = 0; changed && round <= n; ++round) {
-        vliw_assert(round < n || !changed,
+    std::vector<std::uint8_t> &queued = scratch.queued;
+    std::vector<int> &pops = scratch.pops;
+    std::vector<NodeId> &queue = scratch.queue;
+    queued.assign(std::size_t(n), 1);
+    pops.assign(std::size_t(n), 0);
+    queue.clear();
+    for (NodeId v = 0; v < n; ++v)
+        queue.push_back(v);
+
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const NodeId u = queue[head];
+        queued[std::size_t(u)] = 0;
+        vliw_assert(++pops[std::size_t(u)] <= n + 1,
                     "ASAP relaxation diverged: ii ", ii,
                     " below RecMII");
-        changed = false;
-        for (const DdgEdge &e : ddg.edges()) {
-            const int w = edgeLatency(ddg, e, lat) - ii * e.distance;
-            const int t = frames.asap[std::size_t(e.src)] + w;
-            if (t > frames.asap[std::size_t(e.dst)]) {
-                frames.asap[std::size_t(e.dst)] = t;
-                changed = true;
+        const int base = frames.asap[std::size_t(u)];
+        for (std::int32_t k = graph.outOff[std::size_t(u)];
+             k < graph.outOff[std::size_t(u) + 1]; ++k) {
+            const SchedGraph::Arc &a = graph.out[std::size_t(k)];
+            const int t = base + a.latency - ii * a.distance;
+            if (t > frames.asap[std::size_t(a.other)]) {
+                frames.asap[std::size_t(a.other)] = t;
+                if (!queued[std::size_t(a.other)]) {
+                    queued[std::size_t(a.other)] = 1;
+                    queue.push_back(a.other);
+                }
             }
         }
     }
@@ -36,23 +121,35 @@ computeTimeFrames(const Ddg &ddg, const LatencyMap &lat, int ii)
         frames.length = std::max(frames.length, t);
 
     frames.alap.assign(std::size_t(n), frames.length);
-    changed = true;
-    for (int round = 0; changed && round <= n; ++round) {
-        vliw_assert(round < n || !changed,
+    std::fill(queued.begin(), queued.end(), 1);
+    std::fill(pops.begin(), pops.end(), 0);
+    queue.clear();
+    // Nodes are created in roughly topological order, so seeding
+    // the backward relaxation in reverse id order settles most
+    // frames in one pass (the fixpoint is order-independent).
+    for (NodeId v = n - 1; v >= 0; --v)
+        queue.push_back(v);
+
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+        const NodeId u = queue[head];
+        queued[std::size_t(u)] = 0;
+        vliw_assert(++pops[std::size_t(u)] <= n + 1,
                     "ALAP relaxation diverged: ii ", ii,
                     " below RecMII");
-        changed = false;
-        for (const DdgEdge &e : ddg.edges()) {
-            const int w = edgeLatency(ddg, e, lat) - ii * e.distance;
-            const int t = frames.alap[std::size_t(e.dst)] - w;
-            if (t < frames.alap[std::size_t(e.src)]) {
-                frames.alap[std::size_t(e.src)] = t;
-                changed = true;
+        const int base = frames.alap[std::size_t(u)];
+        for (std::int32_t k = graph.inOff[std::size_t(u)];
+             k < graph.inOff[std::size_t(u) + 1]; ++k) {
+            const SchedGraph::Arc &a = graph.in[std::size_t(k)];
+            const int t = base - a.latency + ii * a.distance;
+            if (t < frames.alap[std::size_t(a.other)]) {
+                frames.alap[std::size_t(a.other)] = t;
+                if (!queued[std::size_t(a.other)]) {
+                    queued[std::size_t(a.other)] = 1;
+                    queue.push_back(a.other);
+                }
             }
         }
     }
-
-    return frames;
 }
 
 } // namespace vliw

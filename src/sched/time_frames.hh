@@ -8,6 +8,7 @@
 #ifndef WIVLIW_SCHED_TIME_FRAMES_HH
 #define WIVLIW_SCHED_TIME_FRAMES_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "ddg/ddg.hh"
@@ -32,11 +33,81 @@ struct TimeFrames
 };
 
 /**
+ * Per-edge scheduling latencies (edgeLatency() for every edge
+ * index). They depend on the graph and the assigned latencies but
+ * never on the II, so an II-escalation loop builds them once and
+ * every attempt reads a flat array instead of re-dispatching on the
+ * dependence kind per edge visit.
+ */
+struct EdgeWeights
+{
+    std::vector<int> latency;
+
+    /** Rebuild from @p ddg, reusing this object's capacity. */
+    void build(const Ddg &ddg, const LatencyMap &lat);
+};
+
+/**
+ * CSR adjacency with each edge's scheduling data pre-resolved
+ * (latency, iteration distance, RegFlow flag). Arcs keep the Ddg's
+ * per-node edge order. II-invariant like EdgeWeights; the frames
+ * relaxation, the SMS sweeps and the placement window gathering all
+ * walk these flat arrays instead of chasing the Ddg's
+ * vector-of-edge-indices adjacency.
+ */
+struct SchedGraph
+{
+    struct Arc
+    {
+        NodeId other;
+        std::int32_t latency;
+        std::int32_t distance;
+        std::int32_t regFlow;
+    };
+
+    /** in[inOff[v] .. inOff[v+1]) = arcs entering v (other=src). */
+    std::vector<std::int32_t> inOff;
+    std::vector<Arc> in;
+    /** out[outOff[v] .. outOff[v+1]) = arcs leaving v (other=dst). */
+    std::vector<std::int32_t> outOff;
+    std::vector<Arc> out;
+
+    /** Rebuild from @p ddg, reusing this object's capacity. */
+    void build(const Ddg &ddg, const EdgeWeights &weights);
+
+    int numNodes() const { return int(inOff.size()) - 1; }
+};
+
+/**
  * Compute frames; @p ii must be >= RecMII or the relaxation would
- * diverge (this panics after |V| rounds in that case).
+ * diverge (this panics once a node relaxes |V|+1 times).
  */
 TimeFrames computeTimeFrames(const Ddg &ddg, const LatencyMap &lat,
                              int ii);
+
+/** As above with pre-built edge latencies (the II-retry path). */
+TimeFrames computeTimeFrames(const Ddg &ddg, const EdgeWeights &w,
+                             int ii);
+
+/** Worklist storage, reusable across computeTimeFrames() calls. */
+struct TimeFramesScratch
+{
+    std::vector<std::uint8_t> queued;
+    std::vector<int> pops;
+    std::vector<NodeId> queue;
+};
+
+/**
+ * Allocation-free variant: writes into @p out and runs the
+ * relaxation from @p scratch, both of which keep their storage
+ * between calls.
+ */
+void computeTimeFrames(const Ddg &ddg, const EdgeWeights &w, int ii,
+                       TimeFrames &out, TimeFramesScratch &scratch);
+
+/** As above over the packed adjacency (the II-retry path). */
+void computeTimeFrames(const SchedGraph &graph, int ii,
+                       TimeFrames &out, TimeFramesScratch &scratch);
 
 } // namespace vliw
 

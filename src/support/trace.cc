@@ -1,0 +1,16 @@
+#include "trace.hh"
+
+#include <cstdlib>
+
+namespace vliw::detail {
+
+int
+readSchedTraceLevel()
+{
+    const char *env = std::getenv("WIVLIW_SCHED_TRACE");
+    if (!env)
+        return 0;
+    return env[0] == '2' ? 2 : 1;
+}
+
+} // namespace vliw::detail

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Scheduler trace gating. The level comes from the environment
+ * variable WIVLIW_SCHED_TRACE, read exactly once per process:
+ *
+ *   unset          -> 0  silent
+ *   set (any text) -> 1  one line per placement / per failed node
+ *   set, "2..."    -> 2  additionally every rejected (cluster,
+ *                        cycle) probe and failed copy route
+ *
+ * The hot path pays one inline integer compare instead of a getenv()
+ * environment scan per probe.
+ */
+
+#ifndef WIVLIW_SUPPORT_TRACE_HH
+#define WIVLIW_SUPPORT_TRACE_HH
+
+namespace vliw {
+
+namespace detail {
+/** Parse WIVLIW_SCHED_TRACE; called once via static init. */
+int readSchedTraceLevel();
+} // namespace detail
+
+/** Cached trace level; 0 unless WIVLIW_SCHED_TRACE is set. */
+inline int
+schedTraceLevel()
+{
+    static const int level = detail::readSchedTraceLevel();
+    return level;
+}
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_TRACE_HH

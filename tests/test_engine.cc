@@ -414,6 +414,38 @@ TEST_F(ReportTest, CsvHasHeaderAndOneLinePerExperiment)
               std::string::npos);
 }
 
+TEST_F(ReportTest, EngineAlwaysMeasuresPerJobTiming)
+{
+    for (const ExperimentResult &r : results()) {
+        EXPECT_GE(r.compileMs, 0.0);
+        // Simulation always runs, so its wall time cannot be zero.
+        EXPECT_GT(r.simulateMs, 0.0);
+    }
+}
+
+TEST_F(ReportTest, TimingColumnsAppearOnlyWhenAsked)
+{
+    EXPECT_EQ(engine::sweepTable(results(), true).columnCount(),
+              12u);
+    EXPECT_EQ(engine::sweepTable(results()).columnCount(), 10u);
+
+    std::ostringstream csv;
+    engine::writeCsv(csv, results(), true);
+    EXPECT_NE(csv.str().find(",compile_ms,simulate_ms"),
+              std::string::npos);
+
+    std::ostringstream json;
+    engine::writeJson(json, results(), nullptr, true);
+    EXPECT_NE(json.str().find("\"timing\": {\"compile_ms\": "),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"simulate_ms\""),
+              std::string::npos);
+
+    std::ostringstream bare;
+    engine::writeJson(bare, results());
+    EXPECT_EQ(bare.str().find("compile_ms"), std::string::npos);
+}
+
 TEST_F(ReportTest, JsonIsBalancedAndCarriesCacheStats)
 {
     CompileCacheStats stats;

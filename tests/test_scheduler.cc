@@ -11,6 +11,7 @@
 #include "sched/latency_assign.hh"
 #include "sched/mrt.hh"
 #include "sched/reg_pressure.hh"
+#include "sched/sched_workspace.hh"
 #include "sched/scheduler.hh"
 #include "util_paper_example.hh"
 #include "util_random_ddg.hh"
@@ -177,6 +178,26 @@ TEST_F(SchedulerPaperTest, IpbcPrefersClusterWhenSlackAllows)
                                   opts);
     ASSERT_TRUE(out.has_value());
     EXPECT_EQ(out->schedule.clusterOf(ld), 3);
+}
+
+TEST_F(SchedulerPaperTest, WorkspaceChainsMatchReferenceImpl)
+{
+    // The scheduler's hot path derives chains and IPBC targets
+    // inside SchedWorkspace; MemChains + ipbcChainTargets() stay
+    // the reference implementations. Pin them together so neither
+    // can drift silently.
+    MemChains chains(ex.ddg);
+    const std::vector<int> reference =
+        ipbcChainTargets(chains, ex.profile, cfg.numClusters);
+
+    SchedWorkspace ws;
+    ws.beginLoop(ex.ddg, circuits, assignment->latencies, cfg,
+                 /*build_chains=*/true);
+    EXPECT_EQ(ws.numChains(), chains.numChains());
+    for (NodeId v : ex.ddg.memNodes())
+        EXPECT_EQ(ws.chainOf(v), chains.chainOf(v));
+    EXPECT_EQ(ws.ipbcTargets(ex.profile, cfg.numClusters),
+              reference);
 }
 
 TEST_F(SchedulerPaperTest, ChainMembersShareClusterUnderIbc)

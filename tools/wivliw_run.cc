@@ -51,6 +51,7 @@ struct CliOptions
     bool sweep = false;
     int jobs = 1;
     bool compileCache = true;
+    bool timing = false;
     std::string benches;        // comma lists; empty = full axis
     std::string archs;
     std::string heuristics;
@@ -89,6 +90,8 @@ usage(int code)
         "  --jobs N           worker threads (default 1; 0 = auto);\n"
         "                     results are identical for every N\n"
         "  --no-compile-cache recompile every arch variant\n"
+        "  --timing           per-job compile/simulate wall-time\n"
+        "                     columns plus aggregated totals\n"
         "common:\n"
         "  --csv              machine-readable output\n"
         "  --json             JSON output (sweep includes cache)\n"
@@ -226,6 +229,10 @@ parseArgs(int argc, char **argv)
             cli.compileCache = false;
             cli.sweepOnlyFlag = arg;
         }
+        else if (arg == "--timing") {
+            cli.timing = true;
+            cli.sweepOnlyFlag = arg;
+        }
         else if (arg == "--benches") {
             cli.benches = value("--benches");
             cli.sweepOnlyFlag = arg;
@@ -353,14 +360,17 @@ runSweep(const CliOptions &cli)
 
     if (cli.json) {
         engine::writeJson(std::cout, results,
-                          cli.compileCache ? &cache : nullptr);
+                          cli.compileCache ? &cache : nullptr,
+                          cli.timing);
     } else if (cli.csv) {
-        engine::writeCsv(std::cout, results);
+        engine::writeCsv(std::cout, results, cli.timing);
     } else {
-        engine::sweepTable(results).print(std::cout);
+        engine::sweepTable(results, cli.timing).print(std::cout);
     }
     if (!cli.json && cli.compileCache)
         engine::writeCacheSummary(std::cerr, cache);
+    if (!cli.json && cli.timing)
+        engine::writeTimingSummary(std::cerr, results);
     return 0;
 }
 
