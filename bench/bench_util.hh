@@ -70,7 +70,7 @@ runSuite(const MachineConfig &cfg, const ToolchainOptions &opts)
     std::vector<BenchmarkRun> runs;
     for (engine::ExperimentResult &r :
          sharedEngine().run(suiteSpecs(cfg.describe(), cfg, opts)))
-        runs.push_back(std::move(r.run));
+        runs.push_back(std::move(r.datasetRuns.front()));
     return runs;
 }
 

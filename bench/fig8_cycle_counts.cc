@@ -48,7 +48,7 @@ main()
     auto arm_slice = [&](std::size_t arm) {
         std::vector<BenchmarkRun> runs;
         for (std::size_t i = 0; i < n; ++i)
-            runs.push_back(results[arm * n + i].run);
+            runs.push_back(results[arm * n + i].run());
         return runs;
     };
     const auto base = arm_slice(0);

@@ -1,11 +1,12 @@
 #include "toolchain.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/versioning.hh"
 #include "ddg/mii.hh"
 #include "ddg/unroll.hh"
-#include "sim/vliw_sim.hh"
+#include "sim/sim_workspace.hh"
 #include "support/logging.hh"
 #include "workloads/address_gen.hh"
 #include "workloads/dataset.hh"
@@ -215,20 +216,43 @@ Toolchain::compileBenchmark(const BenchmarkSpec &bench) const
     return out;
 }
 
-BenchmarkRun
-Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
-                             const CompiledBenchmark &compiledBench) const
-{
-    vliw_assert(compiledBench.loops.size() == bench.loops.size(),
-                "compiled benchmark ", compiledBench.name,
-                " does not match spec ", bench.name);
+namespace {
 
+/** Hot-path address callback bound to a resolver (no heap). */
+AddressSource
+resolverSource(const AddressResolver &addr)
+{
+    AddressSource src;
+    src.ctx = &addr;
+    src.fn = [](const void *ctx, NodeId v, std::int64_t iter) {
+        return static_cast<const AddressResolver *>(ctx)
+            ->addressOf(v, iter);
+    };
+    return src;
+}
+
+/** Kernel handles of one loop's compiled versions. */
+struct LoopKernels
+{
+    int primary = -1;
+    int unchained = -1;
+};
+
+/**
+ * Simulate every loop of a compiled benchmark against one execution
+ * data set, using kernels previously prepared on @p ws. This is the
+ * per-dataset body both simulateBenchmark() and simulateBatch()
+ * share; @p mem must be freshly constructed or resetAll().
+ */
+BenchmarkRun
+simulateDataset(const MachineConfig &cfg, const BenchmarkSpec &bench,
+                const CompiledBenchmark &compiledBench,
+                const std::vector<LoopKernels> &kernels,
+                SimWorkspace &ws, MemSystem &mem,
+                const DataSet &exec_ds)
+{
     BenchmarkRun run;
     run.name = bench.name;
-
-    const DataSet exec_ds = makeDataSet(bench, cfg_, opts_.execSeed,
-                                        opts_.varAlignment);
-    auto mem = makeMemSystem(cfg_);
     Cycles clock = 0;
 
     std::vector<double> balances;
@@ -254,7 +278,7 @@ Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
         lr.stageCount = compiled.sched.schedule.stageCount;
         lr.copies = compiled.sched.schedule.numCopies();
         lr.workloadBalance =
-            compiled.sched.schedule.workloadBalance(cfg_.numClusters);
+            compiled.sched.schedule.workloadBalance(cfg.numClusters);
 
         for (int inv = 0; inv < compiled.invocations; ++inv) {
             exec_addr.setInvocation(inv);
@@ -262,34 +286,31 @@ Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
             // The check code: run the unchained version when its
             // chained references are dynamically disjoint.
             const CompiledLoop *version = &compiled;
-            AddressResolver *addr = &exec_addr;
+            int kernel = kernels[li].primary;
+            const AddressResolver *addr = &exec_addr;
             if (unchained) {
                 unchained_addr->setInvocation(inv);
                 if (chainsDynamicallyDisjoint(
                         compiled.ddg, *chains, exec_addr,
                         compiled.kernelIterations)) {
                     version = &*unchained;
+                    kernel = kernels[li].unchained;
                     addr = &*unchained_addr;
                     lr.unchainedInvocations += 1;
                 }
             }
 
-            LoopExecution exec;
-            exec.ddg = &version->ddg;
-            exec.schedule = &version->sched.schedule;
-            exec.latencies = &version->latency.latencies;
-            exec.profile = &version->profile;
-            exec.iterations = version->kernelIterations;
-            exec.startCycle = clock;
-            exec.addressOf = [&](NodeId v, std::int64_t iter) {
-                return addr->addressOf(v, iter);
-            };
-            const LoopSimResult result =
-                simulateLoop(exec, *mem, cfg_);
+            SimRunParams params;
+            params.profile = &version->profile;
+            params.iterations = version->kernelIterations;
+            params.startCycle = clock;
+            const SimRunResult result =
+                ws.run(kernel, params, resolverSource(*addr), mem,
+                       cfg);
             lr.sim.merge(result.stats);
             clock = result.endCycle;
             // Attraction Buffers flush when a loop finishes.
-            mem->loopBoundary();
+            mem.loopBoundary();
         }
 
         lr.dynamicInsts = lr.sim.dynamicOps;
@@ -302,6 +323,101 @@ Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
     run.workloadBalance = balances.empty()
         ? 0.0 : weightedMean(balances, weights);
     return run;
+}
+
+/** Decode every compiled loop (and versioned body) once. */
+std::vector<LoopKernels>
+prepareKernels(const CompiledBenchmark &compiledBench,
+               SimWorkspace &ws)
+{
+    std::vector<LoopKernels> kernels;
+    kernels.reserve(compiledBench.loops.size());
+    for (const CompiledLoopVersions &versions : compiledBench.loops) {
+        LoopKernels lk;
+        lk.primary = ws.prepare(versions.primary.ddg,
+                                versions.primary.sched.schedule,
+                                versions.primary.latency.latencies);
+        if (versions.unchained) {
+            lk.unchained =
+                ws.prepare(versions.unchained->ddg,
+                           versions.unchained->sched.schedule,
+                           versions.unchained->latency.latencies);
+        }
+        kernels.push_back(lk);
+    }
+    return kernels;
+}
+
+} // namespace
+
+BenchmarkRun
+Toolchain::simulateBenchmark(const BenchmarkSpec &bench,
+                             const CompiledBenchmark &compiledBench) const
+{
+    vliw_assert(compiledBench.loops.size() == bench.loops.size(),
+                "compiled benchmark ", compiledBench.name,
+                " does not match spec ", bench.name);
+
+    SimWorkspace &ws = threadSimWorkspace();
+    ws.clearKernels();
+    const std::vector<LoopKernels> kernels =
+        prepareKernels(compiledBench, ws);
+
+    const DataSet exec_ds = makeDataSet(bench, cfg_, opts_.execSeed,
+                                        opts_.varAlignment);
+    auto mem = makeMemSystem(cfg_);
+    return simulateDataset(cfg_, bench, compiledBench, kernels, ws,
+                           *mem, exec_ds);
+}
+
+std::vector<BenchmarkRun>
+Toolchain::simulateBatch(const BenchmarkSpec &bench,
+                         const CompiledBenchmark &compiledBench,
+                         const std::vector<std::uint64_t> &seeds,
+                         std::vector<double> *dataset_ms,
+                         double *setup_ms) const
+{
+    vliw_assert(compiledBench.loops.size() == bench.loops.size(),
+                "compiled benchmark ", compiledBench.name,
+                " does not match spec ", bench.name);
+
+    // Decode the schedules and build the memory model once; every
+    // data set reuses them, so the per-dataset cost is simulation
+    // proper plus one resetAll().
+    const auto setup_start = std::chrono::steady_clock::now();
+    SimWorkspace &ws = threadSimWorkspace();
+    ws.clearKernels();
+    const std::vector<LoopKernels> kernels =
+        prepareKernels(compiledBench, ws);
+    auto mem = makeMemSystem(cfg_);
+    if (setup_ms) {
+        *setup_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() -
+                        setup_start)
+                        .count();
+    }
+
+    if (dataset_ms) {
+        dataset_ms->clear();
+        dataset_ms->reserve(seeds.size());
+    }
+    std::vector<BenchmarkRun> runs;
+    runs.reserve(seeds.size());
+    for (std::uint64_t seed : seeds) {
+        const auto t0 = std::chrono::steady_clock::now();
+        mem->resetAll();
+        const DataSet exec_ds =
+            makeDataSet(bench, cfg_, seed, opts_.varAlignment);
+        runs.push_back(simulateDataset(cfg_, bench, compiledBench,
+                                       kernels, ws, *mem, exec_ds));
+        if (dataset_ms) {
+            dataset_ms->push_back(
+                std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        }
+    }
+    return runs;
 }
 
 BenchmarkRun

@@ -158,6 +158,24 @@ class Toolchain
     BenchmarkRun simulateBenchmark(const BenchmarkSpec &bench,
                                    const CompiledBenchmark &compiled) const;
 
+    /**
+     * Simulate one compiled benchmark across several execution data
+     * sets (one per seed, see datasetSeed()), amortising schedule
+     * decode and all simulator scratch over the whole batch. The
+     * result at index i is bit-identical to simulateBenchmark() run
+     * under options whose execSeed is seeds[i]. When @p dataset_ms
+     * is given it receives one wall-time entry per data set; when
+     * @p setup_ms is given it receives the shared batch setup time
+     * (schedule decode + memory-model construction), so setup plus
+     * the per-dataset entries account for the whole batch.
+     */
+    std::vector<BenchmarkRun>
+    simulateBatch(const BenchmarkSpec &bench,
+                  const CompiledBenchmark &compiled,
+                  const std::vector<std::uint64_t> &seeds,
+                  std::vector<double> *dataset_ms = nullptr,
+                  double *setup_ms = nullptr) const;
+
     /** Compile and simulate every loop of @p bench. */
     BenchmarkRun runBenchmark(const BenchmarkSpec &bench) const;
 

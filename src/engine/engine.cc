@@ -49,9 +49,17 @@ ExperimentEngine::run(const std::vector<ExperimentSpec> &specs)
         }
         result.compileMs = msSince(compile_start);
 
+        // Simulation always goes through the batched entry point:
+        // a one-entry batch is bit-identical to the classic
+        // single-input simulateBenchmark() call.
+        const std::vector<std::uint64_t> seeds =
+            spec.execSeeds.empty()
+                ? std::vector<std::uint64_t>{spec.opts.execSeed}
+                : spec.execSeeds;
         const auto sim_start = std::chrono::steady_clock::now();
-        result.run = chain.simulateBenchmark(
-            bench, compiled ? *compiled : local);
+        result.datasetRuns = chain.simulateBatch(
+            bench, compiled ? *compiled : local, seeds,
+            &result.simulateDatasetMs, &result.simulateSetupMs);
         result.simulateMs = msSince(sim_start);
 
         results[i] = std::move(result);

@@ -1,6 +1,7 @@
 #include "experiment.hh"
 
 #include "support/logging.hh"
+#include "workloads/dataset.hh"
 #include "workloads/mediabench.hh"
 
 namespace vliw::engine {
@@ -104,6 +105,14 @@ ExperimentGrid::expand() const
     for (const std::string &name : arch_axis)
         arch_specs.push_back(makeArch(name));
 
+    vliw_assert(datasets >= 1, "grid wants at least one data set");
+    std::vector<std::uint64_t> seeds;
+    if (datasets > 1) {
+        seeds.reserve(std::size_t(datasets));
+        for (int d = 0; d < datasets; ++d)
+            seeds.push_back(datasetSeed(base.execSeed, d));
+    }
+
     std::vector<ExperimentSpec> out;
     out.reserve(size());
     for (const std::string &bench : bench_axis) {
@@ -122,6 +131,7 @@ ExperimentGrid::expand() const
                                 spec.opts.varAlignment = align;
                                 spec.opts.memChains = chain;
                                 spec.opts.loopVersioning = ver;
+                                spec.execSeeds = seeds;
                                 out.push_back(std::move(spec));
                             }
                         }

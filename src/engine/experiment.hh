@@ -18,6 +18,7 @@
 
 #include "core/toolchain.hh"
 #include "machine/machine_config.hh"
+#include "support/logging.hh"
 
 namespace vliw::engine {
 
@@ -49,6 +50,12 @@ struct ExperimentSpec
     std::string bench;
     ArchSpec arch;
     ToolchainOptions opts;
+    /**
+     * Execution data sets this job simulates in one batch (see
+     * Toolchain::simulateBatch). Empty means the single data set
+     * identified by opts.execSeed -- the classic one-input run.
+     */
+    std::vector<std::uint64_t> execSeeds;
 
     /** Stable human-readable identity, unique within any grid. */
     std::string label() const;
@@ -73,6 +80,13 @@ struct ExperimentGrid
     std::vector<bool> alignment{true};
     std::vector<bool> chains{true};
     std::vector<bool> versioning{false};
+    /**
+     * Execution data sets per cell, batched within each job: seeds
+     * derive from base.execSeed via datasetSeed(), so dataset 0 is
+     * the classic single-input run and results for it are identical
+     * whatever the batch size.
+     */
+    int datasets = 1;
     /** Seeds, profiling caps etc. shared by every cell. */
     ToolchainOptions base;
 
@@ -87,16 +101,35 @@ struct ExperimentGrid
 struct ExperimentResult
 {
     ExperimentSpec spec;
-    BenchmarkRun run;
+    /** One result per batched data set; size >= 1 once run. */
+    std::vector<BenchmarkRun> datasetRuns;
     /**
      * Wall time of this job's compile and simulate phases. The
      * engine always measures them (the cost is two clock reads per
      * phase); reports only show them when asked (--timing). With
      * the compile cache enabled, a memoized compile reports the
      * cache-lookup time — the cost this job actually paid.
+     * simulateMs covers the whole batch (kernel decode, memory
+     * model construction and every data set); simulateSetupMs is
+     * the shared decode/construction slice and simulateDatasetMs
+     * one entry per data set, so setup + the per-dataset entries
+     * account for the batch total.
      */
     double compileMs = 0.0;
     double simulateMs = 0.0;
+    double simulateSetupMs = 0.0;
+    std::vector<double> simulateDatasetMs;
+
+    /** Result on the primary (first) data set. */
+    const BenchmarkRun &
+    run() const
+    {
+        vliw_assert(!datasetRuns.empty(),
+                    "run() on an experiment that never ran");
+        return datasetRuns.front();
+    }
+
+    std::size_t datasetCount() const { return datasetRuns.size(); }
 };
 
 } // namespace vliw::engine

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "support/logging.hh"
+
 namespace vliw::engine {
 
 namespace {
@@ -35,6 +37,18 @@ boolName(bool v)
 ReportRow
 makeRow(const ExperimentResult &result)
 {
+    return makeRow(result, 0);
+}
+
+ReportRow
+makeRow(const ExperimentResult &result, std::size_t dataset)
+{
+    vliw_assert(!result.datasetRuns.empty(),
+                "report row over a result that never ran");
+    const BenchmarkRun &run =
+        dataset < result.datasetRuns.size()
+            ? result.datasetRuns[dataset] : result.run();
+
     ReportRow row;
     row.bench = result.spec.bench;
     row.arch = result.spec.arch.name;
@@ -43,17 +57,25 @@ makeRow(const ExperimentResult &result)
     row.varAlignment = result.spec.opts.varAlignment;
     row.memChains = result.spec.opts.memChains;
     row.loopVersioning = result.spec.opts.loopVersioning;
-    row.cycles = result.run.total.totalCycles;
-    row.computeCycles = result.run.total.computeCycles();
-    row.stallCycles = result.run.total.stallCycles;
-    row.localHitRatio = result.run.total.localHitRatio();
-    row.abHits = result.run.total.abHits;
-    row.memAccesses = result.run.total.memAccesses;
-    row.workloadBalance = result.run.workloadBalance;
-    for (const LoopRun &lr : result.run.loops)
+    row.dataset = int(dataset);
+    row.cycles = run.total.totalCycles;
+    row.computeCycles = run.total.computeCycles();
+    row.stallCycles = run.total.stallCycles;
+    row.localHitRatio = run.total.localHitRatio();
+    row.abHits = run.total.abHits;
+    row.memAccesses = run.total.memAccesses;
+    row.workloadBalance = run.workloadBalance;
+    for (const LoopRun &lr : run.loops)
         row.copies += lr.copies;
     row.compileMs = result.compileMs;
-    row.simulateMs = result.simulateMs;
+    // A single-dataset job reports the whole simulate phase (the
+    // pre-batch semantics); a multi-dataset row reports its own
+    // data set's slice, with the shared setup surfaced separately
+    // in the timing totals.
+    row.simulateMs =
+        result.simulateDatasetMs.size() > 1 &&
+            dataset < result.simulateDatasetMs.size()
+        ? result.simulateDatasetMs[dataset] : result.simulateMs;
     return row;
 }
 
@@ -72,6 +94,10 @@ struct TimingTotals
 {
     double compileMs = 0.0;
     double simulateMs = 0.0;
+    /** Shared batch setup (decode + memory model), summed. */
+    double simulateSetupMs = 0.0;
+    /** Simulate wall time summed per batched data-set index. */
+    std::vector<double> simulatePerDataset;
 };
 
 TimingTotals
@@ -81,8 +107,24 @@ timingTotals(const std::vector<ExperimentResult> &results)
     for (const ExperimentResult &r : results) {
         t.compileMs += r.compileMs;
         t.simulateMs += r.simulateMs;
+        t.simulateSetupMs += r.simulateSetupMs;
+        if (r.simulateDatasetMs.size() > t.simulatePerDataset.size())
+            t.simulatePerDataset.resize(r.simulateDatasetMs.size());
+        for (std::size_t d = 0; d < r.simulateDatasetMs.size(); ++d)
+            t.simulatePerDataset[d] += r.simulateDatasetMs[d];
     }
     return t;
+}
+
+/** True when any experiment batches more than one data set. */
+bool
+multiDataset(const std::vector<ExperimentResult> &results)
+{
+    for (const ExperimentResult &r : results) {
+        if (r.datasetCount() > 1)
+            return true;
+    }
+    return false;
 }
 
 } // namespace
@@ -90,29 +132,38 @@ timingTotals(const std::vector<ExperimentResult> &results)
 TextTable
 sweepTable(const std::vector<ExperimentResult> &results, bool timing)
 {
+    const bool multi = multiDataset(results);
     std::vector<std::string> headers = {
-        "benchmark", "arch", "heuristic", "unroll", "cycles",
-        "compute", "stall", "local hits", "ab hits", "copies"};
+        "benchmark", "arch", "heuristic", "unroll"};
+    if (multi)
+        headers.push_back("dataset");
+    for (const char *h : {"cycles", "compute", "stall", "local hits",
+                          "ab hits", "copies"})
+        headers.push_back(h);
     if (timing) {
         headers.push_back("compile ms");
         headers.push_back("simulate ms");
     }
     TextTable tab(headers);
     for (const ExperimentResult &r : results) {
-        const ReportRow row = makeRow(r);
-        tab.newRow().cell(row.bench);
-        tab.cell(row.arch);
-        tab.cell(row.heuristic);
-        tab.cell(row.unroll);
-        tab.cell(row.cycles);
-        tab.cell(row.computeCycles);
-        tab.cell(row.stallCycles);
-        tab.percentCell(row.localHitRatio);
-        tab.cell(row.abHits);
-        tab.cell(row.copies);
-        if (timing) {
-            tab.cell(msCell(row.compileMs));
-            tab.cell(msCell(row.simulateMs));
+        for (std::size_t d = 0; d < r.datasetCount(); ++d) {
+            const ReportRow row = makeRow(r, d);
+            tab.newRow().cell(row.bench);
+            tab.cell(row.arch);
+            tab.cell(row.heuristic);
+            tab.cell(row.unroll);
+            if (multi)
+                tab.cell(std::int64_t(row.dataset));
+            tab.cell(row.cycles);
+            tab.cell(row.computeCycles);
+            tab.cell(row.stallCycles);
+            tab.percentCell(row.localHitRatio);
+            tab.cell(row.abHits);
+            tab.cell(row.copies);
+            if (timing) {
+                tab.cell(msCell(row.compileMs));
+                tab.cell(msCell(row.simulateMs));
+            }
         }
     }
     return tab;
@@ -122,27 +173,34 @@ void
 writeCsv(std::ostream &os,
          const std::vector<ExperimentResult> &results, bool timing)
 {
-    os << "benchmark,arch,heuristic,unroll,align,chains,versioning,"
-          "cycles,compute,stall,local_hit_ratio,ab_hits,"
+    const bool multi = multiDataset(results);
+    os << "benchmark,arch,heuristic,unroll,align,chains,versioning";
+    if (multi)
+        os << ",dataset";
+    os << ",cycles,compute,stall,local_hit_ratio,ab_hits,"
           "mem_accesses,workload_balance,copies";
     if (timing)
         os << ",compile_ms,simulate_ms";
     os << '\n';
     for (const ExperimentResult &r : results) {
-        const ReportRow row = makeRow(r);
-        os << row.bench << ',' << row.arch << ',' << row.heuristic
-           << ',' << row.unroll << ',' << int(row.varAlignment)
-           << ',' << int(row.memChains) << ','
-           << int(row.loopVersioning) << ',' << row.cycles << ','
-           << row.computeCycles << ',' << row.stallCycles << ','
-           << row.localHitRatio << ',' << row.abHits << ','
-           << row.memAccesses << ',' << row.workloadBalance << ','
-           << row.copies;
-        if (timing) {
-            os << ',' << msCell(row.compileMs) << ','
-               << msCell(row.simulateMs);
+        for (std::size_t d = 0; d < r.datasetCount(); ++d) {
+            const ReportRow row = makeRow(r, d);
+            os << row.bench << ',' << row.arch << ','
+               << row.heuristic << ',' << row.unroll << ','
+               << int(row.varAlignment) << ',' << int(row.memChains)
+               << ',' << int(row.loopVersioning);
+            if (multi)
+                os << ',' << row.dataset;
+            os << ',' << row.cycles << ',' << row.computeCycles
+               << ',' << row.stallCycles << ',' << row.localHitRatio
+               << ',' << row.abHits << ',' << row.memAccesses << ','
+               << row.workloadBalance << ',' << row.copies;
+            if (timing) {
+                os << ',' << msCell(row.compileMs) << ','
+                   << msCell(row.simulateMs);
+            }
+            os << '\n';
         }
-        os << '\n';
     }
 }
 
@@ -151,36 +209,56 @@ writeJson(std::ostream &os,
           const std::vector<ExperimentResult> &results,
           const CompileCacheStats *cache, bool timing)
 {
+    const bool multi = multiDataset(results);
     os << "{\n  \"experiments\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const ReportRow row = makeRow(results[i]);
-        os << "    {\"benchmark\": \"" << jsonEscape(row.bench)
-           << "\", \"arch\": \"" << jsonEscape(row.arch)
-           << "\", \"heuristic\": \"" << jsonEscape(row.heuristic)
-           << "\", \"unroll\": \"" << jsonEscape(row.unroll)
-           << "\", \"align\": " << boolName(row.varAlignment)
-           << ", \"chains\": " << boolName(row.memChains)
-           << ", \"versioning\": " << boolName(row.loopVersioning)
-           << ", \"cycles\": " << row.cycles
-           << ", \"compute\": " << row.computeCycles
-           << ", \"stall\": " << row.stallCycles
-           << ", \"local_hit_ratio\": " << row.localHitRatio
-           << ", \"ab_hits\": " << row.abHits
-           << ", \"mem_accesses\": " << row.memAccesses
-           << ", \"workload_balance\": " << row.workloadBalance
-           << ", \"copies\": " << row.copies;
-        if (timing) {
-            os << ", \"compile_ms\": " << msCell(row.compileMs)
-               << ", \"simulate_ms\": " << msCell(row.simulateMs);
+        const std::size_t rows = results[i].datasetCount();
+        for (std::size_t d = 0; d < rows; ++d) {
+            const ReportRow row = makeRow(results[i], d);
+            os << "    {\"benchmark\": \"" << jsonEscape(row.bench)
+               << "\", \"arch\": \"" << jsonEscape(row.arch)
+               << "\", \"heuristic\": \"" << jsonEscape(row.heuristic)
+               << "\", \"unroll\": \"" << jsonEscape(row.unroll)
+               << "\", \"align\": " << boolName(row.varAlignment)
+               << ", \"chains\": " << boolName(row.memChains)
+               << ", \"versioning\": " << boolName(row.loopVersioning);
+            if (multi)
+                os << ", \"dataset\": " << row.dataset;
+            os << ", \"cycles\": " << row.cycles
+               << ", \"compute\": " << row.computeCycles
+               << ", \"stall\": " << row.stallCycles
+               << ", \"local_hit_ratio\": " << row.localHitRatio
+               << ", \"ab_hits\": " << row.abHits
+               << ", \"mem_accesses\": " << row.memAccesses
+               << ", \"workload_balance\": " << row.workloadBalance
+               << ", \"copies\": " << row.copies;
+            if (timing) {
+                os << ", \"compile_ms\": " << msCell(row.compileMs)
+                   << ", \"simulate_ms\": " << msCell(row.simulateMs);
+            }
+            const bool last =
+                i + 1 == results.size() && d + 1 == rows;
+            os << "}" << (last ? "" : ",") << "\n";
         }
-        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]";
     if (timing) {
         const TimingTotals totals = timingTotals(results);
         os << ",\n  \"timing\": {\"compile_ms\": "
            << msCell(totals.compileMs) << ", \"simulate_ms\": "
-           << msCell(totals.simulateMs) << "}";
+           << msCell(totals.simulateMs);
+        if (totals.simulatePerDataset.size() > 1) {
+            os << ", \"simulate_setup_ms\": "
+               << msCell(totals.simulateSetupMs)
+               << ", \"simulate_ms_by_dataset\": [";
+            for (std::size_t d = 0;
+                 d < totals.simulatePerDataset.size(); ++d) {
+                os << (d ? ", " : "")
+                   << msCell(totals.simulatePerDataset[d]);
+            }
+            os << "]";
+        }
+        os << "}";
     }
     if (cache) {
         os << ",\n  \"cache\": {\"hits\": " << cache->hits
@@ -219,6 +297,16 @@ writeTimingSummary(std::ostream &os,
     os << "timing: compile " << msCell(totals.compileMs)
        << " ms, simulate " << msCell(totals.simulateMs)
        << " ms over " << results.size() << " jobs\n";
+    if (totals.simulatePerDataset.size() > 1) {
+        os << "timing: simulate per dataset batch: setup="
+           << msCell(totals.simulateSetupMs) << " ms";
+        for (std::size_t d = 0;
+             d < totals.simulatePerDataset.size(); ++d) {
+            os << ", d" << d << '='
+               << msCell(totals.simulatePerDataset[d]) << " ms";
+        }
+        os << '\n';
+    }
 }
 
 } // namespace vliw::engine

@@ -20,7 +20,7 @@
 
 namespace vliw::engine {
 
-/** The per-experiment record every output format shares. */
+/** The per-experiment, per-data-set record all formats share. */
 struct ReportRow
 {
     std::string bench;
@@ -30,6 +30,8 @@ struct ReportRow
     bool varAlignment = true;
     bool memChains = true;
     bool loopVersioning = false;
+    /** Index of the batched data set this row describes. */
+    int dataset = 0;
     std::int64_t cycles = 0;
     std::int64_t computeCycles = 0;
     std::int64_t stallCycles = 0;
@@ -39,13 +41,21 @@ struct ReportRow
     double workloadBalance = 0.0;
     /** Inter-cluster copies summed over the benchmark's kernels. */
     std::int64_t copies = 0;
-    /** Per-job wall times (reported only with timing enabled). */
+    /**
+     * Per-row wall times (reported only with timing enabled).
+     * simulateMs is the time of this row's data set alone; the
+     * compile happened once per job, so compileMs repeats on every
+     * row of a multi-dataset batch.
+     */
     double compileMs = 0.0;
     double simulateMs = 0.0;
 };
 
-/** Flatten one result into the shared record. */
+/** Flatten one result's primary data set into the shared record. */
 ReportRow makeRow(const ExperimentResult &result);
+
+/** Flatten one result's @p dataset into the shared record. */
+ReportRow makeRow(const ExperimentResult &result, std::size_t dataset);
 
 /**
  * Build the aligned text table over @p results. With @p timing,

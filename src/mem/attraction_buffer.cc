@@ -56,4 +56,13 @@ AttractionBuffer::flush()
     flushes_ += 1;
 }
 
+void
+AttractionBuffer::reset()
+{
+    tags_.reset();
+    installs_ = 0;
+    evictions_ = 0;
+    flushes_ = 0;
+}
+
 } // namespace vliw

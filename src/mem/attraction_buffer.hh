@@ -43,6 +43,9 @@ class AttractionBuffer
     /** Loop-boundary flush. */
     void flush();
 
+    /** Back to the just-constructed state (contents + counters). */
+    void reset();
+
     Counter installs() const { return installs_; }
     Counter evictions() const { return evictions_; }
     Counter flushes() const { return flushes_; }

@@ -1,0 +1,25 @@
+#include "cache_model.hh"
+
+#include "support/math_util.hh"
+
+namespace vliw {
+
+CacheModel::CacheModel(const MachineConfig &cfg)
+    : cfg_(cfg),
+      nlPorts_(cfg.nextLevelPorts, cfg.memBusOccupancy),
+      blockShift_(isPowerOfTwo(std::uint64_t(cfg.blockBytes))
+                      ? floorLog2(std::uint64_t(cfg.blockBytes))
+                      : -1)
+{
+}
+
+void
+CacheModel::resetAll()
+{
+    pendingFills_.clear();
+    nlPorts_.reset();
+    resetModel();
+    resetStats();
+}
+
+} // namespace vliw

@@ -5,9 +5,8 @@
 namespace vliw {
 
 CoherentCache::CoherentCache(const MachineConfig &cfg)
-    : cfg_(cfg),
-      memBuses_(cfg.memBuses, cfg.memBusOccupancy),
-      nlPorts_(cfg.nextLevelPorts, cfg.memBusOccupancy)
+    : CacheModel(cfg),
+      memBuses_(cfg.memBuses, cfg.memBusOccupancy)
 {
     vliw_assert(cfg.cacheOrg == CacheOrg::MultiVliw,
                 "CoherentCache built from a non-multiVLIW config");
@@ -61,8 +60,7 @@ CoherentCache::install(int cluster, std::uint64_t block, Msi st,
     const int victim = m.tags.victimOf(block);
     if (m.tags.lineValid(victim) &&
         m.state[std::size_t(victim)] == Msi::Modified) {
-        nlPorts_.acquire(t);
-        stats_.writebacks += 1;
+        writebackVictim(t);
     }
     const int line = m.tags.insert(block);
     m.state[std::size_t(line)] = st;
@@ -99,16 +97,11 @@ MemAccessResult
 CoherentCache::access(const MemRequest &req)
 {
     const Cycles t = req.issueCycle;
-    const std::uint64_t block =
-        req.addr / std::uint64_t(cfg_.blockBytes);
+    const std::uint64_t block = blockOf(req.addr);
+    /** Combining key: block * numClusters + cluster. */
     const std::uint64_t fill_key =
         block * std::uint64_t(cfg_.numClusters) +
         std::uint64_t(req.cluster);
-
-    if (pendingFills_.size() > 64) {
-        std::erase_if(pendingFills_,
-                      [t](const auto &kv) { return kv.second <= t; });
-    }
 
     Module &own = modules_[std::size_t(req.cluster)];
     MemAccessResult res;
@@ -118,11 +111,10 @@ CoherentCache::access(const MemRequest &req)
         ? Msi::Invalid : own.state[std::size_t(line)];
 
     if (!req.isStore) {
-        if (auto it = pendingFills_.find(fill_key);
-            it != pendingFills_.end() && it->second > t) {
+        if (const Cycles *fill = pendingFills_.find(fill_key, t)) {
             // Line allocated but the fill is still in flight.
             res.cls = AccessClass::Combined;
-            res.readyCycle = it->second;
+            res.readyCycle = *fill;
             stats_.record(res.cls, false);
             return res;
         }
@@ -134,10 +126,7 @@ CoherentCache::access(const MemRequest &req)
         }
 
         // Broadcast the read miss on the bus.
-        const Cycles bus_start = memBuses_.acquire(t);
-        const Cycles wait_bus = bus_start - t;
-        stats_.busTransfers += 1;
-        stats_.busWaitCycles += wait_bus;
+        const Cycles wait_bus = busAcquire(memBuses_, t);
         res.referencedRemote = true;
 
         const int holder = findOtherHolder(req.cluster, block);
@@ -146,34 +135,28 @@ CoherentCache::access(const MemRequest &req)
             // the line back while downgrading to Shared.
             Module &sup = modules_[std::size_t(holder)];
             const int sup_line = sup.tags.probe(block);
-            if (sup.state[std::size_t(sup_line)] == Msi::Modified) {
-                nlPorts_.acquire(t);
-                stats_.writebacks += 1;
-            }
+            if (sup.state[std::size_t(sup_line)] == Msi::Modified)
+                writebackVictim(t);
             sup.state[std::size_t(sup_line)] = Msi::Shared;
             res.cls = AccessClass::RemoteHit;
             res.readyCycle = t + cfg_.latCacheToCache + wait_bus;
         } else {
-            const Cycles t_nl = t + wait_bus + cfg_.memBusOccupancy;
-            const Cycles nl_start = nlPorts_.acquire(t_nl);
-            const Cycles wait_nl = nl_start - t_nl;
-            stats_.nlRequests += 1;
-            stats_.nlWaitCycles += wait_nl;
+            const Cycles wait_nl =
+                nlAcquire(t + wait_bus + cfg_.memBusOccupancy);
             res.cls = AccessClass::LocalMiss;
             res.readyCycle = t + cfg_.latCoherentHit +
                 cfg_.latNextLevel + wait_bus + wait_nl;
         }
-        pendingFills_[fill_key] = res.readyCycle;
+        pendingFills_.set(fill_key, res.readyCycle, t);
         install(req.cluster, block, Msi::Shared, t);
         stats_.record(res.cls, false);
         return res;
     }
 
     // Store path: needs the Modified state.
-    if (auto it = pendingFills_.find(fill_key);
-        it != pendingFills_.end() && it->second > t) {
+    if (const Cycles *fill = pendingFills_.find(fill_key, t)) {
         res.cls = AccessClass::Combined;
-        res.readyCycle = it->second;
+        res.readyCycle = *fill;
         stats_.record(res.cls, true);
         return res;
     }
@@ -187,9 +170,7 @@ CoherentCache::access(const MemRequest &req)
     if (st == Msi::Shared) {
         // Upgrade: invalidate the other copies over the bus; the
         // store itself completes locally.
-        const Cycles bus_start = memBuses_.acquire(t);
-        stats_.busTransfers += 1;
-        stats_.busWaitCycles += bus_start - t;
+        busAcquire(memBuses_, t);
         invalidateOthers(req.cluster, block);
         own.state[std::size_t(line)] = Msi::Modified;
         res.cls = AccessClass::LocalHit;
@@ -199,18 +180,7 @@ CoherentCache::access(const MemRequest &req)
     }
 
     // Write miss.
-    if (auto it = pendingFills_.find(fill_key);
-        it != pendingFills_.end() && it->second > t) {
-        res.cls = AccessClass::Combined;
-        res.readyCycle = it->second;
-        stats_.record(res.cls, true);
-        return res;
-    }
-
-    const Cycles bus_start = memBuses_.acquire(t);
-    const Cycles wait_bus = bus_start - t;
-    stats_.busTransfers += 1;
-    stats_.busWaitCycles += wait_bus;
+    const Cycles wait_bus = busAcquire(memBuses_, t);
     res.referencedRemote = true;
 
     const int holder = findOtherHolder(req.cluster, block);
@@ -219,16 +189,13 @@ CoherentCache::access(const MemRequest &req)
         res.cls = AccessClass::RemoteHit;
         res.readyCycle = t + cfg_.latCacheToCache + wait_bus;
     } else {
-        const Cycles t_nl = t + wait_bus + cfg_.memBusOccupancy;
-        const Cycles nl_start = nlPorts_.acquire(t_nl);
-        const Cycles wait_nl = nl_start - t_nl;
-        stats_.nlRequests += 1;
-        stats_.nlWaitCycles += wait_nl;
+        const Cycles wait_nl =
+            nlAcquire(t + wait_bus + cfg_.memBusOccupancy);
         res.cls = AccessClass::LocalMiss;
         res.readyCycle = t + cfg_.latCoherentHit +
             cfg_.latNextLevel + wait_bus + wait_nl;
     }
-    pendingFills_[fill_key] = res.readyCycle;
+    pendingFills_.set(fill_key, res.readyCycle, t);
     install(req.cluster, block, Msi::Modified, t);
     stats_.record(res.cls, true);
     return res;
@@ -243,6 +210,17 @@ CoherentCache::invalidateAll()
             s = Msi::Invalid;
     }
     pendingFills_.clear();
+}
+
+void
+CoherentCache::resetModel()
+{
+    for (Module &m : modules_) {
+        m.tags.reset();
+        for (Msi &s : m.state)
+            s = Msi::Invalid;
+    }
+    memBuses_.reset();
 }
 
 } // namespace vliw

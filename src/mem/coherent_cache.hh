@@ -13,17 +13,15 @@
 #ifndef WIVLIW_MEM_COHERENT_CACHE_HH
 #define WIVLIW_MEM_COHERENT_CACHE_HH
 
-#include <unordered_map>
 #include <vector>
 
-#include "mem/mem_system.hh"
-#include "mem/resource_set.hh"
+#include "mem/cache_model.hh"
 #include "mem/tag_array.hh"
 
 namespace vliw {
 
 /** Snoopy-MSI multiVLIW cache model. */
-class CoherentCache : public MemSystem
+class CoherentCache : public CacheModel
 {
   public:
     explicit CoherentCache(const MachineConfig &cfg);
@@ -39,6 +37,9 @@ class CoherentCache : public MemSystem
 
     /** Protocol invariant: at most one Modified copy per block. */
     bool coherenceInvariantHolds() const;
+
+  protected:
+    void resetModel() override;
 
   private:
     struct Module
@@ -63,12 +64,8 @@ class CoherentCache : public MemSystem
     /** Invalidate every copy outside @p cluster. */
     void invalidateOthers(int cluster, std::uint64_t block);
 
-    MachineConfig cfg_;
     std::vector<Module> modules_;
     ResourceSet memBuses_;
-    ResourceSet nlPorts_;
-    /** Combining key: block * numClusters + cluster. */
-    std::unordered_map<std::uint64_t, Cycles> pendingFills_;
 };
 
 } // namespace vliw

@@ -3,17 +3,23 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/math_util.hh"
 
 namespace vliw {
 
 InterleavedCache::InterleavedCache(const MachineConfig &cfg)
-    : cfg_(cfg),
+    : CacheModel(cfg),
       tags_(cfg.cacheSets(), cfg.cacheWays),
-      memBuses_(cfg.memBuses, cfg.memBusOccupancy),
-      nlPorts_(cfg.nextLevelPorts, cfg.memBusOccupancy)
+      memBuses_(cfg.memBuses, cfg.memBusOccupancy)
 {
     vliw_assert(cfg.cacheOrg == CacheOrg::Interleaved,
                 "InterleavedCache built from a non-interleaved config");
+    if (isPowerOfTwo(std::uint64_t(cfg.interleaveBytes)) &&
+        isPowerOfTwo(std::uint64_t(cfg.numClusters))) {
+        interleaveShift_ =
+            floorLog2(std::uint64_t(cfg.interleaveBytes));
+        clusterMask_ = std::uint64_t(cfg.numClusters) - 1;
+    }
     if (cfg_.attractionBuffers) {
         abs_.reserve(std::size_t(cfg_.numClusters));
         for (int c = 0; c < cfg_.numClusters; ++c) {
@@ -23,15 +29,13 @@ InterleavedCache::InterleavedCache(const MachineConfig &cfg)
     }
 }
 
-std::uint64_t
-InterleavedCache::blockOf(std::uint64_t addr) const
-{
-    return addr / std::uint64_t(cfg_.blockBytes);
-}
-
 int
 InterleavedCache::homeOf(std::uint64_t addr) const
 {
+    // Power-of-two interleaving and cluster counts (every paper
+    // configuration) turn the division/modulo into shift/mask.
+    if (interleaveShift_ >= 0)
+        return int((addr >> interleaveShift_) & clusterMask_);
     return cfg_.homeCluster(addr);
 }
 
@@ -60,23 +64,6 @@ InterleavedCache::attractionBuffer(int cluster) const
     return abs_[std::size_t(cluster)];
 }
 
-void
-InterleavedCache::expirePending(Cycles now)
-{
-    if (pendingSubblocks_.size() > 64) {
-        std::erase_if(pendingSubblocks_,
-                      [now](const auto &kv) {
-                          return kv.second <= now;
-                      });
-    }
-    if (pendingFills_.size() > 64) {
-        std::erase_if(pendingFills_,
-                      [now](const auto &kv) {
-                          return kv.second <= now;
-                      });
-    }
-}
-
 MemAccessResult
 InterleavedCache::access(const MemRequest &req)
 {
@@ -88,7 +75,6 @@ InterleavedCache::access(const MemRequest &req)
                 "access crosses a cache-block boundary");
 
     const Cycles t = req.issueCycle;
-    expirePending(t);
 
     const std::uint64_t block = blockOf(req.addr);
     int home = homeOf(req.addr);
@@ -114,29 +100,24 @@ InterleavedCache::access(const MemRequest &req)
     if (local) {
         // A block whose fill is still in flight is tag-present but
         // not yet usable: the access combines with the fill.
-        if (auto it = pendingFills_.find(block);
-            it != pendingFills_.end() && it->second > t) {
+        if (const Cycles *fill = pendingFills_.find(block, t)) {
             res.cls = AccessClass::Combined;
-            res.readyCycle = it->second;
+            res.readyCycle = *fill;
         } else if (hit) {
             res.cls = AccessClass::LocalHit;
             res.readyCycle = t + cfg_.latLocalHit;
         } else {
             // Local miss: the whole block is fetched and distributed
             // over all modules (tags are replicated).
-            const Cycles t_nl = t + cfg_.latLocalHit;
-            const Cycles nl_start = nlPorts_.acquire(t_nl);
-            const Cycles wait = nl_start - t_nl;
+            const Cycles wait = nlAcquire(t + cfg_.latLocalHit);
             res.cls = AccessClass::LocalMiss;
             res.readyCycle = t + cfg_.latLocalMiss + wait;
-            pendingFills_[block] = res.readyCycle;
+            pendingFills_.set(block, res.readyCycle, t);
             const int filled = tags_.insert(block);
             if (tags_.lastEvictionWasDirty())
                 writebackVictim(res.readyCycle);
             if (req.isStore)
                 tags_.markDirty(filled);
-            stats_.nlRequests += 1;
-            stats_.nlWaitCycles += wait;
         }
         stats_.record(res.cls, req.isStore);
         return res;
@@ -150,9 +131,7 @@ InterleavedCache::access(const MemRequest &req)
         if (req.isStore) {
             // Write-update: refresh the replica and forward the word
             // to the home module in the background.
-            const Cycles start = memBuses_.acquire(t);
-            stats_.busTransfers += 1;
-            stats_.busWaitCycles += start - t;
+            busAcquire(memBuses_, t);
         }
         res.cls = AccessClass::LocalHit;
         res.abHit = true;
@@ -164,26 +143,21 @@ InterleavedCache::access(const MemRequest &req)
 
     // Combining: an in-flight fetch of the same subblock (or of the
     // whole block) absorbs this request without a new transaction.
-    if (auto it = pendingSubblocks_.find(sub_key);
-        it != pendingSubblocks_.end() && it->second > t) {
+    if (const Cycles *sub = pendingSubblocks_.find(sub_key, t)) {
         res.cls = AccessClass::Combined;
-        res.readyCycle = it->second;
+        res.readyCycle = *sub;
         stats_.record(res.cls, req.isStore);
         return res;
     }
-    if (auto it = pendingFills_.find(block);
-        it != pendingFills_.end() && it->second > t) {
+    if (const Cycles *fill = pendingFills_.find(block, t)) {
         res.cls = AccessClass::Combined;
-        res.readyCycle = std::max(it->second,
+        res.readyCycle = std::max(*fill,
                                   t + Cycles(cfg_.latRemoteHit));
         stats_.record(res.cls, req.isStore);
         return res;
     }
 
-    const Cycles req_start = memBuses_.acquire(t);
-    const Cycles wait_req = req_start - t;
-    stats_.busTransfers += 1;
-    stats_.busWaitCycles += wait_req;
+    const Cycles wait_req = busAcquire(memBuses_, t);
 
     if (hit) {
         res.cls = AccessClass::RemoteHit;
@@ -194,37 +168,28 @@ InterleavedCache::access(const MemRequest &req)
         } else {
             const Cycles t_reply = t + wait_req +
                 cfg_.memBusOccupancy + cfg_.latLocalHit;
-            const Cycles reply_start = memBuses_.acquire(t_reply);
-            const Cycles wait_reply = reply_start - t_reply;
-            stats_.busTransfers += 1;
-            stats_.busWaitCycles += wait_reply;
+            const Cycles wait_reply = busAcquire(memBuses_, t_reply);
             res.readyCycle =
                 t + cfg_.latRemoteHit + wait_req + wait_reply;
-            pendingSubblocks_[sub_key] = res.readyCycle;
+            pendingSubblocks_.set(sub_key, res.readyCycle, t);
         }
     } else {
         // Remote miss: request leg, remote detect, next level, and a
         // reply leg back to the requester.
         const Cycles t_nl = t + wait_req +
             cfg_.memBusOccupancy + cfg_.latLocalHit;
-        const Cycles nl_start = nlPorts_.acquire(t_nl);
-        const Cycles wait_nl = nl_start - t_nl;
-        stats_.nlRequests += 1;
-        stats_.nlWaitCycles += wait_nl;
+        const Cycles wait_nl = nlAcquire(t_nl);
 
         res.cls = AccessClass::RemoteMiss;
         Cycles wait_reply = 0;
         if (!req.isStore) {
             const Cycles t_reply = t_nl + wait_nl + cfg_.latNextLevel;
-            const Cycles reply_start = memBuses_.acquire(t_reply);
-            wait_reply = reply_start - t_reply;
-            stats_.busTransfers += 1;
-            stats_.busWaitCycles += wait_reply;
+            wait_reply = busAcquire(memBuses_, t_reply);
         }
         res.readyCycle = t + cfg_.latRemoteMiss +
             wait_req + wait_nl + wait_reply;
-        pendingFills_[block] = res.readyCycle;
-        pendingSubblocks_[sub_key] = res.readyCycle;
+        pendingFills_.set(block, res.readyCycle, t);
+        pendingSubblocks_.set(sub_key, res.readyCycle, t);
         const int filled = tags_.insert(block);
         if (tags_.lastEvictionWasDirty())
             writebackVictim(res.readyCycle);
@@ -242,15 +207,6 @@ InterleavedCache::access(const MemRequest &req)
 }
 
 void
-InterleavedCache::writebackVictim(Cycles t)
-{
-    // Dirty victims drain through a writeback buffer: no latency on
-    // the critical path, but they do occupy a next-level port.
-    nlPorts_.acquire(t);
-    stats_.writebacks += 1;
-}
-
-void
 InterleavedCache::loopBoundary()
 {
     for (AttractionBuffer &ab : abs_)
@@ -265,6 +221,16 @@ InterleavedCache::invalidateAll()
     pendingFills_.clear();
     for (AttractionBuffer &ab : abs_)
         ab.flush();
+}
+
+void
+InterleavedCache::resetModel()
+{
+    tags_.reset();
+    memBuses_.reset();
+    pendingSubblocks_.clear();
+    for (AttractionBuffer &ab : abs_)
+        ab.reset();
 }
 
 } // namespace vliw

@@ -17,18 +17,16 @@
 #ifndef WIVLIW_MEM_INTERLEAVED_CACHE_HH
 #define WIVLIW_MEM_INTERLEAVED_CACHE_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "mem/attraction_buffer.hh"
-#include "mem/mem_system.hh"
-#include "mem/resource_set.hh"
+#include "mem/cache_model.hh"
 #include "mem/tag_array.hh"
 
 namespace vliw {
 
 /** The word-interleaved distributed cache with optional ABs. */
-class InterleavedCache : public MemSystem
+class InterleavedCache : public CacheModel
 {
   public:
     explicit InterleavedCache(const MachineConfig &cfg);
@@ -48,26 +46,23 @@ class InterleavedCache : public MemSystem
 
     const AttractionBuffer &attractionBuffer(int cluster) const;
 
+  protected:
+    void resetModel() override;
+
   private:
-    std::uint64_t blockOf(std::uint64_t addr) const;
-
-    /** Remove completed in-flight entries up to @p now. */
-    void expirePending(Cycles now);
-
-    /** Account a dirty-eviction writeback starting near @p t. */
-    void writebackVictim(Cycles t);
-
-    MachineConfig cfg_;
     /** Logical tag state; physically replicated in every module. */
     TagArray tags_;
     ResourceSet memBuses_;
-    ResourceSet nlPorts_;
     std::vector<AttractionBuffer> abs_;
 
-    /** In-flight subblock fetches: key -> completion cycle. */
-    std::unordered_map<std::uint64_t, Cycles> pendingSubblocks_;
-    /** In-flight next-level block fills: block -> completion cycle. */
-    std::unordered_map<std::uint64_t, Cycles> pendingFills_;
+    /** In-flight subblock fetches (pendingFills_ holds the whole-
+     *  block next-level fills; both live in flat PendingTables). */
+    PendingTable pendingSubblocks_;
+
+    /** log2(interleaveBytes) when a power of two, else -1. */
+    int interleaveShift_ = -1;
+    /** numClusters - 1 when a power of two, else 0. */
+    std::uint64_t clusterMask_ = 0;
 };
 
 } // namespace vliw

@@ -46,6 +46,24 @@ class MemSystem
     /** Invalidate all cached state (used between benchmarks). */
     virtual void invalidateAll() = 0;
 
+    /**
+     * Return the model to its just-constructed state, so one
+     * instance can back a whole batch of runs (see
+     * Toolchain::simulateBatch) with results bit-identical to a
+     * fresh model per run. The default covers models whose only
+     * state is cached contents and statistics (e.g. test stubs);
+     * any model with more — resource timing, in-flight
+     * transactions, LRU clocks — must override so that a reset
+     * instance is indistinguishable from a new one (the CacheModel
+     * base does, via its resetModel() hook).
+     */
+    virtual void
+    resetAll()
+    {
+        invalidateAll();
+        resetStats();
+    }
+
     const MemStats &stats() const { return stats_; }
     void resetStats() { stats_ = MemStats(); }
 

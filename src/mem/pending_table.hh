@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Flat table of in-flight transactions (subblock fetches, block
+ * fills) keyed by an opaque 64-bit id, each live until a completion
+ * cycle. Semantically a map whose entries become invisible once
+ * their cycle passes; physically a small flat vector that recycles
+ * expired slots in place, so the steady state allocates nothing --
+ * the table never grows past the peak number of genuinely
+ * concurrent transactions, which the memory latencies bound to a
+ * handful.
+ *
+ * Requests arrive in non-decreasing time order (the lock-step core
+ * guarantees it), which is what makes in-place recycling safe: an
+ * entry expired at the current access can never be queried again.
+ */
+
+#ifndef WIVLIW_MEM_PENDING_TABLE_HH
+#define WIVLIW_MEM_PENDING_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace vliw {
+
+/** In-flight transactions: key -> completion cycle, expiring. */
+class PendingTable
+{
+  public:
+    /**
+     * Completion cycle of a live entry for @p key, or nullptr when
+     * none is in flight (absent or already completed by @p now).
+     */
+    const Cycles *
+    find(std::uint64_t key, Cycles now) const
+    {
+        for (const Entry &e : entries_) {
+            if (e.key == key)
+                return e.until > now ? &e.until : nullptr;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Record that @p key is in flight until @p until, overwriting
+     * any previous entry for the key or recycling an expired slot.
+     */
+    void
+    set(std::uint64_t key, Cycles until, Cycles now)
+    {
+        Entry *expired = nullptr;
+        for (Entry &e : entries_) {
+            if (e.key == key) {
+                e.until = until;
+                return;
+            }
+            if (!expired && e.until <= now)
+                expired = &e;
+        }
+        if (expired) {
+            expired->key = key;
+            expired->until = until;
+            return;
+        }
+        entries_.push_back({key, until});
+    }
+
+    /** Forget everything; capacity is kept. */
+    void clear() { entries_.clear(); }
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t key;
+        Cycles until;
+    };
+
+    std::vector<Entry> entries_;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_MEM_PENDING_TABLE_HH

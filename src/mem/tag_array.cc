@@ -1,32 +1,32 @@
 #include "tag_array.hh"
 
 #include "support/logging.hh"
+#include "support/math_util.hh"
 
 namespace vliw {
 
 TagArray::TagArray(int sets, int ways)
     : sets_(sets), ways_(ways),
-      lines_(static_cast<std::size_t>(sets) *
-             static_cast<std::size_t>(ways))
+      setMask_(isPowerOfTwo(std::uint64_t(sets))
+                   ? std::uint64_t(sets) - 1 : 0)
 {
     vliw_assert(sets > 0 && ways > 0, "degenerate tag array ",
                 sets, "x", ways);
-}
-
-int
-TagArray::setOf(std::uint64_t key) const
-{
-    return int(key % std::uint64_t(sets_));
+    const std::size_t lines = static_cast<std::size_t>(sets) *
+        static_cast<std::size_t>(ways);
+    keys_.assign(lines, 0);
+    lastUse_.assign(lines, 0);
+    valid_.assign(lines, 0);
+    dirty_.assign(lines, 0);
 }
 
 int
 TagArray::probe(std::uint64_t key) const
 {
-    const int set = setOf(key);
-    for (int w = 0; w < ways_; ++w) {
-        const int line = set * ways_ + w;
-        const Line &l = lines_[std::size_t(line)];
-        if (l.valid && l.key == key)
+    const int first = setOf(key) * ways_;
+    for (int line = first; line < first + ways_; ++line) {
+        if (valid_[std::size_t(line)] &&
+            keys_[std::size_t(line)] == key)
             return line;
     }
     return kNoLine;
@@ -37,21 +37,19 @@ TagArray::touch(std::uint64_t key)
 {
     const int line = probe(key);
     if (line != kNoLine)
-        lines_[std::size_t(line)].lastUse = ++useCounter_;
+        lastUse_[std::size_t(line)] = ++useCounter_;
     return line;
 }
 
 int
 TagArray::victimOf(std::uint64_t key) const
 {
-    const int set = setOf(key);
-    int victim = set * ways_;
-    for (int w = 0; w < ways_; ++w) {
-        const int line = set * ways_ + w;
-        const Line &l = lines_[std::size_t(line)];
-        if (!l.valid)
+    const int first = setOf(key) * ways_;
+    int victim = first;
+    for (int line = first; line < first + ways_; ++line) {
+        if (!valid_[std::size_t(line)])
             return line;
-        if (l.lastUse < lines_[std::size_t(victim)].lastUse)
+        if (lastUse_[std::size_t(line)] < lastUse_[std::size_t(victim)])
             victim = line;
     }
     return victim;
@@ -64,17 +62,17 @@ TagArray::insert(std::uint64_t key, std::uint64_t *evicted_key,
     vliw_assert(probe(key) == kNoLine,
                 "insert of already-present key");
     const int victim = victimOf(key);
+    const std::size_t v = std::size_t(victim);
 
-    Line &v = lines_[std::size_t(victim)];
     if (did_evict)
-        *did_evict = v.valid;
-    if (evicted_key && v.valid)
-        *evicted_key = v.key;
-    evictedDirty_ = v.valid && v.dirty;
-    v.key = key;
-    v.valid = true;
-    v.dirty = false;
-    v.lastUse = ++useCounter_;
+        *did_evict = valid_[v] != 0;
+    if (evicted_key && valid_[v])
+        *evicted_key = keys_[v];
+    evictedDirty_ = valid_[v] && dirty_[v];
+    keys_[v] = key;
+    valid_[v] = 1;
+    dirty_[v] = 0;
+    lastUse_[v] = ++useCounter_;
     return victim;
 }
 
@@ -82,13 +80,13 @@ void
 TagArray::markDirty(int line)
 {
     vliw_assert(lineValid(line), "markDirty on invalid line");
-    lines_[std::size_t(line)].dirty = true;
+    dirty_[std::size_t(line)] = 1;
 }
 
 bool
 TagArray::isDirty(int line) const
 {
-    return lineValid(line) && lines_[std::size_t(line)].dirty;
+    return lineValid(line) && dirty_[std::size_t(line)] != 0;
 }
 
 bool
@@ -97,45 +95,57 @@ TagArray::invalidate(std::uint64_t key)
     const int line = probe(key);
     if (line == kNoLine)
         return false;
-    lines_[std::size_t(line)].valid = false;
+    valid_[std::size_t(line)] = 0;
     return true;
 }
 
 void
 TagArray::invalidateLine(int line)
 {
-    vliw_assert(line >= 0 && std::size_t(line) < lines_.size(),
+    vliw_assert(line >= 0 && std::size_t(line) < valid_.size(),
                 "bad line handle");
-    lines_[std::size_t(line)].valid = false;
+    valid_[std::size_t(line)] = 0;
 }
 
 std::uint64_t
 TagArray::keyOf(int line) const
 {
     vliw_assert(lineValid(line), "keyOf on invalid line");
-    return lines_[std::size_t(line)].key;
+    return keys_[std::size_t(line)];
 }
 
 bool
 TagArray::lineValid(int line) const
 {
-    return line >= 0 && std::size_t(line) < lines_.size() &&
-        lines_[std::size_t(line)].valid;
+    return line >= 0 && std::size_t(line) < valid_.size() &&
+        valid_[std::size_t(line)] != 0;
 }
 
 void
 TagArray::clear()
 {
-    for (Line &l : lines_)
-        l.valid = false;
+    for (std::uint8_t &v : valid_)
+        v = 0;
+}
+
+void
+TagArray::reset()
+{
+    clear();
+    for (std::uint8_t &d : dirty_)
+        d = 0;
+    for (std::uint64_t &u : lastUse_)
+        u = 0;
+    useCounter_ = 0;
+    evictedDirty_ = false;
 }
 
 int
 TagArray::occupancy() const
 {
     int n = 0;
-    for (const Line &l : lines_) {
-        if (l.valid)
+    for (std::uint8_t v : valid_) {
+        if (v)
             ++n;
     }
     return n;

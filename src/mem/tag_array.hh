@@ -2,6 +2,12 @@
  * @file
  * Generic set-associative LRU tag array used by every cache model and
  * by the Attraction Buffers.
+ *
+ * Storage is struct-of-arrays over flat index arithmetic (line =
+ * set * ways + way): the probe loop walks a contiguous run of keys
+ * with a parallel validity byte, so the common hit/miss question
+ * touches two small arrays instead of striding over fat line
+ * records.
  */
 
 #ifndef WIVLIW_MEM_TAG_ARRAY_HH
@@ -62,24 +68,33 @@ class TagArray
     /** Invalidate everything. */
     void clear();
 
+    /** clear() plus a rewind of the LRU clock: the array becomes
+     *  indistinguishable from a freshly constructed one. */
+    void reset();
+
     int sets() const { return sets_; }
     int ways() const { return ways_; }
     int occupancy() const;
 
   private:
-    int setOf(std::uint64_t key) const;
-
-    struct Line
+    int
+    setOf(std::uint64_t key) const
     {
-        std::uint64_t key = 0;
-        std::uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
-    };
+        // Power-of-two set counts index with a mask; the modulo is
+        // the general fallback.
+        return setMask_ != 0
+            ? int(key & std::uint64_t(setMask_))
+            : int(key % std::uint64_t(sets_));
+    }
 
     int sets_;
     int ways_;
-    std::vector<Line> lines_;
+    /** sets_ - 1 when sets_ is a power of two, else 0. */
+    std::uint64_t setMask_ = 0;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint64_t> lastUse_;
+    std::vector<std::uint8_t> valid_;
+    std::vector<std::uint8_t> dirty_;
     std::uint64_t useCounter_ = 0;
     bool evictedDirty_ = false;
 };

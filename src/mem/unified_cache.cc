@@ -5,10 +5,9 @@
 namespace vliw {
 
 UnifiedCache::UnifiedCache(const MachineConfig &cfg)
-    : cfg_(cfg),
+    : CacheModel(cfg),
       tags_(cfg.cacheSets(), cfg.cacheWays),
-      ports_(cfg.unifiedPorts, 1),
-      nlPorts_(cfg.nextLevelPorts, cfg.memBusOccupancy)
+      ports_(cfg.unifiedPorts, 1)
 {
     vliw_assert(cfg.cacheOrg == CacheOrg::Unified,
                 "UnifiedCache built from a non-unified config");
@@ -18,16 +17,9 @@ MemAccessResult
 UnifiedCache::access(const MemRequest &req)
 {
     const Cycles t = req.issueCycle;
-    const std::uint64_t block =
-        req.addr / std::uint64_t(cfg_.blockBytes);
+    const std::uint64_t block = blockOf(req.addr);
 
-    if (pendingFills_.size() > 64) {
-        std::erase_if(pendingFills_,
-                      [t](const auto &kv) { return kv.second <= t; });
-    }
-
-    const Cycles port_start = ports_.acquire(t);
-    const Cycles wait_port = port_start - t;
+    const Cycles wait_port = ports_.acquire(t) - t;
 
     MemAccessResult res;
     const int line = tags_.touch(block);
@@ -37,29 +29,22 @@ UnifiedCache::access(const MemRequest &req)
 
     // In-flight fills come first: the line is allocated but the
     // data has not arrived yet.
-    if (auto it = pendingFills_.find(block);
-        it != pendingFills_.end() && it->second > t) {
+    if (const Cycles *fill = pendingFills_.find(block, t)) {
         res.cls = AccessClass::Combined;
-        res.readyCycle = it->second;
+        res.readyCycle = *fill;
     } else if (hit) {
         res.cls = AccessClass::LocalHit;
         res.readyCycle = t + cfg_.latUnified + wait_port;
     } else {
-        const Cycles t_nl = t + wait_port + cfg_.latUnified;
-        const Cycles nl_start = nlPorts_.acquire(t_nl);
-        const Cycles wait_nl = nl_start - t_nl;
-        stats_.nlRequests += 1;
-        stats_.nlWaitCycles += wait_nl;
+        const Cycles wait_nl =
+            nlAcquire(t + wait_port + cfg_.latUnified);
         res.cls = AccessClass::LocalMiss;
         res.readyCycle = t + cfg_.latUnified + cfg_.latNextLevel +
             wait_port + wait_nl;
-        pendingFills_[block] = res.readyCycle;
+        pendingFills_.set(block, res.readyCycle, t);
         const int filled = tags_.insert(block);
-        if (tags_.lastEvictionWasDirty()) {
-            // Dirty victim drains via a writeback buffer.
-            nlPorts_.acquire(res.readyCycle);
-            stats_.writebacks += 1;
-        }
+        if (tags_.lastEvictionWasDirty())
+            writebackVictim(res.readyCycle);
         if (req.isStore)
             tags_.markDirty(filled);
     }
@@ -73,6 +58,13 @@ UnifiedCache::invalidateAll()
 {
     tags_.clear();
     pendingFills_.clear();
+}
+
+void
+UnifiedCache::resetModel()
+{
+    tags_.reset();
+    ports_.reset();
 }
 
 } // namespace vliw

@@ -9,16 +9,13 @@
 #ifndef WIVLIW_MEM_UNIFIED_CACHE_HH
 #define WIVLIW_MEM_UNIFIED_CACHE_HH
 
-#include <unordered_map>
-
-#include "mem/mem_system.hh"
-#include "mem/resource_set.hh"
+#include "mem/cache_model.hh"
 #include "mem/tag_array.hh"
 
 namespace vliw {
 
 /** Unified cache model; classes used: LocalHit/LocalMiss/Combined. */
-class UnifiedCache : public MemSystem
+class UnifiedCache : public CacheModel
 {
   public:
     explicit UnifiedCache(const MachineConfig &cfg);
@@ -26,12 +23,12 @@ class UnifiedCache : public MemSystem
     MemAccessResult access(const MemRequest &req) override;
     void invalidateAll() override;
 
+  protected:
+    void resetModel() override;
+
   private:
-    MachineConfig cfg_;
     TagArray tags_;
     ResourceSet ports_;
-    ResourceSet nlPorts_;
-    std::unordered_map<std::uint64_t, Cycles> pendingFills_;
 };
 
 } // namespace vliw

@@ -1,252 +1,35 @@
 #include "vliw_sim.hh"
 
-#include <algorithm>
-#include <queue>
-#include <vector>
-
-#include "support/logging.hh"
+#include "sim/sim_workspace.hh"
 
 namespace vliw {
-
-namespace {
-
-/** Ring depth for per-instance state; bounds distance + stages. */
-constexpr int kRing = 512;
-
-/** One issue slot of the kernel: a DDG op or a register copy. */
-struct Item
-{
-    bool isCopy = false;
-    NodeId node = kNoNode;  ///< op id, or copy producer
-    int copyIdx = -1;
-    int cycle = 0;
-    int cluster = 0;
-};
-
-/** Operand source resolved to an item (direct or via copy). */
-struct Operand
-{
-    int srcItem = -1;
-    int distance = 0;
-    /** The underlying producer node (for stall attribution). */
-    NodeId producer = kNoNode;
-};
-
-/** Recorded outcome of one load instance. */
-struct LoadInstance
-{
-    AccessClass cls = AccessClass::LocalHit;
-    bool valid = false;
-};
-
-} // namespace
 
 LoopSimResult
 simulateLoop(const LoopExecution &loop, MemSystem &mem,
              const MachineConfig &cfg)
 {
-    const Ddg &ddg = *loop.ddg;
-    const Schedule &sched = *loop.schedule;
-    const LatencyMap &lat = *loop.latencies;
-    const int ii = sched.ii;
+    // The thread's shared workspace: repeated calls reuse every
+    // buffer, so even this convenience entry point stops allocating
+    // once its capacity matches the largest loop seen.
+    SimWorkspace &ws = threadSimWorkspace();
+    ws.clearKernels();
+    const int kernel =
+        ws.prepare(*loop.ddg, *loop.schedule, *loop.latencies);
 
-    vliw_assert(loop.iterations >= 0, "negative trip count");
-    vliw_assert(sched.stageCount + 2 < kRing,
-                "stage count exceeds the instance ring");
+    SimRunParams params;
+    params.profile = loop.profile;
+    params.iterations = loop.iterations;
+    params.startCycle = loop.startCycle;
+    params.unclearThreshold = loop.unclearThreshold;
 
-    // ---- Build the issue-item list (ops + copies), sorted. ----
-    std::vector<Item> items;
-    items.reserve(std::size_t(ddg.numNodes()) + sched.copies.size());
-    for (NodeId v = 0; v < ddg.numNodes(); ++v) {
-        items.push_back({false, v, -1, sched.cycleOf(v),
-                         sched.clusterOf(v)});
-    }
-    std::vector<int> copy_item(sched.copies.size());
-    for (std::size_t k = 0; k < sched.copies.size(); ++k) {
-        const CopyOp &c = sched.copies[k];
-        copy_item[k] = int(items.size());
-        items.push_back({true, c.producer, int(k), c.busStart,
-                         c.fromCluster});
-    }
-    std::stable_sort(items.begin(), items.end(),
-                     [](const Item &a, const Item &b) {
-                         return a.cycle < b.cycle;
-                     });
-    // item index by (node / copy) after sorting.
-    std::vector<int> item_of_node(std::size_t(ddg.numNodes()), -1);
-    std::vector<int> item_of_copy(sched.copies.size(), -1);
-    for (std::size_t idx = 0; idx < items.size(); ++idx) {
-        if (items[idx].isCopy)
-            item_of_copy[std::size_t(items[idx].copyIdx)] = int(idx);
-        else
-            item_of_node[std::size_t(items[idx].node)] = int(idx);
-    }
-
-    // ---- Resolve operands per item. ----
-    std::vector<std::vector<Operand>> operands(items.size());
-    for (std::size_t idx = 0; idx < items.size(); ++idx) {
-        const Item &item = items[idx];
-        if (item.isCopy) {
-            // The copy reads the producer's register in its cluster.
-            operands[idx].push_back(
-                {item_of_node[std::size_t(item.node)], 0, item.node});
-            continue;
-        }
-        const NodeId v = item.node;
-        for (int eidx : ddg.inEdges(v)) {
-            const DdgEdge &e = ddg.edge(eidx);
-            if (e.kind != DepKind::RegFlow)
-                continue;
-            int src_item;
-            if (sched.clusterOf(e.src) == sched.clusterOf(v)) {
-                src_item = item_of_node[std::size_t(e.src)];
-            } else {
-                const CopyOp *copy =
-                    sched.findCopy(e.src, sched.clusterOf(v));
-                vliw_assert(copy, "no copy routes ",
-                            ddg.node(e.src).name, " to cluster ",
-                            sched.clusterOf(v));
-                src_item = item_of_copy[std::size_t(
-                    copy - sched.copies.data())];
-            }
-            operands[idx].push_back({src_item, e.distance, e.src});
-        }
-    }
-
-    // ---- Instance state rings. ----
-    std::vector<std::vector<Cycles>> ready(
-        items.size(), std::vector<Cycles>(kRing, 0));
-    std::vector<std::vector<LoadInstance>> load_inst(
-        items.size(), std::vector<LoadInstance>());
-    for (std::size_t idx = 0; idx < items.size(); ++idx) {
-        if (!items[idx].isCopy &&
-            ddg.node(items[idx].node).kind == OpKind::Load) {
-            load_inst[idx].assign(kRing, LoadInstance{});
-        }
-    }
-
-    // ---- Stall-factor attribution helper. ----
-    SimStats stats;
-    auto attribute = [&](int blocker_item, std::int64_t j,
-                         Cycles amount) {
-        const Item &blocker = items[std::size_t(blocker_item)];
-        vliw_assert(!blocker.isCopy && load_inst[std::size_t(
-            blocker_item)][std::size_t(j % kRing)].valid,
-            "stall blocked by a non-load value");
-        const LoadInstance &inst = load_inst[std::size_t(
-            blocker_item)][std::size_t(j % kRing)];
-        stats.stallByClass[std::size_t(inst.cls)] += amount;
-        if (inst.cls != AccessClass::RemoteHit)
-            return;
-
-        const NodeId p = blocker.node;
-        const MemAccessInfo &info = ddg.memInfo(p);
-        const std::int64_t ni = cfg.mappingPeriod();
-        const bool multi = info.indirect || !info.strideKnown() ||
-            (info.effectiveStride() % ni) != 0;
-        if (multi)
-            stats.remoteHitFactors.multiCluster += 1;
-        if (info.granularity > cfg.interleaveBytes)
-            stats.remoteHitFactors.granularity += 1;
-        if (loop.profile) {
-            const MemProfile &prof = loop.profile->at(p);
-            if (prof.distribution < loop.unclearThreshold)
-                stats.remoteHitFactors.unclearPreferred += 1;
-            if (sched.clusterOf(p) != prof.preferredCluster)
-                stats.remoteHitFactors.notInPreferred += 1;
-        }
+    AddressSource addr;
+    addr.ctx = &loop.addressOf;
+    addr.fn = [](const void *ctx, NodeId v, std::int64_t iter) {
+        return (*static_cast<const AddressFn *>(ctx))(v, iter);
     };
 
-    // ---- Main loop: instances in nominal issue order. ----
-    using PqEntry = std::tuple<Cycles, std::int64_t, int>;
-    std::priority_queue<PqEntry, std::vector<PqEntry>,
-                        std::greater<PqEntry>> pq;
-    const Cycles start = loop.startCycle;
-    Cycles offset = 0;
-
-    if (loop.iterations > 0 && !items.empty())
-        pq.push({start + items[0].cycle, 0, 0});
-
-    while (!pq.empty()) {
-        const auto [nominal, iter, pos] = pq.top();
-        pq.pop();
-        if (pos == 0 && iter + 1 < loop.iterations) {
-            pq.push({start + (iter + 1) * ii + items[0].cycle,
-                     iter + 1, 0});
-        }
-        if (pos + 1 < int(items.size())) {
-            pq.push({start + iter * ii +
-                     items[std::size_t(pos + 1)].cycle, iter,
-                     pos + 1});
-        }
-
-        const Item &item = items[std::size_t(pos)];
-        Cycles t_issue = nominal + offset;
-
-        // Stall-on-use: wait for every register operand.
-        for (const Operand &op : operands[std::size_t(pos)]) {
-            const std::int64_t j = iter - op.distance;
-            if (j < 0)
-                continue;   // live-in value, available at entry
-            const Cycles avail =
-                ready[std::size_t(op.srcItem)][std::size_t(j % kRing)];
-            if (avail > t_issue) {
-                const Cycles amount = avail - t_issue;
-                offset += amount;
-                stats.stallCycles += amount;
-                attribute(op.srcItem, j, amount);
-                t_issue = avail;
-            }
-        }
-
-        const auto ring = std::size_t(iter % kRing);
-        if (item.isCopy) {
-            stats.dynamicCopies += 1;
-            ready[std::size_t(pos)][ring] =
-                t_issue + cfg.regBusLatency;
-            continue;
-        }
-
-        stats.dynamicOps += 1;
-        const NodeId v = item.node;
-        const DdgNode &node = ddg.node(v);
-        if (isMemOp(node.kind)) {
-            const MemAccessInfo &info = ddg.memInfo(v);
-            MemRequest req;
-            req.cluster = item.cluster;
-            req.addr = loop.addressOf(v, iter);
-            req.size = info.granularity;
-            req.isStore = info.isStore;
-            req.issueCycle = t_issue;
-            req.attractable = info.attractable;
-            const MemAccessResult res = mem.access(req);
-
-            stats.memAccesses += 1;
-            stats.accessesByClass[std::size_t(res.cls)] += 1;
-            if (res.abHit)
-                stats.abHits += 1;
-
-            if (node.kind == OpKind::Load) {
-                ready[std::size_t(pos)][ring] = res.readyCycle;
-                load_inst[std::size_t(pos)][ring] = {res.cls, true};
-            } else {
-                ready[std::size_t(pos)][ring] = t_issue + 1;
-            }
-        } else {
-            ready[std::size_t(pos)][ring] = t_issue + lat(v);
-        }
-    }
-
-    LoopSimResult result;
-    if (loop.iterations > 0) {
-        result.stats = stats;
-        result.stats.totalCycles =
-            (loop.iterations - 1) * ii + sched.length + offset;
-        result.endCycle = start + result.stats.totalCycles;
-    } else {
-        result.endCycle = start;
-    }
-    return result;
+    const SimRunResult r = ws.run(kernel, params, addr, mem, cfg);
+    return {r.stats, r.endCycle};
 }
 
 } // namespace vliw

@@ -10,6 +10,12 @@
  * instructions that have been scheduled too close to their
  * consumers"). Compute operations and register copies have fixed
  * latencies the scheduler honoured, so only loads ever stall.
+ *
+ * This header is the one-shot convenience API; the execution engine
+ * itself lives in sim/sim_workspace.hh. Callers that run the same
+ * compiled loop many times (invocations, data-set batches) should
+ * prepare() it once on a SimWorkspace and run() the kernel, which
+ * is what Toolchain::simulateBatch() does.
  */
 
 #ifndef WIVLIW_SIM_VLIW_SIM_HH

@@ -69,4 +69,18 @@ makeDataSet(const BenchmarkSpec &bench, const MachineConfig &cfg,
     return ds;
 }
 
+std::uint64_t
+datasetSeed(std::uint64_t base, int index)
+{
+    if (index == 0)
+        return base;
+    // splitmix64 over (base, index): decorrelated per-input seeds
+    // that are stable across platforms and sessions.
+    std::uint64_t z = base + std::uint64_t(index) *
+        0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
 } // namespace vliw

@@ -51,6 +51,14 @@ DataSet makeDataSet(const BenchmarkSpec &bench,
                     const MachineConfig &cfg, std::uint64_t seed,
                     bool aligned);
 
+/**
+ * The seed of the @p index-th execution data set derived from a base
+ * input identity: index 0 is @p base itself (so a batch of one is
+ * the plain single-input run), later indices are splitmix64-style
+ * mixes, giving decorrelated but fully deterministic input files.
+ */
+std::uint64_t datasetSeed(std::uint64_t base, int index);
+
 } // namespace vliw
 
 #endif // WIVLIW_WORKLOADS_DATASET_HH

@@ -74,16 +74,16 @@ resultsEqual(const std::vector<ExperimentResult> &a,
             return ::testing::AssertionFailure()
                 << "order differs at " << i << ": "
                 << a[i].spec.label() << " vs " << b[i].spec.label();
-        auto stats = simStatsEqual(a[i].run.total, b[i].run.total);
+        auto stats = simStatsEqual(a[i].run().total, b[i].run().total);
         if (!stats)
             return ::testing::AssertionFailure()
                 << a[i].spec.label() << ": " << stats.message();
-        if (a[i].run.loops.size() != b[i].run.loops.size())
+        if (a[i].run().loops.size() != b[i].run().loops.size())
             return ::testing::AssertionFailure()
                 << a[i].spec.label() << ": loop counts differ";
-        for (std::size_t l = 0; l < a[i].run.loops.size(); ++l) {
-            const LoopRun &la = a[i].run.loops[l];
-            const LoopRun &lb = b[i].run.loops[l];
+        for (std::size_t l = 0; l < a[i].run().loops.size(); ++l) {
+            const LoopRun &la = a[i].run().loops[l];
+            const LoopRun &lb = b[i].run().loops[l];
             if (la.ii != lb.ii || la.unrollFactor != lb.unrollFactor ||
                 la.stageCount != lb.stageCount ||
                 la.copies != lb.copies ||
@@ -337,7 +337,7 @@ TEST_F(EngineDeterminism, EngineMatchesDirectToolchain)
         const Toolchain chain(r.spec.arch.config, r.spec.opts);
         const BenchmarkRun direct =
             chain.runBenchmark(makeBenchmark(r.spec.bench));
-        EXPECT_TRUE(simStatsEqual(direct.total, r.run.total))
+        EXPECT_TRUE(simStatsEqual(direct.total, r.run().total))
             << r.spec.label();
     }
 }
@@ -389,7 +389,7 @@ TEST_F(ReportTest, RowFlattensRunAndSpec)
     EXPECT_EQ(row.arch, "interleaved-ab");
     EXPECT_EQ(row.heuristic, "IPBC");
     EXPECT_EQ(row.unroll, "selective");
-    EXPECT_EQ(row.cycles, results()[1].run.total.totalCycles);
+    EXPECT_EQ(row.cycles, results()[1].run().total.totalCycles);
     EXPECT_EQ(row.cycles, row.computeCycles + row.stallCycles);
     EXPECT_GT(row.memAccesses, 0u);
     EXPECT_GT(row.copies, 0);

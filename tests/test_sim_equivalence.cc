@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Simulator-equivalence regression test: simulates the full
+ * benchmark x architecture grid and compares every SimStats field
+ * (total/stall cycles, per-class access and stall counters, remote-
+ * hit stall factors, dynamic op/copy/access counts, AB hits) against
+ * a checked-in golden file, per loop and per benchmark. The golden
+ * was generated from the seed (pre-workspace) simulator, so any
+ * cycle-level divergence introduced by the allocation-free kernel
+ * or the cache-model refactor shows up as a one-line diff here.
+ * Regenerate deliberately with
+ *
+ *   WIVLIW_REGEN_GOLDEN=1 ./test_sim_equivalence
+ *
+ * after verifying the behaviour change is intended.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.hh"
+#include "engine/experiment.hh"
+#include "engine/worker_pool.hh"
+#include "workloads/mediabench.hh"
+
+namespace vliw {
+namespace {
+
+#ifndef WIVLIW_GOLDEN_DIR
+#define WIVLIW_GOLDEN_DIR "tests/golden"
+#endif
+
+constexpr const char *kGoldenPath =
+    WIVLIW_GOLDEN_DIR "/sim_equivalence.txt";
+
+/** Every SimStats field, space-separated, in declaration order. */
+std::string
+renderStats(const SimStats &s)
+{
+    std::ostringstream os;
+    os << "cycles=" << s.totalCycles << " stall=" << s.stallCycles;
+    os << " acc=";
+    for (std::size_t i = 0; i < s.accessesByClass.size(); ++i)
+        os << (i ? "/" : "") << s.accessesByClass[i];
+    os << " stallby=";
+    for (std::size_t i = 0; i < s.stallByClass.size(); ++i)
+        os << (i ? "/" : "") << s.stallByClass[i];
+    os << " factors=" << s.remoteHitFactors.multiCluster << "/"
+       << s.remoteHitFactors.unclearPreferred << "/"
+       << s.remoteHitFactors.notInPreferred << "/"
+       << s.remoteHitFactors.granularity;
+    os << " ops=" << s.dynamicOps << " copies=" << s.dynamicCopies
+       << " mem=" << s.memAccesses << " abhits=" << s.abHits;
+    return os.str();
+}
+
+struct GridCell
+{
+    std::string bench;
+    std::string arch;
+};
+
+std::vector<GridCell>
+fullGrid()
+{
+    std::vector<GridCell> cells;
+    for (const std::string &bench : mediabenchNames())
+        for (const std::string &arch : engine::archNames())
+            cells.push_back({bench, arch});
+    return cells;
+}
+
+std::string
+runCell(const GridCell &cell)
+{
+    const BenchmarkSpec bench = makeBenchmark(cell.bench);
+    const engine::ArchSpec arch = engine::makeArch(cell.arch);
+    const Toolchain chain(arch.config, ToolchainOptions{});
+    const BenchmarkRun run = chain.runBenchmark(bench);
+
+    std::ostringstream os;
+    for (const LoopRun &lr : run.loops) {
+        os << cell.bench << ' ' << cell.arch << ' ' << lr.name
+           << ' ' << renderStats(lr.sim) << '\n';
+    }
+    os << cell.bench << ' ' << cell.arch << " total "
+       << renderStats(run.total) << '\n';
+    return os.str();
+}
+
+std::string
+renderGrid()
+{
+    const std::vector<GridCell> cells = fullGrid();
+    std::vector<std::string> blocks(cells.size());
+    engine::WorkerPool pool(0);
+    engine::parallelFor(pool, cells.size(), [&](std::size_t i) {
+        blocks[i] = runCell(cells[i]);
+    });
+    std::string out;
+    for (const std::string &block : blocks)
+        out += block;
+    return out;
+}
+
+TEST(SimEquivalence, FullGridMatchesGolden)
+{
+    const std::string actual = renderGrid();
+
+    if (std::getenv("WIVLIW_REGEN_GOLDEN")) {
+        std::ofstream out(kGoldenPath);
+        ASSERT_TRUE(out.good())
+            << "cannot write golden file " << kGoldenPath;
+        out << actual;
+        GTEST_SKIP() << "golden file regenerated at " << kGoldenPath;
+    }
+
+    std::ifstream in(kGoldenPath);
+    ASSERT_TRUE(in.good())
+        << "missing golden file " << kGoldenPath
+        << "; regenerate with WIVLIW_REGEN_GOLDEN=1";
+    std::stringstream golden;
+    golden << in.rdbuf();
+
+    std::istringstream golden_lines(golden.str());
+    std::istringstream actual_lines(actual);
+    std::string want, got;
+    int line = 0;
+    while (std::getline(golden_lines, want)) {
+        ++line;
+        ASSERT_TRUE(std::getline(actual_lines, got))
+            << "output truncated at golden line " << line << ": "
+            << want;
+        ASSERT_EQ(got, want) << "first divergence at line " << line;
+    }
+    EXPECT_FALSE(std::getline(actual_lines, got))
+        << "extra output after golden ended: " << got;
+}
+
+} // namespace
+} // namespace vliw

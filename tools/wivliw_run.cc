@@ -50,6 +50,7 @@ struct CliOptions
     // Sweep mode.
     bool sweep = false;
     int jobs = 1;
+    int datasets = 1;
     bool compileCache = true;
     bool timing = false;
     std::string benches;        // comma lists; empty = full axis
@@ -87,8 +88,12 @@ usage(int code)
         "  --archs LIST       comma-separated architecture subset\n"
         "  --heuristics LIST  comma-separated heuristic subset\n"
         "  --unrolls LIST     comma-separated unroll subset\n"
-        "  --jobs N           worker threads (default 1; 0 = auto);\n"
+        "  --jobs N           worker threads (default 1, N >= 1);\n"
         "                     results are identical for every N\n"
+        "  --datasets N       execution data sets per experiment,\n"
+        "                     simulated as one batch per job;\n"
+        "                     dataset 0 is the classic single-input\n"
+        "                     run, extra seeds derive from it\n"
         "  --no-compile-cache recompile every arch variant\n"
         "  --timing           per-job compile/simulate wall-time\n"
         "                     columns plus aggregated totals\n"
@@ -225,6 +230,18 @@ parseArgs(int argc, char **argv)
             }
             cli.sweepOnlyFlag = arg;
         }
+        else if (arg == "--datasets") {
+            const std::string v = value("--datasets");
+            char *end = nullptr;
+            cli.datasets = int(std::strtol(v.c_str(), &end, 10));
+            if (end == v.c_str() || *end != '\0') {
+                std::fprintf(stderr,
+                             "--datasets wants a number, got '%s'\n",
+                             v.c_str());
+                usage(2);
+            }
+            cli.sweepOnlyFlag = arg;
+        }
         else if (arg == "--no-compile-cache") {
             cli.compileCache = false;
             cli.sweepOnlyFlag = arg;
@@ -257,8 +274,17 @@ parseArgs(int argc, char **argv)
             usage(2);
         }
     }
-    if (cli.jobs < 0) {
-        std::fprintf(stderr, "--jobs wants a count >= 0\n");
+    // A zero job count used to mean "auto" (WorkerPool still maps
+    // <= 0 to hardware concurrency for library users), but at the
+    // CLI a mistyped 0 or a shell-expanded empty variable silently
+    // spawning one thread per core surprised more than it helped.
+    // Usage error instead.
+    if (cli.jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a count >= 1\n");
+        usage(2);
+    }
+    if (cli.datasets < 1) {
+        std::fprintf(stderr, "--datasets wants a count >= 1\n");
         usage(2);
     }
     if (!cli.sweep && !cli.sweepOnlyFlag.empty()) {
@@ -350,6 +376,7 @@ runSweep(const CliOptions &cli)
     grid.alignment = {!cli.noAlign};
     grid.chains = {!cli.noChains};
     grid.versioning = {cli.versioning};
+    grid.datasets = cli.datasets;
 
     engine::EngineOptions eng_opts;
     eng_opts.jobs = cli.jobs;
@@ -411,11 +438,12 @@ main(int argc, char **argv)
 
         BenchmarkRun run = chain.runBenchmark(bench);
         if (cli.json) {
-            engine::ExperimentSpec spec;
-            spec.bench = bench.name;
-            spec.arch = {cli.arch, cfg};
-            spec.opts = opts;
-            results.push_back({std::move(spec), std::move(run)});
+            engine::ExperimentResult result;
+            result.spec.bench = bench.name;
+            result.spec.arch = {cli.arch, cfg};
+            result.spec.opts = opts;
+            result.datasetRuns.push_back(std::move(run));
+            results.push_back(std::move(result));
             continue;
         }
         int copies = 0;
