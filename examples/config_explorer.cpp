@@ -1,36 +1,42 @@
 /**
  * @file
  * Design-space exploration the paper leaves as future work
- * (Section 5.1): how the interleaving factor and the cluster count
- * interact with the workload's dominant element size. A gsm-like
- * 2-byte benchmark prefers a 2-byte interleaving factor; wide
- * (8-byte) data wants coarser interleaving.
+ * (Section 5.1), driven entirely through the façade's parametric
+ * architecture keys: how the interleaving factor and the cluster
+ * count interact with the workload's dominant element size. A
+ * gsm-like 2-byte benchmark prefers a 2-byte interleaving factor;
+ * wide (8-byte) data wants coarser interleaving.
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "core/toolchain.hh"
+#include "api/api.hh"
 #include "support/table.hh"
 
 using namespace vliw;
 
 namespace {
 
-/** Run one benchmark under a modified interleaved config. */
+/**
+ * Run one benchmark under a parametric variant of the interleaved
+ * +AB machine, e.g. "interleaved-ab:i2:c4" (see
+ * api::ArchRegistry::resolve for the modifier grammar).
+ */
 BenchmarkRun
-runWith(const std::string &bench, int interleave, int clusters)
+runWith(api::Session &session, const std::string &bench,
+        const std::string &archKey)
 {
-    MachineConfig cfg = MachineConfig::paperInterleavedAb();
-    cfg.interleaveBytes = interleave;
-    cfg.numClusters = clusters;
-    cfg.validate();
-
-    ToolchainOptions opts;
-    opts.heuristic = Heuristic::Ipbc;
-    opts.unroll = UnrollPolicy::Selective;
-    const Toolchain chain(cfg, opts);
-    return chain.runBenchmark(makeBenchmark(bench));
+    api::RunRequest req;
+    req.workload = bench;
+    req.arch = archKey;
+    auto res = session.run(req);
+    if (!res.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     res.status().toString().c_str());
+        std::exit(1);
+    }
+    return res.value().run();
 }
 
 } // namespace
@@ -38,6 +44,8 @@ runWith(const std::string &bench, int interleave, int clusters)
 int
 main()
 {
+    api::Session session;
+
     std::printf("Interleaving-factor and cluster-count "
                 "exploration (IPBC + ABs)\n");
     std::printf("====================================================="
@@ -49,7 +57,9 @@ main()
         TextTable tab({"interleave", "local hits", "stall",
                        "cycles"});
         for (int interleave : {2, 4, 8}) {
-            const BenchmarkRun run = runWith(bench, interleave, 4);
+            const BenchmarkRun run = runWith(
+                session, bench,
+                "interleaved-ab:i" + std::to_string(interleave));
             char label[16];
             std::snprintf(label, sizeof(label), "%d bytes",
                           interleave);
@@ -70,7 +80,9 @@ main()
     TextTable scale({"clusters", "local hits", "cycles",
                      "balance"});
     for (int clusters : {2, 4, 8}) {
-        const BenchmarkRun run = runWith("gsmdec", 4, clusters);
+        const BenchmarkRun run = runWith(
+            session, "gsmdec",
+            "interleaved-ab:c" + std::to_string(clusters));
         scale.newRow().cell(std::int64_t(clusters));
         scale.percentCell(run.total.localHitRatio());
         scale.cell(std::int64_t(run.total.totalCycles));
@@ -80,5 +92,11 @@ main()
     std::printf("\nMore clusters widen the machine but spread the "
                 "words of every cache\nblock thinner, so locality "
                 "drops while raw issue width grows.\n");
+
+    // An inconsistent key is a Status, not a process exit: 3
+    // clusters cannot word-interleave a 32-byte block evenly.
+    auto bad = session.resolveArch("interleaved-ab:c3");
+    std::printf("\ninterleaved-ab:c3 -> %s\n",
+                bad.status().toString().c_str());
     return 0;
 }

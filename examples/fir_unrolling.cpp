@@ -5,18 +5,18 @@
  *     for (i = 0; i < N; i++)
  *         y[i] = c0*x[i] + c1*x[i+1] + c2*x[i+2] + c3*x[i+3];
  *
- * with 2-byte samples (stride 2). Sweeping the unroll factor shows
- * the paper's Section 4.3.1 effect: local hits jump once every
- * memory instruction's stride reaches a multiple of N x I (OUF = 8
- * here), and the Attraction Buffers absorb the sliding-window
- * overlap either way.
+ * with 2-byte samples (stride 2), run through the `api::Session`
+ * façade: the filter registers as a custom workload, and the sweep
+ * over the registered unroll policies shows the paper's Section
+ * 4.3.1 effect — local hits jump once every memory instruction's
+ * stride reaches a multiple of N x I (OUF = 8 here), and the
+ * Attraction Buffers absorb the sliding-window overlap either way.
  */
 
 #include <cstdio>
 #include <iostream>
 
-#include "core/toolchain.hh"
-#include "ddg/unroll.hh"
+#include "api/api.hh"
 #include "sched/unroll_policy.hh"
 #include "support/table.hh"
 #include "workloads/kernels.hh"
@@ -29,7 +29,6 @@ BenchmarkSpec
 makeFirBench()
 {
     BenchmarkSpec bench;
-    bench.name = "fir4";
     const SymbolId x = bench.addSymbol(
         "x", 8 * 1024, SymbolSpec::Storage::Heap);
     const SymbolId y = bench.addSymbol(
@@ -55,38 +54,58 @@ makeFirBench()
     return bench;
 }
 
+int
+fail(const api::Status &status)
+{
+    std::fprintf(stderr, "error: %s\n", status.toString().c_str());
+    return 1;
+}
+
 } // namespace
 
 int
 main()
 {
-    const MachineConfig cfg = MachineConfig::paperInterleavedAb();
-    const BenchmarkSpec bench = makeFirBench();
+    api::Session session;
+    if (api::Status s = session.registries().workloads.add(
+            "fir4", makeFirBench());
+        !s.ok())
+        return fail(s);
+
+    auto cfg = session.resolveArch("interleaved-ab");
+    if (!cfg.ok())
+        return fail(cfg.status());
 
     std::printf("4-tap FIR, 2-byte samples, on %s\n",
-                cfg.describe().c_str());
+                cfg.value().describe().c_str());
     std::printf("mapping period N x I = %d bytes -> OUF should be "
-                "%d\n\n", cfg.mappingPeriod(),
-                cfg.mappingPeriod() / 2);
+                "%d\n\n", cfg.value().mappingPeriod(),
+                cfg.value().mappingPeriod() / 2);
 
     TextTable tab({"policy", "factor", "II", "copies", "local hits",
                    "stall", "cycles"});
-    for (UnrollPolicy policy :
-         {UnrollPolicy::None, UnrollPolicy::TimesN, UnrollPolicy::Ouf,
-          UnrollPolicy::Selective}) {
-        ToolchainOptions opts;
-        opts.heuristic = Heuristic::Ipbc;
-        opts.unroll = policy;
-        const Toolchain chain(cfg, opts);
+    for (const std::string &policy :
+         session.registries().unrolls.names()) {
+        api::RunRequest req;
+        req.workload = "fir4";
+        req.arch = "interleaved-ab";
+        req.unroll = policy;
 
-        const CompiledLoop compiled =
-            chain.compileLoop(bench, bench.loops.front());
-        const BenchmarkRun run = chain.runBenchmark(bench);
+        auto compiled = session.compile(req);
+        if (!compiled.ok())
+            return fail(compiled.status());
+        const CompiledLoop &loop =
+            compiled.value()->loops.front().primary;
 
-        tab.newRow().cell(unrollPolicyName(policy));
-        tab.cell(std::int64_t(compiled.unrollFactor));
-        tab.cell(std::int64_t(compiled.sched.schedule.ii));
-        tab.cell(std::int64_t(compiled.sched.schedule.numCopies()));
+        auto res = session.run(req);
+        if (!res.ok())
+            return fail(res.status());
+        const BenchmarkRun &run = res.value().run();
+
+        tab.newRow().cell(policy);
+        tab.cell(std::int64_t(loop.unrollFactor));
+        tab.cell(std::int64_t(loop.sched.schedule.ii));
+        tab.cell(std::int64_t(loop.sched.schedule.numCopies()));
         tab.percentCell(run.total.localHitRatio());
         tab.cell(std::int64_t(run.total.stallCycles));
         tab.cell(std::int64_t(run.total.totalCycles));
@@ -96,7 +115,10 @@ main()
     // The per-instruction analysis behind the OUF.
     std::printf("\nper-instruction unrolling factors "
                 "(U_i = N*I / gcd(N*I, S_i mod N*I)):\n");
-    const LoopSpec &loop = bench.loops.front();
+    auto workload = session.registries().workloads.resolve("fir4");
+    if (!workload.ok())
+        return fail(workload.status());
+    const LoopSpec &loop = workload.value()->loops.front();
     MemProfile fake;
     fake.hitRate = 1.0;
     for (NodeId v : loop.body.memNodes()) {
@@ -104,7 +126,7 @@ main()
         std::printf("  %-6s stride %2ld -> U_i = %d\n",
                     loop.body.node(v).name.c_str(),
                     long(info.stride),
-                    individualUnrollFactor(info, fake, cfg));
+                    individualUnrollFactor(info, fake, cfg.value()));
     }
     return 0;
 }

@@ -1,39 +1,32 @@
 /**
  * @file
- * Walk through the paper's Section 4.3.3 example (Figure 3): build
- * the two-recurrence DDG with the public API, run the four-latency
- * assignment step by step, and schedule the result with both the
- * IBC and IPBC heuristics, printing the placements the narrative
- * describes.
+ * Walk through the paper's Section 4.3.3 example (Figure 3) on the
+ * supported `api::Session` surface: build the two-recurrence DDG
+ * with the public API, register it as a custom workload, compile it
+ * through the façade, and print what the narrative describes — the
+ * step-by-step latency assignment trace and the IBC vs IPBC
+ * placements.
  */
 
 #include <cstdio>
 #include <iostream>
 
+#include "api/api.hh"
 #include "ddg/chains.hh"
-#include "ddg/mii.hh"
-#include "sched/latency_assign.hh"
-#include "sched/scheduler.hh"
 #include "support/table.hh"
 
 using namespace vliw;
 
 namespace {
 
-struct Example
-{
-    Ddg ddg;
-    ProfileMap profile;
-    NodeId n1, n2, n3, n4, n5, n6, n7, n8;
-};
-
 /** The Figure 3 DDG: REC1 {n5,n1,n2,n3,n4} and REC2 {n6,n7,n8}. */
-Example
-buildFigure3()
+BenchmarkSpec
+buildFigure3Bench()
 {
-    Example ex;
-    Ddg &g = ex.ddg;
+    BenchmarkSpec bench;
+    bench.addSymbol("a", 8 * 1024, SymbolSpec::Storage::Heap);
 
+    Ddg g;
     MemAccessInfo ld;
     ld.granularity = 4;
     ld.symbol = 0;
@@ -41,42 +34,40 @@ buildFigure3()
     MemAccessInfo st = ld;
     st.isStore = true;
 
-    ex.n1 = g.addMemNode(OpKind::Load, ld, "n1");
-    ex.n2 = g.addMemNode(OpKind::Load, ld, "n2");
-    ex.n3 = g.addNode(OpKind::IntAlu, "n3", 1);
-    ex.n4 = g.addMemNode(OpKind::Store, st, "n4");
-    ex.n5 = g.addNode(OpKind::IntAlu, "n5", 2);
-    ex.n6 = g.addMemNode(OpKind::Load, ld, "n6");
-    ex.n7 = g.addNode(OpKind::FpDiv, "n7", 6);
-    ex.n8 = g.addNode(OpKind::IntAlu, "n8", 1);
+    const NodeId n1 = g.addMemNode(OpKind::Load, ld, "n1");
+    const NodeId n2 = g.addMemNode(OpKind::Load, ld, "n2");
+    const NodeId n3 = g.addNode(OpKind::IntAlu, "n3", 1);
+    const NodeId n4 = g.addMemNode(OpKind::Store, st, "n4");
+    const NodeId n5 = g.addNode(OpKind::IntAlu, "n5", 2);
+    const NodeId n6 = g.addMemNode(OpKind::Load, ld, "n6");
+    const NodeId n7 = g.addNode(OpKind::FpDiv, "n7", 6);
+    const NodeId n8 = g.addNode(OpKind::IntAlu, "n8", 1);
 
-    g.addEdge(ex.n5, ex.n1, DepKind::RegFlow, 0);
-    g.addEdge(ex.n1, ex.n2, DepKind::RegFlow, 0);
-    g.addEdge(ex.n2, ex.n3, DepKind::RegFlow, 0);
-    g.addEdge(ex.n3, ex.n4, DepKind::RegFlow, 0);
-    g.addEdge(ex.n4, ex.n5, DepKind::RegAnti, 1);
-    g.addEdge(ex.n1, ex.n2, DepKind::MemAnti, 0);
-    g.addEdge(ex.n2, ex.n4, DepKind::MemAnti, 0);
-    g.addEdge(ex.n6, ex.n7, DepKind::RegFlow, 0);
-    g.addEdge(ex.n7, ex.n8, DepKind::RegFlow, 0);
-    g.addEdge(ex.n8, ex.n6, DepKind::RegFlow, 1);
+    g.addEdge(n5, n1, DepKind::RegFlow, 0);
+    g.addEdge(n1, n2, DepKind::RegFlow, 0);
+    g.addEdge(n2, n3, DepKind::RegFlow, 0);
+    g.addEdge(n3, n4, DepKind::RegFlow, 0);
+    g.addEdge(n4, n5, DepKind::RegAnti, 1);
+    g.addEdge(n1, n2, DepKind::MemAnti, 0);
+    g.addEdge(n2, n4, DepKind::MemAnti, 0);
+    g.addEdge(n6, n7, DepKind::RegFlow, 0);
+    g.addEdge(n7, n8, DepKind::RegFlow, 0);
+    g.addEdge(n8, n6, DepKind::RegFlow, 1);
 
-    ex.profile = ProfileMap(g.numNodes());
-    auto prof = [&](NodeId v, double hit, int pref) {
-        MemProfile &p = ex.profile.at(v);
-        p.hitRate = hit;
-        p.localRatio = 0.5;
-        p.distribution = 0.5;
-        p.preferredCluster = pref;
-        p.executions = 1000;
-        p.clusterCounts.assign(4, 100);
-        p.clusterCounts[std::size_t(pref)] = 700;
-    };
-    prof(ex.n1, 0.6, 1);
-    prof(ex.n2, 0.9, 1);
-    prof(ex.n4, 1.0, 2);
-    prof(ex.n6, 0.9, 2);
-    return ex;
+    LoopSpec loop;
+    loop.name = "figure3";
+    loop.body = std::move(g);
+    loop.avgIterations = 256;
+    loop.invocations = 2;
+    bench.loops.push_back(std::move(loop));
+    return bench;
+}
+
+int
+fail(const api::Status &status)
+{
+    std::fprintf(stderr, "error: %s\n", status.toString().c_str());
+    return 1;
 }
 
 } // namespace
@@ -84,67 +75,72 @@ buildFigure3()
 int
 main()
 {
-    const MachineConfig cfg = MachineConfig::paperInterleaved();
-    Example ex = buildFigure3();
+    api::Session session;
+    if (api::Status s = session.registries().workloads.add(
+            "fig3", buildFigure3Bench());
+        !s.ok())
+        return fail(s);
 
-    std::printf("Figure 3 DDG: %d nodes, %d edges\n",
-                ex.ddg.numNodes(), ex.ddg.numEdges());
-
-    const auto circuits = findCircuits(ex.ddg);
-    const LatencyMap optimistic(ex.ddg, cfg.latLocalHit);
-    const LatencyMap pessimistic(ex.ddg, cfg.latRemoteMiss);
-    std::printf("recurrence IIs: local-hit loads -> MII %d, "
-                "remote-miss loads -> %d\n",
-                recMii(ex.ddg, circuits, optimistic),
-                recMii(ex.ddg, circuits, pessimistic));
+    // Compile the original body (no unrolling) so the printed
+    // placements keep the figure's n1..n8 names.
+    api::RunRequest req;
+    req.workload = "fig3";
+    req.arch = "interleaved";
+    req.unroll = "none";
 
     // ---- Latency assignment (Section 4.3.1 step 2). ----
-    const LatencyScheme scheme = LatencyScheme::fourClass(cfg);
-    const LatencyAssignment assignment = assignLatencies(
-        ex.ddg, circuits, ex.profile, scheme, cfg);
+    req.scheduler = "ipbc";
+    auto compiled = session.compile(req);
+    if (!compiled.ok())
+        return fail(compiled.status());
+    const CompiledLoop &loop = compiled.value()->loops.front().primary;
+
+    std::printf("Figure 3 DDG: %d nodes, %d edges\n",
+                loop.ddg.numNodes(), loop.ddg.numEdges());
+
+    auto cfg = session.resolveArch(req.arch);
+    if (!cfg.ok())
+        return fail(cfg.status());
+    const LatencyScheme scheme = LatencyScheme::fourClass(cfg.value());
 
     std::printf("\nlatency assignment trace "
                 "(benefit B = dII / dstall):\n");
-    for (const LatencyStep &s : assignment.trace) {
+    for (const LatencyStep &s : loop.latency.trace) {
         std::printf("  %-3s %s -> %-3s II %d -> %-2d  B = %.2f\n",
-                    ex.ddg.node(s.node).name.c_str(),
+                    loop.ddg.node(s.node).name.c_str(),
                     scheme.className(s.fromClass).c_str(),
                     scheme.className(s.toClass).c_str(), s.iiBefore,
                     s.iiAfter, s.benefit);
     }
-    std::printf("final: n1 = %d cycles (slack removal), n2 = %d, "
-                "n6 = %d\n", assignment.latencies(ex.n1),
-                assignment.latencies(ex.n2),
-                assignment.latencies(ex.n6));
+    std::printf("final latencies: ");
+    for (NodeId v : loop.ddg.memNodes())
+        std::printf("%s=%d ", loop.ddg.node(v).name.c_str(),
+                    loop.latency.latencies(v));
+    std::printf("(MII target %d)\n", loop.latency.miiTarget);
 
     // ---- Chains (Section 4.3.2). ----
-    MemChains chains(ex.ddg);
+    MemChains chains(loop.ddg);
     std::printf("\nmemory dependent chains: %d (largest has %d "
                 "ops)\n", chains.numChains(), chains.maxChainSize());
 
     // ---- Scheduling with both heuristics (step 4). ----
-    const int mii = std::max(assignment.miiTarget,
-                             computeMii(ex.ddg, circuits,
-                                        assignment.latencies, cfg));
-    for (Heuristic h : {Heuristic::Ibc, Heuristic::Ipbc}) {
-        SchedulerOptions opts;
-        opts.heuristic = h;
-        const auto out = scheduleLoop(ex.ddg, circuits,
-                                      assignment.latencies,
-                                      ex.profile, cfg, mii, opts);
-        if (!out) {
-            std::printf("%s failed to schedule\n", heuristicName(h));
-            continue;
-        }
+    for (const char *heuristic : {"ibc", "ipbc"}) {
+        req.scheduler = heuristic;
+        auto out = session.compile(req);
+        if (!out.ok())
+            return fail(out.status());
+        const CompiledLoop &sched =
+            out.value()->loops.front().primary;
         std::printf("\n%s schedule: II %d, %d copies, balance "
-                    "%.2f\n", heuristicName(h), out->schedule.ii,
-                    out->schedule.numCopies(),
-                    out->schedule.workloadBalance(cfg.numClusters));
+                    "%.2f\n", heuristic, sched.sched.schedule.ii,
+                    sched.sched.schedule.numCopies(),
+                    sched.sched.schedule.workloadBalance(
+                        cfg.value().numClusters));
         TextTable tab({"node", "cycle", "cluster"});
-        for (NodeId v = 0; v < ex.ddg.numNodes(); ++v) {
-            tab.newRow().cell(ex.ddg.node(v).name);
-            tab.cell(std::int64_t(out->schedule.cycleOf(v)));
-            tab.cell(std::int64_t(out->schedule.clusterOf(v)));
+        for (NodeId v = 0; v < sched.ddg.numNodes(); ++v) {
+            tab.newRow().cell(sched.ddg.node(v).name);
+            tab.cell(std::int64_t(sched.sched.schedule.cycleOf(v)));
+            tab.cell(std::int64_t(sched.sched.schedule.clusterOf(v)));
         }
         tab.print(std::cout);
     }

@@ -1,8 +1,11 @@
 /**
  * @file
- * Quickstart: build a small loop with the public API, compile it for
- * the word-interleaved clustered VLIW with the IPBC heuristic, and
- * simulate it on both data sets.
+ * Quickstart for the supported library surface (`api/api.hh`):
+ * build a small loop with KernelBuilder, register it as a workload
+ * on an `api::Session`, compile it for the word-interleaved
+ * clustered VLIW with the IPBC heuristic, and simulate it — with
+ * every failure surfaced as an `api::Status` instead of a process
+ * exit.
  *
  * The loop is a saturating stream update,
  *
@@ -16,21 +19,29 @@
 #include <cstdio>
 #include <iostream>
 
-#include "core/toolchain.hh"
+#include "api/api.hh"
 #include "support/table.hh"
 #include "workloads/kernels.hh"
 
 using namespace vliw;
 
+namespace {
+
+/** Report a failed Status and bail. */
+int
+fail(const api::Status &status)
+{
+    std::fprintf(stderr, "error: %s\n", status.toString().c_str());
+    return 1;
+}
+
+} // namespace
+
 int
 main()
 {
-    // --- Describe the machine (paper Table 2) -------------------
-    MachineConfig cfg = MachineConfig::paperInterleavedAb();
-
     // --- Describe the workload ----------------------------------
     BenchmarkSpec bench;
-    bench.name = "quickstart";
     const SymbolId hist = bench.addSymbol(
         "hist", 16 * 1024, SymbolSpec::Storage::Heap);
     const SymbolId in = bench.addSymbol(
@@ -49,43 +60,57 @@ main()
     kb.chain({h, st});   // hist is read-modify-written in place
     bench.loops.push_back(kb.take(4096, 2));
 
-    // --- Compile ------------------------------------------------
-    ToolchainOptions opts;
-    opts.heuristic = Heuristic::Ipbc;
-    opts.unroll = UnrollPolicy::Selective;
-    opts.varAlignment = true;
+    // --- Open a session and register the workload ---------------
+    api::Session session;
+    if (api::Status s = session.registries().workloads.add(
+            "quickstart", std::move(bench));
+        !s.ok())
+        return fail(s);
 
-    Toolchain chain(cfg, opts);
-    const CompiledLoop compiled =
-        chain.compileLoop(bench, bench.loops.front());
+    // --- Compile (paper Table 2 machine, IPBC, selective) -------
+    api::RunRequest req;
+    req.workload = "quickstart";
+    req.arch = "interleaved-ab";
+    req.scheduler = "ipbc";
+    req.unroll = "selective";
 
-    std::printf("machine        : %s\n", cfg.describe().c_str());
-    std::printf("loop           : %s\n", compiled.name.c_str());
-    std::printf("unroll factor  : %d (%s)\n", compiled.unrollFactor,
-                unrollPolicyName(compiled.policyChosen));
-    std::printf("MII / II / SC  : %d / %d / %d\n", compiled.mii,
-                compiled.sched.schedule.ii,
-                compiled.sched.schedule.stageCount);
+    auto compiled = session.compile(req);
+    if (!compiled.ok())
+        return fail(compiled.status());
+    const CompiledLoop &loop = compiled.value()->loops.front().primary;
+
+    auto cfg = session.resolveArch(req.arch);
+    if (!cfg.ok())
+        return fail(cfg.status());
+
+    std::printf("machine        : %s\n",
+                cfg.value().describe().c_str());
+    std::printf("loop           : %s\n", loop.name.c_str());
+    std::printf("unroll factor  : %d (%s)\n", loop.unrollFactor,
+                unrollPolicyName(loop.policyChosen));
+    std::printf("MII / II / SC  : %d / %d / %d\n", loop.mii,
+                loop.sched.schedule.ii,
+                loop.sched.schedule.stageCount);
     std::printf("register copies: %d\n",
-                compiled.sched.schedule.numCopies());
+                loop.sched.schedule.numCopies());
     std::printf("workload bal.  : %.3f (0.25 = perfect)\n\n",
-                compiled.sched.schedule.workloadBalance(
-                    cfg.numClusters));
+                loop.sched.schedule.workloadBalance(
+                    cfg.value().numClusters));
 
     // Print the kernel: one row per cycle, one column per cluster.
     TextTable tab({"cycle", "cluster0", "cluster1", "cluster2",
                    "cluster3"});
-    for (int row = 0; row < compiled.sched.schedule.ii; ++row) {
+    for (int row = 0; row < loop.sched.schedule.ii; ++row) {
         tab.newRow().cell(std::int64_t(row));
-        for (int cl = 0; cl < cfg.numClusters; ++cl) {
+        for (int cl = 0; cl < cfg.value().numClusters; ++cl) {
             std::string cell;
-            for (NodeId v = 0; v < compiled.ddg.numNodes(); ++v) {
-                if (compiled.sched.schedule.clusterOf(v) == cl &&
-                    compiled.sched.schedule.cycleOf(v) %
-                    compiled.sched.schedule.ii == row) {
+            for (NodeId v = 0; v < loop.ddg.numNodes(); ++v) {
+                if (loop.sched.schedule.clusterOf(v) == cl &&
+                    loop.sched.schedule.cycleOf(v) %
+                    loop.sched.schedule.ii == row) {
                     if (!cell.empty())
                         cell += " ";
-                    cell += compiled.ddg.node(v).name;
+                    cell += loop.ddg.node(v).name;
                 }
             }
             tab.cell(cell.empty() ? "-" : cell);
@@ -94,7 +119,10 @@ main()
     tab.print(std::cout);
 
     // --- Simulate the whole benchmark ---------------------------
-    const BenchmarkRun run = chain.runBenchmark(bench);
+    auto res = session.run(req);
+    if (!res.ok())
+        return fail(res.status());
+    const BenchmarkRun &run = res.value().run();
     std::printf("\ncycles         : %lld (compute %lld + stall %lld)\n",
                 static_cast<long long>(run.total.totalCycles),
                 static_cast<long long>(run.total.computeCycles()),
@@ -105,5 +133,12 @@ main()
                     run.total.memAccesses));
     std::printf("AB hits        : %llu\n",
                 static_cast<unsigned long long>(run.total.abHits));
+
+    // Mistakes come back as a Status, never a process exit:
+    api::RunRequest bad = req;
+    bad.arch = "no-such-arch";
+    auto err = session.run(bad);
+    std::printf("\nbad arch       : %s\n",
+                err.status().toString().c_str());
     return 0;
 }

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the supported library surface: include
+ * `api/api.hh`, construct an `api::Session`, and talk to it with
+ * `RunRequest`/`SweepRequest`. See the README's "Library API"
+ * section for a walkthrough.
+ */
+
+#ifndef WIVLIW_API_API_HH
+#define WIVLIW_API_API_HH
+
+#include "api/registries.hh"
+#include "api/registry.hh"
+#include "api/session.hh"
+#include "api/status.hh"
+
+#endif // WIVLIW_API_API_HH

@@ -1,0 +1,275 @@
+#include "registries.hh"
+
+#include <cctype>
+#include <limits>
+
+#include "workloads/mediabench.hh"
+
+namespace vliw::api {
+
+// ---- architectures ---------------------------------------------------
+
+Status
+ArchRegistry::add(const std::string &name, MachineConfig config,
+                  std::string description)
+{
+    const std::string problem = config.check();
+    if (!problem.empty()) {
+        return Status::invalidArgument(
+            "architecture '" + name + "' is inconsistent: " +
+            problem);
+    }
+    return add(name,
+               ArchEntry{[config]() { return config; },
+                         std::move(description)});
+}
+
+namespace {
+
+/**
+ * Parse "<letters><digits>[k]" into a non-negative int; false on
+ * any other shape or on values that do not fit (truncating to int
+ * would silently turn an out-of-range request into a valid-looking
+ * geometry, breaking the promise that inconsistent keys come back
+ * as InvalidArgument).
+ */
+bool
+splitModifier(const std::string &token, std::string &prefix,
+              int &value)
+{
+    std::size_t i = 0;
+    while (i < token.size() &&
+           std::isalpha(static_cast<unsigned char>(token[i])))
+        ++i;
+    if (i == 0 || i == token.size())
+        return false;
+    prefix = token.substr(0, i);
+
+    long long v = 0;
+    std::size_t j = i;
+    while (j < token.size() &&
+           std::isdigit(static_cast<unsigned char>(token[j]))) {
+        v = v * 10 + (token[j] - '0');
+        if (v > std::numeric_limits<int>::max())
+            return false;
+        ++j;
+    }
+    if (j == i)
+        return false;
+    if (j + 1 == token.size() &&
+        (token[j] == 'k' || token[j] == 'K')) {
+        // The KiB suffix only means something for byte counts;
+        // accepting "l1k" as a 1024-cycle latency would turn a
+        // typo into wrong experiment data instead of an error.
+        if (prefix != "b")
+            return false;
+        v *= 1024;
+    } else if (j != token.size())
+        return false;
+    if (v > std::numeric_limits<int>::max())
+        return false;
+    value = int(v);
+    return true;
+}
+
+constexpr const char *kModifierGrammar =
+    "modifiers: c<clusters> i<interleave-bytes> b<cache-bytes>[k] "
+    "w<ways> ab<entries> l<unified-latency> r<regs>";
+
+Status
+applyModifier(MachineConfig &cfg, const std::string &key,
+              const std::string &token)
+{
+    std::string prefix;
+    int value = 0;
+    if (!splitModifier(token, prefix, value)) {
+        return Status::invalidArgument(
+            "malformed modifier '" + token +
+            "' in architecture key '" + key + "'",
+            kModifierGrammar);
+    }
+    if (prefix == "c")
+        cfg.numClusters = value;
+    else if (prefix == "i")
+        cfg.interleaveBytes = value;
+    else if (prefix == "b")
+        cfg.cacheBytes = value;
+    else if (prefix == "w")
+        cfg.cacheWays = value;
+    else if (prefix == "ab") {
+        cfg.attractionBuffers = value > 0;
+        if (value > 0)
+            cfg.abEntries = value;
+    } else if (prefix == "l")
+        cfg.latUnified = value;
+    else if (prefix == "r")
+        cfg.regsPerCluster = value;
+    else {
+        return Status::invalidArgument(
+            "unknown modifier '" + token +
+            "' in architecture key '" + key + "'",
+            kModifierGrammar);
+    }
+    return Status();
+}
+
+} // namespace
+
+Result<MachineConfig>
+ArchRegistry::resolve(const std::string &key) const
+{
+    const std::size_t colon = key.find(':');
+    const std::string base =
+        colon == std::string::npos ? key : key.substr(0, colon);
+
+    const ArchEntry *entry = find(base);
+    if (!entry)
+        return unknown(base);
+
+    MachineConfig cfg = entry->factory();
+    std::size_t pos = colon;
+    while (pos != std::string::npos) {
+        const std::size_t next = key.find(':', pos + 1);
+        const std::string token =
+            next == std::string::npos
+                ? key.substr(pos + 1)
+                : key.substr(pos + 1, next - pos - 1);
+        if (token.empty()) {
+            return Status::invalidArgument(
+                "empty modifier in architecture key '" + key + "'",
+                kModifierGrammar);
+        }
+        if (Status s = applyModifier(cfg, key, token); !s.ok())
+            return s;
+        pos = next;
+    }
+
+    const std::string problem = cfg.check();
+    if (!problem.empty()) {
+        return Status::invalidArgument(
+            "architecture '" + key + "' is inconsistent: " + problem);
+    }
+    return cfg;
+}
+
+// ---- schedulers ------------------------------------------------------
+
+Status
+SchedulerRegistry::add(const std::string &name, Heuristic heuristic,
+                       std::string description)
+{
+    return add(name,
+               SchedulerEntry{heuristic, std::move(description)});
+}
+
+Result<Heuristic>
+SchedulerRegistry::resolve(const std::string &name) const
+{
+    const SchedulerEntry *entry = find(name);
+    if (!entry)
+        return unknown(name);
+    return entry->heuristic;
+}
+
+// ---- unrolling policies ----------------------------------------------
+
+Status
+UnrollPolicyRegistry::add(const std::string &name,
+                          UnrollPolicy policy,
+                          std::string description)
+{
+    return add(name, UnrollEntry{policy, std::move(description)});
+}
+
+Result<UnrollPolicy>
+UnrollPolicyRegistry::resolve(const std::string &name) const
+{
+    const UnrollEntry *entry = find(name);
+    if (!entry)
+        return unknown(name);
+    return entry->policy;
+}
+
+// ---- workloads -------------------------------------------------------
+
+Status
+WorkloadRegistry::add(const std::string &name, BenchmarkSpec spec,
+                      std::string description)
+{
+    spec.name = name;
+    auto shared = std::make_shared<const BenchmarkSpec>(
+        std::move(spec));
+    return add(name,
+               WorkloadEntry{[shared]() { return *shared; },
+                             std::move(description), shared});
+}
+
+Result<std::shared_ptr<const BenchmarkSpec>>
+WorkloadRegistry::resolve(const std::string &name) const
+{
+    const WorkloadEntry *entry = find(name);
+    if (!entry)
+        return unknown(name);
+    if (entry->spec)
+        return entry->spec;
+    return std::make_shared<const BenchmarkSpec>(entry->factory());
+}
+
+// ---- seeding ---------------------------------------------------------
+
+Registries
+Registries::builtin()
+{
+    Registries r;
+    // The five Table 2 points, in the paper's report order. These
+    // registrations cannot fail; assert to keep mistakes loud.
+    auto must = [](Status s) {
+        vliw_assert(s.ok(), "builtin registration failed: ",
+                    s.toString());
+    };
+    must(r.archs.add("interleaved", MachineConfig::paperInterleaved(),
+                     "word-interleaved cache, no Attraction Buffers"));
+    must(r.archs.add("interleaved-ab",
+                     MachineConfig::paperInterleavedAb(),
+                     "word-interleaved cache, 16-entry Attraction "
+                     "Buffers"));
+    must(r.archs.add("unified1", MachineConfig::paperUnified(1),
+                     "unified cache, 1-cycle (optimistic)"));
+    must(r.archs.add("unified5", MachineConfig::paperUnified(5),
+                     "unified cache, 5-cycle (realistic)"));
+    must(r.archs.add("multivliw", MachineConfig::paperMultiVliw(),
+                     "coherent per-cluster caches (snoopy MSI)"));
+
+    must(r.schedulers.add("base", Heuristic::Base,
+                          "no locality heuristic"));
+    must(r.schedulers.add("ibc", Heuristic::Ibc,
+                          "Interleaved Build Chains"));
+    must(r.schedulers.add("ipbc", Heuristic::Ipbc,
+                          "Interleaved Pre-Build Chains"));
+
+    must(r.unrolls.add("none", UnrollPolicy::None, "no unrolling"));
+    must(r.unrolls.add("xN", UnrollPolicy::TimesN,
+                       "unroll by the cluster count"));
+    must(r.unrolls.add("ouf", UnrollPolicy::Ouf,
+                       "optimal unrolling factor"));
+    must(r.unrolls.add("selective", UnrollPolicy::Selective,
+                       "best of none/xN/ouf by estimated Texec"));
+
+    for (const std::string &name : mediabenchNames()) {
+        must(r.workloads.add(
+            name,
+            WorkloadEntry{[name]() { return makeBenchmark(name); },
+                          "Mediabench-like suite (Table 1)",
+                          nullptr}));
+    }
+    return r;
+}
+
+const Registries &
+builtinRegistries()
+{
+    static const Registries r = Registries::builtin();
+    return r;
+}
+
+} // namespace vliw::api

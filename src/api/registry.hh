@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The generic name -> entry registry underneath every capability
+ * axis of the façade (architectures, schedulers, unrolling
+ * policies, workloads).
+ *
+ * Contracts the façade and its tests rely on:
+ *  - names are unique; re-registering an existing name is rejected
+ *    with AlreadyExists (never silently replaced),
+ *  - lookup is exact and case-sensitive ("IPBC" does not resolve an
+ *    entry registered as "ipbc"), and stable: the entry returned
+ *    for a name never changes once registered,
+ *  - iteration order is registration order, so reports and
+ *    `--list-*` output over a registry are byte-stable run to run
+ *    (built-ins register in the paper's order).
+ */
+
+#ifndef WIVLIW_API_REGISTRY_HH
+#define WIVLIW_API_REGISTRY_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "api/status.hh"
+
+namespace vliw::api {
+
+template <typename Entry>
+class Registry
+{
+  public:
+    /** @param kind noun used in error messages ("architecture"). */
+    explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+    /** Register @p entry under @p name; rejects duplicates. */
+    Status
+    add(const std::string &name, Entry entry)
+    {
+        if (Status s = checkName(name); !s.ok())
+            return s;
+        entries_.emplace(name, std::move(entry));
+        order_.push_back(name);
+        return Status();
+    }
+
+    /** The entry for @p name, or nullptr when unknown. */
+    const Entry *
+    find(const std::string &name) const
+    {
+        auto it = entries_.find(name);
+        return it == entries_.end() ? nullptr : &it->second;
+    }
+
+    bool contains(const std::string &name) const
+    {
+        return entries_.count(name) != 0;
+    }
+
+    /** Registered names, in registration order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    std::size_t size() const { return order_.size(); }
+
+    /** Comma-joined names for error context / listings. */
+    std::string
+    joinedNames() const
+    {
+        std::string out;
+        for (const std::string &name : order_)
+            out += (out.empty() ? "" : ", ") + name;
+        return out;
+    }
+
+    /** The uniform unknown-name error with the valid names. */
+    Status
+    unknown(const std::string &name) const
+    {
+        return Status::notFound(
+            "unknown " + kind_ + " '" + name + "'", joinedNames());
+    }
+
+    const std::string &kind() const { return kind_; }
+
+  protected:
+    /** Name rules shared by add() and subclasses. */
+    Status
+    checkName(const std::string &name) const
+    {
+        if (name.empty()) {
+            return Status::invalidArgument(
+                "empty " + kind_ + " name");
+        }
+        if (name.find_first_of(", \t\n:") != std::string::npos) {
+            return Status::invalidArgument(
+                kind_ + " name '" + name +
+                "' may not contain commas, colons or whitespace");
+        }
+        if (contains(name)) {
+            return Status::error(
+                StatusCode::AlreadyExists,
+                kind_ + " '" + name + "' is already registered");
+        }
+        return Status();
+    }
+
+  private:
+    std::string kind_;
+    std::vector<std::string> order_;
+    std::unordered_map<std::string, Entry> entries_;
+};
+
+} // namespace vliw::api
+
+#endif // WIVLIW_API_REGISTRY_HH

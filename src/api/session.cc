@@ -1,0 +1,268 @@
+#include "session.hh"
+
+#include "workloads/dataset.hh"
+
+namespace vliw::api {
+
+Status
+validateOptions(const ToolchainOptions &opts)
+{
+    if (opts.abHintBudget < 0) {
+        return Status::invalidArgument(
+            "abHintBudget must be >= 0, got " +
+            std::to_string(opts.abHintBudget));
+    }
+    if (opts.maxIiTries < 1) {
+        return Status::invalidArgument(
+            "maxIiTries must be >= 1, got " +
+            std::to_string(opts.maxIiTries));
+    }
+    if (opts.profile.maxIterations < 0) {
+        return Status::invalidArgument(
+            "profile.maxIterations must be >= 0, got " +
+            std::to_string(opts.profile.maxIterations));
+    }
+    return Status();
+}
+
+namespace {
+
+Status
+validateDatasets(int datasets)
+{
+    if (datasets < 1) {
+        return Status::invalidArgument(
+            "datasets must be >= 1, got " +
+            std::to_string(datasets));
+    }
+    return Status();
+}
+
+/** Map one failed engine job to the Status the caller sees. */
+Status
+jobError(const engine::ExperimentResult &result)
+{
+    return Status::error(result.userError
+                             ? StatusCode::FailedPrecondition
+                             : StatusCode::Internal,
+                         result.spec.label() + ": " + result.error);
+}
+
+} // namespace
+
+std::size_t
+SweepResult::failedCount() const
+{
+    std::size_t failed = 0;
+    for (const engine::ExperimentResult &r : experiments)
+        failed += r.failed() ? 1 : 0;
+    return failed;
+}
+
+Status
+SweepResult::firstError() const
+{
+    for (const engine::ExperimentResult &r : experiments) {
+        if (r.failed())
+            return jobError(r);
+    }
+    return Status();
+}
+
+struct Session::Impl
+{
+    SessionOptions opts;
+    Registries registries = Registries::builtin();
+    engine::ExperimentEngine engine;
+
+    explicit Impl(const SessionOptions &o)
+        : opts(o),
+          engine(engine::EngineOptions{o.jobs, o.compileCache})
+    {
+    }
+
+    /** Resolve a RunRequest into an engine spec, or fail. */
+    Result<engine::ExperimentSpec>
+    resolve(const RunRequest &req) const
+    {
+        if (Status s = validateOptions(req.options); !s.ok())
+            return s;
+        if (Status s = validateDatasets(req.datasets); !s.ok())
+            return s;
+
+        auto arch = registries.archs.resolve(req.arch);
+        if (!arch.ok())
+            return arch.status();
+        auto heuristic = registries.schedulers.resolve(req.scheduler);
+        if (!heuristic.ok())
+            return heuristic.status();
+        auto unroll = registries.unrolls.resolve(req.unroll);
+        if (!unroll.ok())
+            return unroll.status();
+        auto workload = registries.workloads.resolve(req.workload);
+        if (!workload.ok())
+            return workload.status();
+
+        engine::ExperimentSpec spec;
+        spec.bench = req.workload;
+        spec.arch = {req.arch, arch.take()};
+        spec.opts = req.options;
+        spec.opts.heuristic = heuristic.value();
+        spec.opts.unroll = unroll.value();
+        spec.workload = workload.take();
+        if (req.datasets > 1) {
+            spec.execSeeds.reserve(std::size_t(req.datasets));
+            for (int d = 0; d < req.datasets; ++d) {
+                spec.execSeeds.push_back(
+                    datasetSeed(spec.opts.execSeed, d));
+            }
+        }
+        return spec;
+    }
+};
+
+Session::Session(const SessionOptions &opts)
+    : impl_(std::make_unique<Impl>(opts))
+{
+}
+
+Session::~Session() = default;
+Session::Session(Session &&) noexcept = default;
+Session &Session::operator=(Session &&) noexcept = default;
+
+Registries &
+Session::registries()
+{
+    return impl_->registries;
+}
+
+const Registries &
+Session::registries() const
+{
+    return impl_->registries;
+}
+
+Result<MachineConfig>
+Session::resolveArch(const std::string &key) const
+{
+    return impl_->registries.archs.resolve(key);
+}
+
+Result<std::shared_ptr<const CompiledBenchmark>>
+Session::compile(const RunRequest &req)
+{
+    auto spec = impl_->resolve(req);
+    if (!spec.ok())
+        return spec.status();
+
+    try {
+        if (impl_->opts.compileCache) {
+            return impl_->engine.cache().compile(
+                spec.value().arch.config, spec.value().opts,
+                *spec.value().workload);
+        }
+        const Toolchain chain(spec.value().arch.config,
+                              spec.value().opts);
+        return std::shared_ptr<const CompiledBenchmark>(
+            std::make_shared<const CompiledBenchmark>(
+                chain.compileBenchmark(*spec.value().workload)));
+    } catch (const CompileError &e) {
+        return Status::error(StatusCode::FailedPrecondition,
+                             e.what());
+    } catch (const std::exception &e) {
+        return Status::error(StatusCode::Internal, e.what());
+    }
+}
+
+Result<RunResult>
+Session::run(const RunRequest &req)
+{
+    auto spec = impl_->resolve(req);
+    if (!spec.ok())
+        return spec.status();
+
+    // A single-spec batch through the engine: shares the session's
+    // compile cache and is bit-identical to the direct Toolchain
+    // path (the engine's determinism contract).
+    auto results = impl_->engine.run({spec.take()}, /*jobs=*/1);
+    vliw_assert(results.size() == 1, "one spec, one result");
+    if (results.front().failed())
+        return jobError(results.front());
+    return RunResult{std::move(results.front())};
+}
+
+Result<SweepResult>
+Session::sweep(const SweepRequest &req)
+{
+    if (Status s = validateOptions(req.options); !s.ok())
+        return s;
+    if (Status s = validateDatasets(req.datasets); !s.ok())
+        return s;
+    if (req.jobs < 0) {
+        return Status::invalidArgument(
+            "jobs must be >= 0, got " + std::to_string(req.jobs));
+    }
+    if (req.schedulers.empty() || req.unrolls.empty() ||
+        req.alignment.empty() || req.chains.empty() ||
+        req.versioning.empty()) {
+        return Status::invalidArgument(
+            "every sweep axis needs at least one entry");
+    }
+
+    // Validate every name up front so a sweep fails atomically
+    // with the offending axis's valid names, before any work runs.
+    const Registries &reg = impl_->registries;
+    for (const std::string &name : req.workloads) {
+        if (!reg.workloads.contains(name))
+            return reg.workloads.unknown(name);
+    }
+    for (const std::string &name : req.archs) {
+        if (auto r = reg.archs.resolve(name); !r.ok())
+            return r.status();
+    }
+    for (const std::string &name : req.schedulers) {
+        if (!reg.schedulers.contains(name))
+            return reg.schedulers.unknown(name);
+    }
+    for (const std::string &name : req.unrolls) {
+        if (!reg.unrolls.contains(name))
+            return reg.unrolls.unknown(name);
+    }
+
+    engine::ExperimentGrid grid;
+    grid.benches = req.workloads;
+    grid.archs = req.archs;
+    grid.heuristics = req.schedulers;
+    grid.unrolls = req.unrolls;
+    grid.alignment = req.alignment;
+    grid.chains = req.chains;
+    grid.versioning = req.versioning;
+    grid.datasets = req.datasets;
+    grid.base = req.options;
+    grid.registries = &reg;
+
+    SweepResult out;
+    try {
+        out.experiments = impl_->engine.run(
+            grid, req.jobs > 0 ? std::optional<int>(req.jobs)
+                               : std::nullopt);
+    } catch (const std::exception &e) {
+        return Status::error(StatusCode::Internal, e.what());
+    }
+    out.cache = impl_->engine.cacheStats();
+    return out;
+}
+
+engine::CompileCacheStats
+Session::cacheStats() const
+{
+    return impl_->engine.cacheStats();
+}
+
+const SessionOptions &
+Session::options() const
+{
+    return impl_->opts;
+}
+
+} // namespace vliw::api

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The stable `vliw::api` façade: one supported entry point for
+ * embedding wivliw as a library.
+ *
+ * An opaque Session wraps the Toolchain, the experiment engine and
+ * its CompileCache behind value-type requests:
+ *
+ *   api::Session session;
+ *   auto res = session.run({.workload = "gsmdec",
+ *                           .arch = "interleaved-ab"});
+ *   if (!res.ok()) { ... res.status().message() ... }
+ *
+ * Every capability axis (architectures, schedulers, unrolling
+ * policies, workloads) resolves by name through the session's
+ * registries, which are seeded with the paper's entries and accept
+ * user registrations; every fallible path returns an api::Status
+ * instead of terminating the process.
+ */
+
+#ifndef WIVLIW_API_SESSION_HH
+#define WIVLIW_API_SESSION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registries.hh"
+#include "api/status.hh"
+#include "engine/engine.hh"
+
+namespace vliw::api {
+
+/** Session-wide execution knobs. */
+struct SessionOptions
+{
+    /** Default worker threads for sweep(); >= 1. */
+    int jobs = 1;
+    /** Share compiles between arch/option variants. */
+    bool compileCache = true;
+};
+
+/**
+ * One benchmark under one architecture. All four names resolve
+ * through the session's registries; `arch` also accepts parametric
+ * keys ("interleaved:c8:b16k", see ArchRegistry::resolve).
+ */
+struct RunRequest
+{
+    std::string workload;
+    std::string arch = "interleaved-ab";
+    std::string scheduler = "ipbc";
+    std::string unroll = "selective";
+    /** Execution data sets, batched in one simulation pass. */
+    int datasets = 1;
+    /**
+     * Seeds, alignment, chains, versioning, profiling caps. The
+     * heuristic/unroll members are overridden by the resolved
+     * `scheduler`/`unroll` names above.
+     */
+    ToolchainOptions options;
+};
+
+/** Result of Session::run(): one experiment, >= 1 data sets. */
+struct RunResult
+{
+    engine::ExperimentResult experiment;
+
+    /** The primary (first) data set's result. */
+    const BenchmarkRun &run() const { return experiment.run(); }
+    const std::vector<BenchmarkRun> &
+    datasetRuns() const
+    {
+        return experiment.datasetRuns;
+    }
+};
+
+/**
+ * A declarative sweep: the cross-product of the named axes, run on
+ * the session's worker pool with compile memoization. Empty
+ * workload/arch axes mean "everything registered".
+ */
+struct SweepRequest
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> archs;
+    std::vector<std::string> schedulers{"ipbc"};
+    std::vector<std::string> unrolls{"selective"};
+    std::vector<bool> alignment{true};
+    std::vector<bool> chains{true};
+    std::vector<bool> versioning{false};
+    int datasets = 1;
+    /** Worker threads for this sweep; 0 = the session default. */
+    int jobs = 0;
+    ToolchainOptions options;
+};
+
+/** Result of Session::sweep(), in grid order. */
+struct SweepResult
+{
+    std::vector<engine::ExperimentResult> experiments;
+    engine::CompileCacheStats cache;
+
+    /**
+     * Cells whose compile/simulate failed at run time (their
+     * `error`/`userError` slots say why). Name and option problems
+     * never get this far — sweep() rejects those atomically before
+     * any work — but a mid-grid CompileError (e.g. an II budget
+     * one cell cannot meet) does not throw away the rest of the
+     * grid's completed experiments.
+     */
+    std::size_t failedCount() const;
+    /** Status of the first failed cell, or Ok when all ran. */
+    Status firstError() const;
+};
+
+/**
+ * Validate the option subset the pipeline cannot defend itself
+ * against: rejects abHintBudget < 0, maxIiTries < 1 and out-of-
+ * range profiling caps with InvalidArgument.
+ */
+Status validateOptions(const ToolchainOptions &opts);
+
+/** The façade. Opaque; movable; one compile cache per session. */
+class Session
+{
+  public:
+    explicit Session(const SessionOptions &opts = {});
+    ~Session();
+
+    Session(Session &&) noexcept;
+    Session &operator=(Session &&) noexcept;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** The session's registries; register custom entries here. */
+    Registries &registries();
+    const Registries &registries() const;
+
+    /** Resolve an architecture name/key to its configuration. */
+    Result<MachineConfig> resolveArch(const std::string &key) const;
+
+    /**
+     * Compile one workload without simulating it (schedules,
+     * latencies and unroll decisions for inspection). Served from
+     * the session's compile cache; the returned artifact is
+     * immutable and safe to read from any thread.
+     */
+    Result<std::shared_ptr<const CompiledBenchmark>>
+    compile(const RunRequest &req);
+
+    /** Compile and simulate one workload. */
+    Result<RunResult> run(const RunRequest &req);
+
+    /**
+     * Run a whole grid. Fails atomically (no work started) on any
+     * bad name or option; per-cell runtime failures come back
+     * inside the SweepResult (see SweepResult::firstError) next to
+     * the cells that did complete.
+     */
+    Result<SweepResult> sweep(const SweepRequest &req);
+
+    /** Compile-cache accounting accumulated over this session. */
+    engine::CompileCacheStats cacheStats() const;
+
+    const SessionOptions &options() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace vliw::api
+
+#endif // WIVLIW_API_SESSION_HH

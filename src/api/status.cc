@@ -1,0 +1,33 @@
+#include "status.hh"
+
+#include <sstream>
+
+namespace vliw::api {
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:                 return "ok";
+      case StatusCode::InvalidArgument:    return "invalid-argument";
+      case StatusCode::NotFound:           return "not-found";
+      case StatusCode::AlreadyExists:      return "already-exists";
+      case StatusCode::FailedPrecondition: return "failed-precondition";
+      case StatusCode::Internal:           return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::ostringstream os;
+    os << statusCodeName(code_) << ": " << message_;
+    if (!context_.empty())
+        os << " (" << context_ << ")";
+    return os.str();
+}
+
+} // namespace vliw::api

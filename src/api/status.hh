@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Structured error handling for the `vliw::api` façade.
+ *
+ * Every fallible façade operation returns a Status (or a Result<T>
+ * carrying one) instead of terminating the process: a code that
+ * classifies the failure, a human-readable message, and an optional
+ * context string (for example the list of valid registry names that
+ * an unknown-name error should surface to the user). `vliw_fatal`
+ * remains reserved for true invariant violations; nothing reachable
+ * from `api::Session` with bad user input goes through it.
+ */
+
+#ifndef WIVLIW_API_STATUS_HH
+#define WIVLIW_API_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "support/logging.hh"
+
+namespace vliw::api {
+
+/** Failure classification, deliberately small and stable. */
+enum class StatusCode
+{
+    Ok,
+    /** A value is out of range or malformed (bad option, bad key). */
+    InvalidArgument,
+    /** A name is not present in the consulted registry. */
+    NotFound,
+    /** A registration collides with an existing name. */
+    AlreadyExists,
+    /** Inputs were well-formed but the pipeline could not satisfy
+     *  them (e.g. no schedule within the II budget). */
+    FailedPrecondition,
+    /** A wivliw bug surfaced as an exception; report it. */
+    Internal,
+};
+
+const char *statusCodeName(StatusCode code);
+
+/** Outcome of a fallible façade call. Cheap to copy and move. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    static Status
+    error(StatusCode code, std::string message,
+          std::string context = "")
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(message);
+        s.context_ = std::move(context);
+        return s;
+    }
+
+    static Status
+    invalidArgument(std::string message, std::string context = "")
+    {
+        return error(StatusCode::InvalidArgument,
+                     std::move(message), std::move(context));
+    }
+
+    static Status
+    notFound(std::string message, std::string context = "")
+    {
+        return error(StatusCode::NotFound, std::move(message),
+                     std::move(context));
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+    /**
+     * Supplementary detail a caller can surface next to the
+     * message; unknown-name errors put the comma-joined valid
+     * names here so a CLI can print them verbatim.
+     */
+    const std::string &context() const { return context_; }
+
+    /** "code: message (context)" for logs and exceptions. */
+    std::string toString() const;
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+    std::string context_;
+};
+
+/** A value or the Status explaining its absence. */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    /** Implicit from an error Status (must not be Ok). */
+    Result(Status status) : status_(std::move(status))
+    {
+        vliw_assert(!status_.ok(),
+                    "Result built from an Ok status without a value");
+    }
+
+    /** Implicit from a value. */
+    Result(T value) : value_(std::move(value)) {}
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        vliw_assert(ok(), "value() on failed Result: ",
+                    status_.toString());
+        return *value_;
+    }
+
+    T &
+    value()
+    {
+        vliw_assert(ok(), "value() on failed Result: ",
+                    status_.toString());
+        return *value_;
+    }
+
+    /** Move the value out (the Result is left empty). */
+    T
+    take()
+    {
+        vliw_assert(ok(), "take() on failed Result: ",
+                    status_.toString());
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace vliw::api
+
+#endif // WIVLIW_API_STATUS_HH

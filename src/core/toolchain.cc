@@ -50,9 +50,15 @@ Toolchain::compileAt(const BenchmarkSpec &bench, const LoopSpec &loop,
     out.name = loop.name;
     out.unrollFactor = factor;
     out.invocations = loop.invocations;
-    vliw_assert(loop.avgIterations % factor == 0,
-                "trip count ", loop.avgIterations,
-                " not divisible by unroll factor ", factor);
+    // User workloads pick their own trip counts; an indivisible
+    // unroll factor is their mistake to hear about, not a wivliw
+    // invariant.
+    if (loop.avgIterations % factor != 0) {
+        throw CompileError(detail::concat(
+            "loop ", bench.name, "/", loop.name, ": trip count ",
+            loop.avgIterations, " not divisible by unroll factor ",
+            factor));
+    }
     out.kernelIterations = loop.avgIterations / factor;
 
     out.ddg = unrollDdg(loop.body, factor);
@@ -93,9 +99,10 @@ Toolchain::compileAt(const BenchmarkSpec &bench, const LoopSpec &loop,
                                 out.latency.latencies, out.profile,
                                 cfg_, out.mii, sched_opts);
     if (!outcome) {
-        vliw_fatal("loop ", bench.name, "/", loop.name,
-                   " failed to schedule within ", opts_.maxIiTries,
-                   " II attempts (mii ", out.mii, ")");
+        throw CompileError(detail::concat(
+            "loop ", bench.name, "/", loop.name,
+            " failed to schedule within ", opts_.maxIiTries,
+            " II attempts (mii ", out.mii, ")"));
     }
     out.sched = std::move(*outcome);
     return out;

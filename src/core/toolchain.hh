@@ -12,6 +12,12 @@
  *      configured memory system (interleaved / unified / multiVLIW).
  *
  * This mirrors the paper's flow in Sections 4.2-4.3 and 5.1.
+ *
+ * Library embedders should prefer the stable façade in
+ * `api/api.hh` (api::Session), which resolves names through the
+ * capability registries and reports failures as api::Status; the
+ * Toolchain signals its own user-input failures by throwing
+ * CompileError (support/errors.hh).
  */
 
 #ifndef WIVLIW_CORE_TOOLCHAIN_HH
@@ -28,6 +34,7 @@
 #include "sched/scheduler.hh"
 #include "sched/unroll_policy.hh"
 #include "sim/sim_stats.hh"
+#include "support/errors.hh"
 #include "workloads/mediabench.hh"
 #include "workloads/profiler.hh"
 

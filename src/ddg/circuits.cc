@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "support/errors.hh"
 #include "support/logging.hh"
 #include "support/math_util.hh"
 
@@ -232,9 +233,12 @@ class JohnsonCircuits
     emit(int closing_edge)
     {
         if (circuits_.size() >= maxCircuits_) {
-            vliw_fatal("DDG has more than ", maxCircuits_,
-                       " elementary circuits; latency assignment "
-                       "would be incomplete");
+            // A user-supplied loop body, not a wivliw bug: refuse
+            // it without taking the process down.
+            throw CompileError(detail::concat(
+                "DDG has more than ", maxCircuits_,
+                " elementary circuits; latency assignment "
+                "would be incomplete"));
         }
         Circuit c;
         c.nodes = pathNodes_;
@@ -243,9 +247,14 @@ class JohnsonCircuits
         for (int eidx : c.edgeIdxs)
             c.totalDistance += ddg_.edge(eidx).distance;
         if (c.totalDistance == 0) {
-            vliw_panic("zero-distance dependence circuit through ",
-                       ddg_.node(c.nodes.front()).name,
-                       ": the loop body has a same-iteration cycle");
+            // A same-iteration cycle is a malformed user loop body
+            // (anything the builder layers emit is acyclic within
+            // an iteration), so refuse it like any other
+            // uncompilable input.
+            throw CompileError(detail::concat(
+                "zero-distance dependence circuit through ",
+                ddg_.node(c.nodes.front()).name,
+                ": the loop body has a same-iteration cycle"));
         }
         circuits_.push_back(std::move(c));
     }

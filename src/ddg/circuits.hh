@@ -50,10 +50,11 @@ std::vector<int> stronglyConnectedComponents(const Ddg &ddg);
  * Enumerate the elementary circuits of @p ddg.
  *
  * A circuit whose total iteration distance is zero would make the
- * loop unschedulable and trips a panic (the builder produced an
- * inconsistent graph). Enumeration is capped at @p max_circuits to
- * bound worst-case graphs; reaching the cap is a fatal error since
- * the latency assignment would be incomplete.
+ * loop unschedulable: the loop body has a same-iteration cycle, a
+ * malformed user input, so it throws CompileError
+ * (support/errors.hh). Enumeration is capped at @p max_circuits to
+ * bound worst-case graphs; reaching the cap also throws
+ * CompileError since the latency assignment would be incomplete.
  */
 std::vector<Circuit> findCircuits(const Ddg &ddg,
                                   std::size_t max_circuits = 65536);

@@ -29,8 +29,10 @@ compileKey(const MachineConfig &cfg, const ToolchainOptions &opts,
         << "," << cfg.latLocalMiss << "," << cfg.latRemoteMiss
         << "," << cfg.latUnified << "," << cfg.latCoherentHit
         << "," << cfg.latCacheToCache << "," << cfg.latNextLevel
-        // Toolchain options seen by the compiler.
-        << "|h" << int(opts.heuristic) << "u" << int(opts.unroll)
+        // Toolchain options seen by the compiler, keyed by the
+        // same canonical names the registries and reports use.
+        << "|h" << heuristicName(opts.heuristic)
+        << "u" << unrollPolicyName(opts.unroll)
         << (opts.varAlignment ? "a" : "-")
         << (opts.memChains ? "m" : "-")
         << (opts.loopVersioning ? "v" : "-")
@@ -74,9 +76,17 @@ CompileCache::compile(const MachineConfig &cfg,
     }
 
     if (owner) {
-        const Toolchain chain(cfg, opts);
-        promise.set_value(std::make_shared<const CompiledBenchmark>(
-            chain.compileBenchmark(bench)));
+        // A failed compile (e.g. CompileError) must reach every
+        // requester blocked on this key, not leave them waiting on
+        // a promise that is never satisfied.
+        try {
+            const Toolchain chain(cfg, opts);
+            promise.set_value(
+                std::make_shared<const CompiledBenchmark>(
+                    chain.compileBenchmark(bench)));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
     }
     return future.get();
 }

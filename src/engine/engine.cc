@@ -25,52 +25,91 @@ ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
 }
 
 std::vector<ExperimentResult>
-ExperimentEngine::run(const std::vector<ExperimentSpec> &specs)
+ExperimentEngine::run(const std::vector<ExperimentSpec> &specs,
+                      std::optional<int> jobsOverride)
 {
     std::vector<ExperimentResult> results(specs.size());
 
-    WorkerPool pool(opts_.jobs);
-    parallelFor(pool, specs.size(), [&](std::size_t i) {
+    const auto runJob = [&](std::size_t i) {
         const ExperimentSpec &spec = specs[i];
-        const BenchmarkSpec bench = makeBenchmark(spec.bench);
-        const Toolchain chain(spec.arch.config, spec.opts);
-
         ExperimentResult result;
         result.spec = spec;
 
-        const auto compile_start = std::chrono::steady_clock::now();
-        CompileCache::Entry compiled;
-        CompiledBenchmark local;
-        if (opts_.compileCache) {
-            compiled =
-                cache_.compile(spec.arch.config, spec.opts, bench);
-        } else {
-            local = chain.compileBenchmark(bench);
-        }
-        result.compileMs = msSince(compile_start);
+        // Jobs must not throw across the pool boundary; anything a
+        // bad user input can raise (CompileError from the
+        // scheduler, a panic from a malformed custom workload)
+        // lands on this job's error slot instead of taking down
+        // the batch.
+        try {
+            // Grid expansion resolves the workload through the
+            // registries; hand-built specs fall back to the
+            // built-in suite lookup.
+            std::shared_ptr<const BenchmarkSpec> workload =
+                spec.workload;
+            if (!workload) {
+                workload = std::make_shared<const BenchmarkSpec>(
+                    makeBenchmark(spec.bench));
+            }
+            const BenchmarkSpec &bench = *workload;
+            const Toolchain chain(spec.arch.config, spec.opts);
 
-        // Simulation always goes through the batched entry point:
-        // a one-entry batch is bit-identical to the classic
-        // single-input simulateBenchmark() call.
-        const std::vector<std::uint64_t> seeds =
-            spec.execSeeds.empty()
-                ? std::vector<std::uint64_t>{spec.opts.execSeed}
-                : spec.execSeeds;
-        const auto sim_start = std::chrono::steady_clock::now();
-        result.datasetRuns = chain.simulateBatch(
-            bench, compiled ? *compiled : local, seeds,
-            &result.simulateDatasetMs, &result.simulateSetupMs);
-        result.simulateMs = msSince(sim_start);
+            const auto compile_start =
+                std::chrono::steady_clock::now();
+            CompileCache::Entry compiled;
+            CompiledBenchmark local;
+            if (opts_.compileCache) {
+                compiled =
+                    cache_.compile(spec.arch.config, spec.opts,
+                                   bench);
+            } else {
+                local = chain.compileBenchmark(bench);
+            }
+            result.compileMs = msSince(compile_start);
+
+            // Simulation always goes through the batched entry
+            // point: a one-entry batch is bit-identical to the
+            // classic single-input simulateBenchmark() call.
+            const std::vector<std::uint64_t> seeds =
+                spec.execSeeds.empty()
+                    ? std::vector<std::uint64_t>{spec.opts.execSeed}
+                    : spec.execSeeds;
+            const auto sim_start = std::chrono::steady_clock::now();
+            result.datasetRuns = chain.simulateBatch(
+                bench, compiled ? *compiled : local, seeds,
+                &result.simulateDatasetMs, &result.simulateSetupMs);
+            result.simulateMs = msSince(sim_start);
+        } catch (const CompileError &e) {
+            result.error = e.what();
+            result.userError = true;
+            result.datasetRuns.clear();
+        } catch (const std::exception &e) {
+            result.error = e.what();
+            result.datasetRuns.clear();
+        }
 
         results[i] = std::move(result);
-    });
+    };
+
+    // With one worker the pool degenerates to serial FIFO anyway;
+    // run inline and spare callers like Session::run() (a one-spec
+    // batch per request) a thread spawn/join per call. Results are
+    // identical either way -- that is the determinism contract.
+    const int jobs = jobsOverride.value_or(opts_.jobs);
+    if (jobs == 1 || specs.size() <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            runJob(i);
+    } else {
+        WorkerPool pool(jobs);
+        parallelFor(pool, specs.size(), runJob);
+    }
     return results;
 }
 
 std::vector<ExperimentResult>
-ExperimentEngine::run(const ExperimentGrid &grid)
+ExperimentEngine::run(const ExperimentGrid &grid,
+                      std::optional<int> jobsOverride)
 {
-    return run(grid.expand());
+    return run(grid.expand(), jobsOverride);
 }
 
 } // namespace vliw::engine

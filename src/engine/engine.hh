@@ -15,6 +15,7 @@
 #ifndef WIVLIW_ENGINE_ENGINE_HH
 #define WIVLIW_ENGINE_ENGINE_HH
 
+#include <optional>
 #include <vector>
 
 #include "engine/compile_cache.hh"
@@ -37,15 +38,28 @@ class ExperimentEngine
   public:
     explicit ExperimentEngine(const EngineOptions &opts = {});
 
-    /** Run every spec; results come back in spec order. */
+    /**
+     * Run every spec; results come back in spec order. A job that
+     * fails (CompileError, bad custom workload) records its error
+     * on its own result slot and the rest of the batch still runs.
+     * @p jobsOverride, when given, sizes this batch's worker pool
+     * instead of options().jobs (the compile cache is shared
+     * either way).
+     */
     std::vector<ExperimentResult>
-    run(const std::vector<ExperimentSpec> &specs);
+    run(const std::vector<ExperimentSpec> &specs,
+        std::optional<int> jobsOverride = std::nullopt);
 
     /** Expand @p grid and run it. */
-    std::vector<ExperimentResult> run(const ExperimentGrid &grid);
+    std::vector<ExperimentResult>
+    run(const ExperimentGrid &grid,
+        std::optional<int> jobsOverride = std::nullopt);
 
     /** Cache accounting accumulated over every run() so far. */
     CompileCacheStats cacheStats() const { return cache_.stats(); }
+
+    /** The memo run() compiles through (compile-only callers). */
+    CompileCache &cache() { return cache_; }
 
     const EngineOptions &options() const { return opts_; }
 

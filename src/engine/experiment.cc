@@ -2,33 +2,22 @@
 
 #include "support/logging.hh"
 #include "workloads/dataset.hh"
-#include "workloads/mediabench.hh"
 
 namespace vliw::engine {
 
 const std::vector<std::string> &
 archNames()
 {
-    static const std::vector<std::string> names = {
-        "interleaved", "interleaved-ab", "unified1", "unified5",
-        "multivliw"};
-    return names;
+    return api::builtinRegistries().archs.names();
 }
 
 std::optional<ArchSpec>
 findArch(const std::string &name)
 {
-    if (name == "interleaved")
-        return ArchSpec{name, MachineConfig::paperInterleaved()};
-    if (name == "interleaved-ab")
-        return ArchSpec{name, MachineConfig::paperInterleavedAb()};
-    if (name == "unified1")
-        return ArchSpec{name, MachineConfig::paperUnified(1)};
-    if (name == "unified5")
-        return ArchSpec{name, MachineConfig::paperUnified(5)};
-    if (name == "multivliw")
-        return ArchSpec{name, MachineConfig::paperMultiVliw()};
-    return std::nullopt;
+    auto cfg = api::builtinRegistries().archs.resolve(name);
+    if (!cfg.ok())
+        return std::nullopt;
+    return ArchSpec{name, cfg.take()};
 }
 
 ArchSpec
@@ -43,27 +32,19 @@ makeArch(const std::string &name)
 std::optional<Heuristic>
 findHeuristic(const std::string &name)
 {
-    if (name == "base")
-        return Heuristic::Base;
-    if (name == "ibc")
-        return Heuristic::Ibc;
-    if (name == "ipbc")
-        return Heuristic::Ipbc;
-    return std::nullopt;
+    auto h = api::builtinRegistries().schedulers.resolve(name);
+    if (!h.ok())
+        return std::nullopt;
+    return h.value();
 }
 
 std::optional<UnrollPolicy>
 findUnrollPolicy(const std::string &name)
 {
-    if (name == "none")
-        return UnrollPolicy::None;
-    if (name == "xN")
-        return UnrollPolicy::TimesN;
-    if (name == "ouf")
-        return UnrollPolicy::Ouf;
-    if (name == "selective")
-        return UnrollPolicy::Selective;
-    return std::nullopt;
+    auto u = api::builtinRegistries().unrolls.resolve(name);
+    if (!u.ok())
+        return std::nullopt;
+    return u.value();
 }
 
 std::string
@@ -84,10 +65,12 @@ ExperimentSpec::label() const
 std::size_t
 ExperimentGrid::size() const
 {
-    const std::size_t nb =
-        benches.empty() ? mediabenchNames().size() : benches.size();
+    const api::Registries &reg =
+        registries ? *registries : api::builtinRegistries();
+    const std::size_t nb = benches.empty()
+        ? reg.workloads.size() : benches.size();
     const std::size_t na =
-        archs.empty() ? archNames().size() : archs.size();
+        archs.empty() ? reg.archs.size() : archs.size();
     return nb * na * heuristics.size() * unrolls.size() *
         alignment.size() * chains.size() * versioning.size();
 }
@@ -95,15 +78,48 @@ ExperimentGrid::size() const
 std::vector<ExperimentSpec>
 ExperimentGrid::expand() const
 {
+    const api::Registries &reg =
+        registries ? *registries : api::builtinRegistries();
+
     const std::vector<std::string> &bench_axis =
-        benches.empty() ? mediabenchNames() : benches;
+        benches.empty() ? reg.workloads.names() : benches;
     const std::vector<std::string> &arch_axis =
-        archs.empty() ? archNames() : archs;
+        archs.empty() ? reg.archs.names() : archs;
+
+    // Resolve every axis through the registries up front; a name
+    // that fails here is library misuse (the façade pre-validates).
+    auto must = [](auto result, const char *axis) {
+        if (!result.ok()) {
+            vliw_panic("grid ", axis, " axis: ",
+                       result.status().toString());
+        }
+        return result.take();
+    };
 
     std::vector<ArchSpec> arch_specs;
     arch_specs.reserve(arch_axis.size());
-    for (const std::string &name : arch_axis)
-        arch_specs.push_back(makeArch(name));
+    for (const std::string &name : arch_axis) {
+        arch_specs.push_back(
+            ArchSpec{name, must(reg.archs.resolve(name), "arch")});
+    }
+    std::vector<Heuristic> heuristic_axis;
+    heuristic_axis.reserve(heuristics.size());
+    for (const std::string &name : heuristics) {
+        heuristic_axis.push_back(
+            must(reg.schedulers.resolve(name), "heuristic"));
+    }
+    std::vector<UnrollPolicy> unroll_axis;
+    unroll_axis.reserve(unrolls.size());
+    for (const std::string &name : unrolls) {
+        unroll_axis.push_back(
+            must(reg.unrolls.resolve(name), "unroll"));
+    }
+    std::vector<std::shared_ptr<const BenchmarkSpec>> workloads;
+    workloads.reserve(bench_axis.size());
+    for (const std::string &name : bench_axis) {
+        workloads.push_back(
+            must(reg.workloads.resolve(name), "bench"));
+    }
 
     vliw_assert(datasets >= 1, "grid wants at least one data set");
     std::vector<std::uint64_t> seeds;
@@ -115,15 +131,15 @@ ExperimentGrid::expand() const
 
     std::vector<ExperimentSpec> out;
     out.reserve(size());
-    for (const std::string &bench : bench_axis) {
+    for (std::size_t bi = 0; bi < bench_axis.size(); ++bi) {
         for (const ArchSpec &arch : arch_specs) {
-            for (Heuristic h : heuristics) {
-                for (UnrollPolicy u : unrolls) {
+            for (Heuristic h : heuristic_axis) {
+                for (UnrollPolicy u : unroll_axis) {
                     for (bool align : alignment) {
                         for (bool chain : chains) {
                             for (bool ver : versioning) {
                                 ExperimentSpec spec;
-                                spec.bench = bench;
+                                spec.bench = bench_axis[bi];
                                 spec.arch = arch;
                                 spec.opts = base;
                                 spec.opts.heuristic = h;
@@ -132,6 +148,7 @@ ExperimentGrid::expand() const
                                 spec.opts.memChains = chain;
                                 spec.opts.loopVersioning = ver;
                                 spec.execSeeds = seeds;
+                                spec.workload = workloads[bi];
                                 out.push_back(std::move(spec));
                             }
                         }

@@ -12,10 +12,12 @@
 #ifndef WIVLIW_ENGINE_EXPERIMENT_HH
 #define WIVLIW_ENGINE_EXPERIMENT_HH
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "api/registries.hh"
 #include "core/toolchain.hh"
 #include "machine/machine_config.hh"
 #include "support/logging.hh"
@@ -29,19 +31,24 @@ struct ArchSpec
     MachineConfig config;
 };
 
-/** The five paper architectures, in report order. */
+/** The built-in architecture names, in report order. */
 const std::vector<std::string> &archNames();
 
-/** Look an architecture up by name; nullopt for unknown names. */
+/**
+ * Resolve an architecture through the built-in registry (exact
+ * names and parametric keys like "interleaved:c8"); nullopt for
+ * unknown names. Session-registered architectures resolve through
+ * the session's own registries, not here.
+ */
 std::optional<ArchSpec> findArch(const std::string &name);
 
-/** Look an architecture up by name; panics for unknown names. */
+/** Like findArch(), but panics for unknown names. */
 ArchSpec makeArch(const std::string &name);
 
-/** Parse a heuristic CLI name (base | ibc | ipbc). */
+/** Resolve a heuristic name through the built-in registry. */
 std::optional<Heuristic> findHeuristic(const std::string &name);
 
-/** Parse an unroll-policy CLI name (none | xN | ouf | selective). */
+/** Resolve an unroll-policy name through the built-in registry. */
 std::optional<UnrollPolicy> findUnrollPolicy(const std::string &name);
 
 /** One benchmark under one architecture with one option set. */
@@ -56,6 +63,15 @@ struct ExperimentSpec
      * identified by opts.execSeed -- the classic one-input run.
      */
     std::vector<std::uint64_t> execSeeds;
+    /**
+     * The resolved workload. Grid expansion fills this from the
+     * workload registry (once per benchmark, shared across the
+     * bench's cells, so custom session-registered workloads run
+     * through the engine like any built-in). Null makes the engine
+     * fall back to the built-in suite lookup by `bench` -- the
+     * pre-registry behaviour hand-built specs rely on.
+     */
+    std::shared_ptr<const BenchmarkSpec> workload;
 
     /** Stable human-readable identity, unique within any grid. */
     std::string label() const;
@@ -71,12 +87,14 @@ struct ExperimentSpec
  */
 struct ExperimentGrid
 {
-    /** Benchmarks to run; empty means the whole 14-entry suite. */
+    /** Benchmarks to run; empty means every registered workload. */
     std::vector<std::string> benches;
-    /** Architectures; empty means all five paper configurations. */
+    /** Architectures; empty means every registered one. */
     std::vector<std::string> archs;
-    std::vector<Heuristic> heuristics{Heuristic::Ipbc};
-    std::vector<UnrollPolicy> unrolls{UnrollPolicy::Selective};
+    /** Scheduler names resolved through the registry. */
+    std::vector<std::string> heuristics{"ipbc"};
+    /** Unroll-policy names resolved through the registry. */
+    std::vector<std::string> unrolls{"selective"};
     std::vector<bool> alignment{true};
     std::vector<bool> chains{true};
     std::vector<bool> versioning{false};
@@ -89,11 +107,22 @@ struct ExperimentGrid
     int datasets = 1;
     /** Seeds, profiling caps etc. shared by every cell. */
     ToolchainOptions base;
+    /**
+     * Registries every name axis resolves through; null means the
+     * built-in set. `api::Session` points this at its own
+     * registries so user-registered entries expand like built-ins.
+     */
+    const api::Registries *registries = nullptr;
 
     /** Number of experiments expand() will produce. */
     std::size_t size() const;
 
-    /** Materialise the cross-product (panics on unknown names). */
+    /**
+     * Materialise the cross-product. Unknown names panic -- the
+     * façade validates every axis up front and reports
+     * `api::Status` instead, so only direct library misuse gets
+     * here.
+     */
     std::vector<ExperimentSpec> expand() const;
 };
 
@@ -103,6 +132,18 @@ struct ExperimentResult
     ExperimentSpec spec;
     /** One result per batched data set; size >= 1 once run. */
     std::vector<BenchmarkRun> datasetRuns;
+    /**
+     * Empty on success; otherwise the compile/simulate failure of
+     * this job (e.g. a CompileError message). A failed job has no
+     * datasetRuns; the engine keeps running the rest of the batch
+     * and the façade turns any failure into an `api::Status`.
+     */
+    std::string error;
+    /** True when `error` is user-addressable (a CompileError from
+     *  the request), false for internal failures. */
+    bool userError = false;
+
+    bool failed() const { return !error.empty(); }
     /**
      * Wall time of this job's compile and simulate phases. The
      * engine always measures them (the cost is two clock reads per

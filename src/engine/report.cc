@@ -105,6 +105,8 @@ timingTotals(const std::vector<ExperimentResult> &results)
 {
     TimingTotals t;
     for (const ExperimentResult &r : results) {
+        if (r.failed())
+            continue;   // keep totals consistent with emitted rows
         t.compileMs += r.compileMs;
         t.simulateMs += r.simulateMs;
         t.simulateSetupMs += r.simulateSetupMs;
@@ -146,6 +148,8 @@ sweepTable(const std::vector<ExperimentResult> &results, bool timing)
     }
     TextTable tab(headers);
     for (const ExperimentResult &r : results) {
+        if (r.failed())
+            continue;   // no run to report; see ExperimentResult::error
         for (std::size_t d = 0; d < r.datasetCount(); ++d) {
             const ReportRow row = makeRow(r, d);
             tab.newRow().cell(row.bench);
@@ -183,6 +187,8 @@ writeCsv(std::ostream &os,
         os << ",compile_ms,simulate_ms";
     os << '\n';
     for (const ExperimentResult &r : results) {
+        if (r.failed())
+            continue;
         for (std::size_t d = 0; d < r.datasetCount(); ++d) {
             const ReportRow row = makeRow(r, d);
             os << row.bench << ',' << row.arch << ','
@@ -210,11 +216,16 @@ writeJson(std::ostream &os,
           const CompileCacheStats *cache, bool timing)
 {
     const bool multi = multiDataset(results);
-    os << "{\n  \"experiments\": [\n";
+    os << "{\n  \"experiments\": [";
+    bool first_record = true;
     for (std::size_t i = 0; i < results.size(); ++i) {
+        if (results[i].failed())
+            continue;
         const std::size_t rows = results[i].datasetCount();
         for (std::size_t d = 0; d < rows; ++d) {
             const ReportRow row = makeRow(results[i], d);
+            os << (first_record ? "\n" : ",\n");
+            first_record = false;
             os << "    {\"benchmark\": \"" << jsonEscape(row.bench)
                << "\", \"arch\": \"" << jsonEscape(row.arch)
                << "\", \"heuristic\": \"" << jsonEscape(row.heuristic)
@@ -236,12 +247,10 @@ writeJson(std::ostream &os,
                 os << ", \"compile_ms\": " << msCell(row.compileMs)
                    << ", \"simulate_ms\": " << msCell(row.simulateMs);
             }
-            const bool last =
-                i + 1 == results.size() && d + 1 == rows;
-            os << "}" << (last ? "" : ",") << "\n";
+            os << "}";
         }
     }
-    os << "  ]";
+    os << "\n  ]";
     if (timing) {
         const TimingTotals totals = timingTotals(results);
         os << ",\n  \"timing\": {\"compile_ms\": "

@@ -57,43 +57,63 @@ MachineConfig::homeCluster(std::uint64_t addr) const
                std::uint64_t(numClusters));
 }
 
+std::string
+MachineConfig::check() const
+{
+    std::ostringstream os;
+    if (numClusters < 1) {
+        os << "numClusters must be >= 1, got " << numClusters;
+        return os.str();
+    }
+    if (!isPowerOfTwo(std::uint64_t(numClusters)))
+        return "numClusters must be a power of two";
+    if (intUnitsPerCluster < 1 || fpUnitsPerCluster < 1 ||
+        memUnitsPerCluster < 1) {
+        return "each cluster needs at least one unit of each kind";
+    }
+    if (blockBytes < 1 || !isPowerOfTwo(std::uint64_t(blockBytes)))
+        return "blockBytes must be a power of two";
+    if (interleaveBytes < 1 ||
+        !isPowerOfTwo(std::uint64_t(interleaveBytes)))
+        return "interleaveBytes must be a power of two";
+    if (cacheWays < 1)
+        return "cacheWays must be >= 1";
+    if (cacheBytes < 1 || cacheBytes % (blockBytes * cacheWays) != 0) {
+        os << "cacheBytes not divisible into " << cacheWays
+           << "-way sets of " << blockBytes << "-byte blocks";
+        return os.str();
+    }
+    if (blockBytes % (numClusters * interleaveBytes) != 0) {
+        os << "block of " << blockBytes << " bytes cannot be word-"
+           << "interleaved over " << numClusters << " clusters at "
+           << interleaveBytes << "-byte granularity";
+        return os.str();
+    }
+    if (cacheBytes % numClusters != 0)
+        return "cacheBytes must divide evenly across clusters";
+    if (regBuses < 1 || memBuses < 1)
+        return "need at least one bus of each kind";
+    if (abWays < 1 || abEntries < 1 || abEntries % abWays != 0)
+        return "abEntries must be a multiple of abWays";
+    if (!(latLocalHit <= latRemoteHit && latRemoteHit <= latLocalMiss &&
+          latLocalMiss <= latRemoteMiss)) {
+        return "access-class latencies must be monotonic "
+               "LH <= RH <= LM <= RM";
+    }
+    if (regsPerCluster < 8) {
+        os << "regsPerCluster unrealistically small: "
+           << regsPerCluster;
+        return os.str();
+    }
+    return "";
+}
+
 void
 MachineConfig::validate() const
 {
-    if (numClusters < 1)
-        vliw_fatal("numClusters must be >= 1, got ", numClusters);
-    if (!isPowerOfTwo(std::uint64_t(numClusters)))
-        vliw_fatal("numClusters must be a power of two");
-    if (intUnitsPerCluster < 1 || fpUnitsPerCluster < 1 ||
-        memUnitsPerCluster < 1) {
-        vliw_fatal("each cluster needs at least one unit of each kind");
-    }
-    if (!isPowerOfTwo(std::uint64_t(blockBytes)))
-        vliw_fatal("blockBytes must be a power of two");
-    if (!isPowerOfTwo(std::uint64_t(interleaveBytes)))
-        vliw_fatal("interleaveBytes must be a power of two");
-    if (cacheBytes % (blockBytes * cacheWays) != 0)
-        vliw_fatal("cacheBytes not divisible into ", cacheWays,
-                   "-way sets of ", blockBytes, "-byte blocks");
-    if (blockBytes % (numClusters * interleaveBytes) != 0) {
-        vliw_fatal("block of ", blockBytes, " bytes cannot be word-"
-                   "interleaved over ", numClusters, " clusters at ",
-                   interleaveBytes, "-byte granularity");
-    }
-    if (cacheBytes % numClusters != 0)
-        vliw_fatal("cacheBytes must divide evenly across clusters");
-    if (regBuses < 1 || memBuses < 1)
-        vliw_fatal("need at least one bus of each kind");
-    if (abEntries % abWays != 0)
-        vliw_fatal("abEntries must be a multiple of abWays");
-    if (!(latLocalHit <= latRemoteHit && latRemoteHit <= latLocalMiss &&
-          latLocalMiss <= latRemoteMiss)) {
-        vliw_fatal("access-class latencies must be monotonic "
-                   "LH <= RH <= LM <= RM");
-    }
-    if (regsPerCluster < 8)
-        vliw_fatal("regsPerCluster unrealistically small: ",
-                   regsPerCluster);
+    const std::string problem = check();
+    if (!problem.empty())
+        vliw_fatal(problem);
 }
 
 std::string

@@ -124,6 +124,14 @@ struct MachineConfig
     int homeCluster(std::uint64_t addr) const;
     /// @}
 
+    /**
+     * Describe the first inconsistency of the configuration, or
+     * return an empty string when it is valid. This is the
+     * non-terminating validation the `api` façade reports through
+     * `api::Status`.
+     */
+    std::string check() const;
+
     /** Abort with fatal() if the configuration is inconsistent. */
     void validate() const;
 

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Exception types for user-input failures the pipeline can hit
+ * mid-analysis. They exist so deep layers (DDG analysis, the
+ * scheduler, the toolchain) can refuse a request without
+ * terminating the process: `vliw_fatal` exits and is reserved for
+ * invariant violations, while these propagate to the caller — the
+ * `api` façade converts them into `api::Status`, the engine into a
+ * per-job error slot.
+ */
+
+#ifndef WIVLIW_SUPPORT_ERRORS_HH
+#define WIVLIW_SUPPORT_ERRORS_HH
+
+#include <stdexcept>
+
+namespace vliw {
+
+/**
+ * Thrown when a well-formed request cannot be compiled (no
+ * schedule within the II budget, analysis limits exceeded, ...).
+ */
+class CompileError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace vliw
+
+#endif // WIVLIW_SUPPORT_ERRORS_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Out-of-tree consumer smoke: registers a tiny custom workload and
+ * runs it through the installed api::Session façade. Exits nonzero
+ * on any Status failure, so CI catches a broken install tree.
+ */
+
+#include <cstdio>
+
+#include <api/api.hh>
+#include <workloads/kernels.hh>
+
+using namespace vliw;
+
+int
+main()
+{
+    api::Session session;
+
+    // A built-in workload through the installed façade.
+    auto builtin = session.run({.workload = "gsmdec",
+                                .arch = "interleaved-ab"});
+    if (!builtin.ok()) {
+        std::fprintf(stderr, "gsmdec failed: %s\n",
+                     builtin.status().toString().c_str());
+        return 1;
+    }
+
+    // And a custom one registered from a LoopSpec.
+    BenchmarkSpec bench;
+    const SymbolId data = bench.addSymbol(
+        "data", 4 * 1024, SymbolSpec::Storage::Heap);
+    KernelBuilder kb("scale");
+    const NodeId x = kb.load(data, 4, 4, {}, "ld");
+    const NodeId y = kb.compute(OpKind::IntMul, {x}, "mul");
+    kb.store(data, 4, 4, y, {}, "st");
+    bench.loops.push_back(kb.take(1024, 2));
+    if (api::Status s = session.registries().workloads.add(
+            "scale", std::move(bench));
+        !s.ok()) {
+        std::fprintf(stderr, "register failed: %s\n",
+                     s.toString().c_str());
+        return 1;
+    }
+    auto custom = session.run({.workload = "scale",
+                               .arch = "interleaved:c2"});
+    if (!custom.ok()) {
+        std::fprintf(stderr, "scale failed: %s\n",
+                     custom.status().toString().c_str());
+        return 1;
+    }
+
+    std::printf("gsmdec: %lld cycles; scale: %lld cycles\n",
+                static_cast<long long>(
+                    builtin.value().run().total.totalCycles),
+                static_cast<long long>(
+                    custom.value().run().total.totalCycles));
+    return 0;
+}

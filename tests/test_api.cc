@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Unit tests for the façade's building blocks: Status/Result,
+ * the registry contracts (duplicate rejection, case-sensitive
+ * stable lookup, deterministic iteration order), the parametric
+ * architecture-key grammar, and the option validation at the
+ * façade boundary.
+ */
+
+#include <gtest/gtest.h>
+
+#include "api/api.hh"
+#include "workloads/mediabench.hh"
+
+namespace vliw {
+namespace {
+
+using api::ArchRegistry;
+using api::Registries;
+using api::Registry;
+using api::Result;
+using api::Status;
+using api::StatusCode;
+
+// ---- Status / Result ----
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, CarriesCodeMessageAndContext)
+{
+    const Status s = Status::notFound("unknown thing 'x'", "a, b");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_EQ(s.message(), "unknown thing 'x'");
+    EXPECT_EQ(s.context(), "a, b");
+    EXPECT_EQ(s.toString(), "not-found: unknown thing 'x' (a, b)");
+}
+
+TEST(Result, HoldsValueOrStatus)
+{
+    Result<int> ok = 42;
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(ok.value(), 42);
+
+    Result<int> bad = Status::invalidArgument("nope");
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::InvalidArgument);
+}
+
+// ---- generic registry contracts ----
+
+TEST(Registry, DuplicateNamesRejected)
+{
+    Registry<int> reg("thing");
+    EXPECT_TRUE(reg.add("a", 1).ok());
+    const Status dup = reg.add("a", 2);
+    EXPECT_EQ(dup.code(), StatusCode::AlreadyExists);
+    // The original registration survives untouched.
+    ASSERT_NE(reg.find("a"), nullptr);
+    EXPECT_EQ(*reg.find("a"), 1);
+}
+
+TEST(Registry, NamesAreValidated)
+{
+    Registry<int> reg("thing");
+    EXPECT_EQ(reg.add("", 1).code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.add("a,b", 1).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.add("a:b", 1).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.add("a b", 1).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(Registry, LookupIsCaseSensitiveAndStable)
+{
+    Registry<int> reg("thing");
+    ASSERT_TRUE(reg.add("ipbc", 1).ok());
+    EXPECT_EQ(reg.find("IPBC"), nullptr);
+    EXPECT_EQ(reg.find("Ipbc"), nullptr);
+    // Same pointer, same value, every time.
+    const int *first = reg.find("ipbc");
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(reg.find("ipbc"), first);
+    ASSERT_TRUE(reg.add("IPBC", 2).ok());   // distinct name
+    EXPECT_EQ(*reg.find("ipbc"), 1);
+    EXPECT_EQ(*reg.find("IPBC"), 2);
+}
+
+TEST(Registry, IterationOrderIsRegistrationOrder)
+{
+    Registry<int> reg("thing");
+    const std::vector<std::string> in = {"zeta", "alpha", "mid"};
+    for (std::size_t i = 0; i < in.size(); ++i)
+        ASSERT_TRUE(reg.add(in[i], int(i)).ok());
+    EXPECT_EQ(reg.names(), in);
+    EXPECT_EQ(reg.joinedNames(), "zeta, alpha, mid");
+}
+
+TEST(Registry, UnknownCarriesValidNames)
+{
+    Registry<int> reg("gizmo");
+    ASSERT_TRUE(reg.add("a", 1).ok());
+    ASSERT_TRUE(reg.add("b", 2).ok());
+    const Status s = reg.unknown("c");
+    EXPECT_EQ(s.code(), StatusCode::NotFound);
+    EXPECT_NE(s.message().find("gizmo 'c'"), std::string::npos);
+    EXPECT_EQ(s.context(), "a, b");
+}
+
+// ---- builtin seeding ----
+
+TEST(Registries, BuiltinSeedsEveryAxisInPaperOrder)
+{
+    const Registries reg = Registries::builtin();
+    EXPECT_EQ(reg.archs.names(),
+              (std::vector<std::string>{
+                  "interleaved", "interleaved-ab", "unified1",
+                  "unified5", "multivliw"}));
+    EXPECT_EQ(reg.schedulers.names(),
+              (std::vector<std::string>{"base", "ibc", "ipbc"}));
+    EXPECT_EQ(reg.unrolls.names(),
+              (std::vector<std::string>{"none", "xN", "ouf",
+                                        "selective"}));
+    EXPECT_EQ(reg.workloads.names(), mediabenchNames());
+}
+
+TEST(Registries, BuiltinResolvesMatchFactories)
+{
+    const Registries reg = Registries::builtin();
+    auto ab = reg.archs.resolve("interleaved-ab");
+    ASSERT_TRUE(ab.ok());
+    EXPECT_TRUE(ab.value().attractionBuffers);
+    EXPECT_EQ(ab.value().describe(),
+              MachineConfig::paperInterleavedAb().describe());
+
+    auto h = reg.schedulers.resolve("ibc");
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.value(), Heuristic::Ibc);
+
+    auto u = reg.unrolls.resolve("xN");
+    ASSERT_TRUE(u.ok());
+    EXPECT_EQ(u.value(), UnrollPolicy::TimesN);
+
+    auto w = reg.workloads.resolve("gsmdec");
+    ASSERT_TRUE(w.ok());
+    EXPECT_EQ(w.value()->name, "gsmdec");
+    EXPECT_FALSE(w.value()->loops.empty());
+}
+
+// ---- parametric architecture keys ----
+
+TEST(ArchRegistry, ParametricKeyAppliesModifiers)
+{
+    const Registries reg = Registries::builtin();
+    auto cfg = reg.archs.resolve("interleaved:c8:b16k:i2");
+    ASSERT_TRUE(cfg.ok()) << cfg.status().toString();
+    EXPECT_EQ(cfg.value().numClusters, 8);
+    EXPECT_EQ(cfg.value().cacheBytes, 16 * 1024);
+    EXPECT_EQ(cfg.value().interleaveBytes, 2);
+    // Unmodified fields keep the base's values.
+    EXPECT_EQ(cfg.value().blockBytes, 32);
+    EXPECT_FALSE(cfg.value().attractionBuffers);
+}
+
+TEST(ArchRegistry, ParametricAbAndUnifiedModifiers)
+{
+    const Registries reg = Registries::builtin();
+    auto ab = reg.archs.resolve("interleaved:ab32");
+    ASSERT_TRUE(ab.ok());
+    EXPECT_TRUE(ab.value().attractionBuffers);
+    EXPECT_EQ(ab.value().abEntries, 32);
+
+    auto off = reg.archs.resolve("interleaved-ab:ab0");
+    ASSERT_TRUE(off.ok());
+    EXPECT_FALSE(off.value().attractionBuffers);
+
+    auto uni = reg.archs.resolve("unified1:l3");
+    ASSERT_TRUE(uni.ok());
+    EXPECT_EQ(uni.value().latUnified, 3);
+}
+
+TEST(ArchRegistry, ParametricKeyErrorsAreStatuses)
+{
+    const Registries reg = Registries::builtin();
+    // Unknown base: NotFound with the registered names.
+    auto base = reg.archs.resolve("nope:c4");
+    EXPECT_EQ(base.status().code(), StatusCode::NotFound);
+    EXPECT_NE(base.status().context().find("interleaved"),
+              std::string::npos);
+    // Malformed / unknown modifiers: InvalidArgument with the
+    // grammar as context.
+    EXPECT_EQ(reg.archs.resolve("interleaved:c").status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.archs.resolve("interleaved:4").status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.archs.resolve("interleaved:z9").status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.archs.resolve("interleaved:").status().code(),
+              StatusCode::InvalidArgument);
+    // Consistent grammar but inconsistent geometry.
+    auto odd = reg.archs.resolve("interleaved:c3");
+    EXPECT_EQ(odd.status().code(), StatusCode::InvalidArgument);
+    EXPECT_NE(odd.status().message().find("power of two"),
+              std::string::npos);
+    // Division-by-zero probes must come back as Status too.
+    EXPECT_EQ(reg.archs.resolve("interleaved:w0").status().code(),
+              StatusCode::InvalidArgument);
+    // Values that do not fit an int are rejected, not truncated
+    // (4294975488 mod 2^32 = 8192 would otherwise sneak through
+    // as a valid-looking 8 KiB cache).
+    EXPECT_EQ(reg.archs.resolve("interleaved:b4294975488")
+                  .status()
+                  .code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.archs.resolve("interleaved:b2097152k")
+                  .status()
+                  .code(),
+              StatusCode::InvalidArgument);
+    // The KiB suffix is a byte-count notion; "l1k" (a 1024-cycle
+    // unified latency) is a typo to report, not a config to run.
+    EXPECT_EQ(reg.archs.resolve("unified1:l1k").status().code(),
+              StatusCode::InvalidArgument);
+    EXPECT_EQ(reg.archs.resolve("interleaved:r8k").status().code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST(ArchRegistry, RegisteringInconsistentConfigRejected)
+{
+    ArchRegistry reg;
+    MachineConfig bad = MachineConfig::paperInterleaved();
+    bad.numClusters = 3;
+    EXPECT_EQ(reg.add("odd", bad).code(),
+              StatusCode::InvalidArgument);
+    EXPECT_FALSE(reg.contains("odd"));
+}
+
+// ---- option validation at the façade boundary ----
+
+TEST(ValidateOptions, AcceptsDefaults)
+{
+    EXPECT_TRUE(api::validateOptions(ToolchainOptions{}).ok());
+}
+
+TEST(ValidateOptions, RejectsNegativeAbHintBudget)
+{
+    ToolchainOptions opts;
+    opts.abHintBudget = -1;
+    const Status s = api::validateOptions(opts);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("abHintBudget"), std::string::npos);
+}
+
+TEST(ValidateOptions, RejectsNonPositiveMaxIiTries)
+{
+    ToolchainOptions opts;
+    opts.maxIiTries = 0;
+    const Status s = api::validateOptions(opts);
+    EXPECT_EQ(s.code(), StatusCode::InvalidArgument);
+    EXPECT_NE(s.message().find("maxIiTries"), std::string::npos);
+}
+
+TEST(ValidateOptions, RejectsNegativeProfileCap)
+{
+    ToolchainOptions opts;
+    opts.profile.maxIterations = -5;
+    EXPECT_EQ(api::validateOptions(opts).code(),
+              StatusCode::InvalidArgument);
+}
+
+} // namespace
+} // namespace vliw

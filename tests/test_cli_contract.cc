@@ -1,0 +1,164 @@
+/**
+ * @file
+ * CLI contract tests for `wivliw_run`, driving the real binary
+ * (path injected by CMake as WIVLIW_RUN_BIN): every unknown name —
+ * --bench/--arch/--heuristic/--unroll and the sweep-mode
+ * --benches/--archs/--heuristics/--unrolls lists — is a uniform
+ * exit-2 usage error listing the registry's valid names, and the
+ * --list-* flags print the registries one name per line.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult
+{
+    int exitCode = -1;
+    std::string output;   // stdout + stderr combined
+};
+
+/** Run the driver with @p args, capturing output and exit code. */
+CliResult
+runCli(const std::string &args)
+{
+    const std::string cmd =
+        std::string(WIVLIW_RUN_BIN) + " " + args + " 2>&1";
+    CliResult result;
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe)
+        return result;
+    std::array<char, 4096> buf;
+    std::size_t n;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        result.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        result.exitCode = WEXITSTATUS(status);
+    return result;
+}
+
+void
+expectUsageError(const std::string &args, const char *validName)
+{
+    const CliResult res = runCli(args);
+    EXPECT_EQ(res.exitCode, 2) << args << "\n" << res.output;
+    EXPECT_NE(res.output.find("valid names are:"), std::string::npos)
+        << args << "\n" << res.output;
+    EXPECT_NE(res.output.find(validName), std::string::npos)
+        << args << "\n" << res.output;
+}
+
+// ---- single-run mode: every axis is a uniform exit-2 error ----
+
+TEST(CliContract, UnknownBenchExits2WithValidNames)
+{
+    expectUsageError("--bench quake3", "gsmdec");
+}
+
+TEST(CliContract, UnknownArchExits2WithValidNames)
+{
+    expectUsageError("--bench gsmdec --arch pentium",
+                     "interleaved-ab");
+}
+
+TEST(CliContract, UnknownHeuristicExits2WithValidNames)
+{
+    expectUsageError("--bench gsmdec --heuristic smt", "ipbc");
+}
+
+TEST(CliContract, UnknownUnrollExits2WithValidNames)
+{
+    expectUsageError("--bench gsmdec --unroll x2", "selective");
+}
+
+// ---- sweep mode: the axis lists give the same contract ----
+
+TEST(CliContract, SweepUnknownBenchesExits2WithValidNames)
+{
+    expectUsageError("--sweep --benches gsmdec,quake3", "rasta");
+}
+
+TEST(CliContract, SweepUnknownArchsExits2WithValidNames)
+{
+    expectUsageError("--sweep --benches gsmdec --archs itanium",
+                     "multivliw");
+}
+
+TEST(CliContract, SweepUnknownHeuristicsExits2WithValidNames)
+{
+    expectUsageError(
+        "--sweep --benches gsmdec --heuristics base,smt", "ibc");
+}
+
+TEST(CliContract, SweepUnknownUnrollsExits2WithValidNames)
+{
+    expectUsageError("--sweep --benches gsmdec --unrolls turbo",
+                     "ouf");
+}
+
+// ---- malformed parametric keys are usage errors too ----
+
+TEST(CliContract, InconsistentParametricArchExits2)
+{
+    const CliResult res =
+        runCli("--bench gsmdec --arch interleaved:c3");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+    EXPECT_NE(res.output.find("power of two"), std::string::npos);
+}
+
+TEST(CliContract, ParametricArchRuns)
+{
+    const CliResult res =
+        runCli("--bench gsmdec --arch interleaved:c2 --csv");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("gsmdec"), std::string::npos);
+}
+
+TEST(CliContract, OutOfRangeCountsAreUsageErrors)
+{
+    // int(strtol) truncation would silently turn these into small
+    // valid-looking counts (2^32+1 -> 1 worker).
+    const CliResult jobs =
+        runCli("--sweep --benches gsmdec --jobs 4294967297");
+    EXPECT_EQ(jobs.exitCode, 2) << jobs.output;
+    const CliResult datasets =
+        runCli("--sweep --benches gsmdec --datasets 4294967299");
+    EXPECT_EQ(datasets.exitCode, 2) << datasets.output;
+}
+
+// ---- registry listings ----
+
+TEST(CliContract, ListFlagsPrintRegistries)
+{
+    const CliResult archs = runCli("--list-archs");
+    EXPECT_EQ(archs.exitCode, 0);
+    EXPECT_EQ(archs.output,
+              "interleaved\ninterleaved-ab\nunified1\nunified5\n"
+              "multivliw\n");
+
+    const CliResult heuristics = runCli("--list-heuristics");
+    EXPECT_EQ(heuristics.exitCode, 0);
+    EXPECT_EQ(heuristics.output, "base\nibc\nipbc\n");
+
+    const CliResult unrolls = runCli("--list-unrolls");
+    EXPECT_EQ(unrolls.exitCode, 0);
+    EXPECT_EQ(unrolls.output, "none\nxN\nouf\nselective\n");
+
+    const CliResult benches = runCli("--list-benches");
+    EXPECT_EQ(benches.exitCode, 0);
+    EXPECT_NE(benches.output.find("gsmdec\n"), std::string::npos);
+    // One line per registered benchmark.
+    EXPECT_EQ(std::count(benches.output.begin(),
+                         benches.output.end(), '\n'),
+              14);
+}
+
+} // namespace

@@ -9,6 +9,7 @@
 #include "ddg/ddg.hh"
 #include "ddg/mii.hh"
 #include "ddg/unroll.hh"
+#include "support/errors.hh"
 #include "util_paper_example.hh"
 
 namespace vliw {
@@ -162,14 +163,17 @@ TEST(Circuits, SelfLoop)
     EXPECT_EQ(circuits[0].totalDistance, 1);
 }
 
-TEST(Circuits, ZeroDistanceCyclePanics)
+TEST(Circuits, ZeroDistanceCycleIsACompileError)
 {
+    // A same-iteration cycle is a malformed user loop body; it
+    // must refuse with the catchable CompileError the api façade
+    // converts to a Status, not a panic.
     Ddg g;
     const NodeId a = g.addNode(OpKind::IntAlu);
     const NodeId b = g.addNode(OpKind::IntAlu);
     g.addEdge(a, b, DepKind::RegFlow, 0);
     g.addEdge(b, a, DepKind::RegFlow, 0);
-    EXPECT_THROW(findCircuits(g), std::logic_error);
+    EXPECT_THROW(findCircuits(g), CompileError);
 }
 
 TEST(Circuits, SccSeparatesComponents)

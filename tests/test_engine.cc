@@ -122,7 +122,7 @@ TEST(ExperimentGrid, ExpansionIsBenchMajorRowMajor)
     ExperimentGrid grid;
     grid.benches = {"gsmdec", "rasta"};
     grid.archs = {"interleaved", "unified1"};
-    grid.heuristics = {Heuristic::Base, Heuristic::Ipbc};
+    grid.heuristics = {"base", "ipbc"};
     const auto specs = grid.expand();
     ASSERT_EQ(specs.size(), 8u);
     EXPECT_EQ(specs[0].label(), "gsmdec/interleaved/BASE/selective");
@@ -283,7 +283,7 @@ TEST(CompileCache, DistinctLatenciesDoNotShare)
     ExperimentGrid grid;
     grid.benches = {"gsmdec"};
     grid.archs = {"unified1", "unified5"};
-    grid.heuristics = {Heuristic::Base};
+    grid.heuristics = {"base"};
 
     ExperimentEngine eng{EngineOptions{/*jobs=*/1, true}};
     eng.run(grid);
@@ -315,7 +315,7 @@ class EngineDeterminism : public ::testing::Test
         ExperimentGrid g;
         g.benches = {"gsmdec", "epicdec"};
         g.archs = {"interleaved", "interleaved-ab", "unified5"};
-        g.heuristics = {Heuristic::Ipbc};
+        g.heuristics = {"ipbc"};
         return g;
     }
 };

@@ -71,6 +71,28 @@ TEST(MachineConfig, AttractionBufferPreset)
     EXPECT_EQ(cfg.abSets(), 8);
 }
 
+TEST(MachineConfig, CheckReportsProblemsWithoutTerminating)
+{
+    MachineConfig cfg = MachineConfig::paperInterleaved();
+    EXPECT_EQ(cfg.check(), "");
+
+    cfg.numClusters = 3;
+    EXPECT_NE(cfg.check().find("power of two"), std::string::npos);
+
+    cfg = MachineConfig::paperInterleaved();
+    cfg.latRemoteHit = 20;
+    EXPECT_NE(cfg.check().find("monotonic"), std::string::npos);
+
+    // Degenerate values the façade's parametric keys can produce
+    // must come back as text, not divide-by-zero.
+    cfg = MachineConfig::paperInterleaved();
+    cfg.cacheWays = 0;
+    EXPECT_FALSE(cfg.check().empty());
+    cfg = MachineConfig::paperInterleaved();
+    cfg.abEntries = 0;
+    EXPECT_FALSE(cfg.check().empty());
+}
+
 TEST(MachineConfig, ValidateRejectsBadGeometry)
 {
     MachineConfig cfg = MachineConfig::paperInterleaved();

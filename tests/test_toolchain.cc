@@ -76,6 +76,19 @@ TEST(Toolchain, UnifiedPipelineCompiles)
     }
 }
 
+TEST(Toolchain, ExhaustedIiBudgetThrowsCompileError)
+{
+    // gsmdec's deemphasis loop needs 2 II attempts on the
+    // interleaved machine; a 1-attempt budget is a user-input
+    // failure and must throw (catchable, façade-convertible), not
+    // terminate the process the way vliw_fatal would.
+    ToolchainOptions opts = baseOptions(Heuristic::Ipbc);
+    opts.maxIiTries = 1;
+    const Toolchain chain(MachineConfig::paperInterleaved(), opts);
+    EXPECT_THROW(chain.compileBenchmark(makeBenchmark("gsmdec")),
+                 CompileError);
+}
+
 TEST(Toolchain, RunBenchmarkProducesSaneStats)
 {
     const MachineConfig cfg = MachineConfig::paperInterleavedAb();

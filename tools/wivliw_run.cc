@@ -1,7 +1,8 @@
 /**
  * @file
- * Command-line driver: compile and simulate any benchmark of the
- * suite under any architecture/heuristic/unrolling combination,
+ * Command-line driver: a thin client of the `vliw::api` façade.
+ * Compile and simulate any registered benchmark under any
+ * registered architecture/heuristic/unrolling combination,
  * optionally dump schedules or DOT graphs, or sweep a whole grid of
  * configurations in parallel through the experiment engine. Run
  * with --help.
@@ -9,21 +10,25 @@
  *   wivliw_run --bench gsmdec --arch interleaved-ab --heuristic ipbc
  *   wivliw_run --bench epicdec --dump-kernel --loop wavelet_recon
  *   wivliw_run --all --arch unified5 --heuristic base --csv
+ *   wivliw_run --arch interleaved:c8:b16k --bench rasta
  *   wivliw_run --sweep --jobs 8 --json        # 14 benches x 5 archs
- *   wivliw_run --sweep --benches gsmdec,rasta \
- *              --archs interleaved,interleaved-ab --heuristics \
- *              base,ibc,ipbc --csv
+ *   wivliw_run --list-archs                   # registry listings
+ *
+ * Every name resolves through the registries; an unknown name on
+ * any axis is a uniform exit-2 usage error that lists the
+ * registry's valid names.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
 
-#include "core/toolchain.hh"
+#include "api/api.hh"
 #include "ddg/dot.hh"
-#include "engine/engine.hh"
 #include "engine/report.hh"
 #include "sched/schedule_dump.hh"
 #include "support/table.hh"
@@ -47,6 +52,9 @@ struct CliOptions
     bool noChains = false;
     bool csv = false;
     bool json = false;
+    /** --list-archs | --list-heuristics | --list-unrolls |
+     *  --list-benches: print a registry and exit. */
+    std::string list;
     // Sweep mode.
     bool sweep = false;
     int jobs = 1;
@@ -68,22 +76,27 @@ usage(int code)
         code ? stderr : stdout,
         "usage: wivliw_run [options]\n"
         "single-run mode:\n"
-        "  --bench NAME       one of the 14 suite benchmarks\n"
-        "  --all              run the whole suite\n"
-        "  --arch A           interleaved | interleaved-ab |\n"
-        "                     unified1 | unified5 | multivliw\n"
-        "  --heuristic H      base | ibc | ipbc\n"
-        "  --unroll U         none | xN | ouf | selective\n"
+        "  --bench NAME       a registered benchmark\n"
+        "  --all              run the whole registered suite\n"
+        "  --arch A           a registered architecture, or a\n"
+        "                     parametric key like interleaved:c8:b16k\n"
+        "  --heuristic H      a registered heuristic\n"
+        "  --unroll U         a registered unroll policy\n"
         "  --no-align         disable variable alignment\n"
         "  --no-chains        drop memory dependent chains\n"
         "  --versioning       enable Section 5.4 loop versioning\n"
         "  --dump-kernel      print each loop's kernel\n"
         "  --dump-dot         print each loop's DDG as DOT\n"
         "  --loop NAME        restrict dumps to one loop\n"
+        "registry listings (one name per line):\n"
+        "  --list-archs       registered architectures\n"
+        "  --list-heuristics  registered heuristics\n"
+        "  --list-unrolls     registered unroll policies\n"
+        "  --list-benches     registered benchmarks\n"
         "sweep mode (cross-product through the experiment engine):\n"
         "  --sweep            run benches x archs x heuristics x\n"
-        "                     unrolls; defaults to the whole suite\n"
-        "                     on all five architectures\n"
+        "                     unrolls; defaults to every registered\n"
+        "                     benchmark on every architecture\n"
         "  --benches LIST     comma-separated benchmark subset\n"
         "  --archs LIST       comma-separated architecture subset\n"
         "  --heuristics LIST  comma-separated heuristic subset\n"
@@ -116,66 +129,30 @@ splitList(const std::string &list)
     return out;
 }
 
-/** Join @p names for error messages. */
-std::string
-joinNames(const std::vector<std::string> &names)
+/**
+ * Report a façade Status and exit. Name/argument errors are usage
+ * errors (exit 2, with the registry's valid names when the status
+ * carries them); anything else is a runtime failure (exit 1).
+ */
+[[noreturn]] void
+statusExit(const api::Status &status)
 {
-    std::string out;
-    for (const std::string &name : names)
-        out += (out.empty() ? "" : ", ") + name;
-    return out;
-}
-
-bool
-knownBenchmark(const std::string &name)
-{
-    for (const std::string &known : mediabenchNames())
-        if (known == name)
-            return true;
-    return false;
-}
-
-/** Exit(2) with the valid names when @p name is not a benchmark. */
-void
-checkBenchmark(const std::string &name)
-{
-    if (knownBenchmark(name))
-        return;
-    std::fprintf(stderr,
-                 "unknown benchmark '%s'; valid names are:\n  %s\n",
-                 name.c_str(),
-                 joinNames(mediabenchNames()).c_str());
-    std::exit(2);
-}
-
-MachineConfig
-parseArch(const std::string &arch)
-{
-    if (auto spec = engine::findArch(arch))
-        return spec->config;
-    std::fprintf(stderr,
-                 "unknown --arch '%s'; valid names are:\n  %s\n",
-                 arch.c_str(),
-                 joinNames(engine::archNames()).c_str());
-    usage(2);
-}
-
-Heuristic
-parseHeuristic(const std::string &name)
-{
-    if (auto h = engine::findHeuristic(name))
-        return *h;
-    std::fprintf(stderr, "unknown --heuristic '%s'\n", name.c_str());
-    usage(2);
-}
-
-UnrollPolicy
-parseUnroll(const std::string &name)
-{
-    if (auto u = engine::findUnrollPolicy(name))
-        return *u;
-    std::fprintf(stderr, "unknown --unroll '%s'\n", name.c_str());
-    usage(2);
+    std::fprintf(stderr, "%s\n", status.message().c_str());
+    if (!status.context().empty()) {
+        const bool names =
+            status.code() == api::StatusCode::NotFound;
+        std::fprintf(stderr, "%s\n  %s\n",
+                     names ? "valid names are:" : "hint:",
+                     status.context().c_str());
+    }
+    switch (status.code()) {
+      case api::StatusCode::InvalidArgument:
+      case api::StatusCode::NotFound:
+      case api::StatusCode::AlreadyExists:
+        std::exit(2);
+      default:
+        std::exit(1);
+    }
 }
 
 CliOptions
@@ -190,6 +167,20 @@ parseArgs(int argc, char **argv)
                 usage(2);
             }
             return argv[++i];
+        };
+        auto count = [&](const char *flag) -> int {
+            const std::string v = value(flag);
+            char *end = nullptr;
+            errno = 0;
+            const long long n = std::strtoll(v.c_str(), &end, 10);
+            if (end == v.c_str() || *end != '\0' || errno == ERANGE ||
+                n > std::numeric_limits<int>::max() ||
+                n < std::numeric_limits<int>::min()) {
+                std::fprintf(stderr, "%s wants a number, got '%s'\n",
+                             flag, v.c_str());
+                usage(2);
+            }
+            return int(n);
         };
         if (arg == "--bench")
             cli.bench = value("--bench");
@@ -217,29 +208,17 @@ parseArgs(int argc, char **argv)
             cli.csv = true;
         else if (arg == "--json")
             cli.json = true;
+        else if (arg == "--list-archs" || arg == "--list-heuristics" ||
+                 arg == "--list-unrolls" || arg == "--list-benches")
+            cli.list = arg;
         else if (arg == "--sweep")
             cli.sweep = true;
         else if (arg == "--jobs") {
-            const std::string v = value("--jobs");
-            char *end = nullptr;
-            cli.jobs = int(std::strtol(v.c_str(), &end, 10));
-            if (end == v.c_str() || *end != '\0') {
-                std::fprintf(stderr, "--jobs wants a number, got '%s'\n",
-                             v.c_str());
-                usage(2);
-            }
+            cli.jobs = count("--jobs");
             cli.sweepOnlyFlag = arg;
         }
         else if (arg == "--datasets") {
-            const std::string v = value("--datasets");
-            char *end = nullptr;
-            cli.datasets = int(std::strtol(v.c_str(), &end, 10));
-            if (end == v.c_str() || *end != '\0') {
-                std::fprintf(stderr,
-                             "--datasets wants a number, got '%s'\n",
-                             v.c_str());
-                usage(2);
-            }
+            cli.datasets = count("--datasets");
             cli.sweepOnlyFlag = arg;
         }
         else if (arg == "--no-compile-cache") {
@@ -292,37 +271,78 @@ parseArgs(int argc, char **argv)
                      cli.sweepOnlyFlag.c_str());
         usage(2);
     }
-    if (!cli.sweep && !cli.all && cli.bench.empty()) {
-        std::fprintf(stderr, "pick --bench NAME, --all or --sweep\n");
+    if (cli.list.empty() && !cli.sweep && !cli.all &&
+        cli.bench.empty()) {
+        std::fprintf(stderr,
+                     "pick --bench NAME, --all, --sweep or a "
+                     "--list-* flag\n");
         usage(2);
     }
     return cli;
 }
 
-void
-dumpLoops(const Toolchain &chain, const BenchmarkSpec &bench,
-          const CliOptions &cli)
+int
+printList(const api::Session &session, const std::string &flag)
 {
-    for (const LoopSpec &loop : bench.loops) {
+    const api::Registries &reg = session.registries();
+    const std::vector<std::string> &names =
+        flag == "--list-archs"      ? reg.archs.names()
+        : flag == "--list-heuristics" ? reg.schedulers.names()
+        : flag == "--list-unrolls"    ? reg.unrolls.names()
+                                      : reg.workloads.names();
+    for (const std::string &name : names)
+        std::printf("%s\n", name.c_str());
+    return 0;
+}
+
+/** The base RunRequest every mode shares. */
+api::RunRequest
+baseRequest(const CliOptions &cli)
+{
+    api::RunRequest req;
+    req.arch = cli.arch;
+    req.scheduler = cli.heuristic;
+    req.unroll = cli.unroll;
+    req.options.varAlignment = !cli.noAlign;
+    req.options.memChains = !cli.noChains;
+    req.options.loopVersioning = cli.versioning;
+    return req;
+}
+
+void
+dumpLoops(api::Session &session, const CliOptions &cli,
+          const std::string &bench)
+{
+    api::RunRequest req = baseRequest(cli);
+    req.workload = bench;
+    auto compiled = session.compile(req);
+    if (!compiled.ok())
+        statusExit(compiled.status());
+    auto cfg = session.resolveArch(cli.arch);
+    if (!cfg.ok())
+        statusExit(cfg.status());
+
+    for (const CompiledLoopVersions &versions :
+         compiled.value()->loops) {
+        const CompiledLoop &loop = versions.primary;
         if (!cli.dumpLoop.empty() && loop.name != cli.dumpLoop)
             continue;
-        const CompiledLoop compiled = chain.compileLoop(bench, loop);
         std::printf("\n%s/%s: UF=%d (%s) II=%d SC=%d copies=%d\n",
-                    bench.name.c_str(), loop.name.c_str(),
-                    compiled.unrollFactor,
-                    unrollPolicyName(compiled.policyChosen),
-                    compiled.sched.schedule.ii,
-                    compiled.sched.schedule.stageCount,
-                    compiled.sched.schedule.numCopies());
+                    bench.c_str(), loop.name.c_str(),
+                    loop.unrollFactor,
+                    unrollPolicyName(loop.policyChosen),
+                    loop.sched.schedule.ii,
+                    loop.sched.schedule.stageCount,
+                    loop.sched.schedule.numCopies());
         if (cli.dumpKernelFlag) {
-            dumpKernel(std::cout, compiled.ddg,
-                       compiled.sched.schedule, chain.config());
+            dumpKernel(std::cout, loop.ddg, loop.sched.schedule,
+                       cfg.value());
         }
         if (cli.dumpDotFlag) {
             DotOptions dot;
-            dot.name = bench.name + "_" + loop.name;
-            dot.latencies = &compiled.latency.latencies;
-            dumpDot(std::cout, compiled.ddg, dot);
+            dot.name = bench + "_" + loop.name;
+            dot.latencies = &loop.latency.latencies;
+            dumpDot(std::cout, loop.ddg, dot);
         }
     }
 }
@@ -345,45 +365,34 @@ splitAxis(const char *flag, const std::string &list)
 }
 
 int
-runSweep(const CliOptions &cli)
+runSweep(api::Session &session, const CliOptions &cli)
 {
-    engine::ExperimentGrid grid;
-    grid.benches = splitAxis("--benches", cli.benches);
-    for (const std::string &name : grid.benches)
-        checkBenchmark(name);
-    grid.archs = splitAxis("--archs", cli.archs);
-    for (const std::string &name : grid.archs) {
-        if (!engine::findArch(name)) {
-            std::fprintf(
-                stderr,
-                "unknown architecture '%s'; valid names are:\n  %s\n",
-                name.c_str(),
-                joinNames(engine::archNames()).c_str());
-            return 2;
-        }
-    }
-    grid.heuristics.clear();
-    for (const std::string &name :
-         splitAxis("--heuristics", cli.heuristics))
-        grid.heuristics.push_back(parseHeuristic(name));
-    if (grid.heuristics.empty())
-        grid.heuristics = {parseHeuristic(cli.heuristic)};
-    grid.unrolls.clear();
-    for (const std::string &name : splitAxis("--unrolls", cli.unrolls))
-        grid.unrolls.push_back(parseUnroll(name));
-    if (grid.unrolls.empty())
-        grid.unrolls = {parseUnroll(cli.unroll)};
-    grid.alignment = {!cli.noAlign};
-    grid.chains = {!cli.noChains};
-    grid.versioning = {cli.versioning};
-    grid.datasets = cli.datasets;
+    api::SweepRequest req;
+    req.workloads = splitAxis("--benches", cli.benches);
+    req.archs = splitAxis("--archs", cli.archs);
+    req.schedulers = splitAxis("--heuristics", cli.heuristics);
+    if (req.schedulers.empty())
+        req.schedulers = {cli.heuristic};
+    req.unrolls = splitAxis("--unrolls", cli.unrolls);
+    if (req.unrolls.empty())
+        req.unrolls = {cli.unroll};
+    req.alignment = {!cli.noAlign};
+    req.chains = {!cli.noChains};
+    req.versioning = {cli.versioning};
+    req.datasets = cli.datasets;
+    req.jobs = cli.jobs;
 
-    engine::EngineOptions eng_opts;
-    eng_opts.jobs = cli.jobs;
-    eng_opts.compileCache = cli.compileCache;
-    engine::ExperimentEngine eng(eng_opts);
-    const auto results = eng.run(grid);
-    const engine::CompileCacheStats cache = eng.cacheStats();
+    auto result = session.sweep(req);
+    if (!result.ok())
+        statusExit(result.status());
+    // Name/option errors failed atomically above; a cell that
+    // failed at run time (library users get the partial results)
+    // is still a whole-sweep failure at the CLI.
+    if (api::Status s = result.value().firstError(); !s.ok())
+        statusExit(s);
+    const std::vector<engine::ExperimentResult> &results =
+        result.value().experiments;
+    const engine::CompileCacheStats &cache = result.value().cache;
 
     if (cli.json) {
         engine::writeJson(std::cout, results,
@@ -407,45 +416,42 @@ int
 main(int argc, char **argv)
 {
     const CliOptions cli = parseArgs(argc, argv);
+
+    api::SessionOptions session_opts;
+    session_opts.jobs = cli.jobs;
+    session_opts.compileCache = cli.compileCache;
+    api::Session session(session_opts);
+
+    if (!cli.list.empty())
+        return printList(session, cli.list);
     if (cli.sweep)
-        return runSweep(cli);
+        return runSweep(session, cli);
 
-    if (!cli.bench.empty())
-        checkBenchmark(cli.bench);
-
-    const MachineConfig cfg = parseArch(cli.arch);
-    ToolchainOptions opts;
-    opts.heuristic = parseHeuristic(cli.heuristic);
-    opts.unroll = parseUnroll(cli.unroll);
-    opts.varAlignment = !cli.noAlign;
-    opts.memChains = !cli.noChains;
-    opts.loopVersioning = cli.versioning;
-    const Toolchain chain(cfg, opts);
-
-    std::vector<BenchmarkSpec> benches;
+    std::vector<std::string> benches;
     if (cli.all) {
-        benches = mediabenchSuite();
+        benches = session.registries().workloads.names();
     } else {
-        benches.push_back(makeBenchmark(cli.bench));
+        benches.push_back(cli.bench);
     }
 
     std::vector<engine::ExperimentResult> results;
     TextTable tab({"benchmark", "cycles", "compute", "stall",
                    "local hits", "ab hits", "copies"});
-    for (const BenchmarkSpec &bench : benches) {
+    for (const std::string &bench : benches) {
         if (cli.dumpKernelFlag || cli.dumpDotFlag)
-            dumpLoops(chain, bench, cli);
+            dumpLoops(session, cli, bench);
 
-        BenchmarkRun run = chain.runBenchmark(bench);
+        api::RunRequest req = baseRequest(cli);
+        req.workload = bench;
+        auto res = session.run(req);
+        if (!res.ok())
+            statusExit(res.status());
+
         if (cli.json) {
-            engine::ExperimentResult result;
-            result.spec.bench = bench.name;
-            result.spec.arch = {cli.arch, cfg};
-            result.spec.opts = opts;
-            result.datasetRuns.push_back(std::move(run));
-            results.push_back(std::move(result));
+            results.push_back(std::move(res.value().experiment));
             continue;
         }
+        const BenchmarkRun &run = res.value().run();
         int copies = 0;
         for (const LoopRun &lr : run.loops)
             copies += lr.copies;
