@@ -9,6 +9,8 @@
 #ifndef WIVLIW_API_API_HH
 #define WIVLIW_API_API_HH
 
+#include "api/events.hh"
+#include "api/jobs.hh"
 #include "api/registries.hh"
 #include "api/registry.hh"
 #include "api/session.hh"

@@ -1,0 +1,81 @@
+#include "events.hh"
+
+#include <algorithm>
+
+namespace vliw::api {
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::JobAccepted:   return "accepted";
+      case EventKind::CellCompiled:  return "cell-compiled";
+      case EventKind::CellSimulated: return "cell-simulated";
+      case EventKind::CellFailed:    return "cell-failed";
+      case EventKind::Progress:      return "progress";
+      case EventKind::JobFinished:   return "finished";
+    }
+    return "?";
+}
+
+BoundedEventQueue::BoundedEventQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+BoundedEventQueue::handle(const JobEvent &event)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    notFull_.wait(lock, [this] {
+        return closed_ || events_.size() < capacity_;
+    });
+    if (closed_)
+        return;     // shutting down; the consumer is gone
+    events_.push_back(event);
+    notEmpty_.notify_one();
+}
+
+bool
+BoundedEventQueue::pop(JobEvent &out)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    notEmpty_.wait(lock,
+                   [this] { return closed_ || !events_.empty(); });
+    if (events_.empty())
+        return false;
+    out = std::move(events_.front());
+    events_.pop_front();
+    notFull_.notify_one();
+    return true;
+}
+
+bool
+BoundedEventQueue::tryPop(JobEvent &out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.empty())
+        return false;
+    out = std::move(events_.front());
+    events_.pop_front();
+    notFull_.notify_one();
+    return true;
+}
+
+void
+BoundedEventQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    notFull_.notify_all();
+    notEmpty_.notify_all();
+}
+
+std::size_t
+BoundedEventQueue::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+} // namespace vliw::api

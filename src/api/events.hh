@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The typed event stream of asynchronous jobs (api::Session::
+ * submit): a small closed set of event kinds, an EventSink
+ * interface the session delivers them through, and a bounded MPSC
+ * queue sink for consumers that want to pull instead of being
+ * called.
+ *
+ * Delivery contract: per job, JobAccepted arrives first and
+ * exactly one JobFinished arrives last; each cell's CellCompiled
+ * strictly precedes its CellSimulated (or CellFailed); a Progress
+ * update follows every cell that retires (completed, failed or
+ * skipped by cancellation) and its `done` count is strictly
+ * monotonic. Cell events of *different* cells of one job may
+ * interleave when the job runs on several workers (cell 1's
+ * CellCompiled can land between cell 0's CellCompiled and
+ * CellSimulated), and events of different jobs sharing one sink
+ * interleave arbitrarily. The sink is
+ * invoked from the session's worker threads while the job's event
+ * lock is held: a sink that blocks (a full BoundedEventQueue)
+ * therefore stalls that job's workers — this is the backpressure
+ * mechanism, a slow consumer slows its producer instead of growing
+ * an unbounded buffer. Event timing and priorities never influence
+ * result values (the engine's determinism contract).
+ */
+
+#ifndef WIVLIW_API_EVENTS_HH
+#define WIVLIW_API_EVENTS_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "api/status.hh"
+#include "engine/compile_cache.hh"
+
+namespace vliw::api {
+
+/** Session-scoped job identity; never reused within a session. */
+using JobId = std::uint64_t;
+
+/** Cells finished so far (completed, failed or skipped) / total. */
+struct Progress
+{
+    int done = 0;
+    int total = 0;
+};
+
+/** What happened (see the file comment for the per-job order). */
+enum class EventKind
+{
+    /** The job was admitted; progress carries {0, total cells}. */
+    JobAccepted,
+    /** One cell finished its compile phase (label = the cell). */
+    CellCompiled,
+    /** One cell finished simulating; its results are in place. */
+    CellSimulated,
+    /** One cell failed; `status` carries the per-cell Status. */
+    CellFailed,
+    /** A cell was retired; progress advanced monotonically. */
+    Progress,
+    /** The job is done: `status` is the job's final Status (Ok or
+     *  Cancelled) and `cache` the session's compile-cache counters
+     *  at completion. Emitted exactly once, last. */
+    JobFinished,
+};
+
+/** Stable wire name ("accepted", "cell-compiled", ...). */
+const char *eventKindName(EventKind kind);
+
+/** One event; which members are meaningful depends on `kind`. */
+struct JobEvent
+{
+    EventKind kind = EventKind::Progress;
+    JobId job = 0;
+    /** Cell events: the cell's index in grid order. */
+    std::size_t cell = 0;
+    /** Cell events: the cell's spec label. */
+    std::string label;
+    /** CellFailed: the cell's Status; JobFinished: the job's. */
+    Status status;
+    Progress progress;
+    /** JobFinished: the session's cache counters. */
+    engine::CompileCacheStats cache;
+};
+
+/**
+ * Receiver of a job's events; pass one to SubmitOptions. Must
+ * outlive every job it is attached to. Implementations are called
+ * from worker threads (one event at a time per job, but different
+ * jobs may call concurrently) and may block to exert backpressure.
+ * An exception escaping handle() never crashes a worker or alters
+ * a computed result: a throw from the CellCompiled delivery fails
+ * that cell as Internal (the event fires on the cell's execution
+ * path); throws from other deliveries are absorbed.
+ */
+class EventSink
+{
+  public:
+    virtual ~EventSink() = default;
+
+    virtual void handle(const JobEvent &event) = 0;
+};
+
+/**
+ * A bounded multi-producer/single-consumer event queue usable as a
+ * sink: handle() blocks while the queue is full (backpressure —
+ * the buffer never grows past the capacity), pop() blocks until an
+ * event or close() arrives. close() releases all blocked
+ * producers, discarding events that no longer fit; already-queued
+ * events still drain through pop().
+ */
+class BoundedEventQueue final : public EventSink
+{
+  public:
+    explicit BoundedEventQueue(std::size_t capacity = 256);
+
+    void handle(const JobEvent &event) override;
+
+    /** Next event, blocking; false once closed and drained. */
+    bool pop(JobEvent &out);
+
+    /** Non-blocking pop; false when empty right now. */
+    bool tryPop(JobEvent &out);
+
+    void close();
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+
+  private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable notFull_;
+    std::condition_variable notEmpty_;
+    std::deque<JobEvent> events_;
+    bool closed_ = false;
+};
+
+} // namespace vliw::api
+
+#endif // WIVLIW_API_EVENTS_HH

@@ -1,0 +1,247 @@
+#include "executor.hh"
+
+#include <algorithm>
+
+namespace vliw::api::detail {
+
+AsyncExecutor::AsyncExecutor(engine::ExperimentEngine &engine,
+                             int threads)
+    : engine_(engine), pool_(std::max(1, threads))
+{
+}
+
+void
+AsyncExecutor::emit(const std::shared_ptr<JobCore> &core,
+                    JobEvent event)
+{
+    if (!core->sink)
+        return;
+    event.job = core->id;
+    try {
+        core->sink->handle(event);
+    } catch (...) {
+        // A sink that throws broke its own contract; results are
+        // never altered by a reporting failure. (An exception from
+        // the CellCompiled delivery does fail its cell: that event
+        // fires on the cell's execution path, inside
+        // runExperiment's catch.)
+    }
+}
+
+std::shared_ptr<JobCore>
+AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
+                      bool isSweep, const SubmitOptions &opts,
+                      Status rejected)
+{
+    auto core = std::make_shared<JobCore>();
+    core->id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    core->priority = opts.priority;
+    core->maxInFlight = opts.maxInFlight;
+    core->sink = opts.events;
+    core->isSweep = isSweep;
+    core->total = int(specs.size());
+    core->specs = std::move(specs);
+    core->experiments.resize(core->specs.size());
+    for (std::size_t i = 0; i < core->specs.size(); ++i)
+        core->experiments[i].spec = core->specs[i];
+
+    JobEvent accepted;
+    accepted.kind = EventKind::JobAccepted;
+    accepted.progress = Progress{0, core->total};
+
+    if (!rejected.ok() || core->total == 0) {
+        // Born done: a rejected request (or an empty grid) still
+        // produces the full accepted/finished event envelope so
+        // consumers need only one code path.
+        std::lock_guard<std::mutex> emitLock(core->emitMu);
+        emit(core, accepted);
+        {
+            std::lock_guard<std::mutex> lock(core->mu);
+            core->finalStatus = rejected;
+            core->cacheAtFinish = engine_.cacheStats();
+        }
+        JobEvent finished;
+        finished.kind = EventKind::JobFinished;
+        finished.status = rejected;
+        finished.progress = Progress{0, core->total};
+        finished.cache = core->cacheAtFinish;
+        emit(core, finished);
+        {
+            std::lock_guard<std::mutex> lock(core->mu);
+            core->phase = JobPhase::Done;
+        }
+        core->cv.notify_all();
+        return core;
+    }
+
+    {
+        std::lock_guard<std::mutex> emitLock(core->emitMu);
+        emit(core, accepted);
+    }
+
+    // Admission: enqueue the whole job, or just the first window
+    // when capped; runCell tops the window up as cells retire.
+    const int window =
+        core->maxInFlight > 0
+            ? std::min(core->maxInFlight, core->total)
+            : core->total;
+    {
+        std::lock_guard<std::mutex> lock(core->mu);
+        core->nextCell = window;
+    }
+    for (int i = 0; i < window; ++i)
+        enqueueCell(core, i);
+    return core;
+}
+
+void
+AsyncExecutor::enqueueCell(const std::shared_ptr<JobCore> &core,
+                           int cell)
+{
+    pool_.submit([this, core, cell] { runCell(core, cell); },
+                 core->priority);
+}
+
+void
+AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
+{
+    {
+        std::lock_guard<std::mutex> lock(core->mu);
+        if (core->phase == JobPhase::Queued)
+            core->phase = JobPhase::Running;
+    }
+
+    engine::ExperimentResult result;
+    if (core->cancelRequested.load(std::memory_order_relaxed)) {
+        // Cancelled before this cell started: retire it as a skip
+        // so accounting reaches the total and the job finishes.
+        result.spec = core->specs[std::size_t(cell)];
+        result.cancelled = true;
+        result.error = "cancelled before start";
+    } else {
+        engine::RunHooks hooks;
+        hooks.cancel = &core->cancelRequested;
+        hooks.compiled = [&](const engine::ExperimentResult &r) {
+            if (!core->sink)
+                return;
+            JobEvent ev;
+            ev.kind = EventKind::CellCompiled;
+            ev.job = core->id;
+            ev.cell = std::size_t(cell);
+            ev.label = r.spec.label();
+            std::lock_guard<std::mutex> emitLock(core->emitMu);
+            // Deliberately unabsorbed: this delivery runs on the
+            // cell's execution path, so a sink that throws fails
+            // the cell as Internal (see EventSink's contract).
+            core->sink->handle(ev);
+        };
+        engine::CompileCache *cache =
+            engine_.options().compileCache ? &engine_.cache()
+                                           : nullptr;
+        // runExperiment never throws std exceptions past its own
+        // catch; this backstop covers everything else (a sink
+        // throwing a non-std type from the CellCompiled delivery)
+        // so the cell ALWAYS retires — a lost retirement would
+        // leave done < total and wedge wait() forever.
+        try {
+            result = engine::runExperiment(
+                core->specs[std::size_t(cell)], cache, &hooks);
+        } catch (...) {
+            result.spec = core->specs[std::size_t(cell)];
+            result.error = "internal: exception escaped cell "
+                           "execution";
+            result.datasetRuns.clear();
+        }
+    }
+
+    // Retire the cell: slot write, progress, events and (for the
+    // last cell) the job epilogue happen under emitMu so the sink
+    // sees one ordered, consistent stream per job.
+    int topUp = -1;
+    {
+        std::lock_guard<std::mutex> emitLock(core->emitMu);
+        bool last = false;
+        Progress progress;
+        {
+            std::lock_guard<std::mutex> lock(core->mu);
+            core->experiments[std::size_t(cell)] = std::move(result);
+            core->done += 1;
+            progress = Progress{core->done, core->total};
+            last = core->done == core->total;
+            if (!last && core->maxInFlight > 0 &&
+                core->nextCell < core->total) {
+                topUp = core->nextCell++;
+            }
+        }
+
+        // Event construction allocates (labels, stats copies); a
+        // bad_alloc here must not skip the accounting below or the
+        // job would never reach Done. Reporting is best-effort,
+        // liveness is not.
+        try {
+            const engine::ExperimentResult &retired =
+                core->experiments[std::size_t(cell)];
+            if (!retired.failed()) {
+                JobEvent ev;
+                ev.kind = EventKind::CellSimulated;
+                ev.cell = std::size_t(cell);
+                ev.label = retired.spec.label();
+                ev.progress = progress;
+                emit(core, ev);
+            } else if (!retired.cancelled) {
+                JobEvent ev;
+                ev.kind = EventKind::CellFailed;
+                ev.cell = std::size_t(cell);
+                ev.label = retired.spec.label();
+                ev.status = cellStatus(retired);
+                ev.progress = progress;
+                emit(core, ev);
+            }
+            // Skipped (cancelled) cells advance progress silently.
+            JobEvent tick;
+            tick.kind = EventKind::Progress;
+            tick.progress = progress;
+            emit(core, tick);
+        } catch (...) {
+        }
+
+        if (last) {
+            try {
+                const bool cancelled = core->cancelRequested.load(
+                    std::memory_order_relaxed);
+                Status final =
+                    cancelled
+                        ? Status::cancelled(
+                              "job cancelled; partial results kept")
+                        : Status();
+                JobEvent finished;
+                finished.kind = EventKind::JobFinished;
+                finished.status = final;
+                finished.progress = progress;
+                finished.cache = engine_.cacheStats();
+                {
+                    std::lock_guard<std::mutex> lock(core->mu);
+                    core->finalStatus = final;
+                    core->cacheAtFinish = finished.cache;
+                }
+                emit(core, finished);
+            } catch (...) {
+            }
+            {
+                std::lock_guard<std::mutex> lock(core->mu);
+                core->phase = JobPhase::Done;
+            }
+            core->cv.notify_all();
+        }
+    }
+    if (topUp >= 0)
+        enqueueCell(core, topUp);
+}
+
+void
+AsyncExecutor::ensureThreads(int threads)
+{
+    pool_.ensureThreads(threads);
+}
+
+} // namespace vliw::api::detail

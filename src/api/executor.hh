@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The session's asynchronous executor (internal): one shared
+ * priority-aware WorkerPool that multiplexes every submitted job's
+ * cells, plus the per-job bookkeeping that turns retired cells
+ * into the ordered event stream and the final JobCore state.
+ *
+ * Scheduling model: a job's cells enter the pool at the job's
+ * priority (higher first, FIFO within a priority). An admission
+ * cap (SubmitOptions::maxInFlight) enqueues only that many cells
+ * up front and tops the window up as cells retire, so a huge sweep
+ * cannot starve later, higher-priority submissions. Cancellation
+ * is observed cooperatively by every cell; queued cells of a
+ * cancelled job drain as cheap skips so accounting always reaches
+ * the total. None of this machinery can change a result value:
+ * cells write only their own slot and derive all randomness from
+ * their spec (the engine's determinism contract).
+ */
+
+#ifndef WIVLIW_API_EXECUTOR_HH
+#define WIVLIW_API_EXECUTOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "api/jobs.hh"
+#include "engine/engine.hh"
+#include "engine/worker_pool.hh"
+
+namespace vliw::api::detail {
+
+class AsyncExecutor
+{
+  public:
+    AsyncExecutor(engine::ExperimentEngine &engine, int threads);
+
+    /** Drains every queued cell, then joins the pool. */
+    ~AsyncExecutor() = default;
+
+    /**
+     * Admit one job over @p specs (already validated/resolved).
+     * When @p rejected is an error the job is born Done carrying
+     * it — submission itself never fails, bad requests surface
+     * through take() and the JobFinished event.
+     */
+    std::shared_ptr<JobCore>
+    submit(std::vector<engine::ExperimentSpec> specs, bool isSweep,
+           const SubmitOptions &opts, Status rejected = Status());
+
+    /** Grow the shared pool (never shrinks). */
+    void ensureThreads(int threads);
+
+    int threadCount() const { return pool_.threadCount(); }
+
+  private:
+    void runCell(const std::shared_ptr<JobCore> &core, int cell);
+    void enqueueCell(const std::shared_ptr<JobCore> &core, int cell);
+    /** Deliver one event, absorbing sink exceptions. */
+    static void emit(const std::shared_ptr<JobCore> &core,
+                     JobEvent event);
+
+    engine::ExperimentEngine &engine_;
+    std::atomic<JobId> nextId_{1};
+    /** Last member: its destructor drains cells that still
+     *  reference the fields above. */
+    engine::WorkerPool pool_;
+};
+
+} // namespace vliw::api::detail
+
+#endif // WIVLIW_API_EXECUTOR_HH

@@ -1,0 +1,136 @@
+#include "jobs.hh"
+
+#include "api/session.hh"
+
+namespace vliw::api {
+
+const char *
+jobPhaseName(JobPhase phase)
+{
+    switch (phase) {
+      case JobPhase::Queued:     return "queued";
+      case JobPhase::Running:    return "running";
+      case JobPhase::Cancelling: return "cancelling";
+      case JobPhase::Done:       return "done";
+    }
+    return "?";
+}
+
+namespace detail {
+
+void
+coreWait(JobCore &core)
+{
+    std::unique_lock<std::mutex> lock(core.mu);
+    core.cv.wait(lock,
+                 [&core] { return core.phase == JobPhase::Done; });
+}
+
+bool
+coreWaitFor(JobCore &core, std::chrono::milliseconds timeout)
+{
+    std::unique_lock<std::mutex> lock(core.mu);
+    return core.cv.wait_for(lock, timeout, [&core] {
+        return core.phase == JobPhase::Done;
+    });
+}
+
+JobPhase
+corePoll(const JobCore &core)
+{
+    std::lock_guard<std::mutex> lock(core.mu);
+    return core.phase;
+}
+
+Progress
+coreProgress(const JobCore &core)
+{
+    std::lock_guard<std::mutex> lock(core.mu);
+    return Progress{core.done, core.total};
+}
+
+void
+coreCancel(JobCore &core)
+{
+    // The flag first: workers polling it must observe the request
+    // no later than the phase change becomes visible.
+    core.cancelRequested.store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(core.mu);
+    if (core.phase != JobPhase::Done)
+        core.phase = JobPhase::Cancelling;
+}
+
+Status
+cellStatus(const engine::ExperimentResult &result)
+{
+    if (!result.failed())
+        return Status();
+    if (result.cancelled) {
+        return Status::cancelled(result.spec.label() + ": " +
+                                 result.error);
+    }
+    return Status::error(result.userError
+                             ? StatusCode::FailedPrecondition
+                             : StatusCode::Internal,
+                         result.spec.label() + ": " + result.error);
+}
+
+namespace {
+
+/** Common take() prologue; Ok when the result may be consumed. */
+Status
+takeable(JobCore &core)
+{
+    std::lock_guard<std::mutex> lock(core.mu);
+    if (core.phase != JobPhase::Done) {
+        return Status::error(StatusCode::FailedPrecondition,
+                             "job is still running; wait() first");
+    }
+    if (core.taken) {
+        return Status::error(StatusCode::FailedPrecondition,
+                             "job result was already taken");
+    }
+    core.taken = true;
+    return Status();
+}
+
+} // namespace
+
+template <>
+Result<RunResult>
+coreTake<RunResult>(JobCore &core)
+{
+    if (Status s = takeable(core); !s.ok())
+        return s;
+    if (!core.finalStatus.ok() &&
+        core.finalStatus.code() != StatusCode::Cancelled) {
+        return core.finalStatus;    // rejected at submission
+    }
+    vliw_assert(core.experiments.size() == 1,
+                "run job with ", core.experiments.size(), " cells");
+    engine::ExperimentResult &cell = core.experiments.front();
+    if (Status s = cellStatus(cell); !s.ok())
+        return s;
+    return RunResult{std::move(cell)};
+}
+
+template <>
+Result<SweepResult>
+coreTake<SweepResult>(JobCore &core)
+{
+    if (Status s = takeable(core); !s.ok())
+        return s;
+    if (!core.finalStatus.ok() &&
+        core.finalStatus.code() != StatusCode::Cancelled) {
+        return core.finalStatus;    // rejected at submission
+    }
+    SweepResult out;
+    out.experiments = std::move(core.experiments);
+    out.cache = core.cacheAtFinish;
+    out.status = core.finalStatus;
+    return out;
+}
+
+} // namespace detail
+
+} // namespace vliw::api

@@ -1,5 +1,6 @@
 #include "session.hh"
 
+#include "api/executor.hh"
 #include "workloads/dataset.hh"
 
 namespace vliw::api {
@@ -38,16 +39,6 @@ validateDatasets(int datasets)
     return Status();
 }
 
-/** Map one failed engine job to the Status the caller sees. */
-Status
-jobError(const engine::ExperimentResult &result)
-{
-    return Status::error(result.userError
-                             ? StatusCode::FailedPrecondition
-                             : StatusCode::Internal,
-                         result.spec.label() + ": " + result.error);
-}
-
 } // namespace
 
 std::size_t
@@ -59,12 +50,18 @@ SweepResult::failedCount() const
     return failed;
 }
 
+std::size_t
+SweepResult::completedCount() const
+{
+    return experiments.size() - failedCount();
+}
+
 Status
 SweepResult::firstError() const
 {
     for (const engine::ExperimentResult &r : experiments) {
         if (r.failed())
-            return jobError(r);
+            return detail::cellStatus(r);
     }
     return Status();
 }
@@ -74,10 +71,15 @@ struct Session::Impl
     SessionOptions opts;
     Registries registries = Registries::builtin();
     engine::ExperimentEngine engine;
+    /** After engine: the executor's pool drains cells that still
+     *  reference the engine and its cache. */
+    detail::AsyncExecutor executor;
 
     explicit Impl(const SessionOptions &o)
         : opts(o),
-          engine(engine::EngineOptions{o.jobs, o.compileCache})
+          engine(engine::EngineOptions{o.jobs, o.compileCache,
+                                       o.cacheCapacity}),
+          executor(engine, o.jobs)
     {
     }
 
@@ -118,6 +120,61 @@ struct Session::Impl
             }
         }
         return spec;
+    }
+
+    /**
+     * Validate every axis of a SweepRequest atomically and expand
+     * it to grid-ordered specs, or fail with the offending axis's
+     * Status before any work runs.
+     */
+    Result<std::vector<engine::ExperimentSpec>>
+    resolveSweep(const SweepRequest &req) const
+    {
+        if (Status s = validateOptions(req.options); !s.ok())
+            return s;
+        if (Status s = validateDatasets(req.datasets); !s.ok())
+            return s;
+        if (req.jobs < 0) {
+            return Status::invalidArgument(
+                "jobs must be >= 0, got " + std::to_string(req.jobs));
+        }
+        if (req.schedulers.empty() || req.unrolls.empty() ||
+            req.alignment.empty() || req.chains.empty() ||
+            req.versioning.empty()) {
+            return Status::invalidArgument(
+                "every sweep axis needs at least one entry");
+        }
+
+        const Registries &reg = registries;
+        for (const std::string &name : req.workloads) {
+            if (!reg.workloads.contains(name))
+                return reg.workloads.unknown(name);
+        }
+        for (const std::string &name : req.archs) {
+            if (auto r = reg.archs.resolve(name); !r.ok())
+                return r.status();
+        }
+        for (const std::string &name : req.schedulers) {
+            if (!reg.schedulers.contains(name))
+                return reg.schedulers.unknown(name);
+        }
+        for (const std::string &name : req.unrolls) {
+            if (!reg.unrolls.contains(name))
+                return reg.unrolls.unknown(name);
+        }
+
+        engine::ExperimentGrid grid;
+        grid.benches = req.workloads;
+        grid.archs = req.archs;
+        grid.heuristics = req.schedulers;
+        grid.unrolls = req.unrolls;
+        grid.alignment = req.alignment;
+        grid.chains = req.chains;
+        grid.versioning = req.versioning;
+        grid.datasets = req.datasets;
+        grid.base = req.options;
+        grid.registries = &reg;
+        return grid.expand();
     }
 };
 
@@ -174,83 +231,69 @@ Session::compile(const RunRequest &req)
     }
 }
 
+JobHandle<RunResult>
+Session::submit(const RunRequest &req, const SubmitOptions &opts)
+{
+    auto spec = impl_->resolve(req);
+    if (!spec.ok()) {
+        return JobHandle<RunResult>(
+            impl_->executor.submit({}, false, opts, spec.status()));
+    }
+    std::vector<engine::ExperimentSpec> specs;
+    specs.push_back(spec.take());
+    return JobHandle<RunResult>(
+        impl_->executor.submit(std::move(specs), false, opts));
+}
+
+JobHandle<SweepResult>
+Session::submit(const SweepRequest &req, const SubmitOptions &opts)
+{
+    // Validate before growing the shared pool: a rejected request
+    // must not leave threads behind. Growth failure itself is not
+    // a submission failure either — the job just runs on the pool
+    // the session already has.
+    auto specs = impl_->resolveSweep(req);
+    if (!specs.ok()) {
+        return JobHandle<SweepResult>(
+            impl_->executor.submit({}, true, opts, specs.status()));
+    }
+    if (req.jobs > 0) {
+        try {
+            impl_->executor.ensureThreads(req.jobs);
+        } catch (const std::exception &) {
+        }
+    }
+    return JobHandle<SweepResult>(
+        impl_->executor.submit(specs.take(), true, opts));
+}
+
 Result<RunResult>
 Session::run(const RunRequest &req)
 {
-    auto spec = impl_->resolve(req);
-    if (!spec.ok())
-        return spec.status();
-
-    // A single-spec batch through the engine: shares the session's
-    // compile cache and is bit-identical to the direct Toolchain
-    // path (the engine's determinism contract).
-    auto results = impl_->engine.run({spec.take()}, /*jobs=*/1);
-    vliw_assert(results.size() == 1, "one spec, one result");
-    if (results.front().failed())
-        return jobError(results.front());
-    return RunResult{std::move(results.front())};
+    // The async path with default submission options: same cell
+    // kernel, same compile cache, bit-identical to the pre-async
+    // blocking implementation (the engine's determinism contract).
+    return submit(req).wait().take();
 }
 
 Result<SweepResult>
 Session::sweep(const SweepRequest &req)
 {
-    if (Status s = validateOptions(req.options); !s.ok())
-        return s;
-    if (Status s = validateDatasets(req.datasets); !s.ok())
-        return s;
-    if (req.jobs < 0) {
-        return Status::invalidArgument(
-            "jobs must be >= 0, got " + std::to_string(req.jobs));
+    // Validate first so a bad request fails atomically with a
+    // Status (the async surface instead parks the error on the
+    // job); then run the pre-resolved specs as a normal job.
+    auto specs = impl_->resolveSweep(req);
+    if (!specs.ok())
+        return specs.status();
+    if (req.jobs > 0) {
+        try {
+            impl_->executor.ensureThreads(req.jobs);
+        } catch (const std::exception &) {
+        }
     }
-    if (req.schedulers.empty() || req.unrolls.empty() ||
-        req.alignment.empty() || req.chains.empty() ||
-        req.versioning.empty()) {
-        return Status::invalidArgument(
-            "every sweep axis needs at least one entry");
-    }
-
-    // Validate every name up front so a sweep fails atomically
-    // with the offending axis's valid names, before any work runs.
-    const Registries &reg = impl_->registries;
-    for (const std::string &name : req.workloads) {
-        if (!reg.workloads.contains(name))
-            return reg.workloads.unknown(name);
-    }
-    for (const std::string &name : req.archs) {
-        if (auto r = reg.archs.resolve(name); !r.ok())
-            return r.status();
-    }
-    for (const std::string &name : req.schedulers) {
-        if (!reg.schedulers.contains(name))
-            return reg.schedulers.unknown(name);
-    }
-    for (const std::string &name : req.unrolls) {
-        if (!reg.unrolls.contains(name))
-            return reg.unrolls.unknown(name);
-    }
-
-    engine::ExperimentGrid grid;
-    grid.benches = req.workloads;
-    grid.archs = req.archs;
-    grid.heuristics = req.schedulers;
-    grid.unrolls = req.unrolls;
-    grid.alignment = req.alignment;
-    grid.chains = req.chains;
-    grid.versioning = req.versioning;
-    grid.datasets = req.datasets;
-    grid.base = req.options;
-    grid.registries = &reg;
-
-    SweepResult out;
-    try {
-        out.experiments = impl_->engine.run(
-            grid, req.jobs > 0 ? std::optional<int>(req.jobs)
-                               : std::nullopt);
-    } catch (const std::exception &e) {
-        return Status::error(StatusCode::Internal, e.what());
-    }
-    out.cache = impl_->engine.cacheStats();
-    return out;
+    JobHandle<SweepResult> job(
+        impl_->executor.submit(specs.take(), true, {}));
+    return job.wait().take();
 }
 
 engine::CompileCacheStats

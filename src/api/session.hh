@@ -11,11 +11,36 @@
  *                           .arch = "interleaved-ab"});
  *   if (!res.ok()) { ... res.status().message() ... }
  *
+ * Long-running work goes through the asynchronous surface instead:
+ *
+ *   api::BoundedEventQueue events(256);
+ *   api::SubmitOptions opts;
+ *   opts.priority = 5;
+ *   opts.events = &events;
+ *   auto job = session.submit(sweepRequest, opts);
+ *   // ... consume events, poll progress, maybe job.cancel() ...
+ *   auto result = job.take();   // Result<SweepResult>
+ *
+ * submit() returns immediately with a JobHandle; the job's cells
+ * run on the session's shared priority-aware worker pool, stream
+ * typed events (JobAccepted, CellCompiled, CellSimulated,
+ * CellFailed, Progress, JobFinished) to the configured sink, and
+ * honour cooperative cancellation between phases. The blocking
+ * run()/sweep() calls are thin wrappers — submit(...).wait().take()
+ * — so both surfaces share one execution path and the bit-identity
+ * and byte-stable-report guarantees carry over unchanged:
+ * priorities, event timing and worker interleaving never influence
+ * a result value.
+ *
  * Every capability axis (architectures, schedulers, unrolling
  * policies, workloads) resolves by name through the session's
  * registries, which are seeded with the paper's entries and accept
  * user registrations; every fallible path returns an api::Status
- * instead of terminating the process.
+ * instead of terminating. One Session may serve many concurrent
+ * clients (the `wivliw serve` daemon multiplexes every connection
+ * over a single Session precisely so the per-session CompileCache
+ * is shared across requests); registrations should happen before
+ * concurrent submission starts.
  */
 
 #ifndef WIVLIW_API_SESSION_HH
@@ -25,6 +50,8 @@
 #include <string>
 #include <vector>
 
+#include "api/events.hh"
+#include "api/jobs.hh"
 #include "api/registries.hh"
 #include "api/status.hh"
 #include "engine/engine.hh"
@@ -34,10 +61,20 @@ namespace vliw::api {
 /** Session-wide execution knobs. */
 struct SessionOptions
 {
-    /** Default worker threads for sweep(); >= 1. */
+    /**
+     * Worker threads of the session's shared pool; >= 1. A
+     * SweepRequest asking for more grows the pool (never
+     * shrinks).
+     */
     int jobs = 1;
     /** Share compiles between arch/option variants. */
     bool compileCache = true;
+    /**
+     * Bound on resident compile-cache entries (LRU eviction,
+     * counted in cacheStats().evictions); 0 = unbounded. For
+     * long-lived serving sessions.
+     */
+    std::size_t cacheCapacity = 0;
 };
 
 /**
@@ -90,16 +127,29 @@ struct SweepRequest
     std::vector<bool> chains{true};
     std::vector<bool> versioning{false};
     int datasets = 1;
-    /** Worker threads for this sweep; 0 = the session default. */
+    /**
+     * Worker threads this sweep wants available; 0 = the session
+     * default. Values above the session's pool size grow the
+     * shared pool. Results are identical for every value.
+     */
     int jobs = 0;
     ToolchainOptions options;
 };
 
-/** Result of Session::sweep(), in grid order. */
+/** Result of Session::sweep()/an async sweep job, in grid order. */
 struct SweepResult
 {
     std::vector<engine::ExperimentResult> experiments;
     engine::CompileCacheStats cache;
+    /**
+     * Ok for a sweep that ran to the end (even when individual
+     * cells failed — see failedCount()); StatusCode::Cancelled
+     * when the job was cancelled, in which case `experiments`
+     * still holds every completed cell (bit-identical to the same
+     * cells of an uncancelled run) and the skipped cells carry
+     * their `cancelled` flag.
+     */
+    Status status;
 
     /**
      * Cells whose compile/simulate failed at run time (their
@@ -107,11 +157,14 @@ struct SweepResult
      * never get this far — sweep() rejects those atomically before
      * any work — but a mid-grid CompileError (e.g. an II budget
      * one cell cannot meet) does not throw away the rest of the
-     * grid's completed experiments.
+     * grid's completed experiments. Skipped cells of a cancelled
+     * sweep count here too (their status maps to Cancelled).
      */
     std::size_t failedCount() const;
     /** Status of the first failed cell, or Ok when all ran. */
     Status firstError() const;
+    /** Cells that completed (datasetRuns in place). */
+    std::size_t completedCount() const;
 };
 
 /**
@@ -149,18 +202,44 @@ class Session
     Result<std::shared_ptr<const CompiledBenchmark>>
     compile(const RunRequest &req);
 
-    /** Compile and simulate one workload. */
+    /**
+     * Submit one run asynchronously. Never fails synchronously: a
+     * request with a bad name/option comes back as a job that is
+     * already Done carrying the error, so callers need one error
+     * path (take(), or the JobFinished event). The handle's
+     * take() yields what the blocking run() would have returned.
+     */
+    JobHandle<RunResult> submit(const RunRequest &req,
+                                const SubmitOptions &opts = {});
+
+    /**
+     * Submit a whole grid asynchronously. Cells run on the
+     * session's shared pool at the submission's priority,
+     * streaming events to opts.events; cancel() stops scheduling
+     * new cells, drains in-flight ones, and take() then yields the
+     * partial SweepResult with StatusCode::Cancelled. Results are
+     * independent of priorities, event timing and concurrency.
+     */
+    JobHandle<SweepResult> submit(const SweepRequest &req,
+                                  const SubmitOptions &opts = {});
+
+    /** Compile and simulate one workload (submit + wait + take). */
     Result<RunResult> run(const RunRequest &req);
 
     /**
-     * Run a whole grid. Fails atomically (no work started) on any
-     * bad name or option; per-cell runtime failures come back
-     * inside the SweepResult (see SweepResult::firstError) next to
-     * the cells that did complete.
+     * Run a whole grid, blocking (submit + wait + take). Fails
+     * atomically (no work started) on any bad name or option;
+     * per-cell runtime failures come back inside the SweepResult
+     * (see SweepResult::firstError) next to the cells that did
+     * complete.
      */
     Result<SweepResult> sweep(const SweepRequest &req);
 
-    /** Compile-cache accounting accumulated over this session. */
+    /**
+     * Compile-cache accounting accumulated over this session:
+     * hits, misses and (for capacity-bounded caches) evictions.
+     * Also attached to every JobFinished event.
+     */
     engine::CompileCacheStats cacheStats() const;
 
     const SessionOptions &options() const;

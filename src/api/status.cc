@@ -14,6 +14,7 @@ statusCodeName(StatusCode code)
       case StatusCode::AlreadyExists:      return "already-exists";
       case StatusCode::FailedPrecondition: return "failed-precondition";
       case StatusCode::Internal:           return "internal";
+      case StatusCode::Cancelled:          return "cancelled";
     }
     return "?";
 }

@@ -37,6 +37,9 @@ enum class StatusCode
     FailedPrecondition,
     /** A wivliw bug surfaced as an exception; report it. */
     Internal,
+    /** The caller cancelled the job; completed partial results
+     *  (delivered next to this status) remain valid. */
+    Cancelled,
 };
 
 const char *statusCodeName(StatusCode code);
@@ -70,6 +73,13 @@ class [[nodiscard]] Status
     notFound(std::string message, std::string context = "")
     {
         return error(StatusCode::NotFound, std::move(message),
+                     std::move(context));
+    }
+
+    static Status
+    cancelled(std::string message, std::string context = "")
+    {
+        return error(StatusCode::Cancelled, std::move(message),
                      std::move(context));
     }
 

@@ -94,6 +94,7 @@ Toolchain::compileAt(const BenchmarkSpec &bench, const LoopSpec &loop,
     sched_opts.heuristic = opts_.heuristic;
     sched_opts.useChains = chainsEnabled();
     sched_opts.maxIiTries = opts_.maxIiTries;
+    sched_opts.cancel = opts_.cancel;
 
     auto outcome = scheduleLoop(out.ddg, circuits,
                                 out.latency.latencies, out.profile,
@@ -203,6 +204,11 @@ Toolchain::compileBenchmark(const BenchmarkSpec &bench) const
     out.loops.reserve(bench.loops.size());
 
     for (const LoopSpec &loop : bench.loops) {
+        if (opts_.cancel &&
+            opts_.cancel->load(std::memory_order_relaxed)) {
+            throw CancelledError(detail::concat(
+                "compile of ", bench.name, " cancelled"));
+        }
         CompiledLoopVersions v;
         v.primary = compileLoop(bench, loop);
 

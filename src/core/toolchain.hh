@@ -70,6 +70,15 @@ struct ToolchainOptions
      * dynamically disjoint runs the (tighter) unchained version.
      */
     bool loopVersioning = false;
+    /**
+     * Cooperative cancellation flag. Checked between per-loop
+     * compiles and inside the scheduler's II-retry loop; when
+     * observed set the pipeline throws CancelledError. Not a
+     * compile-relevant option: engine::compileKey ignores it, so
+     * cached artifacts stay shareable across jobs with different
+     * tokens. Null (the default) disables the checks.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** A fully compiled loop, ready to simulate or inspect. */

@@ -4,7 +4,36 @@
 
 #include "support/logging.hh"
 
+// The build system injects both; the fallbacks keep ad-hoc builds
+// (a bare compiler invocation) honest about what they are.
+#ifndef WIVLIW_VERSION
+#define WIVLIW_VERSION "0.0.0-dev"
+#endif
+#ifndef WIVLIW_BUILD_TYPE
+#define WIVLIW_BUILD_TYPE "unknown"
+#endif
+
 namespace vliw {
+
+const char *
+libraryVersion()
+{
+    return WIVLIW_VERSION;
+}
+
+const char *
+libraryBuildType()
+{
+    return WIVLIW_BUILD_TYPE[0] != '\0' ? WIVLIW_BUILD_TYPE
+                                        : "unknown";
+}
+
+std::string
+libraryVersionLine()
+{
+    return std::string("wivliw ") + libraryVersion() + " (" +
+           libraryBuildType() + ")";
+}
 
 AccessRange
 accessRange(const Ddg &ddg, const AddressResolver &resolver,

@@ -16,12 +16,27 @@
 #define WIVLIW_CORE_VERSIONING_HH
 
 #include <cstdint>
+#include <string>
 
 #include "ddg/chains.hh"
 #include "ddg/ddg.hh"
 #include "workloads/address_gen.hh"
 
 namespace vliw {
+
+// ---- library identification ------------------------------------------
+// (This header also hosts the build's identity because "what code
+// is this" is version-ing too; the CLI's --version and the serve
+// daemon's `version` request both print from here.)
+
+/** Semantic library version, e.g. "1.1.0" (CMake project VERSION). */
+const char *libraryVersion();
+
+/** CMake build type the library was compiled as, e.g. "Release". */
+const char *libraryBuildType();
+
+/** One-line identification: "wivliw <version> (<build type>)". */
+std::string libraryVersionLine();
 
 /** Inclusive dynamic byte range touched by one memory op. */
 struct AccessRange

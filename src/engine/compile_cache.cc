@@ -1,5 +1,6 @@
 #include "compile_cache.hh"
 
+#include <chrono>
 #include <sstream>
 
 namespace vliw::engine {
@@ -31,6 +32,8 @@ compileKey(const MachineConfig &cfg, const ToolchainOptions &opts,
         << "," << cfg.latCacheToCache << "," << cfg.latNextLevel
         // Toolchain options seen by the compiler, keyed by the
         // same canonical names the registries and reports use.
+        // (The cooperative cancel token is deliberately absent:
+        // it never changes the artifact.)
         << "|h" << heuristicName(opts.heuristic)
         << "u" << unrollPolicyName(opts.unroll)
         << (opts.varAlignment ? "a" : "-")
@@ -59,36 +62,80 @@ CompileCache::compile(const MachineConfig &cfg,
     std::shared_future<Entry> future;
     std::promise<Entry> promise;
     bool owner = false;
+    std::uint64_t myGen = 0;
     {
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             stats_.hits += 1;
             stats_.hitsByBench[bench.name] += 1;
-            future = it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.lruIt);
+            future = it->second.future;
         } else {
             stats_.misses += 1;
             stats_.missesByBench[bench.name] += 1;
             future = promise.get_future().share();
-            entries_.emplace(key, future);
+            myGen = ++nextGen_;
+            lru_.push_front(key);
+            entries_.emplace(key, Slot{future, lru_.begin(), myGen});
+            enforceCapacityLocked(key);
             owner = true;
         }
     }
 
     if (owner) {
-        // A failed compile (e.g. CompileError) must reach every
-        // requester blocked on this key, not leave them waiting on
-        // a promise that is never satisfied.
+        // A failed compile (CompileError, CancelledError) must
+        // reach every requester blocked on this key, not leave
+        // them waiting on a promise that is never satisfied — and
+        // must vacate the slot, so a later request (e.g. an
+        // uncancelled job that shared a cancelled owner's compile)
+        // retries fresh instead of replaying the failure. The
+        // erase happens BEFORE the exception is published (no
+        // window where a ready-failed slot can be looked up and
+        // spun on) and only under this owner's generation (never
+        // a successor's re-compile after an eviction).
         try {
             const Toolchain chain(cfg, opts);
             promise.set_value(
                 std::make_shared<const CompiledBenchmark>(
                     chain.compileBenchmark(bench)));
         } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto it = entries_.find(key);
+                if (it != entries_.end() &&
+                    it->second.gen == myGen) {
+                    lru_.erase(it->second.lruIt);
+                    entries_.erase(it);
+                }
+            }
             promise.set_exception(std::current_exception());
         }
     }
     return future.get();
+}
+
+void
+CompileCache::enforceCapacityLocked(const std::string &keep)
+{
+    if (capacity_ == 0)
+        return;
+    auto victim = lru_.end();
+    while (entries_.size() > capacity_ && victim != lru_.begin()) {
+        --victim;
+        if (*victim == keep)
+            continue;
+        auto it = entries_.find(*victim);
+        // Only evict settled entries; an in-flight compile has
+        // waiters parked on its future.
+        if (it->second.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            continue;
+        }
+        entries_.erase(it);
+        victim = lru_.erase(victim);
+        stats_.evictions += 1;
+    }
 }
 
 CompileCacheStats

@@ -18,7 +18,16 @@
  * requesters of the same key block on a shared future instead of
  * duplicating the work, and count as hits. Entries are immutable
  * shared_ptr<const CompiledBenchmark>, safe to simulate from any
- * number of threads at once.
+ * number of threads at once. A compile that throws (CompileError,
+ * or CancelledError from the owner's cancellation token) reaches
+ * every waiter but is then *removed* from the cache, so the next
+ * requester — possibly an uncancelled job — compiles fresh instead
+ * of replaying another job's failure.
+ *
+ * Capacity: an optional entry bound turns the memo into an LRU
+ * cache for long-lived serving sessions; evictions only drop the
+ * cache's own reference (in-flight simulations keep the artifact
+ * alive through their shared_ptr) and are counted in the stats.
  */
 
 #ifndef WIVLIW_ENGINE_COMPILE_CACHE_HH
@@ -26,6 +35,7 @@
 
 #include <cstdint>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -45,20 +55,28 @@ std::string compileKey(const MachineConfig &cfg,
                        const ToolchainOptions &opts,
                        const std::string &bench);
 
-/** Hit/miss accounting, totals plus a per-benchmark breakdown. */
+/** Hit/miss/evict accounting, plus a per-benchmark breakdown. */
 struct CompileCacheStats
 {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /** Entries dropped to respect the capacity bound. */
+    std::uint64_t evictions = 0;
     std::map<std::string, std::uint64_t> hitsByBench;
     std::map<std::string, std::uint64_t> missesByBench;
 };
 
-/** Thread-safe once-per-key compile memo. */
+/** Thread-safe once-per-key compile memo with optional LRU bound. */
 class CompileCache
 {
   public:
     using Entry = std::shared_ptr<const CompiledBenchmark>;
+
+    /** @param capacity max resident entries; 0 = unbounded. */
+    explicit CompileCache(std::size_t capacity = 0)
+        : capacity_(capacity)
+    {
+    }
 
     /**
      * Return the compiled form of @p bench under (@p cfg, @p opts),
@@ -73,9 +91,29 @@ class CompileCache
     /** Distinct compiled configurations currently held. */
     std::size_t size() const;
 
+    std::size_t capacity() const { return capacity_; }
+
   private:
+    /** One memoized compile and its recency-list position. */
+    struct Slot
+    {
+        std::shared_future<Entry> future;
+        std::list<std::string>::iterator lruIt;
+        /** Insertion identity: a failing owner may only remove
+         *  the slot it created, never a successor's re-compile
+         *  that reused the key after an eviction. */
+        std::uint64_t gen = 0;
+    };
+
+    /** Drop least-recently-used ready entries over capacity. */
+    void enforceCapacityLocked(const std::string &keep);
+
+    std::size_t capacity_;
     mutable std::mutex mu_;
-    std::unordered_map<std::string, std::shared_future<Entry>> entries_;
+    std::uint64_t nextGen_ = 0;
+    std::unordered_map<std::string, Slot> entries_;
+    /** Front = most recently used. */
+    std::list<std::string> lru_;
     CompileCacheStats stats_;
 };
 

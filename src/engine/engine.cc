@@ -17,10 +17,121 @@ msSince(std::chrono::steady_clock::time_point from)
         .count();
 }
 
+bool
+tokenSet(const std::atomic<bool> *token)
+{
+    return token && token->load(std::memory_order_relaxed);
+}
+
+/** Mark @p result as stopped by cooperative cancellation. */
+void
+markCancelled(ExperimentResult &result, const char *phase)
+{
+    result.cancelled = true;
+    result.error = std::string("cancelled ") + phase;
+    result.datasetRuns.clear();
+}
+
 } // namespace
 
+ExperimentResult
+runExperiment(const ExperimentSpec &spec, CompileCache *cache,
+              const RunHooks *hooks)
+{
+    ExperimentResult result;
+    result.spec = spec;
+
+    // The effective cancellation token: the hooks' token when the
+    // caller provided one, else whatever rode in on the spec's own
+    // options (a direct library user may set that).
+    const std::atomic<bool> *cancel =
+        hooks && hooks->cancel ? hooks->cancel : spec.opts.cancel;
+
+    if (tokenSet(cancel)) {
+        markCancelled(result, "before compile");
+        return result;
+    }
+
+    // Nothing here may throw across the pool boundary; anything a
+    // bad user input can raise (CompileError from the scheduler, a
+    // panic from a malformed custom workload) lands on this cell's
+    // error slot instead of taking down the batch.
+    try {
+        // Grid expansion resolves the workload through the
+        // registries; hand-built specs fall back to the built-in
+        // suite lookup.
+        std::shared_ptr<const BenchmarkSpec> workload = spec.workload;
+        if (!workload) {
+            workload = std::make_shared<const BenchmarkSpec>(
+                makeBenchmark(spec.bench));
+        }
+        const BenchmarkSpec &bench = *workload;
+
+        // The cancel token rides on the options so the scheduler's
+        // II-retry loop sees it; compileKey ignores it, so cached
+        // artifacts stay shared across differently-tokened jobs.
+        ToolchainOptions opts = spec.opts;
+        opts.cancel = cancel;
+        const Toolchain chain(spec.arch.config, opts);
+
+        const auto compile_start = std::chrono::steady_clock::now();
+        CompileCache::Entry compiled;
+        CompiledBenchmark local;
+        // A shared compile can surface another job's cancellation:
+        // when the cache owner for this key was cancelled mid-
+        // compile, every waiter sees its CancelledError and the
+        // failed slot is vacated. A cell whose *own* token is
+        // clear simply retries (fresh owner, clear token).
+        for (;;) {
+            try {
+                if (cache) {
+                    compiled = cache->compile(spec.arch.config, opts,
+                                              bench);
+                } else {
+                    local = chain.compileBenchmark(bench);
+                }
+                break;
+            } catch (const CancelledError &) {
+                if (tokenSet(cancel) || !cache) {
+                    markCancelled(result, "during compile");
+                    return result;
+                }
+            }
+        }
+        result.compileMs = msSince(compile_start);
+
+        if (hooks && hooks->compiled)
+            hooks->compiled(result);
+        if (tokenSet(cancel)) {
+            markCancelled(result, "before simulate");
+            return result;
+        }
+
+        // Simulation always goes through the batched entry point:
+        // a one-entry batch is bit-identical to the classic
+        // single-input simulateBenchmark() call.
+        const std::vector<std::uint64_t> seeds =
+            spec.execSeeds.empty()
+                ? std::vector<std::uint64_t>{spec.opts.execSeed}
+                : spec.execSeeds;
+        const auto sim_start = std::chrono::steady_clock::now();
+        result.datasetRuns = chain.simulateBatch(
+            bench, compiled ? *compiled : local, seeds,
+            &result.simulateDatasetMs, &result.simulateSetupMs);
+        result.simulateMs = msSince(sim_start);
+    } catch (const CompileError &e) {
+        result.error = e.what();
+        result.userError = true;
+        result.datasetRuns.clear();
+    } catch (const std::exception &e) {
+        result.error = e.what();
+        result.datasetRuns.clear();
+    }
+    return result;
+}
+
 ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
-    : opts_(opts)
+    : opts_(opts), cache_(opts.cacheCapacity)
 {
 }
 
@@ -30,64 +141,9 @@ ExperimentEngine::run(const std::vector<ExperimentSpec> &specs,
 {
     std::vector<ExperimentResult> results(specs.size());
 
+    CompileCache *cache = opts_.compileCache ? &cache_ : nullptr;
     const auto runJob = [&](std::size_t i) {
-        const ExperimentSpec &spec = specs[i];
-        ExperimentResult result;
-        result.spec = spec;
-
-        // Jobs must not throw across the pool boundary; anything a
-        // bad user input can raise (CompileError from the
-        // scheduler, a panic from a malformed custom workload)
-        // lands on this job's error slot instead of taking down
-        // the batch.
-        try {
-            // Grid expansion resolves the workload through the
-            // registries; hand-built specs fall back to the
-            // built-in suite lookup.
-            std::shared_ptr<const BenchmarkSpec> workload =
-                spec.workload;
-            if (!workload) {
-                workload = std::make_shared<const BenchmarkSpec>(
-                    makeBenchmark(spec.bench));
-            }
-            const BenchmarkSpec &bench = *workload;
-            const Toolchain chain(spec.arch.config, spec.opts);
-
-            const auto compile_start =
-                std::chrono::steady_clock::now();
-            CompileCache::Entry compiled;
-            CompiledBenchmark local;
-            if (opts_.compileCache) {
-                compiled =
-                    cache_.compile(spec.arch.config, spec.opts,
-                                   bench);
-            } else {
-                local = chain.compileBenchmark(bench);
-            }
-            result.compileMs = msSince(compile_start);
-
-            // Simulation always goes through the batched entry
-            // point: a one-entry batch is bit-identical to the
-            // classic single-input simulateBenchmark() call.
-            const std::vector<std::uint64_t> seeds =
-                spec.execSeeds.empty()
-                    ? std::vector<std::uint64_t>{spec.opts.execSeed}
-                    : spec.execSeeds;
-            const auto sim_start = std::chrono::steady_clock::now();
-            result.datasetRuns = chain.simulateBatch(
-                bench, compiled ? *compiled : local, seeds,
-                &result.simulateDatasetMs, &result.simulateSetupMs);
-            result.simulateMs = msSince(sim_start);
-        } catch (const CompileError &e) {
-            result.error = e.what();
-            result.userError = true;
-            result.datasetRuns.clear();
-        } catch (const std::exception &e) {
-            result.error = e.what();
-            result.datasetRuns.clear();
-        }
-
-        results[i] = std::move(result);
+        results[i] = runExperiment(specs[i], cache);
     };
 
     // With one worker the pool degenerates to serial FIFO anyway;

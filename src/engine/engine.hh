@@ -9,12 +9,17 @@
  * each job writes only to its own slot — so a `jobs = N` run is
  * bit-identical to a `jobs = 1` run of the same grid, and to the
  * serial Toolchain::runBenchmark() loop the bench harnesses used
- * before this engine existed.
+ * before this engine existed. runExperiment() is the shared
+ * single-cell kernel both this batch path and the async façade
+ * (api::Session::submit) execute, so the contract extends to any
+ * interleaving of asynchronous jobs.
  */
 
 #ifndef WIVLIW_ENGINE_ENGINE_HH
 #define WIVLIW_ENGINE_ENGINE_HH
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -30,7 +35,46 @@ struct EngineOptions
     int jobs = 1;
     /** Share compiles between arch/AB variants (see compileKey). */
     bool compileCache = true;
+    /** Compile-cache entry bound; 0 = unbounded (see CompileCache). */
+    std::size_t cacheCapacity = 0;
 };
+
+/**
+ * Observation and cancellation hooks for one runExperiment() call.
+ * All members are optional; a null hooks pointer means "run to
+ * completion silently", which is the classic batch behaviour.
+ */
+struct RunHooks
+{
+    /**
+     * Cooperative cancellation flag: checked before the compile
+     * phase, between compile and simulate, and (via
+     * ToolchainOptions::cancel) inside the scheduler's II-retry
+     * loop. A cell that observes it set comes back with
+     * `cancelled` set and no datasetRuns; a compile that had
+     * already finished stays in the cache. When null, the spec's
+     * own ToolchainOptions::cancel (if any) is the token.
+     */
+    const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Called after the compile phase succeeds, before simulation
+     * starts; @p result carries the spec and compileMs measured so
+     * far. Runs on the worker thread executing the cell.
+     */
+    std::function<void(const ExperimentResult &result)> compiled;
+};
+
+/**
+ * Run one experiment cell: resolve the workload, compile (through
+ * @p cache when non-null, locally otherwise) and simulate every
+ * data set. Never throws: failures land on the result's error
+ * slot, cancellation on its `cancelled` flag. This is the one
+ * place cell semantics live; the batch engine and the async façade
+ * both call it.
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec,
+                               CompileCache *cache,
+                               const RunHooks *hooks = nullptr);
 
 /** Runs experiment batches; reusable across batches. */
 class ExperimentEngine

@@ -142,6 +142,14 @@ struct ExperimentResult
     /** True when `error` is user-addressable (a CompileError from
      *  the request), false for internal failures. */
     bool userError = false;
+    /**
+     * True when a cooperative cancellation stopped this cell
+     * before it produced results (`error` says at which phase).
+     * Cancelled cells are not failures of the request: the façade
+     * maps them to StatusCode::Cancelled, and sibling cells that
+     * did complete stay valid.
+     */
+    bool cancelled = false;
 
     bool failed() const { return !error.empty(); }
     /**

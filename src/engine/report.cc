@@ -2,28 +2,18 @@
 
 #include <ostream>
 
+#include "support/json.hh"
 #include "support/logging.hh"
 
 namespace vliw::engine {
 
 namespace {
 
-/** Minimal JSON string escaping (names here are ASCII anyway). */
+/** One shared escaper for every JSON writer in the tree. */
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':  out += "\\\""; break;
-          case '\\': out += "\\\\"; break;
-          case '\n': out += "\\n"; break;
-          case '\t': out += "\\t"; break;
-          default:   out += c; break;
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 const char *

@@ -26,11 +26,11 @@ WorkerPool::~WorkerPool()
 }
 
 void
-WorkerPool::submit(std::function<void()> job)
+WorkerPool::submit(std::function<void()> job, int priority)
 {
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queue_.push_back(std::move(job));
+        queue_.push(QueuedJob{priority, nextSeq_++, std::move(job)});
     }
     workAvailable_.notify_one();
 }
@@ -44,6 +44,30 @@ WorkerPool::wait()
 }
 
 void
+WorkerPool::ensureThreads(int threads)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    while (int(workers_.size()) < threads)
+        workers_.emplace_back([this] { workerMain(); });
+}
+
+std::exception_ptr
+WorkerPool::takeFirstError()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::exception_ptr err = firstError_;
+    firstError_ = nullptr;
+    return err;
+}
+
+int
+WorkerPool::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return int(workers_.size());
+}
+
+void
 WorkerPool::workerMain()
 {
     std::unique_lock<std::mutex> lock(mu_);
@@ -52,12 +76,26 @@ WorkerPool::workerMain()
             lock, [this] { return shutdown_ || !queue_.empty(); });
         if (queue_.empty())
             return;     // shutdown with a drained queue
-        std::function<void()> job = std::move(queue_.front());
-        queue_.pop_front();
+        // priority_queue::top() is const; the closure is moved out
+        // via const_cast, which is safe because pop() follows
+        // immediately and nothing else reads the slot.
+        std::function<void()> job =
+            std::move(const_cast<QueuedJob &>(queue_.top()).fn);
+        queue_.pop();
         ++inFlight_;
         lock.unlock();
-        job();
+        // The pool boundary is noexcept territory: a job that
+        // throws must not std::terminate the process or wedge the
+        // barrier. Keep the first escape for takeFirstError().
+        std::exception_ptr escaped;
+        try {
+            job();
+        } catch (...) {
+            escaped = std::current_exception();
+        }
         lock.lock();
+        if (escaped && !firstError_)
+            firstError_ = escaped;
         --inFlight_;
         if (queue_.empty() && inFlight_ == 0)
             allDone_.notify_all();

@@ -2,22 +2,36 @@
  * @file
  * Fixed-size worker pool over a mutex/condvar job queue.
  *
- * The pool is deliberately minimal: jobs are opaque closures, the
- * queue is FIFO, and wait() gives a full barrier. Determinism of
+ * The queue is priority-aware: a job submitted with a higher
+ * priority runs before lower-priority work that is still queued,
+ * and jobs of equal priority keep FIFO order (a stable sort by
+ * submission sequence). wait() gives a full barrier. Determinism of
  * the experiment engine does not come from the pool (thread
  * interleaving is arbitrary) but from the jobs themselves: every
  * experiment seeds its own Rng streams and writes to its own
- * result slot, so execution order cannot influence any value.
+ * result slot, so execution order cannot influence any value —
+ * priorities reorder only *when* work happens, never what it
+ * computes.
+ *
+ * Jobs should not throw; a job that does is caught at the pool
+ * boundary instead of reaching std::terminate, and the first
+ * escaped exception is kept for the owner to collect with
+ * takeFirstError(). (The async façade additionally catches at its
+ * own cell boundary and surfaces escapes as an Internal status;
+ * this pool-level capture is the backstop for direct pool users
+ * like parallelFor.)
  */
 
 #ifndef WIVLIW_ENGINE_WORKER_POOL_HH
 #define WIVLIW_ENGINE_WORKER_POOL_HH
 
-#include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <condition_variable>
+#include <exception>
 #include <functional>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <vector>
 
@@ -30,8 +44,8 @@ class WorkerPool
     /**
      * @param threads worker count; 0 picks the hardware
      *        concurrency (at least 1). With 1 worker the pool
-     *        degenerates to serial FIFO execution, which is what
-     *        the determinism tests compare against.
+     *        degenerates to serial priority-then-FIFO execution,
+     *        which is what the determinism tests compare against.
      */
     explicit WorkerPool(int threads = 0);
 
@@ -41,23 +55,64 @@ class WorkerPool
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
-    /** Enqueue one job. Jobs must not throw. */
-    void submit(std::function<void()> job);
+    /**
+     * Enqueue one job. Higher @p priority runs first; equal
+     * priorities keep submission order. Jobs should not throw —
+     * an exception that escapes one is captured (see
+     * takeFirstError()) and the worker carries on.
+     */
+    void submit(std::function<void()> job, int priority = 0);
 
     /** Block until every submitted job has finished. */
     void wait();
 
-    int threadCount() const { return int(workers_.size()); }
+    /**
+     * Grow the pool to at least @p threads workers (never
+     * shrinks). Lets a long-lived shared pool honour a later
+     * request's larger concurrency without restarting in-flight
+     * work.
+     */
+    void ensureThreads(int threads);
+
+    /**
+     * The first exception that escaped a job since the last call,
+     * or nullptr. Collecting it clears the slot.
+     */
+    std::exception_ptr takeFirstError();
+
+    int threadCount() const;
 
   private:
+    /** A queued closure with its scheduling key. */
+    struct QueuedJob
+    {
+        int priority = 0;
+        std::uint64_t seq = 0;
+        std::function<void()> fn;
+    };
+    /** Max-heap: highest priority first, FIFO within a priority. */
+    struct JobOrder
+    {
+        bool
+        operator()(const QueuedJob &a, const QueuedJob &b) const
+        {
+            if (a.priority != b.priority)
+                return a.priority < b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
     void workerMain();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable workAvailable_;
     std::condition_variable allDone_;
-    std::deque<std::function<void()>> queue_;
+    std::priority_queue<QueuedJob, std::vector<QueuedJob>, JobOrder>
+        queue_;
     std::vector<std::thread> workers_;
+    std::uint64_t nextSeq_ = 0;
     std::size_t inFlight_ = 0;
+    std::exception_ptr firstError_;
     bool shutdown_ = false;
 };
 

@@ -6,6 +6,7 @@
 
 #include "sched/mrt.hh"
 #include "sched/reg_pressure.hh"
+#include "support/errors.hh"
 #include "sched/sched_workspace.hh"
 #include "sched/sms_order.hh"
 #include "support/logging.hh"
@@ -546,6 +547,10 @@ scheduleLoop(const Ddg &ddg, const std::vector<Circuit> &circuits,
     constexpr int kSmsAttempts = 6;
 
     for (int attempt = 0; attempt < opts.maxIiTries; ++attempt) {
+        if (opts.cancel &&
+            opts.cancel->load(std::memory_order_relaxed)) {
+            throw CancelledError("scheduling cancelled in II search");
+        }
         const int ii = mii + attempt;
         std::vector<NodeId> topo;
         const std::vector<NodeId> &order = attempt < kSmsAttempts

@@ -22,6 +22,7 @@
 #ifndef WIVLIW_SCHED_SCHEDULER_HH
 #define WIVLIW_SCHED_SCHEDULER_HH
 
+#include <atomic>
 #include <optional>
 
 #include "ddg/chains.hh"
@@ -50,6 +51,14 @@ struct SchedulerOptions
     bool checkRegPressure = true;
     /** Give up after this many II increases. */
     int maxIiTries = 64;
+    /**
+     * Cooperative cancellation flag, checked between II attempts
+     * (the natural escape hatch of the retry loop: a denied
+     * placement already restarts there). When observed set the
+     * scheduler throws CancelledError instead of burning the rest
+     * of its II budget. Null disables the check.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** Outcome of scheduleLoop(). */

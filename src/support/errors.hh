@@ -26,6 +26,19 @@ class CompileError : public std::runtime_error
     using std::runtime_error::runtime_error;
 };
 
+/**
+ * Thrown when a cooperative cancellation flag (ToolchainOptions::
+ * cancel, checked between pipeline phases and inside the
+ * scheduler's II-retry loop) is observed set. Not a failure of the
+ * request: the async façade turns it into StatusCode::Cancelled
+ * and keeps every already-completed result valid.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
 } // namespace vliw
 
 #endif // WIVLIW_SUPPORT_ERRORS_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * A minimal JSON layer for the NDJSON service protocol (one JSON
+ * object per line on the `wivliw serve` daemon's stdin/stdout):
+ * a parser for the request side and escaping helpers for the
+ * response side. Deliberately small — no external dependency, no
+ * DOM mutation, numbers as double (the protocol's counts are tiny)
+ * — and strict: trailing garbage, unterminated strings, bad
+ * escapes and malformed numbers are parse errors with a byte
+ * offset, never best-effort guesses.
+ */
+
+#ifndef WIVLIW_SUPPORT_JSON_HH
+#define WIVLIW_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vliw::json {
+
+/** One parsed JSON value; objects keep member order. */
+class Value
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    using Member = std::pair<std::string, Value>;
+
+    Value() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    bool asBool(bool fallback = false) const;
+    double asNumber(double fallback = 0.0) const;
+    /** asNumber() rounded toward zero (protocol counts/ids). */
+    std::int64_t asInt(std::int64_t fallback = 0) const;
+    const std::string &asString() const { return string_; }
+
+    const std::vector<Value> &items() const { return items_; }
+    const std::vector<Member> &members() const { return members_; }
+
+    /** Object member by key, or nullptr (first match wins). */
+    const Value *find(std::string_view key) const;
+
+    /** Member shortcuts with fallbacks for absent/mistyped keys. */
+    std::string getString(std::string_view key,
+                          std::string fallback = "") const;
+    std::int64_t getInt(std::string_view key,
+                        std::int64_t fallback = 0) const;
+    bool getBool(std::string_view key, bool fallback = false) const;
+    /** Member array of strings; absent key -> empty. */
+    std::vector<std::string> getStrings(std::string_view key) const;
+
+  private:
+    friend class Parser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> items_;
+    std::vector<Member> members_;
+};
+
+/**
+ * Parse @p text as one JSON document (surrounding whitespace
+ * allowed, nothing else). On failure returns nullopt and, when
+ * @p error is given, a message with the byte offset.
+ */
+std::optional<Value> parse(std::string_view text,
+                           std::string *error = nullptr);
+
+/** @p s with JSON string escaping applied, without quotes. */
+std::string escape(std::string_view s);
+
+/** `"s"` with JSON string escaping applied. */
+std::string quoted(std::string_view s);
+
+} // namespace vliw::json
+
+#endif // WIVLIW_SUPPORT_JSON_HH

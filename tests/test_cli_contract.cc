@@ -17,6 +17,8 @@
 
 #include <sys/wait.h>
 
+#include "core/versioning.hh"
+
 namespace {
 
 struct CliResult
@@ -132,6 +134,19 @@ TEST(CliContract, OutOfRangeCountsAreUsageErrors)
     const CliResult datasets =
         runCli("--sweep --benches gsmdec --datasets 4294967299");
     EXPECT_EQ(datasets.exitCode, 2) << datasets.output;
+}
+
+// ---- version identification ----
+
+TEST(CliContract, VersionFlagPrintsLibraryVersionAndBuildType)
+{
+    const CliResult res = runCli("--version");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    // The driver prints exactly what the library reports: this
+    // test links the same build, so the strings must agree.
+    EXPECT_EQ(res.output, vliw::libraryVersionLine() + "\n");
+    EXPECT_NE(res.output.find("wivliw "), std::string::npos);
+    EXPECT_NE(res.output.find("("), std::string::npos);
 }
 
 // ---- registry listings ----

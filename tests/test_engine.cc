@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <future>
 #include <set>
 #include <sstream>
 
@@ -194,6 +195,65 @@ TEST(WorkerPool, SingleThreadRunsFifo)
     EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
+TEST(WorkerPool, PriorityOrdersQueuedWorkFifoWithinPriority)
+{
+    WorkerPool pool(1);
+    // Park the single worker so the queue builds up, then release
+    // it and observe the drain order.
+    std::promise<void> gate;
+    std::shared_future<void> open = gate.get_future().share();
+    pool.submit([open] { open.wait(); });
+
+    std::vector<int> order;
+    pool.submit([&order] { order.push_back(1); }, /*priority=*/1);
+    pool.submit([&order] { order.push_back(5); }, /*priority=*/5);
+    pool.submit([&order] { order.push_back(3); }, /*priority=*/3);
+    pool.submit([&order] { order.push_back(50); }, /*priority=*/5);
+    gate.set_value();
+    pool.wait();
+    EXPECT_EQ(order, (std::vector<int>{5, 50, 3, 1}));
+}
+
+TEST(WorkerPool, EscapedExceptionIsCapturedNotTerminate)
+{
+    WorkerPool pool(2);
+    std::atomic<int> ran{0};
+    // "Jobs should not throw" -- but one that does must neither
+    // std::terminate the process nor wedge the barrier.
+    pool.submit([] { throw std::runtime_error("escaped!"); });
+    for (int i = 0; i < 8; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 8);
+
+    const std::exception_ptr err = pool.takeFirstError();
+    ASSERT_TRUE(err);
+    try {
+        std::rethrow_exception(err);
+        FAIL() << "expected a rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "escaped!");
+    }
+    // Collecting clears the slot; the pool stays usable.
+    EXPECT_FALSE(pool.takeFirstError());
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 9);
+}
+
+TEST(WorkerPool, EnsureThreadsGrowsButNeverShrinks)
+{
+    WorkerPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    pool.ensureThreads(3);
+    EXPECT_EQ(pool.threadCount(), 3);
+    pool.ensureThreads(2);
+    EXPECT_EQ(pool.threadCount(), 3);
+    std::atomic<int> ran{0};
+    parallelFor(pool, 64, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 64);
+}
+
 // ---- compile key / cache ----
 
 TEST(CompileKey, ExcludesSimulationOnlyHardware)
@@ -302,6 +362,53 @@ TEST(CompileCache, PersistsAcrossBatches)
     eng.run(grid);
     EXPECT_EQ(eng.cacheStats().misses, 1u);
     EXPECT_EQ(eng.cacheStats().hits, 1u);
+}
+
+TEST(CompileCache, CapacityEvictsLruAndCountsEvictions)
+{
+    engine::CompileCache cache(/*capacity=*/1);
+    const ToolchainOptions opts;
+    const BenchmarkSpec gsm = makeBenchmark("gsmdec");
+    const BenchmarkSpec rasta = makeBenchmark("rasta");
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+
+    cache.compile(cfg, opts, gsm);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+
+    // Second key evicts the first (LRU, capacity 1)...
+    cache.compile(cfg, opts, rasta);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    // ...so the first compiles again: a miss, not a hit.
+    cache.compile(cfg, opts, gsm);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().evictions, 2u);
+
+    // Unbounded caches never evict.
+    engine::CompileCache unbounded;
+    unbounded.compile(cfg, opts, gsm);
+    unbounded.compile(cfg, opts, rasta);
+    EXPECT_EQ(unbounded.size(), 2u);
+    EXPECT_EQ(unbounded.stats().evictions, 0u);
+}
+
+TEST(CompileCache, FailedCompilesAreNotCached)
+{
+    engine::CompileCache cache;
+    ToolchainOptions opts;
+    opts.maxIiTries = 1;    // no schedule fits in one II attempt
+    const BenchmarkSpec gsm = makeBenchmark("gsmdec");
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+
+    EXPECT_THROW(cache.compile(cfg, opts, gsm), CompileError);
+    // The failure vacated the slot: a retry with workable options
+    // compiles fresh instead of replaying the cached exception.
+    EXPECT_EQ(cache.size(), 0u);
+    opts.maxIiTries = 64;
+    EXPECT_NO_THROW(cache.compile(cfg, opts, gsm));
 }
 
 // ---- determinism ----

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the minimal JSON layer behind the NDJSON service
+ * protocol: strict parsing (documents, strings with escapes and
+ * surrogate pairs, numbers), the typed accessors with fallbacks,
+ * rejection of malformed input with a byte offset, and the
+ * response-side escaping helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/json.hh"
+
+namespace vliw {
+namespace {
+
+using json::Value;
+
+TEST(Json, ParsesScalarsAndContainers)
+{
+    auto v = json::parse(
+        R"({"s":"hi","n":-2.5,"i":42,"b":true,"z":null,)"
+        R"("a":[1,"two",false],"o":{"k":"v"}})");
+    ASSERT_TRUE(v);
+    EXPECT_TRUE(v->isObject());
+    EXPECT_EQ(v->getString("s"), "hi");
+    EXPECT_DOUBLE_EQ(v->find("n")->asNumber(), -2.5);
+    EXPECT_EQ(v->getInt("i"), 42);
+    EXPECT_TRUE(v->getBool("b"));
+    EXPECT_TRUE(v->find("z")->isNull());
+    ASSERT_TRUE(v->find("a")->isArray());
+    EXPECT_EQ(v->find("a")->items().size(), 3u);
+    EXPECT_EQ(v->find("o")->getString("k"), "v");
+    // Absent/mistyped keys fall back instead of throwing.
+    EXPECT_EQ(v->getString("missing", "d"), "d");
+    EXPECT_EQ(v->getInt("s", 7), 7);
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(Json, GetStringsFiltersNonStrings)
+{
+    auto v = json::parse(R"({"names":["a","b",3,"c"],"x":1})");
+    ASSERT_TRUE(v);
+    EXPECT_EQ(v->getStrings("names"),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_TRUE(v->getStrings("x").empty());
+    EXPECT_TRUE(v->getStrings("missing").empty());
+}
+
+TEST(Json, StringEscapesRoundTrip)
+{
+    auto v = json::parse(
+        R"({"e":"quote \" slash \\ nl \n tab \t uni \u00e9"})");
+    ASSERT_TRUE(v);
+    EXPECT_EQ(v->getString("e"),
+              "quote \" slash \\ nl \n tab \t uni \xc3\xa9");
+
+    // Surrogate pair -> one 4-byte UTF-8 code point.
+    auto pair = json::parse(R"(["\ud83d\ude00"])");
+    ASSERT_TRUE(pair);
+    EXPECT_EQ(pair->items().front().asString(), "\xf0\x9f\x98\x80");
+
+    // escape() is the inverse direction.
+    EXPECT_EQ(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(json::quoted("x"), "\"x\"");
+    EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NumbersWithFractionsAndExponents)
+{
+    auto v = json::parse(R"([0, -0, 10.25, 1e3, -2E-2])");
+    ASSERT_TRUE(v);
+    const auto &items = v->items();
+    ASSERT_EQ(items.size(), 5u);
+    EXPECT_DOUBLE_EQ(items[2].asNumber(), 10.25);
+    EXPECT_DOUBLE_EQ(items[3].asNumber(), 1000.0);
+    EXPECT_DOUBLE_EQ(items[4].asNumber(), -0.02);
+    EXPECT_EQ(items[3].asInt(), 1000);
+}
+
+TEST(Json, MalformedInputIsRejectedWithOffset)
+{
+    const char *bad[] = {
+        "",            "{",       "{\"a\":}",   "[1,]",
+        "{\"a\" 1}",   "tru",     "\"unterminated",
+        "01x",         "1.e3",    "{\"a\":1} trailing",
+        "\"bad \\q\"", "\"\\u12g4\"",
+    };
+    for (const char *text : bad) {
+        std::string error;
+        EXPECT_FALSE(json::parse(text, &error)) << text;
+        EXPECT_NE(error.find("at byte"), std::string::npos) << text;
+    }
+    // Raw control characters must be escaped.
+    EXPECT_FALSE(json::parse(std::string("\"a\nb\"")));
+}
+
+TEST(Json, DeepNestingIsAParseErrorNotAStackOverflow)
+{
+    // The daemon feeds untrusted stdin into this parser.
+    const std::string bomb(100000, '[');
+    std::string error;
+    EXPECT_FALSE(json::parse(bomb, &error));
+    EXPECT_NE(error.find("nesting"), std::string::npos);
+
+    // 63 levels still parse fine.
+    std::string ok(63, '[');
+    ok += "1";
+    ok += std::string(63, ']');
+    EXPECT_TRUE(json::parse(ok));
+    // Siblings do not accumulate depth.
+    EXPECT_TRUE(json::parse(R"([[1],[2],[3],{"a":[4]}])"));
+}
+
+TEST(Json, OutOfRangeNumbersFallBackInAsInt)
+{
+    auto v = json::parse(R"({"huge":1e300,"neg":-1e300,"ok":7})");
+    ASSERT_TRUE(v);
+    // An unrepresentable double must not reach the (UB) cast.
+    EXPECT_EQ(v->find("huge")->asInt(-1), -1);
+    EXPECT_EQ(v->find("neg")->asInt(-1), -1);
+    EXPECT_EQ(v->getInt("huge", 3), 3);
+    EXPECT_EQ(v->getInt("ok"), 7);
+}
+
+TEST(Json, ObjectsKeepMemberOrderFirstMatchWins)
+{
+    auto v = json::parse(R"({"b":1,"a":2,"b":3})");
+    ASSERT_TRUE(v);
+    ASSERT_EQ(v->members().size(), 3u);
+    EXPECT_EQ(v->members()[0].first, "b");
+    EXPECT_EQ(v->members()[1].first, "a");
+    EXPECT_EQ(v->find("b")->asInt(), 1);
+}
+
+} // namespace
+} // namespace vliw

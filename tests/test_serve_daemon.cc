@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Protocol tests for the `wivliw_serve` NDJSON daemon, driving the
+ * real binary (path injected by CMake as WIVLIW_SERVE_BIN) over
+ * stdin/stdout pipes: request/response shapes, the streamed event
+ * envelope and its ordering (accepted first, finished last),
+ * compile-cache sharing across jobs of one daemon session,
+ * mid-sweep cancellation through the protocol, soft handling of
+ * malformed requests, and clean exit on shutdown/EOF.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "support/json.hh"
+
+namespace vliw {
+namespace {
+
+/** The daemon as a child process with line-based pipe I/O. */
+class DaemonClient
+{
+  public:
+    explicit DaemonClient(std::vector<std::string> args = {})
+    {
+        int toChild[2], fromChild[2];
+        if (pipe(toChild) != 0 || pipe(fromChild) != 0) {
+            perror("pipe");
+            std::abort();
+        }
+        pid_ = fork();
+        if (pid_ < 0) {
+            perror("fork");
+            std::abort();
+        }
+        if (pid_ == 0) {
+            dup2(toChild[0], STDIN_FILENO);
+            dup2(fromChild[1], STDOUT_FILENO);
+            close(toChild[0]);
+            close(toChild[1]);
+            close(fromChild[0]);
+            close(fromChild[1]);
+            std::vector<char *> argv;
+            static std::string bin = WIVLIW_SERVE_BIN;
+            argv.push_back(bin.data());
+            for (std::string &arg : args)
+                argv.push_back(arg.data());
+            argv.push_back(nullptr);
+            execv(bin.c_str(), argv.data());
+            _exit(127);
+        }
+        close(toChild[0]);
+        close(fromChild[1]);
+        writeFd_ = toChild[1];
+        readFd_ = fromChild[0];
+    }
+
+    ~DaemonClient()
+    {
+        if (writeFd_ >= 0)
+            close(writeFd_);
+        if (readFd_ >= 0)
+            close(readFd_);
+        if (pid_ > 0 && exitCode_ < 0) {
+            kill(pid_, SIGKILL);
+            int status = 0;
+            waitpid(pid_, &status, 0);
+        }
+    }
+
+    void
+    send(const std::string &line)
+    {
+        const std::string payload = line + "\n";
+        ASSERT_EQ(write(writeFd_, payload.data(), payload.size()),
+                  ssize_t(payload.size()));
+    }
+
+    /**
+     * Next request *response* (a line with an "ok" member). Event
+     * lines encountered on the way are queued for readEvent():
+     * events stream asynchronously from the daemon's writer
+     * thread, so they may interleave with responses arbitrarily.
+     */
+    json::Value
+    readResponse(int timeoutMs = 60000)
+    {
+        for (;;) {
+            json::Value line = readLine(timeoutMs);
+            if (line.find("event")) {
+                events_.push_back(std::move(line));
+                continue;
+            }
+            return line;
+        }
+    }
+
+    /** Next event line (queued or fresh); responses may not
+     *  arrive while waiting (send no request before this). */
+    json::Value
+    readEvent(int timeoutMs = 60000)
+    {
+        if (!events_.empty()) {
+            json::Value front = std::move(events_.front());
+            events_.erase(events_.begin());
+            return front;
+        }
+        for (;;) {
+            json::Value line = readLine(timeoutMs);
+            if (line.find("event"))
+                return line;
+            ADD_FAILURE() << "unexpected response while waiting "
+                             "for an event";
+        }
+    }
+
+    /** Events until (and including) the first of @p kind. */
+    std::vector<json::Value>
+    readEventsUntil(const std::string &kind, int timeoutMs = 120000)
+    {
+        std::vector<json::Value> out;
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeoutMs);
+        for (;;) {
+            const auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now())
+                    .count();
+            EXPECT_GT(left, 0) << "no '" << kind << "' event";
+            if (left <= 0)
+                return out;
+            out.push_back(readEvent(int(left)));
+            if (out.back().getString("event") == kind)
+                return out;
+        }
+    }
+
+    /** Close stdin (EOF) and reap the exit code. */
+    int
+    finish()
+    {
+        close(writeFd_);
+        writeFd_ = -1;
+        int status = 0;
+        waitpid(pid_, &status, 0);
+        exitCode_ = WIFEXITED(status) ? WEXITSTATUS(status) : -2;
+        return exitCode_;
+    }
+
+  private:
+    /**
+     * Next stdout line as parsed JSON; fails the test on timeout,
+     * EOF or malformed output.
+     */
+    json::Value
+    readLine(int timeoutMs = 60000)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeoutMs);
+        for (;;) {
+            const std::size_t eol = buffer_.find('\n');
+            if (eol != std::string::npos) {
+                const std::string line = buffer_.substr(0, eol);
+                buffer_.erase(0, eol + 1);
+                std::string error;
+                auto parsed = json::parse(line, &error);
+                EXPECT_TRUE(parsed) << error << ": " << line;
+                return parsed ? *parsed : json::Value();
+            }
+            const auto left =
+                deadline - std::chrono::steady_clock::now();
+            EXPECT_GT(left.count(), 0) << "daemon output timeout";
+            if (left.count() <= 0)
+                return json::Value();
+            pollfd pfd{readFd_, POLLIN, 0};
+            const int ms = int(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    left)
+                    .count());
+            if (poll(&pfd, 1, std::max(1, ms)) <= 0)
+                continue;
+            char chunk[4096];
+            const ssize_t n = read(readFd_, chunk, sizeof chunk);
+            EXPECT_GT(n, 0) << "daemon closed stdout";
+            if (n <= 0)
+                return json::Value();
+            buffer_.append(chunk, std::size_t(n));
+        }
+    }
+
+    pid_t pid_ = -1;
+    int writeFd_ = -1;
+    int readFd_ = -1;
+    int exitCode_ = -1;
+    std::string buffer_;
+    /** Events read past while looking for a response. */
+    std::vector<json::Value> events_;
+};
+
+TEST(ServeDaemon, VersionListOpsAndCleanEofExit)
+{
+    DaemonClient daemon;
+    daemon.send(R"({"op":"version"})");
+    const json::Value version = daemon.readResponse();
+    EXPECT_TRUE(version.getBool("ok"));
+    EXPECT_FALSE(version.getString("version").empty());
+    EXPECT_FALSE(version.getString("build").empty());
+
+    daemon.send(R"({"op":"list-archs"})");
+    const json::Value archs = daemon.readResponse();
+    EXPECT_TRUE(archs.getBool("ok"));
+    const std::vector<std::string> names = archs.getStrings("names");
+    EXPECT_EQ(names.size(), 5u);
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        "interleaved-ab"),
+              names.end());
+
+    daemon.send(R"({"op":"list-benches"})");
+    EXPECT_EQ(daemon.readResponse().getStrings("names").size(), 14u);
+
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, SubmitStreamsOrderedEventsAndServesCsvResult)
+{
+    DaemonClient daemon({"--jobs", "2"});
+    daemon.send(R"({"op":"submit","id":"t1",)"
+                R"("workloads":["gsmdec"],)"
+                R"("archs":["interleaved","interleaved-ab"]})");
+
+    const json::Value submitted = daemon.readResponse();
+    EXPECT_TRUE(submitted.getBool("ok"));
+    EXPECT_EQ(submitted.getString("id"), "t1");
+    const std::int64_t job = submitted.getInt("job");
+    EXPECT_GT(job, 0);
+    EXPECT_EQ(submitted.getInt("total"), 2);
+
+    // Event envelope: accepted first, then cell/progress events,
+    // finished last with the cache counters.
+    const std::vector<json::Value> events =
+        daemon.readEventsUntil("finished");
+    std::vector<std::string> kinds;
+    for (const json::Value &e : events) {
+        EXPECT_EQ(e.getInt("job"), job);
+        kinds.push_back(e.getString("event"));
+    }
+    ASSERT_GE(kinds.size(), 2u);
+    EXPECT_EQ(kinds.front(), "accepted");
+    EXPECT_EQ(std::count(kinds.begin(), kinds.end(),
+                         "cell-simulated"),
+              2);
+    const json::Value &finished = events.back();
+    EXPECT_EQ(finished.getString("status"), "ok");
+    const json::Value *cache = finished.find("cache");
+    ASSERT_NE(cache, nullptr);
+    // interleaved / interleaved-ab share one compile.
+    EXPECT_EQ(cache->getInt("misses"), 1);
+    EXPECT_GE(cache->getInt("hits"), 1);
+
+    daemon.send(R"({"op":"status","job":)" + std::to_string(job) +
+                "}");
+    const json::Value status = daemon.readResponse();
+    EXPECT_TRUE(status.getBool("ok"));
+    EXPECT_EQ(status.getString("state"), "done");
+    EXPECT_EQ(status.getInt("done"), 2);
+
+    daemon.send(R"({"op":"result","job":)" + std::to_string(job) +
+                "}");
+    const json::Value result = daemon.readResponse();
+    EXPECT_TRUE(result.getBool("ok"));
+    EXPECT_EQ(result.getString("status"), "ok");
+    EXPECT_EQ(result.getInt("completed"), 2);
+    const std::string csv = result.getString("csv");
+    EXPECT_NE(csv.find("bench"), std::string::npos);
+    EXPECT_NE(csv.find("gsmdec"), std::string::npos);
+
+    // The result is one-shot.
+    daemon.send(R"({"op":"result","job":)" + std::to_string(job) +
+                "}");
+    EXPECT_FALSE(daemon.readResponse().getBool("ok"));
+
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, OneSessionSharesCompileCacheAcrossJobs)
+{
+    DaemonClient daemon({"--jobs", "2"});
+    const std::string submit =
+        R"({"op":"submit","workloads":["gsmdec"],)"
+        R"("archs":["interleaved"]})";
+
+    daemon.send(submit);
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    const json::Value firstFinished =
+        daemon.readEventsUntil("finished").back();
+    const json::Value *firstCache = firstFinished.find("cache");
+    ASSERT_NE(firstCache, nullptr);
+    EXPECT_EQ(firstCache->getInt("hits"), 0);
+    EXPECT_EQ(firstCache->getInt("misses"), 1);
+
+    // Same sweep again on the same daemon session: the shared
+    // per-session CompileCache serves it without recompiling.
+    daemon.send(submit);
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    const json::Value secondFinished =
+        daemon.readEventsUntil("finished").back();
+    const json::Value *secondCache = secondFinished.find("cache");
+    ASSERT_NE(secondCache, nullptr);
+    EXPECT_GE(secondCache->getInt("hits"), 1);
+    EXPECT_EQ(secondCache->getInt("misses"), 1);
+
+    daemon.send(R"({"op":"cache-stats"})");
+    const json::Value stats = daemon.readResponse();
+    EXPECT_TRUE(stats.getBool("ok"));
+    ASSERT_NE(stats.find("cache"), nullptr);
+    EXPECT_GE(stats.find("cache")->getInt("hits"), 1);
+
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, CancelMidSweepDrainsToCancelledFinish)
+{
+    // One worker and the full 14x5 grid: after the first simulated
+    // cell there are dozens pending, so the cancel always lands
+    // mid-sweep.
+    DaemonClient daemon({"--jobs", "1"});
+    daemon.send(R"({"op":"submit"})");    // empty axes = everything
+    const json::Value resp = daemon.readResponse();
+    EXPECT_TRUE(resp.getBool("ok"));
+    const std::int64_t job = resp.getInt("job");
+    EXPECT_EQ(resp.getInt("total"), 70);
+
+    daemon.readEventsUntil("cell-simulated");
+    daemon.send(R"({"op":"cancel","job":)" + std::to_string(job) +
+                "}");
+    const json::Value ack = daemon.readResponse();
+    EXPECT_TRUE(ack.getBool("ok"));
+
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(finished.getString("status"), "cancelled");
+
+    daemon.send(R"({"op":"result","job":)" + std::to_string(job) +
+                "}");
+    const json::Value result = daemon.readResponse();
+    EXPECT_TRUE(result.getBool("ok"));
+    EXPECT_EQ(result.getString("status"), "cancelled");
+    EXPECT_GE(result.getInt("completed"), 1);
+    EXPECT_LT(result.getInt("completed"), 70);
+    // The partial CSV carries the cells that did complete; with
+    // one worker the grid's first cell (epicdec) always did.
+    EXPECT_NE(result.getString("csv").find("epicdec"),
+              std::string::npos);
+
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, MalformedAndUnknownRequestsAreSoftErrors)
+{
+    DaemonClient daemon;
+    daemon.send("this is not json");
+    const json::Value parseErr = daemon.readResponse();
+    EXPECT_FALSE(parseErr.getBool("ok"));
+    EXPECT_NE(parseErr.getString("error").find("parse error"),
+              std::string::npos);
+
+    daemon.send(R"({"op":"frobnicate"})");
+    EXPECT_FALSE(daemon.readResponse().getBool("ok"));
+
+    daemon.send(R"({"op":"status","job":999})");
+    const json::Value unknown = daemon.readResponse();
+    EXPECT_FALSE(unknown.getBool("ok"));
+    EXPECT_NE(unknown.getString("error").find("unknown job"),
+              std::string::npos);
+
+    // Still serving after all that.
+    daemon.send(R"({"op":"version"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, ShutdownRequestExitsZero)
+{
+    DaemonClient daemon({"--jobs", "2"});
+    daemon.send(R"({"op":"submit","workloads":["gsmdec"],)"
+                R"("archs":["interleaved"]})");
+    daemon.send(R"({"op":"shutdown"})");
+    // Everything drains: both acks arrive, and the job still
+    // reaches its finished event (ok or cancelled depending on
+    // how far it got) before exit.
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));    // submit
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));    // shutdown
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_FALSE(finished.getString("status").empty());
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+} // namespace
+} // namespace vliw

@@ -28,6 +28,7 @@
 #include <string>
 
 #include "api/api.hh"
+#include "core/versioning.hh"
 #include "ddg/dot.hh"
 #include "engine/report.hh"
 #include "sched/schedule_dump.hh"
@@ -113,6 +114,7 @@ usage(int code)
         "common:\n"
         "  --csv              machine-readable output\n"
         "  --json             JSON output (sweep includes cache)\n"
+        "  --version          library version + build type\n"
         "  --help             this text\n");
     std::exit(code);
 }
@@ -244,6 +246,10 @@ parseArgs(int argc, char **argv)
         else if (arg == "--unrolls") {
             cli.unrolls = value("--unrolls");
             cli.sweepOnlyFlag = arg;
+        }
+        else if (arg == "--version") {
+            std::printf("%s\n", libraryVersionLine().c_str());
+            std::exit(0);
         }
         else if (arg == "--help" || arg == "-h")
             usage(0);

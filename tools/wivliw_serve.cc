@@ -1,0 +1,550 @@
+/**
+ * @file
+ * `wivliw serve`: a long-running service daemon over the async
+ * `vliw::api` façade, speaking NDJSON (one JSON object per line)
+ * on stdin/stdout — the first "serve traffic" deployment shape of
+ * the codebase. Every client request multiplexes onto ONE shared
+ * api::Session, so the per-session CompileCache is shared across
+ * all jobs: a repeated sweep compiles nothing the session has seen
+ * before.
+ *
+ *   $ wivliw_serve --jobs 8
+ *   > {"op":"submit","workloads":["gsmdec"],"archs":["interleaved"]}
+ *   < {"ok":true,"op":"submit","job":1,"total":1}
+ *   < {"event":"accepted","job":1,"total":1}
+ *   < {"event":"cell-compiled","job":1,"cell":0,"label":"..."}
+ *   < {"event":"cell-simulated","job":1,"cell":0,...}
+ *   < {"event":"progress","job":1,"done":1,"total":1}
+ *   < {"event":"finished","job":1,"status":"ok","cache":{...}}
+ *   > {"op":"result","job":1}
+ *   < {"ok":true,"job":1,"status":"ok","csv":"bench,arch,..."}
+ *
+ * Requests: submit, cancel, status, result, list-jobs, list-archs,
+ * list-benches, list-heuristics, list-unrolls, cache-stats,
+ * version, shutdown. Responses carry "ok"; job events stream
+ * asynchronously with an "event" member (see README "Service
+ * mode" for the full schema). Submission never fails: a bad
+ * request is answered ok and finishes immediately with the error
+ * on its "finished" event. Events flow through a bounded queue
+ * (--queue); when the client reads slowly the queue fills and the
+ * workers block instead of buffering without bound.
+ *
+ * Exit: 0 on clean stdin EOF or a `shutdown` request (after
+ * draining every job and the event queue), 2 on a usage error.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hh"
+#include "core/versioning.hh"
+#include "engine/report.hh"
+#include "support/json.hh"
+
+using namespace vliw;
+
+namespace {
+
+struct ServeOptions
+{
+    int jobs = 1;
+    std::size_t cacheCapacity = 0;
+    std::size_t queueCapacity = 256;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: wivliw_serve [options]\n"
+        "NDJSON service daemon: requests on stdin (one JSON object\n"
+        "per line), responses and job events on stdout. All jobs\n"
+        "share one api::Session (and so one compile cache).\n"
+        "  --jobs N           worker threads (default 1, N >= 1)\n"
+        "  --cache-capacity N compile-cache entry bound (0 = off)\n"
+        "  --queue N          event-queue bound (default 256);\n"
+        "                     a full queue blocks workers instead\n"
+        "                     of buffering without bound\n"
+        "  --version          print version and exit\n"
+        "  --help             this text\n");
+    std::exit(code);
+}
+
+/** One submitted job as the daemon tracks it. */
+struct ServedJob
+{
+    api::JobHandle<api::SweepResult> handle;
+    std::string tag;    // client-chosen "id" echo
+};
+
+class Daemon
+{
+  public:
+    explicit Daemon(const ServeOptions &opts)
+        : opts_(opts),
+          session_(api::SessionOptions{opts.jobs, true,
+                                       opts.cacheCapacity}),
+          events_(opts.queueCapacity),
+          writer_([this] { writerMain(); })
+    {
+    }
+
+    int
+    serve()
+    {
+        std::string line;
+        bool shutdown = false;
+        while (!shutdown && std::getline(std::cin, line)) {
+            if (line.empty())
+                continue;
+            shutdown = dispatch(line);
+        }
+        // Graceful exit: let every job drain (cells of cancelled
+        // jobs retire as skips), deliver its events, then stop the
+        // writer once the stream is empty.
+        for (auto &entry : jobs_)
+            entry.second.handle.wait();
+        events_.close();
+        writer_.join();
+        return 0;
+    }
+
+  private:
+    /** Serialise one stdout line; responses and events share it. */
+    void
+    writeLine(const std::string &line)
+    {
+        std::lock_guard<std::mutex> lock(stdoutMu_);
+        std::fputs(line.c_str(), stdout);
+        std::fputc('\n', stdout);
+        std::fflush(stdout);
+    }
+
+    void
+    respondError(const std::string &op, const std::string &message)
+    {
+        writeLine("{\"ok\":false,\"op\":" + json::quoted(op) +
+                  ",\"error\":" + json::quoted(message) + "}");
+    }
+
+    static std::string
+    cacheJson(const engine::CompileCacheStats &cache)
+    {
+        std::ostringstream os;
+        os << "{\"hits\":" << cache.hits
+           << ",\"misses\":" << cache.misses
+           << ",\"evictions\":" << cache.evictions << "}";
+        return os.str();
+    }
+
+    /**
+     * True once this job's `finished` event went to stdout. The
+     * job's results are final from that moment (the event is
+     * emitted after the last cell's slot and status are written),
+     * so requests arriving after the client read the event must
+     * see the job as done even if its worker has not yet ticked
+     * the handle's phase over.
+     */
+    bool
+    finishedWritten(api::JobId id)
+    {
+        std::lock_guard<std::mutex> lock(finishedMu_);
+        return finished_.count(id) != 0;
+    }
+
+    void
+    writerMain()
+    {
+        api::JobEvent ev;
+        while (events_.pop(ev)) {
+            if (ev.kind == api::EventKind::JobFinished) {
+                std::lock_guard<std::mutex> lock(finishedMu_);
+                finished_.insert(ev.job);
+            }
+            std::ostringstream os;
+            os << "{\"event\":\""
+               << api::eventKindName(ev.kind)
+               << "\",\"job\":" << ev.job;
+            switch (ev.kind) {
+              case api::EventKind::JobAccepted:
+                os << ",\"total\":" << ev.progress.total;
+                break;
+              case api::EventKind::CellCompiled:
+                os << ",\"cell\":" << ev.cell
+                   << ",\"label\":" << json::quoted(ev.label);
+                break;
+              case api::EventKind::CellSimulated:
+                os << ",\"cell\":" << ev.cell
+                   << ",\"label\":" << json::quoted(ev.label)
+                   << ",\"done\":" << ev.progress.done
+                   << ",\"total\":" << ev.progress.total;
+                break;
+              case api::EventKind::CellFailed:
+                os << ",\"cell\":" << ev.cell
+                   << ",\"label\":" << json::quoted(ev.label)
+                   << ",\"status\":\""
+                   << api::statusCodeName(ev.status.code())
+                   << "\",\"message\":"
+                   << json::quoted(ev.status.message());
+                break;
+              case api::EventKind::Progress:
+                os << ",\"done\":" << ev.progress.done
+                   << ",\"total\":" << ev.progress.total;
+                break;
+              case api::EventKind::JobFinished:
+                os << ",\"status\":\""
+                   << api::statusCodeName(ev.status.code()) << "\"";
+                if (!ev.status.ok()) {
+                    os << ",\"message\":"
+                       << json::quoted(ev.status.message());
+                }
+                os << ",\"cache\":" << cacheJson(ev.cache);
+                break;
+            }
+            os << "}";
+            writeLine(os.str());
+        }
+    }
+
+    /** Handle one request line; true = shutdown requested. */
+    bool
+    dispatch(const std::string &line)
+    {
+        std::string parseError;
+        const std::optional<json::Value> req =
+            json::parse(line, &parseError);
+        if (!req || !req->isObject()) {
+            respondError("?", req ? "request must be a JSON object"
+                                  : "parse error: " + parseError);
+            return false;
+        }
+        const std::string op = req->getString("op");
+        if (op == "submit") {
+            handleSubmit(*req);
+        } else if (op == "cancel") {
+            handleCancel(*req);
+        } else if (op == "status") {
+            handleStatus(*req);
+        } else if (op == "result") {
+            handleResult(*req);
+        } else if (op == "list-jobs") {
+            handleListJobs();
+        } else if (op == "list-archs" || op == "list-benches" ||
+                   op == "list-heuristics" || op == "list-unrolls") {
+            handleListNames(op);
+        } else if (op == "cache-stats") {
+            writeLine("{\"ok\":true,\"op\":\"cache-stats\","
+                      "\"cache\":" +
+                      cacheJson(session_.cacheStats()) + "}");
+        } else if (op == "version") {
+            writeLine(std::string("{\"ok\":true,\"op\":\"version\","
+                                  "\"version\":") +
+                      json::quoted(libraryVersion()) +
+                      ",\"build\":" +
+                      json::quoted(libraryBuildType()) + "}");
+        } else if (op == "shutdown") {
+            // Stop accepting, cancel what is still running; serve()
+            // drains the remains.
+            for (auto &entry : jobs_)
+                entry.second.handle.cancel();
+            writeLine("{\"ok\":true,\"op\":\"shutdown\"}");
+            return true;
+        } else {
+            respondError(op.empty() ? "?" : op,
+                         "unknown op '" + op + "'");
+        }
+        return false;
+    }
+
+    /**
+     * Bound the daemon's tables: keep at most kRetainFinished
+     * finished-but-uncollected jobs (their full SweepResults are
+     * resident until collected), dropping the oldest first. A
+     * monitoring client that only consumes the event stream and
+     * never sends `result` must not grow the process forever.
+     */
+    void
+    pruneFinishedJobs()
+    {
+        static constexpr std::size_t kRetainFinished = 64;
+        std::vector<api::JobId> done;
+        for (const auto &entry : jobs_) {
+            if (finishedWritten(entry.first))
+                done.push_back(entry.first);    // ascending (map)
+        }
+        if (done.size() <= kRetainFinished)
+            return;
+        const std::size_t drop = done.size() - kRetainFinished;
+        for (std::size_t i = 0; i < drop; ++i) {
+            jobs_.erase(done[i]);
+            std::lock_guard<std::mutex> lock(finishedMu_);
+            finished_.erase(done[i]);
+        }
+    }
+
+    void
+    handleSubmit(const json::Value &req)
+    {
+        pruneFinishedJobs();
+        api::SweepRequest sweep;
+        // Single-run convenience: "workload":"x" == workloads:["x"].
+        sweep.workloads = req.getStrings("workloads");
+        if (const std::string w = req.getString("workload");
+            !w.empty())
+            sweep.workloads.push_back(w);
+        sweep.archs = req.getStrings("archs");
+        if (const std::string a = req.getString("arch"); !a.empty())
+            sweep.archs.push_back(a);
+        if (const json::Value *v = req.find("schedulers");
+            v && v->isArray())
+            sweep.schedulers = req.getStrings("schedulers");
+        if (const json::Value *v = req.find("unrolls");
+            v && v->isArray())
+            sweep.unrolls = req.getStrings("unrolls");
+        sweep.alignment = {req.getBool("alignment", true)};
+        sweep.chains = {req.getBool("chains", true)};
+        sweep.versioning = {req.getBool("versioning", false)};
+        sweep.datasets = int(req.getInt("datasets", 1));
+
+        api::SubmitOptions submit;
+        submit.priority = int(req.getInt("priority", 0));
+        submit.maxInFlight = int(req.getInt("max-in-flight", 0));
+        submit.events = &events_;
+
+        api::JobHandle<api::SweepResult> handle =
+            session_.submit(sweep, submit);
+        const api::JobId id = handle.id();
+        const int total = handle.progress().total;
+        ServedJob job;
+        job.handle = handle;
+        job.tag = req.getString("id");
+        jobs_.emplace(id, std::move(job));
+
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"submit\",\"job\":" << id;
+        if (!jobs_[id].tag.empty())
+            os << ",\"id\":" << json::quoted(jobs_[id].tag);
+        os << ",\"total\":" << total << "}";
+        writeLine(os.str());
+    }
+
+    /** The jobs_ entry named by the request, or respond+null. */
+    ServedJob *
+    findJob(const json::Value &req, const std::string &op)
+    {
+        const api::JobId id = api::JobId(req.getInt("job", 0));
+        auto it = jobs_.find(id);
+        if (it == jobs_.end()) {
+            respondError(op, "unknown job " + std::to_string(id));
+            return nullptr;
+        }
+        return &it->second;
+    }
+
+    void
+    handleCancel(const json::Value &req)
+    {
+        ServedJob *job = findJob(req, "cancel");
+        if (!job)
+            return;
+        job->handle.cancel();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"cancel\",\"job\":"
+           << job->handle.id() << ",\"state\":\""
+           << api::jobPhaseName(job->handle.poll()) << "\"}";
+        writeLine(os.str());
+    }
+
+    void
+    handleStatus(const json::Value &req)
+    {
+        ServedJob *job = findJob(req, "status");
+        if (!job)
+            return;
+        writeLine(statusJson(*job));
+    }
+
+    /** The job's state, consistent with the emitted events. */
+    const char *
+    stateName(ServedJob &job)
+    {
+        if (finishedWritten(job.handle.id()))
+            return api::jobPhaseName(api::JobPhase::Done);
+        return api::jobPhaseName(job.handle.poll());
+    }
+
+    std::string
+    statusJson(ServedJob &job)
+    {
+        const api::Progress p = job.handle.progress();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"status\",\"job\":"
+           << job.handle.id();
+        if (!job.tag.empty())
+            os << ",\"id\":" << json::quoted(job.tag);
+        os << ",\"state\":\"" << stateName(job)
+           << "\",\"done\":" << p.done << ",\"total\":" << p.total
+           << "}";
+        return os.str();
+    }
+
+    void
+    handleListJobs()
+    {
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"list-jobs\",\"jobs\":[";
+        bool first = true;
+        for (auto &entry : jobs_) {
+            const api::Progress p = entry.second.handle.progress();
+            os << (first ? "" : ",") << "{\"job\":" << entry.first
+               << ",\"state\":\"" << stateName(entry.second)
+               << "\",\"done\":" << p.done
+               << ",\"total\":" << p.total << "}";
+            first = false;
+        }
+        os << "]}";
+        writeLine(os.str());
+    }
+
+    void
+    handleListNames(const std::string &op)
+    {
+        const api::Registries &reg = session_.registries();
+        const std::vector<std::string> &names =
+            op == "list-archs"        ? reg.archs.names()
+            : op == "list-heuristics" ? reg.schedulers.names()
+            : op == "list-unrolls"    ? reg.unrolls.names()
+                                      : reg.workloads.names();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"" << op << "\",\"names\":[";
+        for (std::size_t i = 0; i < names.size(); ++i)
+            os << (i ? "," : "") << json::quoted(names[i]);
+        os << "]}";
+        writeLine(os.str());
+    }
+
+    void
+    handleResult(const json::Value &req)
+    {
+        ServedJob *job = findJob(req, "result");
+        if (!job)
+            return;
+        if (finishedWritten(job->handle.id())) {
+            // The client saw the finished event; the handle's
+            // phase tick is at most a worker resumption away.
+            job->handle.wait();
+        } else if (job->handle.poll() != api::JobPhase::Done) {
+            respondError("result", "job " +
+                                       std::to_string(job->handle.id()) +
+                                       " is still running");
+            return;
+        }
+        // Collecting consumes: the job leaves the daemon's tables
+        // (a long-running daemon must not accumulate results
+        // forever), so a repeat asks for an unknown job.
+        const api::JobId id = job->handle.id();
+        api::Result<api::SweepResult> result = job->handle.take();
+        jobs_.erase(id);
+        {
+            std::lock_guard<std::mutex> lock(finishedMu_);
+            finished_.erase(id);
+        }
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"result\",\"job\":" << id;
+        if (!result.ok()) {
+            os << ",\"status\":\""
+               << api::statusCodeName(result.status().code())
+               << "\",\"message\":"
+               << json::quoted(result.status().message()) << "}";
+            writeLine(os.str());
+            return;
+        }
+        const api::SweepResult &sweep = result.value();
+        os << ",\"status\":\""
+           << api::statusCodeName(sweep.status.code())
+           << "\",\"completed\":" << sweep.completedCount()
+           << ",\"failed\":" << sweep.failedCount();
+        // CSV of the completed cells (cancelled sweeps keep their
+        // partial, bit-identical prefix of results).
+        std::vector<engine::ExperimentResult> completed;
+        completed.reserve(sweep.experiments.size());
+        for (const engine::ExperimentResult &r : sweep.experiments)
+            if (!r.failed())
+                completed.push_back(r);
+        std::ostringstream csv;
+        engine::writeCsv(csv, completed);
+        os << ",\"csv\":" << json::quoted(csv.str()) << "}";
+        writeLine(os.str());
+    }
+
+    ServeOptions opts_;
+    api::Session session_;
+    api::BoundedEventQueue events_;
+    std::mutex stdoutMu_;
+    std::mutex finishedMu_;
+    /** Jobs whose finished event already went to stdout. */
+    std::set<api::JobId> finished_;
+    std::map<api::JobId, ServedJob> jobs_;
+    std::thread writer_;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServeOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto count = [&](const char *flag) -> long long {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(2);
+            }
+            const char *v = argv[++i];
+            char *end = nullptr;
+            errno = 0;
+            const long long n = std::strtoll(v, &end, 10);
+            if (end == v || *end != '\0' || errno == ERANGE || n < 0 ||
+                n > std::numeric_limits<int>::max()) {
+                std::fprintf(stderr, "%s wants a count, got '%s'\n",
+                             flag, v);
+                usage(2);
+            }
+            return n;
+        };
+        if (arg == "--jobs")
+            opts.jobs = int(count("--jobs"));
+        else if (arg == "--cache-capacity")
+            opts.cacheCapacity = std::size_t(count("--cache-capacity"));
+        else if (arg == "--queue")
+            opts.queueCapacity = std::size_t(count("--queue"));
+        else if (arg == "--version") {
+            std::printf("%s\n", libraryVersionLine().c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage(2);
+        }
+    }
+    if (opts.jobs < 1) {
+        std::fprintf(stderr, "--jobs wants a count >= 1\n");
+        usage(2);
+    }
+
+    Daemon daemon(opts);
+    return daemon.serve();
+}
