@@ -1,6 +1,9 @@
 #include "session.hh"
 
+#include <cstdio>
+
 #include "api/executor.hh"
+#include "dist/compile_store.hh"
 #include "workloads/dataset.hh"
 
 namespace vliw::api {
@@ -78,9 +81,26 @@ struct Session::Impl
     explicit Impl(const SessionOptions &o)
         : opts(o),
           engine(engine::EngineOptions{o.jobs, o.compileCache,
-                                       o.cacheCapacity}),
+                                       o.cacheCapacity,
+                                       makeStore(o)}),
           executor(engine, o.jobs)
     {
+    }
+
+    static std::shared_ptr<engine::PersistentCompileStore>
+    makeStore(const SessionOptions &o)
+    {
+        if (o.storeDir.empty() || !o.compileCache)
+            return nullptr;
+        auto store = std::make_shared<dist::CompileStore>(o.storeDir);
+        if (!store->status().ok()) {
+            // Degrade, don't die: a bad --store path costs the
+            // acceleration, never the sweep.
+            std::fprintf(stderr, "wivliw: compile store disabled: %s\n",
+                         store->status().message().c_str());
+            return nullptr;
+        }
+        return store;
     }
 
     /** Resolve a RunRequest into an engine spec, or fail. */

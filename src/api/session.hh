@@ -75,6 +75,14 @@ struct SessionOptions
      * long-lived serving sessions.
      */
     std::size_t cacheCapacity = 0;
+    /**
+     * Directory of the persistent content-addressed compile store
+     * shared across processes (dist::CompileStore); empty = memory
+     * only. Store hit/miss/publication counts surface through
+     * cacheStats(). An unusable path degrades to memory-only with
+     * a warning on stderr — it never fails session construction.
+     */
+    std::string storeDir;
 };
 
 /**

@@ -1,0 +1,126 @@
+#include "compile_store.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "dist/artifact.hh"
+#include "support/blob.hh"
+
+namespace vliw::dist {
+
+namespace {
+
+/** Unique-enough temp suffix: pid + a process-wide counter. */
+std::string
+tempSuffix()
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::ostringstream s;
+    s << ".tmp." << ::getpid() << "."
+      << counter.fetch_add(1, std::memory_order_relaxed);
+    return s.str();
+}
+
+} // namespace
+
+CompileStore::CompileStore(std::string dir) : dir_(std::move(dir))
+{
+    if (dir_.empty()) {
+        status_ = api::Status::invalidArgument(
+            "compile store directory is empty");
+        return;
+    }
+    // mkdir -p the single level callers typically hand us; deeper
+    // hierarchies must already exist (matching mkdir(1) without -p).
+    if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+        status_ = api::Status::invalidArgument(
+            "cannot create compile store directory '" + dir_ +
+            "': " + std::strerror(errno));
+        return;
+    }
+    struct ::stat st = {};
+    if (::stat(dir_.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+        status_ = api::Status::invalidArgument(
+            "compile store path '" + dir_ + "' is not a directory");
+        return;
+    }
+    status_ = api::Status();
+}
+
+std::string
+CompileStore::entryPath(const std::string &key) const
+{
+    std::ostringstream name;
+    name << dir_ << "/" << std::hex << blob::fnv1a64(key)
+         << ".wvaf";
+    return name.str();
+}
+
+std::shared_ptr<const CompiledBenchmark>
+CompileStore::load(const std::string &key) noexcept
+{
+    try {
+        if (!status_.ok())
+            return nullptr;
+        const std::string path = entryPath(key);
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            return nullptr;
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        if (!in.good() && !in.eof())
+            return nullptr;
+        auto decoded = decodeArtifact(bytes.str());
+        // Corrupt, stale-version or hash-collided entries are
+        // useless to every future run under this key: drop them so
+        // the next compile re-publishes a good frame.
+        if (!decoded.ok() || decoded.value().key != key) {
+            ::unlink(path.c_str());
+            return nullptr;
+        }
+        return std::make_shared<const CompiledBenchmark>(
+            std::move(decoded.value().benchmark));
+    } catch (...) {
+        return nullptr;
+    }
+}
+
+void
+CompileStore::store(const std::string &key,
+                    const CompiledBenchmark &artifact) noexcept
+{
+    try {
+        if (!status_.ok())
+            return;
+        const std::string path = entryPath(key);
+        const std::string tmp = path + tempSuffix();
+        {
+            std::ofstream out(tmp,
+                              std::ios::binary | std::ios::trunc);
+            if (!out)
+                return;
+            const std::string bytes = encodeArtifact(artifact, key);
+            out.write(bytes.data(),
+                      std::streamsize(bytes.size()));
+            if (!out.good()) {
+                out.close();
+                ::unlink(tmp.c_str());
+                return;
+            }
+        }
+        // Atomic publication: readers see the old entry or the
+        // complete new one, never a partial write.
+        if (::rename(tmp.c_str(), path.c_str()) != 0)
+            ::unlink(tmp.c_str());
+    } catch (...) {
+        // Best-effort only; a failed publication is not an error.
+    }
+}
+
+} // namespace vliw::dist

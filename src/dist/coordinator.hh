@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Multi-daemon sweep coordination: shard the cells of one
+ * experiment grid across N wivliw_serve endpoints (unix-socket
+ * transport, see `wivliw_serve --listen`) and merge the per-cell
+ * results into a report **byte-identical** to the single-node
+ * sweep.
+ *
+ * How identity is preserved: the coordinator expands the same
+ * cross-product in the same row-major axis order as
+ * engine::ExperimentGrid, submits every cell as its own
+ * single-cell sweep, and retires the returned CSV rows in cell
+ * (emit) order under one locally-built header. Each cell's rows
+ * are deterministic functions of the cell alone, so sharding and
+ * scheduling cannot perturb them; only the interleaving is the
+ * coordinator's to get right, and retirement order fixes that.
+ *
+ * Fault model: a worker that cannot be reached, dies mid-cell or
+ * hangs up simply loses its claim — the cell goes back on the
+ * shared queue (bounded attempts) and a surviving worker picks it
+ * up. A cell the daemon *completes with a failure status*
+ * (compile error, bad name) is deterministic and is not retried:
+ * it contributes zero rows, exactly as in a single-node sweep.
+ * The coordinator only fails overall when cells remain and no
+ * workers survive, or a cell exhausts its attempts.
+ */
+
+#ifndef WIVLIW_DIST_COORDINATOR_HH
+#define WIVLIW_DIST_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.hh"
+
+namespace vliw::dist {
+
+/**
+ * Axes of the sweep to distribute; mirrors api::SweepRequest.
+ * Names must already be validated — the coordinator trusts them
+ * and a daemon-side resolution failure counts as a failed cell.
+ */
+struct RemoteSweep
+{
+    std::vector<std::string> workloads;
+    std::vector<std::string> archs;
+    std::vector<std::string> schedulers{"ipbc"};
+    std::vector<std::string> unrolls{"selective"};
+    std::vector<bool> alignment{true};
+    std::vector<bool> chains{true};
+    std::vector<bool> versioning{false};
+    int datasets = 1;
+};
+
+/** Outcome of a distributed sweep. */
+struct RemoteSweepReport
+{
+    /** Merged CSV, byte-identical to the single-node sweep. */
+    std::string csv;
+    /** Cells in the grid / that produced rows / that the daemons
+     *  completed with a failure status. */
+    std::size_t cells = 0;
+    std::size_t completedCells = 0;
+    std::size_t failedCells = 0;
+    /** Human-readable messages of the failed cells, cell order. */
+    std::vector<std::string> cellErrors;
+    /** Transport-level requeues (dead/hung-up workers). */
+    std::size_t retries = 0;
+    /** Endpoints that were lost along the way. */
+    std::size_t workersLost = 0;
+};
+
+class SweepCoordinator
+{
+  public:
+    /**
+     * @param endpoints unix-socket paths of the wivliw_serve
+     *        workers; at least one.
+     * @param maxAttempts transport-failure attempts per cell
+     *        before the sweep as a whole fails.
+     */
+    explicit SweepCoordinator(std::vector<std::string> endpoints,
+                              int maxAttempts = 3)
+        : endpoints_(std::move(endpoints)),
+          maxAttempts_(maxAttempts)
+    {
+    }
+
+    /**
+     * Run @p sweep across the endpoints. Blocks until every cell
+     * retired or the sweep failed. Errors: InvalidArgument for an
+     * empty grid or endpoint list, Internal ("all workers lost" /
+     * "cell exhausted its attempts") for fabric failures.
+     */
+    api::Result<RemoteSweepReport> run(const RemoteSweep &sweep);
+
+  private:
+    std::vector<std::string> endpoints_;
+    int maxAttempts_;
+};
+
+} // namespace vliw::dist
+
+#endif // WIVLIW_DIST_COORDINATOR_HH

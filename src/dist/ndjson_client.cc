@@ -1,0 +1,128 @@
+#include "ndjson_client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace vliw::dist {
+
+bool
+NdjsonClient::connect(const std::string &path)
+{
+    close();
+    sockaddr_un addr = {};
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    in_ = ::fdopen(fd, "r");
+    if (!in_) {
+        ::close(fd);
+        return false;
+    }
+    // Writes go straight to the fd with MSG_NOSIGNAL: a daemon
+    // that hung up must surface as a failed send the coordinator
+    // can retry elsewhere, not as a process-killing SIGPIPE.
+    fd_ = fd;
+    return true;
+}
+
+void
+NdjsonClient::close()
+{
+    if (in_) {
+        std::fclose(in_);    // also closes fd_
+        in_ = nullptr;
+    }
+    fd_ = -1;
+    replay_.clear();
+}
+
+bool
+NdjsonClient::sendLine(const std::string &line)
+{
+    if (fd_ < 0)
+        return false;
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd_, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            return false;
+        }
+        sent += std::size_t(n);
+    }
+    return true;
+}
+
+std::optional<std::string>
+NdjsonClient::readSocketLine()
+{
+    if (!in_)
+        return std::nullopt;
+    std::string line;
+    int c;
+    while ((c = std::fgetc(in_)) != EOF) {
+        if (c == '\n')
+            return line;
+        line.push_back(char(c));
+    }
+    close();
+    if (!line.empty())
+        return line;
+    return std::nullopt;
+}
+
+std::optional<std::string>
+NdjsonClient::recvLine()
+{
+    if (!replay_.empty()) {
+        std::string line = std::move(replay_.front());
+        replay_.pop_front();
+        return line;
+    }
+    return readSocketLine();
+}
+
+std::optional<json::Value>
+NdjsonClient::recvResponse()
+{
+    // Read fresh lines only: replayed events already failed the
+    // "is this the response" test once and never pass it later.
+    while (true) {
+        const std::optional<std::string> line = readSocketLine();
+        if (!line)
+            return std::nullopt;
+        if (line->empty())
+            continue;
+        std::optional<json::Value> parsed = json::parse(*line);
+        if (!parsed || !parsed->isObject())
+            continue;    // never ours: responses are objects
+        if (parsed->find("event") != nullptr) {
+            // An async job event that overtook the response —
+            // keep it for the caller's event drain.
+            replay_.push_back(*line);
+            continue;
+        }
+        return parsed;
+    }
+}
+
+} // namespace vliw::dist

@@ -67,13 +67,13 @@ CompileCache::compile(const MachineConfig &cfg,
         std::lock_guard<std::mutex> lock(mu_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
-            stats_.hits += 1;
-            stats_.hitsByBench[bench.name] += 1;
+            hits_.fetch_add(1, std::memory_order_relaxed);
+            hitsByBench_[bench.name] += 1;
             lru_.splice(lru_.begin(), lru_, it->second.lruIt);
             future = it->second.future;
         } else {
-            stats_.misses += 1;
-            stats_.missesByBench[bench.name] += 1;
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            missesByBench_[bench.name] += 1;
             future = promise.get_future().share();
             myGen = ++nextGen_;
             lru_.push_front(key);
@@ -95,10 +95,32 @@ CompileCache::compile(const MachineConfig &cfg,
         // spun on) and only under this owner's generation (never
         // a successor's re-compile after an eviction).
         try {
-            const Toolchain chain(cfg, opts);
-            promise.set_value(
-                std::make_shared<const CompiledBenchmark>(
-                    chain.compileBenchmark(bench)));
+            Entry compiled;
+            bool fromStore = false;
+            if (store_) {
+                compiled = store_->load(key);
+                if (compiled) {
+                    fromStore = true;
+                    storeHits_.fetch_add(
+                        1, std::memory_order_relaxed);
+                } else {
+                    storeMisses_.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+            }
+            if (!compiled) {
+                const Toolchain chain(cfg, opts);
+                compiled = std::make_shared<const CompiledBenchmark>(
+                    chain.compileBenchmark(bench));
+            }
+            // Publish to waiters first — persisting a fresh
+            // compile is best-effort disk IO nobody should block
+            // on for correctness.
+            promise.set_value(compiled);
+            if (store_ && !fromStore) {
+                store_->store(key, *compiled);
+                stores_.fetch_add(1, std::memory_order_relaxed);
+            }
         } catch (...) {
             {
                 std::lock_guard<std::mutex> lock(mu_);
@@ -134,15 +156,24 @@ CompileCache::enforceCapacityLocked(const std::string &keep)
         }
         entries_.erase(it);
         victim = lru_.erase(victim);
-        stats_.evictions += 1;
+        evictions_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
 CompileCacheStats
 CompileCache::stats() const
 {
+    CompileCacheStats out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.evictions = evictions_.load(std::memory_order_relaxed);
+    out.storeHits = storeHits_.load(std::memory_order_relaxed);
+    out.storeMisses = storeMisses_.load(std::memory_order_relaxed);
+    out.stores = stores_.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    out.hitsByBench = hitsByBench_;
+    out.missesByBench = missesByBench_;
+    return out;
 }
 
 std::size_t

@@ -28,11 +28,21 @@
  * cache for long-lived serving sessions; evictions only drop the
  * cache's own reference (in-flight simulations keep the artifact
  * alive through their shared_ptr) and are counted in the stats.
+ *
+ * Persistence: an optional PersistentCompileStore (the distributed
+ * sweep fabric's content-addressed dist::CompileStore) backs the
+ * in-memory memo. A key that misses in memory is first looked up
+ * in the store (a store hit skips the compile entirely — this is
+ * how a fleet of daemons shares compiles across processes and
+ * restarts); a compile that ran publishes its artifact back to the
+ * store. The store never affects results: a corrupt, stale or
+ * missing entry is just a store miss.
  */
 
 #ifndef WIVLIW_ENGINE_COMPILE_CACHE_HH
 #define WIVLIW_ENGINE_COMPILE_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <list>
@@ -55,6 +65,28 @@ std::string compileKey(const MachineConfig &cfg,
                        const ToolchainOptions &opts,
                        const std::string &bench);
 
+/**
+ * A persistent artifact store backing the in-memory memo across
+ * processes (implemented by dist::CompileStore). Both calls run on
+ * worker threads holding no cache locks; implementations must be
+ * thread-safe and must NOT throw — any internal failure is a miss
+ * (load) or a dropped publication (store), never an error the
+ * compile pipeline sees.
+ */
+class PersistentCompileStore
+{
+  public:
+    virtual ~PersistentCompileStore() = default;
+
+    /** The artifact stored under @p key, or nullptr (miss). */
+    virtual std::shared_ptr<const CompiledBenchmark>
+    load(const std::string &key) noexcept = 0;
+
+    /** Best-effort publication of a fresh compile. */
+    virtual void store(const std::string &key,
+                       const CompiledBenchmark &artifact) noexcept = 0;
+};
+
 /** Hit/miss/evict accounting, plus a per-benchmark breakdown. */
 struct CompileCacheStats
 {
@@ -62,6 +94,15 @@ struct CompileCacheStats
     std::uint64_t misses = 0;
     /** Entries dropped to respect the capacity bound. */
     std::uint64_t evictions = 0;
+    /**
+     * Persistent-store accounting (all zero without a store). A
+     * store hit is an in-memory miss served from disk, so it also
+     * counts under `misses`; `stores` counts artifacts published
+     * after a compile that actually ran.
+     */
+    std::uint64_t storeHits = 0;
+    std::uint64_t storeMisses = 0;
+    std::uint64_t stores = 0;
     std::map<std::string, std::uint64_t> hitsByBench;
     std::map<std::string, std::uint64_t> missesByBench;
 };
@@ -72,9 +113,15 @@ class CompileCache
   public:
     using Entry = std::shared_ptr<const CompiledBenchmark>;
 
-    /** @param capacity max resident entries; 0 = unbounded. */
-    explicit CompileCache(std::size_t capacity = 0)
-        : capacity_(capacity)
+    /**
+     * @param capacity max resident entries; 0 = unbounded.
+     * @param store    optional persistent backing store shared
+     *                 across processes; null = memory only.
+     */
+    explicit CompileCache(
+        std::size_t capacity = 0,
+        std::shared_ptr<PersistentCompileStore> store = nullptr)
+        : capacity_(capacity), store_(std::move(store))
     {
     }
 
@@ -86,12 +133,24 @@ class CompileCache
                   const ToolchainOptions &opts,
                   const BenchmarkSpec &bench);
 
+    /**
+     * Counter snapshot. The scalar counters are atomics readable
+     * while jobs run (a monitoring thread polling stats never
+     * contends with, or tears against, the workers); the
+     * per-benchmark maps are copied under the cache lock.
+     */
     CompileCacheStats stats() const;
 
     /** Distinct compiled configurations currently held. */
     std::size_t size() const;
 
     std::size_t capacity() const { return capacity_; }
+
+    const std::shared_ptr<PersistentCompileStore> &
+    store() const
+    {
+        return store_;
+    }
 
   private:
     /** One memoized compile and its recency-list position. */
@@ -109,12 +168,24 @@ class CompileCache
     void enforceCapacityLocked(const std::string &keep);
 
     std::size_t capacity_;
+    std::shared_ptr<PersistentCompileStore> store_;
     mutable std::mutex mu_;
     std::uint64_t nextGen_ = 0;
     std::unordered_map<std::string, Slot> entries_;
     /** Front = most recently used. */
     std::list<std::string> lru_;
-    CompileCacheStats stats_;
+    /** Scalar counters: atomic so stats() reads race-free against
+     *  running jobs. Relaxed ordering — they are statistics, not
+     *  synchronization. */
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> storeHits_{0};
+    std::atomic<std::uint64_t> storeMisses_{0};
+    std::atomic<std::uint64_t> stores_{0};
+    /** Per-benchmark breakdowns, guarded by mu_. */
+    std::map<std::string, std::uint64_t> hitsByBench_;
+    std::map<std::string, std::uint64_t> missesByBench_;
 };
 
 } // namespace vliw::engine

@@ -131,7 +131,7 @@ runExperiment(const ExperimentSpec &spec, CompileCache *cache,
 }
 
 ExperimentEngine::ExperimentEngine(const EngineOptions &opts)
-    : opts_(opts), cache_(opts.cacheCapacity)
+    : opts_(opts), cache_(opts.cacheCapacity, opts.store)
 {
 }
 

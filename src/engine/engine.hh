@@ -37,6 +37,12 @@ struct EngineOptions
     bool compileCache = true;
     /** Compile-cache entry bound; 0 = unbounded (see CompileCache). */
     std::size_t cacheCapacity = 0;
+    /**
+     * Optional persistent artifact store backing the in-memory
+     * cache across processes (see PersistentCompileStore); only
+     * consulted when compileCache is on.
+     */
+    std::shared_ptr<PersistentCompileStore> store;
 };
 
 /**

@@ -262,6 +262,9 @@ writeJson(std::ostream &os,
     if (cache) {
         os << ",\n  \"cache\": {\"hits\": " << cache->hits
            << ", \"misses\": " << cache->misses
+           << ", \"store_hits\": " << cache->storeHits
+           << ", \"store_misses\": " << cache->storeMisses
+           << ", \"stores\": " << cache->stores
            << ", \"hits_by_benchmark\": {";
         bool first = true;
         for (const auto &[bench, hits] : cache->hitsByBench) {
@@ -279,6 +282,14 @@ writeCacheSummary(std::ostream &os, const CompileCacheStats &stats)
 {
     os << "compile cache: " << stats.hits << " hits, "
        << stats.misses << " misses\n";
+    // Only mention the persistent store when one was attached
+    // (any counter nonzero), so memory-only runs keep the classic
+    // two-line summary.
+    if (stats.storeHits + stats.storeMisses + stats.stores > 0) {
+        os << "persistent store: " << stats.storeHits << " hits, "
+           << stats.storeMisses << " misses, " << stats.stores
+           << " stored\n";
+    }
     for (const auto &[bench, hits] : stats.hitsByBench) {
         auto it = stats.missesByBench.find(bench);
         const std::uint64_t misses =

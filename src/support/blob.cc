@@ -1,0 +1,139 @@
+#include "blob.hh"
+
+#include <cstring>
+
+namespace vliw::blob {
+
+std::uint64_t
+fnv1a64(std::string_view data, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (const char c : data) {
+        h ^= std::uint64_t(static_cast<unsigned char>(c));
+        h *= 0x100000001B3ull;
+    }
+    return h;
+}
+
+void
+Writer::f64(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+}
+
+void
+Writer::str(std::string_view s)
+{
+    u32(std::uint32_t(s.size()));
+    buf_.append(s);
+}
+
+bool
+Reader::take(std::size_t n, const char *what)
+{
+    if (!ok_)
+        return false;
+    if (data_.size() - pos_ < n) {
+        fail(std::string("truncated reading ") + what + " at byte " +
+             std::to_string(pos_));
+        return false;
+    }
+    return true;
+}
+
+std::uint8_t
+Reader::u8()
+{
+    if (!take(1, "u8"))
+        return 0;
+    return std::uint8_t(static_cast<unsigned char>(data_[pos_++]));
+}
+
+std::uint32_t
+Reader::u32()
+{
+    if (!take(4, "u32"))
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= std::uint32_t(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t
+Reader::u64()
+{
+    if (!take(8, "u64"))
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= std::uint64_t(
+                 static_cast<unsigned char>(data_[pos_ + i]))
+            << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+}
+
+double
+Reader::f64()
+{
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+bool
+Reader::boolean()
+{
+    const std::uint8_t v = u8();
+    if (ok_ && v > 1)
+        fail("bad boolean value " + std::to_string(int(v)) +
+             " at byte " + std::to_string(pos_ - 1));
+    return v == 1;
+}
+
+std::string
+Reader::str()
+{
+    const std::uint32_t len = u32();
+    if (!ok_ || !take(len, "string"))
+        return {};
+    std::string s(data_.substr(pos_, len));
+    pos_ += len;
+    return s;
+}
+
+bool
+Reader::fits(std::uint64_t count, std::size_t elem_bytes)
+{
+    if (!ok_)
+        return false;
+    const std::uint64_t left = remaining();
+    if (elem_bytes != 0 && count > left / elem_bytes) {
+        fail("count " + std::to_string(count) +
+             " does not fit in the " + std::to_string(left) +
+             " remaining bytes");
+        return false;
+    }
+    return true;
+}
+
+void
+Reader::fail(const std::string &what)
+{
+    if (ok_) {
+        ok_ = false;
+        error_ = what;
+    }
+}
+
+} // namespace vliw::blob

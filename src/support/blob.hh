@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Binary framing for serialized artifacts: a little-endian
+ * append-only Writer and a bounds-checked Reader over the same
+ * primitive vocabulary (u8/u32/u64, zig-free signed forms, IEEE
+ * doubles as bit patterns, length-prefixed strings).
+ *
+ * The encoding is deliberately position-independent and fully
+ * deterministic — two equal object graphs produce byte-identical
+ * buffers on any platform — because the artifact store is
+ * content-addressed and the codec tests compare encodings byte for
+ * byte. Doubles round-trip exactly (bit pattern, not text).
+ *
+ * The Reader never throws and never reads out of bounds: a
+ * truncated or malformed buffer flips a sticky error flag, every
+ * subsequent read returns a zero value, and the caller checks
+ * ok()/error() once at the end instead of guarding each field.
+ */
+
+#ifndef WIVLIW_SUPPORT_BLOB_HH
+#define WIVLIW_SUPPORT_BLOB_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vliw::blob {
+
+/** 64-bit FNV-1a over @p data (artifact checksums and store keys). */
+std::uint64_t fnv1a64(std::string_view data,
+                      std::uint64_t seed = 0xCBF29CE484222325ull);
+
+/** Append-only little-endian encoder. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(char(v)); }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf_.push_back(char((v >> (8 * i)) & 0xFF));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf_.push_back(char((v >> (8 * i)) & 0xFF));
+    }
+
+    void i32(std::int32_t v) { u32(std::uint32_t(v)); }
+    void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+    void boolean(bool v) { u8(v ? 1 : 0); }
+
+    /** IEEE-754 bit pattern: exact round-trip, no text formatting. */
+    void f64(double v);
+
+    /** u32 byte length + raw bytes. */
+    void str(std::string_view s);
+
+    /** Raw bytes, no length prefix (composed framings). */
+    void raw(std::string_view bytes) { buf_.append(bytes); }
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked decoder with a sticky error flag. */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32() { return std::int32_t(u32()); }
+    std::int64_t i64() { return std::int64_t(u64()); }
+    double f64();
+    /** Strict: a stored value other than 0/1 is a decode error. */
+    bool boolean();
+    std::string str();
+
+    /**
+     * Guard a count read from the buffer before reserving or
+     * looping: fails (and returns false) unless @p count elements
+     * of at least @p elem_bytes each could still fit in the
+     * remaining bytes. Keeps a corrupt count from turning into an
+     * OOM-sized allocation or a long spin.
+     */
+    bool fits(std::uint64_t count, std::size_t elem_bytes);
+
+    /** Flag a semantic error found by the caller (bad enum, ...). */
+    void fail(const std::string &what);
+
+    bool ok() const { return ok_; }
+    const std::string &error() const { return error_; }
+    std::size_t pos() const { return pos_; }
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+  private:
+    bool take(std::size_t n, const char *what);
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+    std::string error_;
+};
+
+} // namespace vliw::blob
+
+#endif // WIVLIW_SUPPORT_BLOB_HH

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the distributed sweep fabric: a fleet of real
+ * wivliw_serve daemons on unix sockets (binaries injected by CMake
+ * as WIVLIW_SERVE_BIN / WIVLIW_RUN_BIN) driven by the
+ * dist::SweepCoordinator and the wivliw_run --remote front end.
+ *
+ * The load-bearing property throughout is BYTE-IDENTITY: the
+ * merged remote CSV equals the single-node sweep's CSV exactly —
+ * with a shared persistent store, with a worker that dies
+ * mid-protocol, with an endpoint that never comes up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "api/session.hh"
+#include "dist/coordinator.hh"
+#include "dist/ndjson_client.hh"
+#include "engine/report.hh"
+
+namespace vliw {
+namespace {
+
+/** A scratch directory for sockets and store entries. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/wivliw_dist_XXXXXX";
+        path_ = ::mkdtemp(tmpl);
+    }
+
+    ~TempDir()
+    {
+        if (path_.empty())
+            return;
+        std::string cmd = "rm -rf '" + path_ + "'";
+        [[maybe_unused]] int rc = std::system(cmd.c_str());
+    }
+
+    std::string sub(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** One wivliw_serve child listening on a unix socket. */
+class DaemonProcess
+{
+  public:
+    explicit DaemonProcess(const std::string &socketPath,
+                           std::vector<std::string> extraArgs = {})
+        : socketPath_(socketPath)
+    {
+        pid_ = fork();
+        if (pid_ == 0) {
+            std::vector<std::string> args = {"--listen", socketPath,
+                                             "--jobs", "2"};
+            for (const std::string &a : extraArgs)
+                args.push_back(a);
+            std::vector<char *> argv;
+            static std::string bin = WIVLIW_SERVE_BIN;
+            argv.push_back(bin.data());
+            for (std::string &a : args)
+                argv.push_back(a.data());
+            argv.push_back(nullptr);
+            // Quiet the "listening on" notice.
+            std::freopen("/dev/null", "w", stderr);
+            execv(bin.c_str(), argv.data());
+            _exit(127);
+        }
+    }
+
+    ~DaemonProcess() { killNow(); }
+
+    /** SIGKILL — the "worker crashed" case, no cleanup at all. */
+    void
+    killNow()
+    {
+        if (pid_ <= 0)
+            return;
+        kill(pid_, SIGKILL);
+        int status = 0;
+        waitpid(pid_, &status, 0);
+        pid_ = -1;
+    }
+
+    const std::string &socket() const { return socketPath_; }
+
+  private:
+    std::string socketPath_;
+    pid_t pid_ = -1;
+};
+
+/** The local (single-node) CSV the remote merge must reproduce. */
+std::string
+localCsv(const dist::RemoteSweep &sweep)
+{
+    api::SessionOptions opts;
+    opts.jobs = 2;
+    api::Session session(opts);
+    api::SweepRequest req;
+    req.workloads = sweep.workloads;
+    req.archs = sweep.archs;
+    req.schedulers = sweep.schedulers;
+    req.unrolls = sweep.unrolls;
+    req.alignment = sweep.alignment;
+    req.chains = sweep.chains;
+    req.versioning = sweep.versioning;
+    req.datasets = sweep.datasets;
+    auto result = session.sweep(req);
+    EXPECT_TRUE(result.ok()) << result.status().toString();
+    std::ostringstream os;
+    engine::writeCsv(os, result.value().experiments);
+    return os.str();
+}
+
+/** A modest grid that still crosses several compile keys. */
+dist::RemoteSweep
+smallSweep()
+{
+    dist::RemoteSweep sweep;
+    sweep.workloads = {"gsmdec", "epicdec", "rasta"};
+    sweep.archs = {"interleaved", "interleaved-ab", "unified1"};
+    return sweep;
+}
+
+TEST(DistSweep, RemoteMergeIsByteIdenticalToLocal)
+{
+    TempDir dir;
+    DaemonProcess d1(dir.sub("w1.sock"));
+    DaemonProcess d2(dir.sub("w2.sock"));
+    DaemonProcess d3(dir.sub("w3.sock"));
+
+    const dist::RemoteSweep sweep = smallSweep();
+    dist::SweepCoordinator coordinator(
+        {d1.socket(), d2.socket(), d3.socket()});
+    auto result = coordinator.run(sweep);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().cells, 9u);
+    EXPECT_EQ(result.value().completedCells, 9u);
+    EXPECT_EQ(result.value().failedCells, 0u);
+    EXPECT_EQ(result.value().csv, localCsv(sweep));
+}
+
+TEST(DistSweep, MultiDatasetRemoteMergeIsByteIdentical)
+{
+    TempDir dir;
+    DaemonProcess d1(dir.sub("w1.sock"));
+    DaemonProcess d2(dir.sub("w2.sock"));
+
+    dist::RemoteSweep sweep;
+    sweep.workloads = {"gsmdec"};
+    sweep.archs = {"interleaved", "unified1"};
+    sweep.datasets = 3;
+    dist::SweepCoordinator coordinator(
+        {d1.socket(), d2.socket()});
+    auto result = coordinator.run(sweep);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    // The dataset column must appear exactly as it does locally.
+    EXPECT_NE(result.value().csv.find(",dataset"),
+              std::string::npos);
+    EXPECT_EQ(result.value().csv, localCsv(sweep));
+}
+
+TEST(DistSweep, SharedStoreWarmsAcrossDaemons)
+{
+    TempDir dir;
+    const std::string storeDir = dir.sub("store");
+    const dist::RemoteSweep sweep = smallSweep();
+
+    {
+        DaemonProcess d1(dir.sub("a1.sock"), {"--store", storeDir});
+        DaemonProcess d2(dir.sub("a2.sock"), {"--store", storeDir});
+        dist::SweepCoordinator coordinator(
+            {d1.socket(), d2.socket()});
+        auto cold = coordinator.run(sweep);
+        ASSERT_TRUE(cold.ok()) << cold.status().toString();
+        EXPECT_EQ(cold.value().csv, localCsv(sweep));
+    }
+
+    // A FRESH daemon on the same store must compile nothing: its
+    // cache-stats report store hits and zero publications, and the
+    // results are still byte-identical.
+    DaemonProcess warm(dir.sub("warm.sock"), {"--store", storeDir});
+    dist::SweepCoordinator coordinator({warm.socket()});
+    auto rerun = coordinator.run(sweep);
+    ASSERT_TRUE(rerun.ok()) << rerun.status().toString();
+    EXPECT_EQ(rerun.value().csv, localCsv(sweep));
+
+    dist::NdjsonClient client;
+    bool up = false;
+    for (int i = 0; i < 100 && !up; ++i) {
+        up = client.connect(warm.socket());
+        if (!up)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+    }
+    ASSERT_TRUE(up);
+    ASSERT_TRUE(client.sendLine("{\"op\":\"cache-stats\"}"));
+    auto stats = client.recvResponse();
+    ASSERT_TRUE(stats.has_value());
+    const json::Value *cache = stats->find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GT(cache->getInt("store_hits"), 0);
+    EXPECT_EQ(cache->getInt("stores"), 0);
+}
+
+TEST(DistSweep, WorkerDyingMidProtocolRetriesOnSurvivors)
+{
+    TempDir dir;
+    DaemonProcess survivor(dir.sub("s.sock"));
+
+    // A deterministic "dies mid-protocol" worker: accepts one
+    // connection and immediately hangs up. The coordinator must
+    // requeue the claimed cell on the survivor and still merge a
+    // byte-identical report.
+    const std::string trapPath = dir.sub("trap.sock");
+    const int trap = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(trap, 0);
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, trapPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ASSERT_EQ(::bind(trap,
+                     reinterpret_cast<const sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(trap, 8), 0);
+    std::thread trapThread([trap] {
+        const int conn = ::accept(trap, nullptr, nullptr);
+        if (conn >= 0)
+            ::close(conn);    // hang up on the first request
+    });
+
+    const dist::RemoteSweep sweep = smallSweep();
+    dist::SweepCoordinator coordinator(
+        {survivor.socket(), trapPath});
+    auto result = coordinator.run(sweep);
+    trapThread.join();
+    ::close(trap);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().csv, localCsv(sweep));
+    EXPECT_GE(result.value().retries, 1u);
+    EXPECT_GE(result.value().workersLost, 1u);
+}
+
+TEST(DistSweep, EndpointThatNeverComesUpIsTolerated)
+{
+    TempDir dir;
+    DaemonProcess survivor(dir.sub("s.sock"));
+    const dist::RemoteSweep sweep = smallSweep();
+    dist::SweepCoordinator coordinator(
+        {survivor.socket(), dir.sub("nobody-home.sock")});
+    auto result = coordinator.run(sweep);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().csv, localCsv(sweep));
+}
+
+TEST(DistSweep, AllWorkersLostFailsWithStatusNotHang)
+{
+    dist::RemoteSweep sweep;
+    sweep.workloads = {"gsmdec"};
+    sweep.archs = {"interleaved"};
+    // Two trap sockets that hang up on contact; every attempt
+    // burns one, so the (bounded) retries exhaust and the run
+    // fails with a Status instead of spinning.
+    TempDir dir;
+    std::vector<int> traps;
+    std::vector<std::thread> trapThreads;
+    std::vector<std::string> paths;
+    for (int i = 0; i < 2; ++i) {
+        const std::string path =
+            dir.sub("trap" + std::to_string(i) + ".sock");
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_un addr = {};
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ASSERT_EQ(::bind(fd,
+                         reinterpret_cast<const sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        ASSERT_EQ(::listen(fd, 8), 0);
+        trapThreads.emplace_back([fd] {
+            const int conn = ::accept(fd, nullptr, nullptr);
+            if (conn >= 0)
+                ::close(conn);
+        });
+        traps.push_back(fd);
+        paths.push_back(path);
+    }
+    dist::SweepCoordinator coordinator(paths, /*maxAttempts=*/2);
+    auto result = coordinator.run(sweep);
+    for (std::thread &t : trapThreads)
+        t.join();
+    for (const int fd : traps)
+        ::close(fd);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), api::StatusCode::Internal);
+}
+
+TEST(DistSweep, RejectsEmptyEndpointsAndEmptyGrid)
+{
+    dist::SweepCoordinator none({});
+    EXPECT_EQ(none.run(smallSweep()).status().code(),
+              api::StatusCode::InvalidArgument);
+
+    dist::SweepCoordinator some({"/tmp/unused.sock"});
+    dist::RemoteSweep empty;
+    EXPECT_EQ(some.run(empty).status().code(),
+              api::StatusCode::InvalidArgument);
+}
+
+TEST(DistSweep, CellFailingOnTheDaemonFailsTheSweepNotTheFabric)
+{
+    TempDir dir;
+    DaemonProcess d1(dir.sub("w.sock"));
+    dist::RemoteSweep sweep;
+    sweep.workloads = {"no_such_bench"};
+    sweep.archs = {"interleaved"};
+    dist::SweepCoordinator coordinator({d1.socket()});
+    auto result = coordinator.run(sweep);
+    // Deterministic cell failure: reported, not retried, fabric ok.
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().failedCells, 1u);
+    EXPECT_EQ(result.value().completedCells, 0u);
+    ASSERT_EQ(result.value().cellErrors.size(), 1u);
+    EXPECT_EQ(result.value().retries, 0u);
+}
+
+TEST(DistSweep, WivliwRunRemoteFrontEndMatchesLocalCli)
+{
+    TempDir dir;
+    DaemonProcess d1(dir.sub("w1.sock"));
+    DaemonProcess d2(dir.sub("w2.sock"));
+
+    const std::string localOut = dir.sub("local.csv");
+    const std::string remoteOut = dir.sub("remote.csv");
+    const std::string base =
+        std::string(WIVLIW_RUN_BIN) +
+        " --sweep --benches gsmdec,epicdec"
+        " --archs interleaved,interleaved-ab";
+    ASSERT_EQ(std::system((base + " --csv > " + localOut +
+                           " 2>/dev/null")
+                              .c_str()),
+              0);
+    ASSERT_EQ(std::system((base + " --remote " + d1.socket() + "," +
+                           d2.socket() + " > " + remoteOut +
+                           " 2>/dev/null")
+                              .c_str()),
+              0);
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        return os.str();
+    };
+    const std::string local = slurp(localOut);
+    ASSERT_FALSE(local.empty());
+    EXPECT_EQ(local, slurp(remoteOut));
+}
+
+} // namespace
+} // namespace vliw

@@ -10,10 +10,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <future>
+#include <memory>
 #include <set>
 #include <sstream>
 
+#include "dist/compile_store.hh"
 #include "engine/compile_cache.hh"
 #include "engine/engine.hh"
 #include "engine/report.hh"
@@ -393,6 +396,59 @@ TEST(CompileCache, CapacityEvictsLruAndCountsEvictions)
     unbounded.compile(cfg, opts, rasta);
     EXPECT_EQ(unbounded.size(), 2u);
     EXPECT_EQ(unbounded.stats().evictions, 0u);
+}
+
+TEST(CompileCache, ScriptedStoreSequenceCountsExactly)
+{
+    char tmpl[] = "/tmp/wivliw_cache_XXXXXX";
+    const std::string dir = mkdtemp(tmpl);
+    auto store = std::make_shared<dist::CompileStore>(dir);
+    ASSERT_TRUE(store->status().ok());
+
+    const ToolchainOptions opts;
+    const BenchmarkSpec gsm = makeBenchmark("gsmdec");
+    const BenchmarkSpec rasta = makeBenchmark("rasta");
+    const MachineConfig cfg = MachineConfig::paperInterleaved();
+
+    // Capacity 1 so every second key round-trips the store.
+    engine::CompileCache cache(/*capacity=*/1, store);
+
+    // Cold: memory miss, store miss, publication.
+    cache.compile(cfg, opts, gsm);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().storeMisses, 1u);
+    EXPECT_EQ(cache.stats().stores, 1u);
+
+    // Warm in memory: the store is not even consulted.
+    cache.compile(cfg, opts, gsm);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().storeHits, 0u);
+    EXPECT_EQ(cache.stats().storeMisses, 1u);
+
+    // New key evicts gsmdec and publishes rasta.
+    cache.compile(cfg, opts, rasta);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().storeMisses, 2u);
+    EXPECT_EQ(cache.stats().stores, 2u);
+
+    // gsmdec again: memory miss, but the store still has it — a
+    // store hit, no compile, no re-publication.
+    cache.compile(cfg, opts, gsm);
+    EXPECT_EQ(cache.stats().misses, 3u);
+    EXPECT_EQ(cache.stats().storeHits, 1u);
+    EXPECT_EQ(cache.stats().stores, 2u);
+
+    // A brand-new cache on the same directory starts fully warm.
+    engine::CompileCache fresh(/*capacity=*/0, store);
+    fresh.compile(cfg, opts, gsm);
+    fresh.compile(cfg, opts, rasta);
+    EXPECT_EQ(fresh.stats().misses, 2u);
+    EXPECT_EQ(fresh.stats().storeHits, 2u);
+    EXPECT_EQ(fresh.stats().storeMisses, 0u);
+    EXPECT_EQ(fresh.stats().stores, 0u);
+
+    std::string cleanup = "rm -rf '" + dir + "'";
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
 }
 
 TEST(CompileCache, FailedCompilesAreNotCached)

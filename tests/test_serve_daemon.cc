@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <string>
@@ -392,6 +393,100 @@ TEST(ServeDaemon, MalformedAndUnknownRequestsAreSoftErrors)
     daemon.send(R"({"op":"version"})");
     EXPECT_TRUE(daemon.readResponse().getBool("ok"));
     EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, HostileInputLinesGetStructuredErrorsNotDeath)
+{
+    DaemonClient daemon;
+
+    // Binary garbage that is nowhere near JSON.
+    daemon.send("\x01\x02garbage\xff\xfe not json at all");
+    const json::Value garbage = daemon.readResponse();
+    EXPECT_FALSE(garbage.getBool("ok"));
+    EXPECT_EQ(garbage.getString("op"), "?");
+    EXPECT_NE(garbage.getString("error").find("parse error"),
+              std::string::npos);
+
+    // A request truncated mid-string (client died while writing).
+    daemon.send(R"({"op":"submit","workloads":["gs)");
+    const json::Value truncated = daemon.readResponse();
+    EXPECT_FALSE(truncated.getBool("ok"));
+    EXPECT_NE(truncated.getString("error").find("parse error"),
+              std::string::npos);
+
+    // Parseable JSON with a non-string op still echoes something.
+    daemon.send(R"({"op":[1,2,3]})");
+    const json::Value badOp = daemon.readResponse();
+    EXPECT_FALSE(badOp.getBool("ok"));
+    EXPECT_NE(badOp.getString("error").find("unknown op"),
+              std::string::npos);
+
+    // A 2 MiB line blows the 1 MiB request cap: a structured
+    // error naming the limit, not an OOM and not a hang.
+    daemon.send(R"({"op":"version","pad":")" +
+                std::string(2u << 20, 'x') + R"("})");
+    const json::Value oversized = daemon.readResponse();
+    EXPECT_FALSE(oversized.getBool("ok"));
+    EXPECT_EQ(oversized.getString("op"), "?");
+    EXPECT_NE(oversized.getString("error").find("1048576"),
+              std::string::npos);
+
+    // The connection survives every one of those.
+    daemon.send(R"({"op":"version"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"submit","workloads":["gsmdec"],)"
+                R"("archs":["interleaved"]})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, PersistentStoreWarmsAFreshDaemonProcess)
+{
+    char tmpl[] = "/tmp/wivliw_serve_store_XXXXXX";
+    const std::string dir = mkdtemp(tmpl);
+    const std::string submit =
+        R"({"op":"submit","workloads":["gsmdec"],)"
+        R"("archs":["interleaved","interleaved-ab"]})";
+
+    {
+        DaemonClient cold({"--jobs", "2", "--store", dir});
+        cold.send(submit);
+        EXPECT_TRUE(cold.readResponse().getBool("ok"));
+        EXPECT_EQ(cold.readEventsUntil("finished")
+                      .back()
+                      .getString("status"),
+                  "ok");
+        cold.send(R"({"op":"cache-stats"})");
+        const json::Value stats = cold.readResponse();
+        const json::Value *cache = stats.find("cache");
+        ASSERT_NE(cache, nullptr);
+        EXPECT_GT(cache->getInt("stores"), 0);
+        EXPECT_EQ(cache->getInt("store_hits"), 0);
+        EXPECT_EQ(cold.finish(), 0);
+    }
+
+    // A different PROCESS on the same directory compiles nothing.
+    DaemonClient warm({"--jobs", "2", "--store", dir});
+    warm.send(submit);
+    EXPECT_TRUE(warm.readResponse().getBool("ok"));
+    EXPECT_EQ(warm.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
+    warm.send(R"({"op":"cache-stats"})");
+    const json::Value stats = warm.readResponse();
+    const json::Value *cache = stats.find("cache");
+    ASSERT_NE(cache, nullptr);
+    EXPECT_GT(cache->getInt("store_hits"), 0);
+    EXPECT_EQ(cache->getInt("stores"), 0);
+    EXPECT_EQ(warm.finish(), 0);
+
+    const std::string cleanup = "rm -rf '" + dir + "'";
+    [[maybe_unused]] int rc = std::system(cleanup.c_str());
 }
 
 TEST(ServeDaemon, ShutdownRequestExitsZero)

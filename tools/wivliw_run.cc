@@ -30,6 +30,7 @@
 #include "api/api.hh"
 #include "core/versioning.hh"
 #include "ddg/dot.hh"
+#include "dist/coordinator.hh"
 #include "engine/report.hh"
 #include "sched/schedule_dump.hh"
 #include "support/table.hh"
@@ -66,6 +67,11 @@ struct CliOptions
     std::string archs;
     std::string heuristics;
     std::string unrolls;
+    /** Persistent compile-store directory (any mode). */
+    std::string storeDir;
+    /** Comma list of wivliw_serve unix-socket endpoints; when set
+     *  the sweep runs distributed (CSV output, see README). */
+    std::string remote;
     /** First sweep-only flag seen, for misuse diagnostics. */
     std::string sweepOnlyFlag;
 };
@@ -111,7 +117,14 @@ usage(int code)
         "  --no-compile-cache recompile every arch variant\n"
         "  --timing           per-job compile/simulate wall-time\n"
         "                     columns plus aggregated totals\n"
+        "  --remote LIST      comma-separated wivliw_serve unix\n"
+        "                     socket paths; shard the sweep's cells\n"
+        "                     across them and merge a CSV report\n"
+        "                     byte-identical to the local sweep\n"
+        "                     (see README 'Distributed sweeps')\n"
         "common:\n"
+        "  --store DIR        persistent compile store shared\n"
+        "                     across runs and daemons\n"
         "  --csv              machine-readable output\n"
         "  --json             JSON output (sweep includes cache)\n"
         "  --version          library version + build type\n"
@@ -247,6 +260,12 @@ parseArgs(int argc, char **argv)
             cli.unrolls = value("--unrolls");
             cli.sweepOnlyFlag = arg;
         }
+        else if (arg == "--store")
+            cli.storeDir = value("--store");
+        else if (arg == "--remote") {
+            cli.remote = value("--remote");
+            cli.sweepOnlyFlag = arg;
+        }
         else if (arg == "--version") {
             std::printf("%s\n", libraryVersionLine().c_str());
             std::exit(0);
@@ -370,6 +389,79 @@ splitAxis(const char *flag, const std::string &list)
     return out;
 }
 
+/**
+ * Distributed sweep: validate every axis name locally (the same
+ * atomic up-front validation the façade gives a local sweep), then
+ * shard the cells across the --remote endpoints and print the
+ * merged CSV — byte-identical to `--sweep --csv` on one node.
+ */
+int
+runRemoteSweep(api::Session &session, const CliOptions &cli)
+{
+    if (cli.json || cli.timing) {
+        // Timing is wall-clock (never byte-stable across shards)
+        // and the JSON report embeds one session's cache counters;
+        // the distributed report is deliberately CSV-only.
+        std::fprintf(stderr,
+                     "--remote produces CSV only (no --json, "
+                     "no --timing)\n");
+        usage(2);
+    }
+    const api::Registries &reg = session.registries();
+    dist::RemoteSweep sweep;
+    sweep.workloads = splitAxis("--benches", cli.benches);
+    if (sweep.workloads.empty())
+        sweep.workloads = reg.workloads.names();
+    sweep.archs = splitAxis("--archs", cli.archs);
+    if (sweep.archs.empty())
+        sweep.archs = reg.archs.names();
+    sweep.schedulers = splitAxis("--heuristics", cli.heuristics);
+    if (sweep.schedulers.empty())
+        sweep.schedulers = {cli.heuristic};
+    sweep.unrolls = splitAxis("--unrolls", cli.unrolls);
+    if (sweep.unrolls.empty())
+        sweep.unrolls = {cli.unroll};
+    sweep.alignment = {!cli.noAlign};
+    sweep.chains = {!cli.noChains};
+    sweep.versioning = {cli.versioning};
+    sweep.datasets = cli.datasets;
+
+    // Fail atomically before anything is submitted, exactly like
+    // the local sweep (a daemon would only report the bad cell
+    // after the fact, as a failed cell).
+    for (const std::string &w : sweep.workloads)
+        if (auto r = reg.workloads.resolve(w); !r.ok())
+            statusExit(r.status());
+    for (const std::string &a : sweep.archs)
+        if (auto r = reg.archs.resolve(a); !r.ok())
+            statusExit(r.status());
+    for (const std::string &s : sweep.schedulers)
+        if (auto r = reg.schedulers.resolve(s); !r.ok())
+            statusExit(r.status());
+    for (const std::string &u : sweep.unrolls)
+        if (auto r = reg.unrolls.resolve(u); !r.ok())
+            statusExit(r.status());
+
+    dist::SweepCoordinator coordinator(splitList(cli.remote));
+    auto result = coordinator.run(sweep);
+    if (!result.ok())
+        statusExit(result.status());
+    const dist::RemoteSweepReport &report = result.value();
+    // Parity with the local CLI: any failed cell fails the sweep.
+    if (report.failedCells > 0) {
+        for (const std::string &err : report.cellErrors)
+            std::fprintf(stderr, "cell failed: %s\n", err.c_str());
+        std::exit(1);
+    }
+    std::fputs(report.csv.c_str(), stdout);
+    std::fprintf(stderr,
+                 "remote sweep: %zu cells over %zu endpoints, "
+                 "%zu retries, %zu workers lost\n",
+                 report.cells, splitList(cli.remote).size(),
+                 report.retries, report.workersLost);
+    return 0;
+}
+
 int
 runSweep(api::Session &session, const CliOptions &cli)
 {
@@ -426,12 +518,16 @@ main(int argc, char **argv)
     api::SessionOptions session_opts;
     session_opts.jobs = cli.jobs;
     session_opts.compileCache = cli.compileCache;
+    session_opts.storeDir = cli.storeDir;
     api::Session session(session_opts);
 
     if (!cli.list.empty())
         return printList(session, cli.list);
-    if (cli.sweep)
+    if (cli.sweep) {
+        if (!cli.remote.empty())
+            return runRemoteSweep(session, cli);
         return runSweep(session, cli);
+    }
 
     std::vector<std::string> benches;
     if (cli.all) {

@@ -1,12 +1,11 @@
 /**
  * @file
  * `wivliw serve`: a long-running service daemon over the async
- * `vliw::api` façade, speaking NDJSON (one JSON object per line)
- * on stdin/stdout — the first "serve traffic" deployment shape of
- * the codebase. Every client request multiplexes onto ONE shared
- * api::Session, so the per-session CompileCache is shared across
- * all jobs: a repeated sweep compiles nothing the session has seen
- * before.
+ * `vliw::api` façade, speaking NDJSON (one JSON object per line) —
+ * the "serve traffic" deployment shape of the codebase. Every
+ * client request multiplexes onto ONE shared api::Session, so the
+ * per-session CompileCache is shared across all jobs: a repeated
+ * sweep compiles nothing the session has seen before.
  *
  *   $ wivliw_serve --jobs 8
  *   > {"op":"submit","workloads":["gsmdec"],"archs":["interleaved"]}
@@ -19,6 +18,16 @@
  *   > {"op":"result","job":1}
  *   < {"ok":true,"job":1,"status":"ok","csv":"bench,arch,..."}
  *
+ * Transports: stdin/stdout by default; `--listen PATH` serves the
+ * same protocol on a unix-domain socket instead, accepting one
+ * connection at a time (connections queue in the listen backlog).
+ * The session — cache, store, job numbering — persists across
+ * connections, which is what makes a daemon fleet useful to the
+ * distributed sweep coordinator: each cell lands on a warm
+ * process. `--store DIR` additionally shares compiled artifacts
+ * across daemons and restarts through the content-addressed
+ * persistent store (see README "Distributed sweeps").
+ *
  * Requests: submit, cancel, status, result, list-jobs, list-archs,
  * list-benches, list-heuristics, list-unrolls, cache-stats,
  * version, shutdown. Responses carry "ok"; job events stream
@@ -29,21 +38,34 @@
  * (--queue); when the client reads slowly the queue fills and the
  * workers block instead of buffering without bound.
  *
- * Exit: 0 on clean stdin EOF or a `shutdown` request (after
- * draining every job and the event queue), 2 on a usage error.
+ * Input hardening: a request line longer than 1 MiB is consumed
+ * and answered with a structured error instead of being buffered
+ * (a stuck or malicious client cannot balloon the daemon);
+ * malformed JSON gets a structured parse-error reply echoing the
+ * op when one was parseable. The connection stays usable either
+ * way.
+ *
+ * Exit: 0 on clean stdin EOF (stdio transport) or a `shutdown`
+ * request (after draining every job and the event queue), 2 on a
+ * usage error. On the socket transport a client disconnect only
+ * ends that connection; `shutdown` ends the daemon.
  */
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "api/api.hh"
@@ -60,6 +82,10 @@ struct ServeOptions
     int jobs = 1;
     std::size_t cacheCapacity = 0;
     std::size_t queueCapacity = 256;
+    /** Persistent compile-store directory; empty = memory only. */
+    std::string storeDir;
+    /** Unix-socket path; empty = stdio transport. */
+    std::string listenPath;
 };
 
 [[noreturn]] void
@@ -76,9 +102,46 @@ usage(int code)
         "  --queue N          event-queue bound (default 256);\n"
         "                     a full queue blocks workers instead\n"
         "                     of buffering without bound\n"
+        "  --store DIR        persistent compile store shared with\n"
+        "                     other daemons and runs (see README\n"
+        "                     'Distributed sweeps')\n"
+        "  --listen PATH      serve on a unix socket instead of\n"
+        "                     stdio; one connection at a time, the\n"
+        "                     session persists across connections\n"
         "  --version          print version and exit\n"
         "  --help             this text\n");
     std::exit(code);
+}
+
+/** Longest request line the daemon will buffer. */
+constexpr std::size_t kMaxLineBytes = 1u << 20;
+
+/**
+ * Read one newline-terminated request into @p line (newline
+ * stripped), never buffering more than kMaxLineBytes of it.
+ */
+enum class ReadLine { Ok, Eof, Oversized };
+
+ReadLine
+readRequestLine(std::FILE *in, std::string &line)
+{
+    line.clear();
+    bool oversized = false;
+    int c;
+    while ((c = std::fgetc(in)) != EOF) {
+        if (c == '\n')
+            return oversized ? ReadLine::Oversized : ReadLine::Ok;
+        if (line.size() >= kMaxLineBytes) {
+            // Keep consuming to the newline so the connection
+            // stays framed, but stop growing the buffer.
+            oversized = true;
+            continue;
+        }
+        line.push_back(char(c));
+    }
+    if (!line.empty())
+        return oversized ? ReadLine::Oversized : ReadLine::Ok;
+    return ReadLine::Eof;
 }
 
 /** One submitted job as the daemon tracks it. */
@@ -88,24 +151,43 @@ struct ServedJob
     std::string tag;    // client-chosen "id" echo
 };
 
-class Daemon
+/**
+ * One client connection: reads requests from `in`, writes
+ * responses and the event stream to `out`. Owns its event queue,
+ * writer thread and job tables; shares the Session (and so the
+ * compile cache and job-id space) with every other connection of
+ * the daemon's lifetime.
+ */
+class Connection
 {
   public:
-    explicit Daemon(const ServeOptions &opts)
-        : opts_(opts),
-          session_(api::SessionOptions{opts.jobs, true,
-                                       opts.cacheCapacity}),
+    Connection(api::Session &session, const ServeOptions &opts,
+               std::FILE *in, std::FILE *out)
+        : session_(session), in_(in), out_(out),
           events_(opts.queueCapacity),
           writer_([this] { writerMain(); })
     {
     }
 
-    int
+    /** Serve until EOF or shutdown; true = shutdown requested. */
+    bool
     serve()
     {
         std::string line;
         bool shutdown = false;
-        while (!shutdown && std::getline(std::cin, line)) {
+        while (!shutdown) {
+            const ReadLine got = readRequestLine(in_, line);
+            if (got == ReadLine::Eof)
+                break;
+            if (got == ReadLine::Oversized) {
+                // The buffered prefix cannot be valid JSON (it was
+                // cut mid-object), so no op to echo.
+                respondError("?",
+                             "request line exceeds " +
+                                 std::to_string(kMaxLineBytes) +
+                                 " bytes");
+                continue;
+            }
             if (line.empty())
                 continue;
             shutdown = dispatch(line);
@@ -117,18 +199,20 @@ class Daemon
             entry.second.handle.wait();
         events_.close();
         writer_.join();
-        return 0;
+        return shutdown;
     }
 
   private:
-    /** Serialise one stdout line; responses and events share it. */
+    /** Serialise one output line; responses and events share it.
+     *  Write errors (client vanished mid-line) are ignored: the
+     *  read side observes the same death as EOF and unwinds. */
     void
     writeLine(const std::string &line)
     {
-        std::lock_guard<std::mutex> lock(stdoutMu_);
-        std::fputs(line.c_str(), stdout);
-        std::fputc('\n', stdout);
-        std::fflush(stdout);
+        std::lock_guard<std::mutex> lock(outMu_);
+        std::fputs(line.c_str(), out_);
+        std::fputc('\n', out_);
+        std::fflush(out_);
     }
 
     void
@@ -144,17 +228,20 @@ class Daemon
         std::ostringstream os;
         os << "{\"hits\":" << cache.hits
            << ",\"misses\":" << cache.misses
-           << ",\"evictions\":" << cache.evictions << "}";
+           << ",\"evictions\":" << cache.evictions
+           << ",\"store_hits\":" << cache.storeHits
+           << ",\"store_misses\":" << cache.storeMisses
+           << ",\"stores\":" << cache.stores << "}";
         return os.str();
     }
 
     /**
-     * True once this job's `finished` event went to stdout. The
-     * job's results are final from that moment (the event is
-     * emitted after the last cell's slot and status are written),
-     * so requests arriving after the client read the event must
-     * see the job as done even if its worker has not yet ticked
-     * the handle's phase over.
+     * True once this job's `finished` event went out. The job's
+     * results are final from that moment (the event is emitted
+     * after the last cell's slot and status are written), so
+     * requests arriving after the client read the event must see
+     * the job as done even if its worker has not yet ticked the
+     * handle's phase over.
      */
     bool
     finishedWritten(api::JobId id)
@@ -268,7 +355,7 @@ class Daemon
     }
 
     /**
-     * Bound the daemon's tables: keep at most kRetainFinished
+     * Bound the connection's tables: keep at most kRetainFinished
      * finished-but-uncollected jobs (their full SweepResults are
      * resident until collected), dropping the oldest first. A
      * monitoring client that only consumes the event stream and
@@ -488,16 +575,100 @@ class Daemon
         writeLine(os.str());
     }
 
-    ServeOptions opts_;
-    api::Session session_;
+    api::Session &session_;
+    std::FILE *in_;
+    std::FILE *out_;
     api::BoundedEventQueue events_;
-    std::mutex stdoutMu_;
+    std::mutex outMu_;
     std::mutex finishedMu_;
-    /** Jobs whose finished event already went to stdout. */
+    /** Jobs whose finished event already went out. */
     std::set<api::JobId> finished_;
     std::map<api::JobId, ServedJob> jobs_;
     std::thread writer_;
 };
+
+/** stdio transport: one connection, EOF ends the daemon. */
+int
+serveStdio(api::Session &session, const ServeOptions &opts)
+{
+    Connection conn(session, opts, stdin, stdout);
+    conn.serve();
+    return 0;
+}
+
+/**
+ * Unix-socket transport: accept connections one at a time forever
+ * (pending clients queue in the listen backlog), ending only on a
+ * `shutdown` request. A vanished client ends its connection, not
+ * the daemon — the coordinator relies on daemons outliving any
+ * one sweep.
+ */
+int
+serveSocket(api::Session &session, const ServeOptions &opts)
+{
+    // A client that disconnects mid-write must error the write,
+    // not kill the daemon.
+    std::signal(SIGPIPE, SIG_IGN);
+
+    sockaddr_un addr = {};
+    if (opts.listenPath.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "--listen path too long: %s\n",
+                     opts.listenPath.c_str());
+        return 2;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::perror("socket");
+        return 2;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts.listenPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts.listenPath.c_str());    // stale socket from a crash
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+        std::fprintf(stderr, "cannot listen on %s: %s\n",
+                     opts.listenPath.c_str(), std::strerror(errno));
+        ::close(fd);
+        return 2;
+    }
+    std::fprintf(stderr, "wivliw_serve: listening on %s\n",
+                 opts.listenPath.c_str());
+
+    bool shutdown = false;
+    while (!shutdown) {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0) {
+            if (errno == EINTR)
+                continue;
+            std::perror("accept");
+            break;
+        }
+        // Distinct FILE streams (separate buffers) over one fd:
+        // reads and writes interleave freely.
+        std::FILE *in = ::fdopen(conn, "r");
+        std::FILE *out = ::fdopen(::dup(conn), "w");
+        if (!in || !out) {
+            if (in)
+                std::fclose(in);
+            else
+                ::close(conn);
+            if (out)
+                std::fclose(out);
+            continue;
+        }
+        {
+            Connection c(session, opts, in, out);
+            shutdown = c.serve();
+        }
+        std::fclose(out);
+        std::fclose(in);
+    }
+    ::close(fd);
+    ::unlink(opts.listenPath.c_str());
+    return 0;
+}
 
 } // namespace
 
@@ -524,12 +695,23 @@ main(int argc, char **argv)
             }
             return n;
         };
+        auto path = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage(2);
+            }
+            return argv[++i];
+        };
         if (arg == "--jobs")
             opts.jobs = int(count("--jobs"));
         else if (arg == "--cache-capacity")
             opts.cacheCapacity = std::size_t(count("--cache-capacity"));
         else if (arg == "--queue")
             opts.queueCapacity = std::size_t(count("--queue"));
+        else if (arg == "--store")
+            opts.storeDir = path("--store");
+        else if (arg == "--listen")
+            opts.listenPath = path("--listen");
         else if (arg == "--version") {
             std::printf("%s\n", libraryVersionLine().c_str());
             return 0;
@@ -545,6 +727,9 @@ main(int argc, char **argv)
         usage(2);
     }
 
-    Daemon daemon(opts);
-    return daemon.serve();
+    api::Session session(api::SessionOptions{
+        opts.jobs, true, opts.cacheCapacity, opts.storeDir});
+    if (!opts.listenPath.empty())
+        return serveSocket(session, opts);
+    return serveStdio(session, opts);
 }
