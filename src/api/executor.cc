@@ -1,13 +1,28 @@
 #include "executor.hh"
 
 #include <algorithm>
+#include <sstream>
 
 namespace vliw::api::detail {
 
 AsyncExecutor::AsyncExecutor(engine::ExperimentEngine &engine,
-                             int threads)
-    : engine_(engine), pool_(std::max(1, threads))
+                             int threads, AdmissionLimits limits)
+    : engine_(engine), limits_(limits), pool_(std::max(1, threads))
 {
+}
+
+AsyncExecutor::~AsyncExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lock(dlMu_);
+        dlStop_ = true;
+    }
+    dlCv_.notify_all();
+    if (dlThread_.joinable())
+        dlThread_.join();
+    // pool_ is the last member: its destructor now drains every
+    // queued cell. Deadlines that pass during that drain are not
+    // enforced — teardown already implies no one is waiting.
 }
 
 void
@@ -28,6 +43,22 @@ AsyncExecutor::emit(const std::shared_ptr<JobCore> &core,
     }
 }
 
+namespace {
+
+Status
+overloadedStatus(const char *kind, int depth, int limit)
+{
+    std::ostringstream msg;
+    msg << "session is overloaded: " << depth << " " << kind
+        << " queued, limit " << limit << "; retry after backoff";
+    std::ostringstream ctx;
+    ctx << "kind=" << kind << " depth=" << depth
+        << " limit=" << limit;
+    return Status::overloaded(msg.str(), ctx.str());
+}
+
+} // namespace
+
 std::shared_ptr<JobCore>
 AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
                       bool isSweep, const SubmitOptions &opts,
@@ -44,6 +75,34 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
     core->experiments.resize(core->specs.size());
     for (std::size_t i = 0; i < core->specs.size(); ++i)
         core->experiments[i].spec = core->specs[i];
+
+    // Admission control: a well-formed job must also fit under the
+    // session's queue-depth limits or it is shed right here, before
+    // anything is enqueued. The check-then-admit step is serialised
+    // so two concurrent submits cannot both pass a nearly-full
+    // limit; the counters themselves are atomics so the hot retire
+    // path never takes admitMu_.
+    if (rejected.ok() && core->total > 0) {
+        std::lock_guard<std::mutex> admitLock(admitMu_);
+        const int jobsNow =
+            activeJobs_.load(std::memory_order_relaxed);
+        const int cellsNow =
+            queuedCells_.load(std::memory_order_relaxed);
+        if (limits_.maxQueuedJobs > 0 &&
+            jobsNow >= limits_.maxQueuedJobs) {
+            rejected = overloadedStatus("jobs", jobsNow,
+                                        limits_.maxQueuedJobs);
+        } else if (limits_.maxQueuedCells > 0 &&
+                   cellsNow + core->total >
+                       limits_.maxQueuedCells) {
+            rejected = overloadedStatus("cells", cellsNow,
+                                        limits_.maxQueuedCells);
+        } else {
+            activeJobs_.fetch_add(1, std::memory_order_relaxed);
+            queuedCells_.fetch_add(core->total,
+                                   std::memory_order_relaxed);
+        }
+    }
 
     JobEvent accepted;
     accepted.kind = EventKind::JobAccepted;
@@ -74,6 +133,14 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
         return core;
     }
 
+    if (opts.deadlineMs > 0) {
+        core->hasDeadline = true;
+        core->deadlineAt =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(opts.deadlineMs);
+        armDeadline(core);
+    }
+
     {
         std::lock_guard<std::mutex> emitLock(core->emitMu);
         emit(core, accepted);
@@ -95,6 +162,64 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
 }
 
 void
+AsyncExecutor::armDeadline(const std::shared_ptr<JobCore> &core)
+{
+    std::lock_guard<std::mutex> lock(dlMu_);
+    dlQueue_.emplace_back(core->deadlineAt, core);
+    if (!dlThread_.joinable())
+        dlThread_ = std::thread([this] { watchdogMain(); });
+    dlCv_.notify_all();
+}
+
+void
+AsyncExecutor::watchdogMain()
+{
+    std::unique_lock<std::mutex> lock(dlMu_);
+    while (!dlStop_) {
+        if (dlQueue_.empty()) {
+            dlCv_.wait(lock, [this] {
+                return dlStop_ || !dlQueue_.empty();
+            });
+            continue;
+        }
+        auto earliest = dlQueue_.front().first;
+        for (const auto &entry : dlQueue_)
+            earliest = std::min(earliest, entry.first);
+        dlCv_.wait_until(lock, earliest);
+        if (dlStop_)
+            break;
+
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<std::shared_ptr<JobCore>> fired;
+        auto keep = dlQueue_.begin();
+        for (auto &entry : dlQueue_) {
+            if (entry.first > now) {
+                *keep++ = std::move(entry);
+                continue;
+            }
+            if (auto core = entry.second.lock())
+                fired.push_back(std::move(core));
+            // Dead weak_ptrs (job already destroyed) just drop.
+        }
+        dlQueue_.erase(keep, dlQueue_.end());
+
+        // Fire outside dlMu_: coreCancel takes the job's own mutex
+        // and nothing here may nest the two.
+        lock.unlock();
+        for (const auto &core : fired) {
+            if (corePoll(*core) == JobPhase::Done)
+                continue;
+            // deadlineHit first: the epilogue reads it only after
+            // observing the cancel flag's effects.
+            core->deadlineHit.store(true,
+                                    std::memory_order_relaxed);
+            coreCancel(*core);
+        }
+        lock.lock();
+    }
+}
+
+void
 AsyncExecutor::enqueueCell(const std::shared_ptr<JobCore> &core,
                            int cell)
 {
@@ -109,6 +234,16 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
         std::lock_guard<std::mutex> lock(core->mu);
         if (core->phase == JobPhase::Queued)
             core->phase = JobPhase::Running;
+    }
+
+    // Belt-and-braces deadline check: a cell that waited in the
+    // queue past the deadline must not start even if the watchdog
+    // has not fired yet.
+    if (core->hasDeadline &&
+        !core->cancelRequested.load(std::memory_order_relaxed) &&
+        std::chrono::steady_clock::now() >= core->deadlineAt) {
+        core->deadlineHit.store(true, std::memory_order_relaxed);
+        coreCancel(*core);
     }
 
     engine::ExperimentResult result;
@@ -173,6 +308,9 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
                 topUp = core->nextCell++;
             }
         }
+        queuedCells_.fetch_sub(1, std::memory_order_relaxed);
+        if (last)
+            activeJobs_.fetch_sub(1, std::memory_order_relaxed);
 
         // Event construction allocates (labels, stats copies); a
         // bad_alloc here must not skip the accounting below or the
@@ -207,13 +345,20 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
 
         if (last) {
             try {
+                const bool deadline = core->deadlineHit.load(
+                    std::memory_order_relaxed);
                 const bool cancelled = core->cancelRequested.load(
                     std::memory_order_relaxed);
                 Status final =
-                    cancelled
-                        ? Status::cancelled(
-                              "job cancelled; partial results kept")
-                        : Status();
+                    deadline
+                        ? Status::deadlineExceeded(
+                              "job deadline exceeded; partial "
+                              "results kept")
+                        : cancelled
+                            ? Status::cancelled(
+                                  "job cancelled; partial results "
+                                  "kept")
+                            : Status();
                 JobEvent finished;
                 finished.kind = EventKind::JobFinished;
                 finished.status = final;

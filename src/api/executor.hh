@@ -15,12 +15,27 @@
  * the total. None of this machinery can change a result value:
  * cells write only their own slot and derive all randomness from
  * their spec (the engine's determinism contract).
+ *
+ * Overload safety: session-wide admission limits
+ * (AdmissionLimits, wired from SessionOptions) bound how much work
+ * may be queued at once. A submission over the limit is born Done
+ * with StatusCode::Overloaded — nothing is enqueued — so a serving
+ * frontend sheds load with a structured error instead of buffering
+ * without bound. Deadlines (SubmitOptions::deadlineMs) are
+ * enforced by a lazily-started watchdog thread that raises the
+ * job's cooperative cancel flag when the deadline passes; the
+ * normal cancel drain then finishes the job with
+ * StatusCode::DeadlineExceeded and its partial results.
  */
 
 #ifndef WIVLIW_API_EXECUTOR_HH
 #define WIVLIW_API_EXECUTOR_HH
 
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "api/jobs.hh"
@@ -29,19 +44,31 @@
 
 namespace vliw::api::detail {
 
+/** Session-wide queue-depth bounds; 0 disables a limit. */
+struct AdmissionLimits
+{
+    /** Max unretired cells across all admitted jobs. */
+    int maxQueuedCells = 0;
+    /** Max jobs admitted but not yet Done. */
+    int maxQueuedJobs = 0;
+};
+
 class AsyncExecutor
 {
   public:
-    AsyncExecutor(engine::ExperimentEngine &engine, int threads);
+    AsyncExecutor(engine::ExperimentEngine &engine, int threads,
+                  AdmissionLimits limits = {});
 
     /** Drains every queued cell, then joins the pool. */
-    ~AsyncExecutor() = default;
+    ~AsyncExecutor();
 
     /**
      * Admit one job over @p specs (already validated/resolved).
      * When @p rejected is an error the job is born Done carrying
      * it — submission itself never fails, bad requests surface
-     * through take() and the JobFinished event.
+     * through take() and the JobFinished event. An over-limit
+     * submission is born Done with StatusCode::Overloaded the same
+     * way.
      */
     std::shared_ptr<JobCore>
     submit(std::vector<engine::ExperimentSpec> specs, bool isSweep,
@@ -52,15 +79,49 @@ class AsyncExecutor
 
     int threadCount() const { return pool_.threadCount(); }
 
+    /** Unretired cells across admitted jobs (observability). */
+    int queuedCells() const
+    {
+        return queuedCells_.load(std::memory_order_relaxed);
+    }
+
+    /** Admitted jobs not yet Done (observability). */
+    int activeJobs() const
+    {
+        return activeJobs_.load(std::memory_order_relaxed);
+    }
+
   private:
     void runCell(const std::shared_ptr<JobCore> &core, int cell);
     void enqueueCell(const std::shared_ptr<JobCore> &core, int cell);
     /** Deliver one event, absorbing sink exceptions. */
     static void emit(const std::shared_ptr<JobCore> &core,
                      JobEvent event);
+    /** Register @p core with the deadline watchdog. */
+    void armDeadline(const std::shared_ptr<JobCore> &core);
+    void watchdogMain();
 
     engine::ExperimentEngine &engine_;
     std::atomic<JobId> nextId_{1};
+
+    const AdmissionLimits limits_;
+    /** Serialises the check-then-admit step so concurrent submits
+     *  cannot both squeeze past a nearly-full limit. */
+    std::mutex admitMu_;
+    std::atomic<int> queuedCells_{0};
+    std::atomic<int> activeJobs_{0};
+
+    /** Deadline watchdog: jobs with a deadline, earliest first.
+     *  The thread starts lazily on the first armed deadline and is
+     *  joined by the destructor before the pool drains. */
+    std::mutex dlMu_;
+    std::condition_variable dlCv_;
+    std::vector<std::pair<std::chrono::steady_clock::time_point,
+                          std::weak_ptr<JobCore>>>
+        dlQueue_;
+    bool dlStop_ = false;
+    std::thread dlThread_;
+
     /** Last member: its destructor drains cells that still
      *  reference the fields above. */
     engine::WorkerPool pool_;

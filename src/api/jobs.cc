@@ -60,6 +60,15 @@ coreCancel(JobCore &core)
         core.phase = JobPhase::Cancelling;
 }
 
+std::optional<Status>
+coreFinalStatus(const JobCore &core)
+{
+    std::lock_guard<std::mutex> lock(core.mu);
+    if (core.phase != JobPhase::Done)
+        return std::nullopt;
+    return core.finalStatus;
+}
+
 Status
 cellStatus(const engine::ExperimentResult &result)
 {
@@ -94,6 +103,14 @@ takeable(JobCore &core)
     return Status();
 }
 
+/** True for terminal codes that leave partial results valid. */
+bool
+keepsPartialResults(StatusCode code)
+{
+    return code == StatusCode::Cancelled ||
+           code == StatusCode::DeadlineExceeded;
+}
+
 } // namespace
 
 template <>
@@ -103,12 +120,18 @@ coreTake<RunResult>(JobCore &core)
     if (Status s = takeable(core); !s.ok())
         return s;
     if (!core.finalStatus.ok() &&
-        core.finalStatus.code() != StatusCode::Cancelled) {
+        !keepsPartialResults(core.finalStatus.code())) {
         return core.finalStatus;    // rejected at submission
     }
     vliw_assert(core.experiments.size() == 1,
                 "run job with ", core.experiments.size(), " cells");
     engine::ExperimentResult &cell = core.experiments.front();
+    // A cell skipped because the deadline fired reports the job's
+    // DeadlineExceeded, not the generic per-cell Cancelled.
+    if (cell.failed() && cell.cancelled &&
+        core.finalStatus.code() == StatusCode::DeadlineExceeded) {
+        return core.finalStatus;
+    }
     if (Status s = cellStatus(cell); !s.ok())
         return s;
     return RunResult{std::move(cell)};
@@ -121,7 +144,7 @@ coreTake<SweepResult>(JobCore &core)
     if (Status s = takeable(core); !s.ok())
         return s;
     if (!core.finalStatus.ok() &&
-        core.finalStatus.code() != StatusCode::Cancelled) {
+        !keepsPartialResults(core.finalStatus.code())) {
         return core.finalStatus;    // rejected at submission
     }
     SweepResult out;

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "api/events.hh"
@@ -69,6 +70,15 @@ struct SubmitOptions
      * session's pool.
      */
     int maxInFlight = 0;
+    /**
+     * Wall-clock budget for the whole job (0 = none). Enforced
+     * cooperatively through the same flag cancel() raises: workers
+     * check it between the compile and simulate phases and inside
+     * the scheduler's II-retry loop, so no cell is interrupted
+     * mid-phase. Cells that finished in time stay valid and the job
+     * completes with StatusCode::DeadlineExceeded.
+     */
+    int deadlineMs = 0;
 };
 
 namespace detail {
@@ -91,6 +101,12 @@ struct JobCore
 
     /** The cooperative cancellation flag the workers poll. */
     std::atomic<bool> cancelRequested{false};
+    /** Set by the deadline watchdog before it raises the cancel
+     *  flag, so the epilogue can tell a deadline from a cancel. */
+    std::atomic<bool> deadlineHit{false};
+    /** Absolute deadline; meaningful only when hasDeadline. */
+    std::chrono::steady_clock::time_point deadlineAt{};
+    bool hasDeadline = false;
 
     std::mutex emitMu;
     mutable std::mutex mu;
@@ -112,6 +128,7 @@ bool coreWaitFor(JobCore &core, std::chrono::milliseconds timeout);
 JobPhase corePoll(const JobCore &core);
 Progress coreProgress(const JobCore &core);
 void coreCancel(JobCore &core);
+std::optional<Status> coreFinalStatus(const JobCore &core);
 
 /** Map one retired cell to the Status a caller would see. */
 Status cellStatus(const engine::ExperimentResult &result);
@@ -183,6 +200,19 @@ class JobHandle
     cancel()
     {
         detail::coreCancel(*core_);
+    }
+
+    /**
+     * Peek at the job's final Status without consuming the result:
+     * nullopt while the job is still running, the terminal Status
+     * once it is Done. Lets a server distinguish an admission
+     * rejection (StatusCode::Overloaded on a born-done job) from a
+     * job it should track, before any take().
+     */
+    std::optional<Status>
+    finalStatus() const
+    {
+        return detail::coreFinalStatus(*core_);
     }
 
     /**

@@ -83,7 +83,9 @@ struct Session::Impl
           engine(engine::EngineOptions{o.jobs, o.compileCache,
                                        o.cacheCapacity,
                                        makeStore(o)}),
-          executor(engine, o.jobs)
+          executor(engine, o.jobs,
+                   detail::AdmissionLimits{o.maxQueuedCells,
+                                           o.maxQueuedJobs})
     {
     }
 

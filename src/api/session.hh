@@ -83,6 +83,17 @@ struct SessionOptions
      * a warning on stderr — it never fails session construction.
      */
     std::string storeDir;
+    /**
+     * Admission control: max unretired cells queued across all
+     * admitted jobs (0 = unbounded). A submit that would exceed it
+     * comes back as a job born Done with StatusCode::Overloaded
+     * (depth and limit in the status context) instead of buffering
+     * without bound.
+     */
+    int maxQueuedCells = 0;
+    /** Admission control: max concurrently admitted (not yet Done)
+     *  jobs (0 = unbounded); rejections as for maxQueuedCells. */
+    int maxQueuedJobs = 0;
 };
 
 /**

@@ -15,6 +15,8 @@ statusCodeName(StatusCode code)
       case StatusCode::FailedPrecondition: return "failed-precondition";
       case StatusCode::Internal:           return "internal";
       case StatusCode::Cancelled:          return "cancelled";
+      case StatusCode::Overloaded:         return "overloaded";
+      case StatusCode::DeadlineExceeded:   return "deadline-exceeded";
     }
     return "?";
 }

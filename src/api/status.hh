@@ -40,6 +40,13 @@ enum class StatusCode
     /** The caller cancelled the job; completed partial results
      *  (delivered next to this status) remain valid. */
     Cancelled,
+    /** Admission control rejected the submission because the
+     *  session's queue-depth limit is reached; the context carries
+     *  the current depth and the limit. Retry after backing off. */
+    Overloaded,
+    /** The job's deadline passed before it finished; like Cancelled,
+     *  completed partial results remain valid. */
+    DeadlineExceeded,
 };
 
 const char *statusCodeName(StatusCode code);
@@ -81,6 +88,20 @@ class [[nodiscard]] Status
     {
         return error(StatusCode::Cancelled, std::move(message),
                      std::move(context));
+    }
+
+    static Status
+    overloaded(std::string message, std::string context = "")
+    {
+        return error(StatusCode::Overloaded, std::move(message),
+                     std::move(context));
+    }
+
+    static Status
+    deadlineExceeded(std::string message, std::string context = "")
+    {
+        return error(StatusCode::DeadlineExceeded,
+                     std::move(message), std::move(context));
     }
 
     bool ok() const { return code_ == StatusCode::Ok; }

@@ -1,0 +1,60 @@
+#include "backoff.hh"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "support/blob.hh"
+
+namespace vliw::dist {
+
+Backoff::Backoff(const BackoffPolicy &policy, Sleeper sleeper)
+    : policy_(policy), sleeper_(std::move(sleeper))
+{
+    if (!sleeper_) {
+        sleeper_ = [](int ms) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(ms));
+        };
+    }
+}
+
+int
+Backoff::delayMs(int attempt, std::uint64_t stream) const
+{
+    if (attempt < 1)
+        attempt = 1;
+    const double base = std::max(1, policy_.baseMs);
+    const double mult = policy_.multiplier < 1.0
+                            ? 1.0
+                            : policy_.multiplier;
+    double ceil = base * std::pow(mult, double(attempt - 1));
+    ceil = std::min(ceil, double(std::max(1, policy_.capMs)));
+
+    // Upper-half jitter: delay in [ceil/2, ceil]. The decision is
+    // a pure hash, so schedules replay exactly for a given (seed,
+    // stream) while distinct streams spread out.
+    const auto mix = [](std::uint64_t value, std::uint64_t h) {
+        return blob::fnv1a64(
+            std::string_view(reinterpret_cast<const char *>(&value),
+                             sizeof value),
+            h);
+    };
+    std::uint64_t h = mix(policy_.seed, 0xCBF29CE484222325ull);
+    h = mix(stream, h);
+    h = mix(std::uint64_t(attempt), h);
+    const int whole = int(ceil);
+    const int half = whole / 2;
+    const int span = whole - half;     // >= 0
+    return half + int(h % std::uint64_t(span + 1));
+}
+
+void
+Backoff::sleepFor(int attempt, std::uint64_t stream) const
+{
+    const int ms = delayMs(attempt, stream);
+    if (ms > 0)
+        sleeper_(ms);
+}
+
+} // namespace vliw::dist

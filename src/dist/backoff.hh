@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Capped exponential backoff with deterministic jitter, for retry
+ * loops that must be testable without wall-clock sleeps.
+ *
+ * delayMs(attempt) for attempt = 1, 2, ... grows the base delay
+ * exponentially up to the cap, then jitters it into the upper half
+ * of the window ([ceil/2, ceil]) so a fleet of retriers spreads
+ * out instead of thundering back in lockstep. The jitter is a pure
+ * hash of (seed, stream, attempt) — no global RNG state — so the
+ * same policy, seed and stream always produce the same schedule
+ * (reproducible runs, byte-identical merged sweeps) while
+ * different streams (e.g. different sweep cells) decorrelate.
+ *
+ * sleepFor() runs the schedule through an injectable Sleeper; unit
+ * tests pass a virtual clock that records delays instead of
+ * sleeping.
+ */
+
+#ifndef WIVLIW_DIST_BACKOFF_HH
+#define WIVLIW_DIST_BACKOFF_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+namespace vliw::dist {
+
+/** Retry schedule knobs; defaults fit daemon-overload retries. */
+struct BackoffPolicy
+{
+    /** First retry's delay ceiling, milliseconds. */
+    int baseMs = 25;
+    /** Ceiling the exponential growth saturates at. */
+    int capMs = 2000;
+    /** Growth factor per attempt. */
+    double multiplier = 2.0;
+    /**
+     * Total attempts per work item, first try included; replaces
+     * the old fixed 3-attempt loop. 0 or negative means 1.
+     */
+    int maxAttempts = 8;
+    /** Jitter seed; same seed = same schedule. */
+    std::uint64_t seed = 0;
+};
+
+class Backoff
+{
+  public:
+    using Sleeper = std::function<void(int ms)>;
+
+    /** Default sleeper is std::this_thread::sleep_for. */
+    explicit Backoff(const BackoffPolicy &policy,
+                     Sleeper sleeper = {});
+
+    const BackoffPolicy &policy() const { return policy_; }
+
+    /**
+     * Delay before retry @p attempt (1 = first retry), jittered
+     * deterministically per (seed, stream, attempt). @p stream
+     * decorrelates independent retriers sharing one policy.
+     */
+    int delayMs(int attempt, std::uint64_t stream = 0) const;
+
+    /** True when @p attempt would exceed the attempt budget. */
+    bool
+    exhausted(int attempt) const
+    {
+        return attempt >= std::max(1, policy_.maxAttempts);
+    }
+
+    /** Sleep (through the injected Sleeper) before @p attempt. */
+    void sleepFor(int attempt, std::uint64_t stream = 0) const;
+
+  private:
+    BackoffPolicy policy_;
+    Sleeper sleeper_;
+};
+
+} // namespace vliw::dist
+
+#endif // WIVLIW_DIST_BACKOFF_HH

@@ -11,6 +11,7 @@
 
 #include "dist/artifact.hh"
 #include "support/blob.hh"
+#include "support/faultpoints.hh"
 
 namespace vliw::dist {
 
@@ -76,7 +77,18 @@ CompileStore::load(const std::string &key) noexcept
         bytes << in.rdbuf();
         if (!in.good() && !in.eof())
             return nullptr;
-        auto decoded = decodeArtifact(bytes.str());
+        std::string raw = bytes.str();
+        const faults::Hit fault = faults::fire("store.load");
+        if (fault.action == faults::Action::Error)
+            return nullptr;    // injected read failure = miss
+        if (fault.action == faults::Action::Corrupt && !raw.empty()) {
+            // Injected on-disk corruption: flip one payload byte so
+            // the checksum check below must catch it and degrade to
+            // a recompile — the "accelerator, never oracle" drill.
+            raw[raw.size() / 2] =
+                char(~static_cast<unsigned char>(raw[raw.size() / 2]));
+        }
+        auto decoded = decodeArtifact(raw);
         // Corrupt, stale-version or hash-collided entries are
         // useless to every future run under this key: drop them so
         // the next compile re-publishes a good frame.
@@ -98,6 +110,8 @@ CompileStore::store(const std::string &key,
     try {
         if (!status_.ok())
             return;
+        if (faults::fire("store.store").fired())
+            return;    // injected publication failure
         const std::string path = entryPath(key);
         const std::string tmp = path + tempSuffix();
         {

@@ -75,7 +75,8 @@ struct CellOutcome
     std::string error;
 };
 
-/** Work item: a cell index plus how often transport lost it. */
+/** Work item: a cell index plus how often it bounced back
+ *  (transport loss or overload shed). */
 struct WorkItem
 {
     std::size_t cell = 0;
@@ -87,7 +88,8 @@ struct Shared
 {
     const std::vector<Cell> *cells = nullptr;
     int datasets = 1;
-    int maxAttempts = 3;
+    const CoordinatorOptions *options = nullptr;
+    const Backoff *backoff = nullptr;
     std::mutex mu;
     /** Signalled on queue pushes and in-flight completions, so an
      *  idle worker neither exits while a peer's cell might still
@@ -98,28 +100,45 @@ struct Shared
     std::size_t inFlight = 0;
     std::vector<CellOutcome> outcomes;
     std::size_t retries = 0;
+    std::size_t overloadRetries = 0;
     std::size_t workersLost = 0;
     bool attemptsExhausted = false;
 };
 
-/**
- * Run one cell to retirement over an established connection.
- * False = the connection died (the caller requeues the cell);
- * true = the cell retired, with rows or a deterministic error.
- */
-bool
+/** How one attempt at a cell ended. */
+enum class CellAttempt
+{
+    /** Retired with rows or a deterministic failure. */
+    Retired,
+    /** Connection died; the caller requeues the cell and retires
+     *  this worker. */
+    TransportLost,
+    /** The daemon shed the submission with a structured
+     *  `overloaded` error; the connection is still good — back
+     *  off and retry in place. */
+    Overloaded,
+};
+
+/** Run one cell to retirement over an established connection. */
+CellAttempt
 runCell(NdjsonClient &client, const Cell &cell, int datasets,
         CellOutcome &out)
 {
     if (!client.sendLine(submitLine(cell, datasets)))
-        return false;
+        return CellAttempt::TransportLost;
     const std::optional<json::Value> submitted =
         client.recvResponse();
     if (!submitted)
-        return false;
+        return CellAttempt::TransportLost;
+    if (!submitted->getBool("ok") &&
+        submitted->getString("status") == "overloaded") {
+        // Structured admission rejection: the daemon is healthy
+        // but full. Keep the connection; the caller backs off.
+        return CellAttempt::Overloaded;
+    }
     const std::int64_t job = submitted->getInt("job", -1);
     if (job < 0 || !submitted->getBool("ok"))
-        return false;    // protocol confusion: treat as lost
+        return CellAttempt::TransportLost; // protocol confusion
 
     // Drain the event stream to this job's finished event,
     // remembering any cell-failed message on the way (the result
@@ -128,7 +147,7 @@ runCell(NdjsonClient &client, const Cell &cell, int datasets,
     while (true) {
         const std::optional<std::string> line = client.recvLine();
         if (!line)
-            return false;
+            return CellAttempt::TransportLost;
         const std::optional<json::Value> ev = json::parse(*line);
         if (!ev || !ev->isObject())
             continue;
@@ -143,13 +162,13 @@ runCell(NdjsonClient &client, const Cell &cell, int datasets,
 
     if (!client.sendLine("{\"op\":\"result\",\"job\":" +
                          std::to_string(job) + "}"))
-        return false;
+        return CellAttempt::TransportLost;
     const std::optional<json::Value> result =
         client.recvResponse();
     if (!result)
-        return false;
+        return CellAttempt::TransportLost;
     if (!result->getBool("ok"))
-        return false;
+        return CellAttempt::TransportLost;
 
     out.retired = true;
     const std::string status = result->getString("status");
@@ -157,14 +176,15 @@ runCell(NdjsonClient &client, const Cell &cell, int datasets,
         out.error = status;
         if (!failMessage.empty())
             out.error += ": " + failMessage;
-        return true;    // deterministic failure: zero rows, no retry
+        // Deterministic failure: zero rows, no retry.
+        return CellAttempt::Retired;
     }
     // Strip the per-cell CSV header; retirement re-headers once.
     const std::string csv = result->getString("csv");
     const std::size_t nl = csv.find('\n');
     if (nl != std::string::npos)
         out.rows = csv.substr(nl + 1);
-    return true;
+    return CellAttempt::Retired;
 }
 
 void
@@ -177,7 +197,8 @@ workerMain(Shared &shared, const std::string &endpoint)
     // endpoint dead.
     bool up = false;
     for (int attempt = 0; attempt < 100 && !up; ++attempt) {
-        up = client.connect(endpoint);
+        up = client.connect(endpoint,
+                            shared.options->transportTimeoutMs);
         if (up)
             break;
         {
@@ -208,12 +229,39 @@ workerMain(Shared &shared, const std::string &endpoint)
             shared.queue.pop_front();
             shared.inFlight += 1;
         }
+        // A cell that already bounced (transport loss on a peer,
+        // or an earlier shed) waits out its backoff slot before it
+        // burns another attempt; the jitter stream is the cell
+        // index, so concurrent retriers spread out but any given
+        // (seed, cell, attempt) replays exactly.
+        if (item.attempts > 0)
+            shared.backoff->sleepFor(item.attempts, item.cell);
+
         CellOutcome out;
-        if (runCell(client, (*shared.cells)[item.cell],
-                    shared.datasets, out)) {
+        const CellAttempt got = runCell(
+            client, (*shared.cells)[item.cell], shared.datasets,
+            out);
+        if (got == CellAttempt::Retired) {
             std::lock_guard<std::mutex> lock(shared.mu);
             shared.outcomes[item.cell] = std::move(out);
             shared.inFlight -= 1;
+            shared.cv.notify_all();
+            continue;
+        }
+        if (got == CellAttempt::Overloaded) {
+            // The daemon shed us but is alive: this worker keeps
+            // its connection and the cell goes back on the queue
+            // with one more attempt on the meter.
+            std::lock_guard<std::mutex> lock(shared.mu);
+            shared.inFlight -= 1;
+            item.attempts += 1;
+            shared.overloadRetries += 1;
+            if (item.attempts >=
+                std::max(1, shared.options->backoff.maxAttempts)) {
+                shared.attemptsExhausted = true;
+            } else {
+                shared.queue.push_back(item);
+            }
             shared.cv.notify_all();
             continue;
         }
@@ -225,10 +273,12 @@ workerMain(Shared &shared, const std::string &endpoint)
         shared.inFlight -= 1;
         item.attempts += 1;
         shared.retries += 1;
-        if (item.attempts >= shared.maxAttempts)
+        if (item.attempts >=
+            std::max(1, shared.options->backoff.maxAttempts)) {
             shared.attemptsExhausted = true;
-        else
+        } else {
             shared.queue.push_front(item);
+        }
         shared.cv.notify_all();
     }
     std::lock_guard<std::mutex> lock(shared.mu);
@@ -254,10 +304,12 @@ SweepCoordinator::run(const RemoteSweep &sweep)
     }
 
     const std::vector<Cell> cells = expandCells(sweep);
+    const Backoff backoff(options_.backoff);
     Shared shared;
     shared.cells = &cells;
     shared.datasets = sweep.datasets;
-    shared.maxAttempts = maxAttempts_;
+    shared.options = &options_;
+    shared.backoff = &backoff;
     shared.outcomes.resize(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i)
         shared.queue.push_back(WorkItem{i, 0});
@@ -277,9 +329,10 @@ SweepCoordinator::run(const RemoteSweep &sweep)
     if (shared.attemptsExhausted) {
         return api::Status::error(
             api::StatusCode::Internal,
-            "remote sweep gave up: a cell failed " +
-                std::to_string(maxAttempts_) +
-                " transport attempts");
+            "remote sweep gave up: a cell exhausted its " +
+                std::to_string(
+                    std::max(1, options_.backoff.maxAttempts)) +
+                " attempts (transport losses and overload sheds)");
     }
     if (unretired > 0) {
         return api::Status::error(
@@ -293,6 +346,7 @@ SweepCoordinator::run(const RemoteSweep &sweep)
     RemoteSweepReport report;
     report.cells = cells.size();
     report.retries = shared.retries;
+    report.overloadRetries = shared.overloadRetries;
     report.workersLost = shared.workersLost;
     bool anyRows = false;
     for (const CellOutcome &out : shared.outcomes)

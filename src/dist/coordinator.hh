@@ -17,12 +17,18 @@
  *
  * Fault model: a worker that cannot be reached, dies mid-cell or
  * hangs up simply loses its claim — the cell goes back on the
- * shared queue (bounded attempts) and a surviving worker picks it
- * up. A cell the daemon *completes with a failure status*
- * (compile error, bad name) is deterministic and is not retried:
- * it contributes zero rows, exactly as in a single-node sweep.
- * The coordinator only fails overall when cells remain and no
- * workers survive, or a cell exhausts its attempts.
+ * shared queue and a surviving worker picks it up after a capped,
+ * deterministically-jittered exponential backoff (BackoffPolicy;
+ * this replaced the original fixed 3-attempt loop). A daemon that
+ * sheds the submission with a structured `overloaded` error keeps
+ * its worker, which backs off and retries the same cell in place.
+ * Per-attempt transport timeouts (NdjsonClient) bound how long a
+ * wedged daemon can hold a claim. A cell the daemon *completes
+ * with a failure status* (compile error, bad name) is
+ * deterministic and is not retried: it contributes zero rows,
+ * exactly as in a single-node sweep. The coordinator only fails
+ * overall when cells remain and no workers survive, or a cell
+ * exhausts its attempt budget.
  */
 
 #ifndef WIVLIW_DIST_COORDINATOR_HH
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "api/status.hh"
+#include "dist/backoff.hh"
 
 namespace vliw::dist {
 
@@ -67,8 +74,26 @@ struct RemoteSweepReport
     std::vector<std::string> cellErrors;
     /** Transport-level requeues (dead/hung-up workers). */
     std::size_t retries = 0;
+    /** Submissions a daemon shed with `overloaded` and the
+     *  coordinator retried after backoff. */
+    std::size_t overloadRetries = 0;
     /** Endpoints that were lost along the way. */
     std::size_t workersLost = 0;
+};
+
+/** Fabric knobs for one coordinated sweep. */
+struct CoordinatorOptions
+{
+    /** Retry schedule shared by transport-loss requeues and
+     *  overload-shed retries; maxAttempts bounds both. */
+    BackoffPolicy backoff;
+    /**
+     * Per-attempt transport timeout handed to NdjsonClient (ms);
+     * bounds a single blocked read/write, not a whole cell. 0
+     * disables. Generous by default: gaps between daemon events
+     * can legitimately span a full compile.
+     */
+    int transportTimeoutMs = 30000;
 };
 
 class SweepCoordinator
@@ -77,14 +102,21 @@ class SweepCoordinator
     /**
      * @param endpoints unix-socket paths of the wivliw_serve
      *        workers; at least one.
-     * @param maxAttempts transport-failure attempts per cell
-     *        before the sweep as a whole fails.
      */
     explicit SweepCoordinator(std::vector<std::string> endpoints,
-                              int maxAttempts = 3)
+                              CoordinatorOptions options = {})
         : endpoints_(std::move(endpoints)),
-          maxAttempts_(maxAttempts)
+          options_(std::move(options))
     {
+    }
+
+    /** Convenience: default fabric knobs with a custom per-cell
+     *  attempt budget (tests mostly want just this). */
+    SweepCoordinator(std::vector<std::string> endpoints,
+                     int maxAttempts)
+        : endpoints_(std::move(endpoints))
+    {
+        options_.backoff.maxAttempts = maxAttempts;
     }
 
     /**
@@ -97,7 +129,7 @@ class SweepCoordinator
 
   private:
     std::vector<std::string> endpoints_;
-    int maxAttempts_;
+    CoordinatorOptions options_;
 };
 
 } // namespace vliw::dist

@@ -3,13 +3,16 @@
 #include <cerrno>
 #include <cstring>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "support/faultpoints.hh"
 
 namespace vliw::dist {
 
 bool
-NdjsonClient::connect(const std::string &path)
+NdjsonClient::connect(const std::string &path, int recvTimeoutMs)
 {
     close();
     sockaddr_un addr = {};
@@ -25,6 +28,16 @@ NdjsonClient::connect(const std::string &path)
                   sizeof(addr)) != 0) {
         ::close(fd);
         return false;
+    }
+    if (recvTimeoutMs > 0) {
+        // Per-attempt transport timeout on both directions: a
+        // wedged daemon shows up as a failed read/write within
+        // this bound instead of hanging a worker forever.
+        timeval tv = {};
+        tv.tv_sec = recvTimeoutMs / 1000;
+        tv.tv_usec = (recvTimeoutMs % 1000) * 1000;
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
     }
     in_ = ::fdopen(fd, "r");
     if (!in_) {
@@ -54,6 +67,12 @@ NdjsonClient::sendLine(const std::string &line)
 {
     if (fd_ < 0)
         return false;
+    if (faults::fire("client.send").fired()) {
+        // Injected transport loss: indistinguishable from a daemon
+        // hangup, so it exercises exactly the retry path.
+        close();
+        return false;
+    }
     std::string framed = line;
     framed.push_back('\n');
     std::size_t sent = 0;
@@ -77,6 +96,10 @@ NdjsonClient::readSocketLine()
 {
     if (!in_)
         return std::nullopt;
+    if (faults::fire("client.recv").fired()) {
+        close();
+        return std::nullopt;
+    }
     std::string line;
     int c;
     while ((c = std::fgetc(in_)) != EOF) {

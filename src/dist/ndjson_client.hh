@@ -38,8 +38,14 @@ class NdjsonClient
      * Connect to the unix socket at @p path. False on failure
      * (daemon not up yet, path wrong); the client stays closed
      * and reusable for another attempt.
+     *
+     * @p recvTimeoutMs > 0 arms a per-attempt transport timeout
+     * (SO_RCVTIMEO/SO_SNDTIMEO): a single blocking read or write
+     * stuck longer than this fails the call, which callers treat
+     * exactly like a hangup — close, retry elsewhere. 0 keeps the
+     * old block-forever behaviour.
      */
-    bool connect(const std::string &path);
+    bool connect(const std::string &path, int recvTimeoutMs = 0);
 
     bool connected() const { return in_ != nullptr; }
 

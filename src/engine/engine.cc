@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "engine/worker_pool.hh"
+#include "support/faultpoints.hh"
 #include "workloads/mediabench.hh"
 
 namespace vliw::engine {
@@ -40,6 +41,11 @@ runExperiment(const ExperimentSpec &spec, CompileCache *cache,
 {
     ExperimentResult result;
     result.spec = spec;
+
+    // Delay-only test seam, fired before the first cancellation
+    // check so an injected slow cell still honours deadlines and
+    // cancels cooperatively. Timing only — never results.
+    faults::fire("engine.cell");
 
     // The effective cancellation token: the hooks' token when the
     // caller provided one, else whatever rode in on the spec's own

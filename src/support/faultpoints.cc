@@ -1,0 +1,329 @@
+#include "faultpoints.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string_view>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "support/blob.hh"
+
+namespace vliw::faults {
+
+const char *
+actionName(Action action)
+{
+    switch (action) {
+      case Action::None:       return "none";
+      case Action::Delay:      return "delay";
+      case Action::Error:      return "error";
+      case Action::Disconnect: return "disconnect";
+      case Action::Corrupt:    return "corrupt";
+    }
+    return "?";
+}
+
+namespace {
+
+struct Point
+{
+    Action action = Action::None;
+    int delayMs = 0;
+    std::uint64_t every = 1;
+    std::uint64_t limit = 0;   // 0 = unlimited
+    std::uint64_t percent = 100;
+    std::uint64_t seed = 0;
+    std::uint64_t occurrences = 0;
+    std::uint64_t fires = 0;
+};
+
+struct Registry
+{
+    std::mutex mu;
+    std::map<std::string, Point> points;
+    /** Fast-path gate: fire() returns immediately when 0. */
+    std::atomic<int> armedCount{0};
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+/** Deterministic percent decision for (seed, point, occurrence). */
+bool
+percentFires(const Point &p, const std::string &name,
+             std::uint64_t occurrence)
+{
+    if (p.percent >= 100)
+        return true;
+    std::uint64_t h = blob::fnv1a64(name, p.seed);
+    h = blob::fnv1a64(
+        std::string_view(reinterpret_cast<const char *>(&occurrence),
+                         sizeof occurrence),
+        h);
+    return h % 100 < p.percent;
+}
+
+bool
+parseU64(const std::string &text, std::uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        value = value * 10 + std::uint64_t(c - '0');
+    }
+    *out = value;
+    return true;
+}
+
+bool
+parseEntry(const std::string &entry, std::string *name,
+           Point *point, std::string *error)
+{
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+        if (error)
+            *error = "expected point=action in '" + entry + "'";
+        return false;
+    }
+    *name = entry.substr(0, eq);
+    std::string rest = entry.substr(eq + 1);
+
+    // Split off the modifier suffix: everything from the first of
+    // '@', '*', '%', '~' on.
+    const std::size_t modAt = rest.find_first_of("@*%~");
+    std::string actionTok = rest.substr(0, modAt);
+    std::string mods =
+        modAt == std::string::npos ? "" : rest.substr(modAt);
+
+    if (actionTok.rfind("delay:", 0) == 0) {
+        std::uint64_t ms = 0;
+        if (!parseU64(actionTok.substr(6), &ms)) {
+            if (error)
+                *error = "bad delay milliseconds in '" + entry + "'";
+            return false;
+        }
+        point->action = Action::Delay;
+        point->delayMs = int(ms);
+    } else if (actionTok == "error") {
+        point->action = Action::Error;
+    } else if (actionTok == "disconnect") {
+        point->action = Action::Disconnect;
+    } else if (actionTok == "corrupt") {
+        point->action = Action::Corrupt;
+    } else {
+        if (error) {
+            *error = "unknown action '" + actionTok + "' in '" +
+                     entry + "' (want delay:MS, error, "
+                     "disconnect or corrupt)";
+        }
+        return false;
+    }
+
+    while (!mods.empty()) {
+        const char kind = mods[0];
+        std::size_t next = mods.find_first_of("@*%~", 1);
+        std::string arg = mods.substr(1, next == std::string::npos
+                                             ? std::string::npos
+                                             : next - 1);
+        mods = next == std::string::npos ? "" : mods.substr(next);
+        std::uint64_t value = 0;
+        if (!parseU64(arg, &value)) {
+            if (error) {
+                *error = std::string("bad '") + kind +
+                         "' modifier in '" + entry + "'";
+            }
+            return false;
+        }
+        switch (kind) {
+          case '@':
+            if (value == 0) {
+                if (error)
+                    *error = "'@0' is meaningless in '" + entry + "'";
+                return false;
+            }
+            point->every = value;
+            break;
+          case '*': point->limit = value; break;
+          case '%':
+            if (value > 100) {
+                if (error) {
+                    *error = "percent above 100 in '" + entry + "'";
+                }
+                return false;
+            }
+            point->percent = value;
+            break;
+          case '~': point->seed = value; break;
+        }
+    }
+    return true;
+}
+
+/** Parse + install, shared by arm() and the env loader (which
+ *  must not re-enter arm()'s own ensureEnvLoaded call_once). */
+bool
+armImpl(const std::string &spec, std::string *error)
+{
+    // Parse the whole spec before touching the registry so a bad
+    // entry cannot leave it half-armed.
+    std::map<std::string, Point> parsed;
+    std::size_t start = 0;
+    while (start <= spec.size()) {
+        std::size_t end = spec.find_first_of(",;", start);
+        if (end == std::string::npos)
+            end = spec.size();
+        std::string entry = spec.substr(start, end - start);
+        start = end + 1;
+        if (entry.empty())
+            continue;
+        std::string name;
+        Point point;
+        if (!parseEntry(entry, &name, &point, error))
+            return false;
+        std::uint64_t envSeed = 0;
+        if (const char *s = std::getenv("WIVLIW_FAULT_SEED"))
+            parseU64(s, &envSeed);
+        if (point.seed == 0)
+            point.seed = envSeed;
+        parsed[name] = point;
+    }
+    if (parsed.empty())
+        return true;
+
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto &entry : parsed)
+        reg.points[entry.first] = entry.second;
+    reg.armedCount.store(int(reg.points.size()),
+                         std::memory_order_relaxed);
+    return true;
+}
+
+/** Arm WIVLIW_FAULTS once, before the first fire()/describe(). */
+void
+ensureEnvLoaded()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *spec = std::getenv("WIVLIW_FAULTS");
+        if (!spec || !*spec)
+            return;
+        std::string error;
+        if (!armImpl(spec, &error)) {
+            // A typo in the env var must be loud, not silently
+            // fault-free; but never fatal.
+            std::fprintf(stderr,
+                         "wivliw: ignoring WIVLIW_FAULTS: %s\n",
+                         error.c_str());
+        }
+    });
+}
+
+} // namespace
+
+Hit
+fire(const char *point)
+{
+    ensureEnvLoaded();
+    Registry &reg = registry();
+    if (reg.armedCount.load(std::memory_order_relaxed) == 0)
+        return Hit{};
+
+    int delayMs = 0;
+    Hit hit;
+    {
+        std::lock_guard<std::mutex> lock(reg.mu);
+        auto it = reg.points.find(point);
+        if (it == reg.points.end())
+            return Hit{};
+        Point &p = it->second;
+        const std::uint64_t occurrence = ++p.occurrences;
+        if (p.limit != 0 && p.fires >= p.limit)
+            return Hit{};
+        if (occurrence % p.every != 0)
+            return Hit{};
+        if (!percentFires(p, it->first, occurrence))
+            return Hit{};
+        p.fires += 1;
+        hit.action = p.action;
+        delayMs = p.delayMs;
+    }
+    // Sleep outside the registry lock so a long delay on one point
+    // cannot stall fire() calls elsewhere.
+    if (hit.action == Action::Delay && delayMs > 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
+    return hit;
+}
+
+bool
+arm(const std::string &spec, std::string *error)
+{
+    ensureEnvLoaded();
+    return armImpl(spec, error);
+}
+
+void
+disarm()
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    reg.points.clear();
+    reg.armedCount.store(0, std::memory_order_relaxed);
+}
+
+bool
+anyArmed()
+{
+    ensureEnvLoaded();
+    return registry().armedCount.load(std::memory_order_relaxed) > 0;
+}
+
+std::string
+describe()
+{
+    ensureEnvLoaded();
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &entry : reg.points) {
+        const Point &p = entry.second;
+        if (!first)
+            os << "\n";
+        first = false;
+        os << entry.first << "=" << actionName(p.action);
+        if (p.action == Action::Delay)
+            os << ":" << p.delayMs;
+        if (p.every != 1)
+            os << "@" << p.every;
+        if (p.limit != 0)
+            os << "*" << p.limit;
+        if (p.percent != 100)
+            os << "%" << p.percent;
+        os << " occurrences=" << p.occurrences
+           << " fires=" << p.fires;
+    }
+    return os.str();
+}
+
+std::uint64_t
+fireCount(const std::string &point)
+{
+    Registry &reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    auto it = reg.points.find(point);
+    return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+} // namespace vliw::faults

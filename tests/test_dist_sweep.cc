@@ -267,6 +267,40 @@ TEST(DistSweep, WorkerDyingMidProtocolRetriesOnSurvivors)
     EXPECT_GE(result.value().workersLost, 1u);
 }
 
+TEST(DistSweep, OverloadedDaemonShedsAndBackoffRetriesToIdentity)
+{
+    // The local reference first, before the fault env below can
+    // leak into this process's own engine.
+    const dist::RemoteSweep sweep = smallSweep();
+    const std::string reference = localCsv(sweep);
+
+    // One slow single-worker daemon with a 2-cell admission
+    // budget, hammered through three coordinator workers: some
+    // submissions MUST come back `overloaded`, the workers back
+    // off and retry in place, and the merged CSV must still be
+    // byte-identical.
+    TempDir dir;
+    ::setenv("WIVLIW_FAULTS", "engine.cell=delay:150", 1);
+    DaemonProcess daemon(dir.sub("slow.sock"),
+                         {"--jobs", "1", "--max-queued-cells", "2"});
+    ::unsetenv("WIVLIW_FAULTS");
+
+    dist::CoordinatorOptions options;
+    options.backoff.seed = 11;
+    // Generous budget: the point here is recovery, not exhaustion.
+    options.backoff.maxAttempts = 16;
+    dist::SweepCoordinator coordinator(
+        {daemon.socket(), daemon.socket(), daemon.socket()},
+        options);
+    auto result = coordinator.run(sweep);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result.value().completedCells, 9u);
+    EXPECT_EQ(result.value().csv, reference);
+    EXPECT_GT(result.value().overloadRetries, 0u);
+    // Overload sheds keep the connection: no workers died.
+    EXPECT_EQ(result.value().workersLost, 0u);
+}
+
 TEST(DistSweep, EndpointThatNeverComesUpIsTolerated)
 {
     TempDir dir;

@@ -162,6 +162,13 @@ class DaemonClient
         return exitCode_;
     }
 
+    /** Deliver SIGTERM (the daemon must drain and exit 0). */
+    void
+    terminate()
+    {
+        ASSERT_EQ(kill(pid_, SIGTERM), 0);
+    }
+
   private:
     /**
      * Next stdout line as parsed JSON; fails the test on timeout,
@@ -503,6 +510,188 @@ TEST(ServeDaemon, ShutdownRequestExitsZero)
     const json::Value finished =
         daemon.readEventsUntil("finished").back();
     EXPECT_FALSE(finished.getString("status").empty());
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, SigtermDrainsInFlightJobsAndExitsZero)
+{
+    DaemonClient daemon({"--jobs", "1"});
+    daemon.send(R"({"op":"submit","workloads":["gsmdec"],)"
+                R"("archs":["interleaved","interleaved-ab"]})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.terminate();
+    // The default --drain-ms budget dwarfs this sweep: the job
+    // runs to completion and its finished event still goes out
+    // before the graceful exit.
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(finished.getString("status"), "ok");
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, DrainBudgetCancelsStragglersOnShutdown)
+{
+    DaemonClient daemon({"--jobs", "1", "--drain-ms", "200"});
+    // Slow every cell down well past the drain budget.
+    daemon.send(
+        R"({"op":"faults","spec":"engine.cell=delay:500"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"submit","workloads":["gsmdec"],)"
+                R"("archs":["interleaved"],)"
+                R"("schedulers":["base","ibc","ipbc"]})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"shutdown"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    // 3 cells x 500ms against a 200ms budget: the drain must give
+    // up and cancel, and the daemon must still exit 0.
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(finished.getString("status"), "cancelled");
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, SaturatedQueueShedsWithStructuredOverload)
+{
+    DaemonClient daemon({"--jobs", "1", "--max-queued-cells", "2"});
+    daemon.send(
+        R"({"op":"faults","spec":"engine.cell=delay:300"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+
+    // Fills the session exactly to the cell limit.
+    daemon.send(R"({"op":"submit","id":"full",)"
+                R"("workloads":["gsmdec"],"archs":["interleaved"],)"
+                R"("schedulers":["base","ipbc"]})");
+    const json::Value first = daemon.readResponse();
+    EXPECT_TRUE(first.getBool("ok"));
+    const std::int64_t admitted = first.getInt("job");
+
+    // One more cell has nowhere to go: a structured shed naming
+    // depth and limit, not a hang and not a buffered submit.
+    daemon.send(R"({"op":"submit","id":"extra",)"
+                R"("workload":"gsmdec","arch":"interleaved"})");
+    const json::Value shed = daemon.readResponse();
+    EXPECT_FALSE(shed.getBool("ok"));
+    EXPECT_EQ(shed.getString("status"), "overloaded");
+    EXPECT_EQ(shed.getString("id"), "extra");
+    EXPECT_NE(shed.getString("error").find("overloaded"),
+              std::string::npos);
+    EXPECT_NE(shed.getString("context").find("limit=2"),
+              std::string::npos);
+
+    // The rejected job still emits its event envelope (born done,
+    // status overloaded); the admitted one then finishes ok.
+    const json::Value shedFinished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(shedFinished.getString("status"), "overloaded");
+    EXPECT_NE(shedFinished.getInt("job"), admitted);
+    const json::Value okFinished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(okFinished.getInt("job"), admitted);
+    EXPECT_EQ(okFinished.getString("status"), "ok");
+
+    // Capacity freed: the same submit is admitted now.
+    daemon.send(R"({"op":"faults","disarm":true})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"submit","id":"retry",)"
+                R"("workload":"gsmdec","arch":"interleaved"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, DeadlineExceededJobKeepsPartialResults)
+{
+    DaemonClient daemon({"--jobs", "1"});
+    // Only the SECOND cell stalls (occurrence 2 of engine.cell),
+    // so the first always beats the deadline and the count of
+    // completed cells is deterministic even on a slow sanitizer
+    // build: cell 0 retires fast, cell 1 sleeps through the
+    // deadline, cell 2 is skipped by the tripped cancel token.
+    daemon.send(
+        R"({"op":"faults","spec":"engine.cell=delay:2500@2"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+
+    daemon.send(R"({"op":"submit","workloads":["gsmdec"],)"
+                R"("archs":["interleaved"],)"
+                R"("schedulers":["base","ibc","ipbc"],)"
+                R"("deadline-ms":1200})");
+    const json::Value resp = daemon.readResponse();
+    EXPECT_TRUE(resp.getBool("ok"));
+    const std::int64_t job = resp.getInt("job");
+
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(finished.getString("status"), "deadline-exceeded");
+
+    daemon.send(R"({"op":"result","job":)" + std::to_string(job) +
+                "}");
+    const json::Value result = daemon.readResponse();
+    EXPECT_TRUE(result.getBool("ok"));
+    EXPECT_EQ(result.getString("status"), "deadline-exceeded");
+    EXPECT_EQ(result.getInt("completed"), 1);
+    EXPECT_NE(result.getString("csv").find("gsmdec"),
+              std::string::npos);
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, FaultsOpArmsDescribesAndRejectsBadSpecs)
+{
+    DaemonClient daemon;
+    daemon.send(R"({"op":"faults","spec":"nope"})");
+    const json::Value bad = daemon.readResponse();
+    EXPECT_FALSE(bad.getBool("ok"));
+    EXPECT_FALSE(bad.getString("error").empty());
+
+    daemon.send(
+        R"({"op":"faults","spec":"store.load=corrupt@2"})");
+    const json::Value armed = daemon.readResponse();
+    EXPECT_TRUE(armed.getBool("ok"));
+    EXPECT_NE(armed.getString("armed").find("store.load"),
+              std::string::npos);
+
+    daemon.send(R"({"op":"faults","disarm":true})");
+    const json::Value cleared = daemon.readResponse();
+    EXPECT_TRUE(cleared.getBool("ok"));
+    EXPECT_EQ(cleared.getString("armed").find("store.load"),
+              std::string::npos);
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, InjectedSubmitFaultIsAStructuredError)
+{
+    DaemonClient daemon;
+    // Only the second submit trips (every 2nd occurrence, capped
+    // at one firing): deterministic, not statistical.
+    daemon.send(
+        R"({"op":"faults","spec":"serve.submit=error@2*1"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+
+    daemon.send(R"({"op":"submit","workload":"gsmdec",)"
+                R"("arch":"interleaved"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
+
+    daemon.send(R"({"op":"submit","workload":"gsmdec",)"
+                R"("arch":"interleaved"})");
+    const json::Value faulted = daemon.readResponse();
+    EXPECT_FALSE(faulted.getBool("ok"));
+    EXPECT_NE(faulted.getString("error").find("injected fault"),
+              std::string::npos);
+
+    // The limit spent itself; service continues.
+    daemon.send(R"({"op":"submit","workload":"gsmdec",)"
+                R"("arch":"interleaved"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
     EXPECT_EQ(daemon.finish(), 0);
 }
 

@@ -1,0 +1,549 @@
+/**
+ * @file
+ * Load generator for the wivliw_serve NDJSON daemon: the fixed
+ * workload behind BENCH_serve.json, and the overload drill for the
+ * admission-control / deadline / fault-injection machinery.
+ *
+ * N concurrent sessions (one unix-socket connection each) drive a
+ * deterministic mix of traffic at one daemon:
+ *
+ *   - single-run submits (the steady state: submit, drain the
+ *     event stream to `finished`, collect the result);
+ *   - multi-cell sweep submits, optionally carrying a deadline;
+ *   - submits that are cancelled immediately after acceptance;
+ *   - intentionally oversized (> 1 MiB) request lines that must
+ *     come back as a structured error, not a wedged daemon.
+ *
+ * Everything is seeded: session s uses an LCG keyed on
+ * (--seed, s), so two runs against equal daemons issue identical
+ * byte streams. Structured `overloaded` sheds and injected-fault
+ * errors are counted, not failed on — they are the behaviours
+ * under test. Anything else unexpected (dead connection, protocol
+ * violation, wrong terminal status) is an error and fails the run.
+ *
+ * Metrics: per-accepted-job latency (submit write -> result
+ * response) p50/p99, accepted-jobs-per-second, shed rate. Wall
+ * times are normalised by the same fixed integer calibration
+ * workload perf_sim uses, so a slower CI machine does not
+ * masquerade as a serving regression. `--baseline FILE` compares
+ * ms_per_job against the committed BENCH_serve.json and exits
+ * non-zero past --max-regress (CI's serve-load-smoke job).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/ndjson_client.hh"
+#include "support/json.hh"
+
+using namespace vliw;
+
+namespace {
+
+struct LoadOptions
+{
+    std::string socketPath;
+    int sessions = 8;
+    int requests = 25;    // submits per session
+    std::uint64_t seed = 1;
+    /** Every Nth submit is a multi-cell sweep (0 = never). */
+    int sweepEvery = 5;
+    /** Every Nth submit is cancelled right away (0 = never). */
+    int cancelEvery = 7;
+    /** Every Nth request is an oversized junk line (0 = never). */
+    int oversizedEvery = 11;
+    /** Deadline attached to sweep submits, ms (0 = none). */
+    int deadlineMs = 0;
+    int connectWaitMs = 5000;
+    std::string outPath;
+    std::string baselinePath;
+    double maxRegress = 0.25;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        code ? stderr : stdout,
+        "usage: wivliw_load --socket PATH [options]\n"
+        "Drive a wivliw_serve daemon with concurrent mixed traffic\n"
+        "and report latency/throughput/shed metrics (the workload\n"
+        "behind BENCH_serve.json).\n"
+        "  --socket PATH      daemon unix socket (required)\n"
+        "  --sessions N       concurrent connections (default 8)\n"
+        "  --requests N       submits per session (default 25)\n"
+        "  --seed N           traffic-mix seed (default 1)\n"
+        "  --sweep-every N    every Nth submit is a sweep (0=off)\n"
+        "  --cancel-every N   every Nth submit is cancelled (0=off)\n"
+        "  --oversized-every N  every Nth request is an oversized\n"
+        "                     junk line expecting a structured\n"
+        "                     error (0=off)\n"
+        "  --deadline-ms N    deadline on sweep submits (0=none)\n"
+        "  --connect-wait-ms N  how long to retry the first\n"
+        "                     connect while the daemon boots\n"
+        "  --out FILE         write the metrics JSON to FILE too\n"
+        "  --baseline FILE    compare against a committed baseline\n"
+        "  --max-regress X    allowed ms_per_job regression\n"
+        "                     (default 0.25)\n"
+        "  --help             this text\n");
+    std::exit(code);
+}
+
+/** Same fixed integer spin as perf_sim: normalises wall time. */
+double
+calibrationMs()
+{
+    volatile std::uint64_t sink = 0x9E3779B97F4A7C15ull;
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t x = sink;
+    for (int i = 0; i < 20'000'000; ++i)
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+    sink = x;
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)sink;
+    return std::chrono::duration<double, std::milli>(t1 - t0)
+        .count();
+}
+
+double
+elapsedMs(std::chrono::steady_clock::time_point from,
+          std::chrono::steady_clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from)
+        .count();
+}
+
+/** What one session tallied; merged after join. */
+struct SessionStats
+{
+    std::vector<double> latenciesMs;    // accepted, uncancelled jobs
+    int submits = 0;
+    int accepted = 0;
+    int shed = 0;
+    int cancelled = 0;
+    int deadlineExceeded = 0;
+    int injectedErrors = 0;
+    int oversizedRejected = 0;
+    int errors = 0;
+    std::string firstError;
+};
+
+void
+fail(SessionStats &st, const std::string &what)
+{
+    ++st.errors;
+    if (st.firstError.empty())
+        st.firstError = what;
+}
+
+/**
+ * Drain the event stream until job @p id finishes; returns the
+ * terminal status string ("ok", "cancelled", "deadline-exceeded",
+ * ...), or nullopt when the connection died first.
+ */
+std::optional<std::string>
+drainToFinished(dist::NdjsonClient &client, long long id)
+{
+    for (;;) {
+        const std::optional<std::string> line = client.recvLine();
+        if (!line)
+            return std::nullopt;
+        const std::optional<json::Value> v = json::parse(*line);
+        if (!v || !v->isObject())
+            continue;
+        if (v->getString("event") != "finished")
+            continue;
+        if (v->getInt("job", -1) != id)
+            continue;
+        return v->getString("status");
+    }
+}
+
+void
+sessionMain(const LoadOptions &opts, int index, SessionStats &st)
+{
+    dist::NdjsonClient client;
+    const auto connectDeadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts.connectWaitMs);
+    while (!client.connect(opts.socketPath)) {
+        if (std::chrono::steady_clock::now() >= connectDeadline) {
+            fail(st, "cannot connect to " + opts.socketPath);
+            return;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    // Per-session deterministic stream; nothing here depends on
+    // timing, so equal seeds issue byte-identical request lines.
+    std::uint64_t rng = opts.seed * 0x9E3779B97F4A7C15ull +
+        std::uint64_t(index) * 0xD1B54A32D192ED03ull + 1;
+    const auto next = [&rng] {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        return rng >> 33;
+    };
+
+    for (int r = 0; r < opts.requests; ++r) {
+        // Oversized junk line: the daemon must answer a structured
+        // error and keep the connection usable.
+        if (opts.oversizedEvery > 0 &&
+            (r + 1) % opts.oversizedEvery == 0) {
+            const std::string junk((1u << 20) + 64, 'x');
+            if (!client.sendLine(junk)) {
+                fail(st, "connection died sending oversized line");
+                return;
+            }
+            const std::optional<json::Value> resp =
+                client.recvResponse();
+            if (!resp) {
+                fail(st, "no response to oversized line");
+                return;
+            }
+            if (resp->getBool("ok", true))
+                fail(st, "oversized line was not rejected");
+            else
+                ++st.oversizedRejected;
+            continue;
+        }
+
+        const bool isSweep = opts.sweepEvery > 0 &&
+            (r + 1) % opts.sweepEvery == 0;
+        const bool doCancel = opts.cancelEvery > 0 &&
+            (r + 1) % opts.cancelEvery == 0;
+        (void)next();    // advance the stream per request
+
+        std::ostringstream req;
+        if (isSweep) {
+            req << "{\"op\":\"submit\",\"workloads\":[\"gsmdec\"],"
+                   "\"archs\":[\"interleaved-ab\"],"
+                   "\"schedulers\":[\"base\",\"ipbc\"]";
+            if (opts.deadlineMs > 0)
+                req << ",\"deadline-ms\":" << opts.deadlineMs;
+        } else {
+            req << "{\"op\":\"submit\",\"workload\":\"gsmdec\","
+                   "\"arch\":\"interleaved-ab\"";
+        }
+        req << ",\"id\":\"s" << index << "r" << r << "\"}";
+
+        ++st.submits;
+        const auto t0 = std::chrono::steady_clock::now();
+        if (!client.sendLine(req.str())) {
+            fail(st, "connection died on submit");
+            return;
+        }
+        const std::optional<json::Value> resp = client.recvResponse();
+        if (!resp) {
+            fail(st, "no response to submit");
+            return;
+        }
+        if (!resp->getBool("ok", false)) {
+            const std::string status = resp->getString("status");
+            const std::string error = resp->getString("error");
+            if (status == "overloaded") {
+                ++st.shed;    // structured shed: back off, go on
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+            } else if (error.find("injected fault") !=
+                       std::string::npos) {
+                ++st.injectedErrors;
+            } else {
+                fail(st, "submit rejected: " + error);
+            }
+            continue;
+        }
+        const long long id = resp->getInt("job", -1);
+        if (id < 0) {
+            fail(st, "submit response lacks a job id");
+            continue;
+        }
+        ++st.accepted;
+
+        if (doCancel) {
+            if (!client.sendLine("{\"op\":\"cancel\",\"job\":" +
+                                 std::to_string(id) + "}") ||
+                !client.recvResponse()) {
+                fail(st, "connection died on cancel");
+                return;
+            }
+        }
+
+        const std::optional<std::string> status =
+            drainToFinished(client, id);
+        if (!status) {
+            fail(st, "connection died before job finished");
+            return;
+        }
+        if (!client.sendLine("{\"op\":\"result\",\"job\":" +
+                             std::to_string(id) + "}")) {
+            fail(st, "connection died on result");
+            return;
+        }
+        const std::optional<json::Value> result =
+            client.recvResponse();
+        if (!result || !result->getBool("ok", false)) {
+            fail(st, "result request failed for job " +
+                         std::to_string(id));
+            continue;
+        }
+        const auto t1 = std::chrono::steady_clock::now();
+
+        const std::string terminal = result->getString("status");
+        if (terminal == "cancelled") {
+            ++st.cancelled;
+            if (!doCancel && opts.deadlineMs == 0)
+                fail(st, "uncancelled job came back cancelled");
+        } else if (terminal == "deadline-exceeded") {
+            ++st.deadlineExceeded;
+        } else if (terminal != "ok") {
+            fail(st, "job " + std::to_string(id) +
+                         " finished with status " + terminal);
+        } else if (!doCancel) {
+            st.latenciesMs.push_back(elapsedMs(t0, t1));
+        }
+    }
+}
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const std::size_t n = sorted.size();
+    std::size_t idx = std::size_t(q * double(n));
+    if (idx >= n)
+        idx = n - 1;
+    return sorted[idx];
+}
+
+struct LoadMetrics
+{
+    double calibrationMs = 0.0;
+    double wallMs = 0.0;
+    int submits = 0;
+    int accepted = 0;
+    int shed = 0;
+    int cancelled = 0;
+    int deadlineExceeded = 0;
+    int injectedErrors = 0;
+    int oversizedRejected = 0;
+    int errors = 0;
+    double shedRate = 0.0;
+    double jobsPerSec = 0.0;
+    double msPerJob = 0.0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+void
+writeJson(std::ostream &os, const LoadMetrics &m,
+          const LoadOptions &opts)
+{
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"schema\": 1,\n"
+        "  \"sessions\": %d,\n"
+        "  \"requests_per_session\": %d,\n"
+        "  \"calibration_ms\": %.3f,\n"
+        "  \"wall_ms\": %.3f,\n"
+        "  \"submits\": %d,\n"
+        "  \"accepted\": %d,\n"
+        "  \"shed\": %d,\n"
+        "  \"cancelled\": %d,\n"
+        "  \"deadline_exceeded\": %d,\n"
+        "  \"injected_errors\": %d,\n"
+        "  \"oversized_rejected\": %d,\n"
+        "  \"errors\": %d,\n"
+        "  \"shed_rate\": %.4f,\n"
+        "  \"jobs_per_sec\": %.3f,\n"
+        "  \"ms_per_job\": %.3f,\n"
+        "  \"p50_ms\": %.3f,\n"
+        "  \"p99_ms\": %.3f\n"
+        "}\n",
+        opts.sessions, opts.requests, m.calibrationMs, m.wallMs,
+        m.submits, m.accepted, m.shed, m.cancelled,
+        m.deadlineExceeded, m.injectedErrors, m.oversizedRejected,
+        m.errors, m.shedRate, m.jobsPerSec, m.msPerJob, m.p50Ms,
+        m.p99Ms);
+    os << buf;
+}
+
+/** Pull "key": value out of a (flat) JSON text; -1 when missing. */
+double
+jsonNumber(const std::string &text, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = text.find(needle);
+    if (pos == std::string::npos)
+        return -1.0;
+    return std::atof(text.c_str() + pos + needle.size());
+}
+
+/**
+ * Gate ms_per_job (inverse throughput — lower is better, so the
+ * >25% regression the CI job cares about is a simple upper bound)
+ * against the committed baseline, calibration-normalised on both
+ * sides. p50/p99 are reported but not gated: tail latency on a
+ * loaded shared CI machine is too noisy to block merges on.
+ */
+int
+checkBaseline(const LoadMetrics &m, const LoadOptions &opts)
+{
+    std::ifstream in(opts.baselinePath);
+    if (!in.good()) {
+        std::fprintf(stderr, "load: cannot read baseline %s\n",
+                     opts.baselinePath.c_str());
+        return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string base = ss.str();
+
+    const double base_cal = jsonNumber(base, "calibration_ms");
+    const double want = jsonNumber(base, "ms_per_job");
+    if (base_cal <= 0.0 || want < 0.0) {
+        std::fprintf(stderr,
+                     "load: baseline lacks calibration_ms or "
+                     "ms_per_job\n");
+        return 1;
+    }
+    const double fresh_n = m.msPerJob / m.calibrationMs;
+    const double want_n = want / base_cal;
+    const double limit = want_n * (1.0 + opts.maxRegress);
+    // Sub-half-millisecond absolute drift is never signal.
+    const bool ok = fresh_n <= limit || m.msPerJob - want < 0.5;
+    std::fprintf(stderr,
+                 "load: ms_per_job %10.3f (baseline %10.3f, "
+                 "normalised %.4f vs limit %.4f) %s\n",
+                 m.msPerJob, want, fresh_n, limit,
+                 ok ? "ok" : "REGRESSED");
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    LoadOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n",
+                             arg.c_str());
+                usage(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            opts.socketPath = value();
+        else if (arg == "--sessions")
+            opts.sessions = std::atoi(value());
+        else if (arg == "--requests")
+            opts.requests = std::atoi(value());
+        else if (arg == "--seed")
+            opts.seed = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sweep-every")
+            opts.sweepEvery = std::atoi(value());
+        else if (arg == "--cancel-every")
+            opts.cancelEvery = std::atoi(value());
+        else if (arg == "--oversized-every")
+            opts.oversizedEvery = std::atoi(value());
+        else if (arg == "--deadline-ms")
+            opts.deadlineMs = std::atoi(value());
+        else if (arg == "--connect-wait-ms")
+            opts.connectWaitMs = std::atoi(value());
+        else if (arg == "--out")
+            opts.outPath = value();
+        else if (arg == "--baseline")
+            opts.baselinePath = value();
+        else if (arg == "--max-regress")
+            opts.maxRegress = std::atof(value());
+        else if (arg == "--help" || arg == "-h")
+            usage(0);
+        else {
+            std::fprintf(stderr, "unknown option '%s'\n",
+                         arg.c_str());
+            usage(2);
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "--socket is required\n");
+        usage(2);
+    }
+    if (opts.sessions < 1 || opts.requests < 1) {
+        std::fprintf(stderr,
+                     "--sessions/--requests want counts >= 1\n");
+        usage(2);
+    }
+
+    LoadMetrics m;
+    m.calibrationMs = calibrationMs();
+
+    std::vector<SessionStats> stats(std::size_t(opts.sessions));
+    std::vector<std::thread> threads;
+    threads.reserve(std::size_t(opts.sessions));
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int s = 0; s < opts.sessions; ++s)
+        threads.emplace_back(sessionMain, std::cref(opts), s,
+                             std::ref(stats[std::size_t(s)]));
+    for (std::thread &t : threads)
+        t.join();
+    m.wallMs = elapsedMs(t0, std::chrono::steady_clock::now());
+
+    std::vector<double> latencies;
+    for (const SessionStats &st : stats) {
+        m.submits += st.submits;
+        m.accepted += st.accepted;
+        m.shed += st.shed;
+        m.cancelled += st.cancelled;
+        m.deadlineExceeded += st.deadlineExceeded;
+        m.injectedErrors += st.injectedErrors;
+        m.oversizedRejected += st.oversizedRejected;
+        m.errors += st.errors;
+        if (!st.firstError.empty())
+            std::fprintf(stderr, "load: session error: %s\n",
+                         st.firstError.c_str());
+        latencies.insert(latencies.end(), st.latenciesMs.begin(),
+                         st.latenciesMs.end());
+    }
+    std::sort(latencies.begin(), latencies.end());
+    m.shedRate =
+        m.submits ? double(m.shed) / double(m.submits) : 0.0;
+    m.jobsPerSec = m.wallMs > 0.0
+        ? double(m.accepted) * 1000.0 / m.wallMs
+        : 0.0;
+    m.msPerJob =
+        m.accepted ? m.wallMs / double(m.accepted) : 0.0;
+    m.p50Ms = percentile(latencies, 0.50);
+    m.p99Ms = percentile(latencies, 0.99);
+
+    writeJson(std::cout, m, opts);
+    if (!opts.outPath.empty()) {
+        std::ofstream out(opts.outPath);
+        if (!out.good()) {
+            std::fprintf(stderr, "load: cannot write %s\n",
+                         opts.outPath.c_str());
+            return 1;
+        }
+        writeJson(out, m, opts);
+    }
+    if (m.errors)
+        return 1;
+    if (!opts.baselinePath.empty())
+        return checkBaseline(m, opts);
+    return 0;
+}

@@ -19,8 +19,9 @@
  *   < {"ok":true,"job":1,"status":"ok","csv":"bench,arch,..."}
  *
  * Transports: stdin/stdout by default; `--listen PATH` serves the
- * same protocol on a unix-domain socket instead, accepting one
- * connection at a time (connections queue in the listen backlog).
+ * same protocol on a unix-domain socket instead, accepting
+ * connections CONCURRENTLY (one thread per connection over the one
+ * shared Session), so a slow or hostile client stalls only itself.
  * The session — cache, store, job numbering — persists across
  * connections, which is what makes a daemon fleet useful to the
  * distributed sweep coordinator: each cell lands on a warm
@@ -30,13 +31,19 @@
  *
  * Requests: submit, cancel, status, result, list-jobs, list-archs,
  * list-benches, list-heuristics, list-unrolls, cache-stats,
- * version, shutdown. Responses carry "ok"; job events stream
- * asynchronously with an "event" member (see README "Service
- * mode" for the full schema). Submission never fails: a bad
- * request is answered ok and finishes immediately with the error
- * on its "finished" event. Events flow through a bounded queue
- * (--queue); when the client reads slowly the queue fills and the
- * workers block instead of buffering without bound.
+ * version, faults, shutdown. Responses carry "ok"; job events
+ * stream asynchronously with an "event" member (see README
+ * "Service mode" for the full schema). Submission never fails for
+ * *malformed* work: a bad request is answered ok and finishes
+ * immediately with the error on its "finished" event. Admission
+ * control is the exception: when `--max-queued-cells` /
+ * `--max-queued-jobs` are set and the session is full, submit is
+ * answered `{"ok":false,"status":"overloaded",...}` with the
+ * current depth and limit — a structured shed the client should
+ * back off from, not an error in the request. Events flow through
+ * a bounded queue (--queue); when the client reads slowly the
+ * queue fills and the workers block instead of buffering without
+ * bound.
  *
  * Input hardening: a request line longer than 1 MiB is consumed
  * and answered with a structured error instead of being buffered
@@ -45,13 +52,20 @@
  * op when one was parseable. The connection stays usable either
  * way.
  *
- * Exit: 0 on clean stdin EOF (stdio transport) or a `shutdown`
- * request (after draining every job and the event queue), 2 on a
- * usage error. On the socket transport a client disconnect only
- * ends that connection; `shutdown` ends the daemon.
+ * Exit: 0 on clean stdin EOF (stdio transport), a `shutdown`
+ * request, or SIGTERM; 2 on a usage error. Shutdown is graceful
+ * and BOUNDED: in-flight jobs drain for up to `--drain-ms`
+ * milliseconds, stragglers are then cancelled cooperatively and
+ * their partial results discarded, and the daemon exits 0. On the
+ * socket transport a client disconnect only ends that connection;
+ * `shutdown` (from any connection) or SIGTERM ends the daemon,
+ * winding every live connection down through the same bounded
+ * drain.
  */
 
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -71,6 +85,7 @@
 #include "api/api.hh"
 #include "core/versioning.hh"
 #include "engine/report.hh"
+#include "support/faultpoints.hh"
 #include "support/json.hh"
 
 using namespace vliw;
@@ -86,7 +101,38 @@ struct ServeOptions
     std::string storeDir;
     /** Unix-socket path; empty = stdio transport. */
     std::string listenPath;
+    /** Admission limits forwarded to SessionOptions; 0 = off. */
+    int maxQueuedCells = 0;
+    int maxQueuedJobs = 0;
+    /** Graceful-shutdown drain budget before stragglers are
+     *  cancelled (shutdown op, SIGTERM, and connection EOF). */
+    int drainMs = 30000;
 };
+
+/** SIGTERM arrived; the transport loops wind down gracefully. */
+std::atomic<bool> gTerm{false};
+
+void
+onSigterm(int)
+{
+    gTerm.store(true);
+}
+
+/**
+ * Block or unblock SIGTERM on the calling thread. The daemon keeps
+ * SIGTERM blocked everywhere except the one thread sitting in the
+ * blocking accept()/fgetc() — that way delivery always interrupts
+ * the blocking call (the handler is installed without SA_RESTART)
+ * instead of landing on a worker that cannot act on it.
+ */
+void
+maskSigterm(bool block)
+{
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(block ? SIG_BLOCK : SIG_UNBLOCK, &set, nullptr);
+}
 
 [[noreturn]] void
 usage(int code)
@@ -106,8 +152,17 @@ usage(int code)
         "                     other daemons and runs (see README\n"
         "                     'Distributed sweeps')\n"
         "  --listen PATH      serve on a unix socket instead of\n"
-        "                     stdio; one connection at a time, the\n"
+        "                     stdio; concurrent connections, the\n"
         "                     session persists across connections\n"
+        "  --max-queued-cells N  admission control: reject submits\n"
+        "                     that would queue more than N cells\n"
+        "                     (structured 'overloaded' error; 0 =\n"
+        "                     unbounded)\n"
+        "  --max-queued-jobs N   admission control on unfinished\n"
+        "                     jobs (0 = unbounded)\n"
+        "  --drain-ms N       graceful-shutdown drain budget in ms\n"
+        "                     (default 30000); in-flight jobs get\n"
+        "                     this long before being cancelled\n"
         "  --version          print version and exit\n"
         "  --help             this text\n");
     std::exit(code);
@@ -164,7 +219,7 @@ class Connection
     Connection(api::Session &session, const ServeOptions &opts,
                std::FILE *in, std::FILE *out)
         : session_(session), in_(in), out_(out),
-          events_(opts.queueCapacity),
+          drainMs_(opts.drainMs), events_(opts.queueCapacity),
           writer_([this] { writerMain(); })
     {
     }
@@ -175,7 +230,7 @@ class Connection
     {
         std::string line;
         bool shutdown = false;
-        while (!shutdown) {
+        while (!shutdown && !drop_) {
             const ReadLine got = readRequestLine(in_, line);
             if (got == ReadLine::Eof)
                 break;
@@ -192,9 +247,22 @@ class Connection
                 continue;
             shutdown = dispatch(line);
         }
-        // Graceful exit: let every job drain (cells of cancelled
-        // jobs retire as skips), deliver its events, then stop the
-        // writer once the stream is empty.
+        // Graceful, BOUNDED exit: in-flight jobs share one drain
+        // budget; whatever is still running when it runs out is
+        // cancelled cooperatively (cells retire as skips) and then
+        // waited — the writer stops once the stream is empty.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(drainMs_);
+        for (auto &entry : jobs_) {
+            auto left =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - std::chrono::steady_clock::now());
+            if (left.count() < 0)
+                left = std::chrono::milliseconds(0);
+            if (!entry.second.handle.waitFor(left))
+                entry.second.handle.cancel();
+        }
         for (auto &entry : jobs_)
             entry.second.handle.wait();
         events_.close();
@@ -340,11 +408,12 @@ class Connection
                       json::quoted(libraryVersion()) +
                       ",\"build\":" +
                       json::quoted(libraryBuildType()) + "}");
+        } else if (op == "faults") {
+            handleFaults(*req);
         } else if (op == "shutdown") {
-            // Stop accepting, cancel what is still running; serve()
-            // drains the remains.
-            for (auto &entry : jobs_)
-                entry.second.handle.cancel();
+            // Stop accepting new work; serve() drains what is
+            // in flight within the --drain-ms budget and cancels
+            // whatever outlives it.
             writeLine("{\"ok\":true,\"op\":\"shutdown\"}");
             return true;
         } else {
@@ -365,6 +434,21 @@ class Connection
     pruneFinishedJobs()
     {
         static constexpr std::size_t kRetainFinished = 64;
+        // Overload-rejected jobs emit their (accepted, finished)
+        // envelope like any other job but are never entered into
+        // jobs_; drop their finished_ marks so the set cannot grow
+        // past the table it indexes. jobs_ only mutates on this
+        // (the reader) thread, so the membership test is stable.
+        {
+            std::lock_guard<std::mutex> lock(finishedMu_);
+            for (auto it = finished_.begin();
+                 it != finished_.end();) {
+                if (jobs_.count(*it) == 0)
+                    it = finished_.erase(it);
+                else
+                    ++it;
+            }
+        }
         std::vector<api::JobId> done;
         for (const auto &entry : jobs_) {
             if (finishedWritten(entry.first))
@@ -384,6 +468,19 @@ class Connection
     handleSubmit(const json::Value &req)
     {
         pruneFinishedJobs();
+        // Test seam: an armed serve.submit fault either errors the
+        // request (Error) or drops the whole connection mid-
+        // conversation (Disconnect) — how clients experience a
+        // crashing or flaky daemon.
+        const faults::Hit fault = faults::fire("serve.submit");
+        if (fault.action == faults::Action::Disconnect) {
+            drop_ = true;
+            return;
+        }
+        if (fault.fired()) {
+            respondError("submit", "injected fault: serve.submit");
+            return;
+        }
         api::SweepRequest sweep;
         // Single-run convenience: "workload":"x" == workloads:["x"].
         sweep.workloads = req.getStrings("workloads");
@@ -407,10 +504,29 @@ class Connection
         api::SubmitOptions submit;
         submit.priority = int(req.getInt("priority", 0));
         submit.maxInFlight = int(req.getInt("max-in-flight", 0));
+        submit.deadlineMs = int(req.getInt("deadline-ms", 0));
         submit.events = &events_;
 
         api::JobHandle<api::SweepResult> handle =
             session_.submit(sweep, submit);
+        // Admission control: a shed job is born done with an
+        // Overloaded status. Answer ok:false with the depth/limit
+        // context and keep it out of the tables — the client backs
+        // off and resubmits, it does not poll a corpse.
+        if (const std::optional<api::Status> fs = handle.finalStatus();
+            fs && fs->code() == api::StatusCode::Overloaded) {
+            std::ostringstream os;
+            os << "{\"ok\":false,\"op\":\"submit\","
+                  "\"status\":\"overloaded\"";
+            if (const std::string tag = req.getString("id");
+                !tag.empty())
+                os << ",\"id\":" << json::quoted(tag);
+            os << ",\"error\":" << json::quoted(fs->message())
+               << ",\"context\":" << json::quoted(fs->context())
+               << "}";
+            writeLine(os.str());
+            return;
+        }
         const api::JobId id = handle.id();
         const int total = handle.progress().total;
         ServedJob job;
@@ -521,6 +637,35 @@ class Connection
         writeLine(os.str());
     }
 
+    /**
+     * Arm / disarm fault-injection points at runtime:
+     *   {"op":"faults","spec":"store.load=corrupt@2"}
+     *   {"op":"faults","disarm":true}
+     * The registry is process-global, so faults armed through one
+     * connection fire for work submitted through any of them —
+     * exactly what a chaos drill against a shared daemon wants.
+     */
+    void
+    handleFaults(const json::Value &req)
+    {
+        if (req.getBool("disarm", false))
+            faults::disarm();
+        if (const std::string spec = req.getString("spec");
+            !spec.empty()) {
+            std::string error;
+            if (!faults::arm(spec, &error)) {
+                respondError("faults", error);
+                return;
+            }
+        }
+        std::string armed = faults::describe();
+        for (char &c : armed)
+            if (c == '\n')
+                c = ';';
+        writeLine("{\"ok\":true,\"op\":\"faults\",\"armed\":" +
+                  json::quoted(armed) + "}");
+    }
+
     void
     handleResult(const json::Value &req)
     {
@@ -578,6 +723,9 @@ class Connection
     api::Session &session_;
     std::FILE *in_;
     std::FILE *out_;
+    int drainMs_;
+    /** An injected serve.submit=disconnect ends the connection. */
+    bool drop_ = false;
     api::BoundedEventQueue events_;
     std::mutex outMu_;
     std::mutex finishedMu_;
@@ -587,21 +735,45 @@ class Connection
     std::thread writer_;
 };
 
-/** stdio transport: one connection, EOF ends the daemon. */
+/** stdio transport: one connection; EOF or SIGTERM ends the
+ *  daemon through the bounded drain. */
 int
 serveStdio(api::Session &session, const ServeOptions &opts)
 {
     Connection conn(session, opts, stdin, stdout);
+    // The writer thread inherited the blocked SIGTERM; take
+    // delivery on this thread so it interrupts the blocking fgetc
+    // (EINTR -> EOF) and serve() unwinds into the drain.
+    maskSigterm(false);
     conn.serve();
     return 0;
 }
 
+/** Wake a blocked accept() on @p path with a throwaway connect.
+ *  Portable, unlike shutdown() on a listening socket. */
+void
+pokeAccept(const std::string &path)
+{
+    const int s = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (s < 0)
+        return;
+    sockaddr_un addr = {};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::connect(s, reinterpret_cast<const sockaddr *>(&addr),
+              sizeof(addr));
+    ::close(s);
+}
+
 /**
- * Unix-socket transport: accept connections one at a time forever
- * (pending clients queue in the listen backlog), ending only on a
- * `shutdown` request. A vanished client ends its connection, not
+ * Unix-socket transport: accept connections CONCURRENTLY (one
+ * thread each over the one shared Session) until a `shutdown`
+ * request or SIGTERM. A vanished client ends its connection, not
  * the daemon — the coordinator relies on daemons outliving any
- * one sweep.
+ * one sweep. Wind-down: stop accepting, shut the read side of
+ * every live connection (its serve loop sees EOF and runs the
+ * bounded drain), join everything, exit 0.
  */
 int
 serveSocket(api::Session &session, const ServeOptions &opts)
@@ -636,35 +808,72 @@ serveSocket(api::Session &session, const ServeOptions &opts)
     std::fprintf(stderr, "wivliw_serve: listening on %s\n",
                  opts.listenPath.c_str());
 
-    bool shutdown = false;
-    while (!shutdown) {
+    std::atomic<bool> shutdownReq{false};
+    std::mutex connMu;
+    std::set<int> connFds;    // live connection fds, for wind-down
+    std::vector<std::thread> threads;
+
+    // Only this (the accepting) thread takes SIGTERM delivery.
+    maskSigterm(false);
+    while (true) {
         const int conn = ::accept(fd, nullptr, nullptr);
+        if (shutdownReq.load() || gTerm.load()) {
+            if (conn >= 0)
+                ::close(conn);
+            break;
+        }
         if (conn < 0) {
             if (errno == EINTR)
                 continue;
             std::perror("accept");
             break;
         }
-        // Distinct FILE streams (separate buffers) over one fd:
-        // reads and writes interleave freely.
-        std::FILE *in = ::fdopen(conn, "r");
-        std::FILE *out = ::fdopen(::dup(conn), "w");
-        if (!in || !out) {
+        {
+            std::lock_guard<std::mutex> lock(connMu);
+            connFds.insert(conn);
+        }
+        // Connection threads must not steal the signal.
+        maskSigterm(true);
+        threads.emplace_back([&session, &opts, &shutdownReq, &connMu,
+                              &connFds, conn] {
+            // Distinct FILE streams (separate buffers) over one
+            // fd: reads and writes interleave freely.
+            std::FILE *in = ::fdopen(conn, "r");
+            std::FILE *out = in ? ::fdopen(::dup(conn), "w")
+                                : nullptr;
+            bool shutdown = false;
+            if (in && out) {
+                Connection c(session, opts, in, out);
+                shutdown = c.serve();
+            }
+            // Leave the registry before closing so the wind-down
+            // sweep can never touch a recycled descriptor.
+            {
+                std::lock_guard<std::mutex> lock(connMu);
+                connFds.erase(conn);
+            }
+            if (out)
+                std::fclose(out);
             if (in)
                 std::fclose(in);
             else
                 ::close(conn);
-            if (out)
-                std::fclose(out);
-            continue;
-        }
-        {
-            Connection c(session, opts, in, out);
-            shutdown = c.serve();
-        }
-        std::fclose(out);
-        std::fclose(in);
+            if (shutdown) {
+                shutdownReq.store(true);
+                pokeAccept(opts.listenPath);
+            }
+        });
+        maskSigterm(false);
     }
+    // Wind-down: every live connection's read side sees EOF, its
+    // serve loop drains (bounded) and its thread exits.
+    {
+        std::lock_guard<std::mutex> lock(connMu);
+        for (const int c : connFds)
+            ::shutdown(c, SHUT_RD);
+    }
+    for (std::thread &t : threads)
+        t.join();
     ::close(fd);
     ::unlink(opts.listenPath.c_str());
     return 0;
@@ -712,6 +921,12 @@ main(int argc, char **argv)
             opts.storeDir = path("--store");
         else if (arg == "--listen")
             opts.listenPath = path("--listen");
+        else if (arg == "--max-queued-cells")
+            opts.maxQueuedCells = int(count("--max-queued-cells"));
+        else if (arg == "--max-queued-jobs")
+            opts.maxQueuedJobs = int(count("--max-queued-jobs"));
+        else if (arg == "--drain-ms")
+            opts.drainMs = int(count("--drain-ms"));
         else if (arg == "--version") {
             std::printf("%s\n", libraryVersionLine().c_str());
             return 0;
@@ -727,8 +942,26 @@ main(int argc, char **argv)
         usage(2);
     }
 
-    api::Session session(api::SessionOptions{
-        opts.jobs, true, opts.cacheCapacity, opts.storeDir});
+    // Graceful SIGTERM: no SA_RESTART, so delivery interrupts the
+    // blocking accept()/fgetc() of whichever thread holds the
+    // signal unblocked. Block it NOW so every helper thread spawned
+    // below (session workers, connection readers and writers)
+    // inherits the block; the transport unblocks it on the one
+    // thread that can act.
+    struct sigaction sa = {};
+    sa.sa_handler = onSigterm;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    maskSigterm(true);
+
+    api::SessionOptions sessionOpts;
+    sessionOpts.jobs = opts.jobs;
+    sessionOpts.cacheCapacity = opts.cacheCapacity;
+    sessionOpts.storeDir = opts.storeDir;
+    sessionOpts.maxQueuedCells = opts.maxQueuedCells;
+    sessionOpts.maxQueuedJobs = opts.maxQueuedJobs;
+    api::Session session(sessionOpts);
     if (!opts.listenPath.empty())
         return serveSocket(session, opts);
     return serveStdio(session, opts);
