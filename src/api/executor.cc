@@ -1,9 +1,68 @@
 #include "executor.hh"
 
+#include "support/metrics.hh"
+
 #include <algorithm>
 #include <sstream>
 
 namespace vliw::api::detail {
+
+namespace {
+
+/**
+ * Executor instrumentation, resolved once. Counters are process
+ * monotonic (consumers diff snapshots); gauges mirror the admission
+ * atomics so a scrape shows live depth.
+ */
+struct ExecMetrics
+{
+    metrics::Counter &jobsSubmitted;
+    metrics::Counter &jobsFinished;
+    metrics::Counter &jobsCancelled;
+    metrics::Counter &shedsJobs;
+    metrics::Counter &shedsCells;
+    metrics::Counter &deadlineExpired;
+    metrics::Counter &cellsRetired;
+    metrics::Gauge &queuedCells;
+    metrics::Gauge &activeJobs;
+    metrics::Histogram &cellUs;
+    metrics::Histogram &compileUs;
+    metrics::Histogram &simulateUs;
+    metrics::Histogram &jobUs;
+};
+
+ExecMetrics &
+execMetrics()
+{
+    metrics::Registry &reg = metrics::registry();
+    static ExecMetrics m{
+        reg.counter("wivliw_jobs_submitted_total"),
+        reg.counter("wivliw_jobs_finished_total"),
+        reg.counter("wivliw_jobs_cancelled_total"),
+        reg.counter("wivliw_admission_sheds_total{kind=\"jobs\"}"),
+        reg.counter("wivliw_admission_sheds_total{kind=\"cells\"}"),
+        reg.counter("wivliw_deadline_expired_total"),
+        reg.counter("wivliw_cells_retired_total"),
+        reg.gauge("wivliw_queued_cells"),
+        reg.gauge("wivliw_active_jobs"),
+        reg.histogram("wivliw_cell_us"),
+        reg.histogram("wivliw_compile_us"),
+        reg.histogram("wivliw_simulate_us"),
+        reg.histogram("wivliw_job_us"),
+    };
+    return m;
+}
+
+/** Count a deadline expiry exactly once per job. */
+void
+markDeadlineHit(JobCore &core)
+{
+    if (!core.deadlineHit.exchange(true,
+                                   std::memory_order_relaxed))
+        execMetrics().deadlineExpired.add();
+}
+
+} // namespace
 
 AsyncExecutor::AsyncExecutor(engine::ExperimentEngine &engine,
                              int threads, AdmissionLimits limits)
@@ -64,6 +123,8 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
                       bool isSweep, const SubmitOptions &opts,
                       Status rejected)
 {
+    ExecMetrics &em = execMetrics();
+    em.jobsSubmitted.add();
     auto core = std::make_shared<JobCore>();
     core->id = nextId_.fetch_add(1, std::memory_order_relaxed);
     core->priority = opts.priority;
@@ -71,10 +132,18 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
     core->sink = opts.events;
     core->isSweep = isSweep;
     core->total = int(specs.size());
+    core->submittedAt = std::chrono::steady_clock::now();
     core->specs = std::move(specs);
     core->experiments.resize(core->specs.size());
     for (std::size_t i = 0; i < core->specs.size(); ++i)
         core->experiments[i].spec = core->specs[i];
+    if (!opts.clientId.empty()) {
+        std::lock_guard<std::mutex> admitLock(admitMu_);
+        auto ins = clientKeys_.emplace(opts.clientId, nextClientKey_);
+        if (ins.second)
+            ++nextClientKey_;
+        core->clientKey = ins.first->second;
+    }
 
     // Admission control: a well-formed job must also fit under the
     // session's queue-depth limits or it is shed right here, before
@@ -92,15 +161,19 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
             jobsNow >= limits_.maxQueuedJobs) {
             rejected = overloadedStatus("jobs", jobsNow,
                                         limits_.maxQueuedJobs);
+            em.shedsJobs.add();
         } else if (limits_.maxQueuedCells > 0 &&
                    cellsNow + core->total >
                        limits_.maxQueuedCells) {
             rejected = overloadedStatus("cells", cellsNow,
                                         limits_.maxQueuedCells);
+            em.shedsCells.add();
         } else {
             activeJobs_.fetch_add(1, std::memory_order_relaxed);
             queuedCells_.fetch_add(core->total,
                                    std::memory_order_relaxed);
+            em.activeJobs.add();
+            em.queuedCells.add(core->total);
         }
     }
 
@@ -130,6 +203,7 @@ AsyncExecutor::submit(std::vector<engine::ExperimentSpec> specs,
             core->phase = JobPhase::Done;
         }
         core->cv.notify_all();
+        em.jobsFinished.add();
         return core;
     }
 
@@ -211,8 +285,7 @@ AsyncExecutor::watchdogMain()
                 continue;
             // deadlineHit first: the epilogue reads it only after
             // observing the cancel flag's effects.
-            core->deadlineHit.store(true,
-                                    std::memory_order_relaxed);
+            markDeadlineHit(*core);
             coreCancel(*core);
         }
         lock.lock();
@@ -224,7 +297,7 @@ AsyncExecutor::enqueueCell(const std::shared_ptr<JobCore> &core,
                            int cell)
 {
     pool_.submit([this, core, cell] { runCell(core, cell); },
-                 core->priority);
+                 core->priority, core->clientKey);
 }
 
 void
@@ -242,10 +315,11 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
     if (core->hasDeadline &&
         !core->cancelRequested.load(std::memory_order_relaxed) &&
         std::chrono::steady_clock::now() >= core->deadlineAt) {
-        core->deadlineHit.store(true, std::memory_order_relaxed);
+        markDeadlineHit(*core);
         coreCancel(*core);
     }
 
+    ExecMetrics &em = execMetrics();
     engine::ExperimentResult result;
     if (core->cancelRequested.load(std::memory_order_relaxed)) {
         // Cancelled before this cell started: retire it as a skip
@@ -278,6 +352,7 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
         // throwing a non-std type from the CellCompiled delivery)
         // so the cell ALWAYS retires — a lost retirement would
         // leave done < total and wedge wait() forever.
+        const auto cellStart = std::chrono::steady_clock::now();
         try {
             result = engine::runExperiment(
                 core->specs[std::size_t(cell)], cache, &hooks);
@@ -287,7 +362,14 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
                            "execution";
             result.datasetRuns.clear();
         }
+        em.cellUs.observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - cellStart)
+                .count());
+        em.compileUs.observe(result.compileMs * 1e3);
+        em.simulateUs.observe(result.simulateMs * 1e3);
     }
+    em.cellsRetired.add();
 
     // Retire the cell: slot write, progress, events and (for the
     // last cell) the job epilogue happen under emitMu so the sink
@@ -309,8 +391,11 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
             }
         }
         queuedCells_.fetch_sub(1, std::memory_order_relaxed);
-        if (last)
+        em.queuedCells.sub();
+        if (last) {
             activeJobs_.fetch_sub(1, std::memory_order_relaxed);
+            em.activeJobs.sub();
+        }
 
         // Event construction allocates (labels, stats copies); a
         // bad_alloc here must not skip the accounting below or the
@@ -359,6 +444,14 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
                                   "job cancelled; partial results "
                                   "kept")
                             : Status();
+                em.jobsFinished.add();
+                if (!deadline && cancelled)
+                    em.jobsCancelled.add();
+                em.jobUs.observe(
+                    std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() -
+                        core->submittedAt)
+                        .count());
                 JobEvent finished;
                 finished.kind = EventKind::JobFinished;
                 finished.status = final;

@@ -33,7 +33,9 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -110,6 +112,11 @@ class AsyncExecutor
     std::mutex admitMu_;
     std::atomic<int> queuedCells_{0};
     std::atomic<int> activeJobs_{0};
+
+    /** Fairness lanes: client id string -> stable pool key. Interned
+     *  under admitMu_ on the submit path only. */
+    std::map<std::string, std::uint64_t> clientKeys_;
+    std::uint64_t nextClientKey_ = 1;
 
     /** Deadline watchdog: jobs with a deadline, earliest first.
      *  The thread starts lazily on the first armed deadline and is

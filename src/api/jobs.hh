@@ -20,9 +20,11 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "api/events.hh"
@@ -79,6 +81,16 @@ struct SubmitOptions
      * completes with StatusCode::DeadlineExceeded.
      */
     int deadlineMs = 0;
+    /**
+     * Fairness key: jobs sharing a client id share one FIFO lane,
+     * and the pool round-robins across lanes within a priority
+     * band, so one greedy client's backlog interleaves with other
+     * clients' work instead of starving it. Empty (the default)
+     * is the shared anonymous lane — single-client workloads keep
+     * the classic priority-then-FIFO order exactly. Scheduling
+     * only; never affects any result value.
+     */
+    std::string clientId;
 };
 
 namespace detail {
@@ -98,6 +110,10 @@ struct JobCore
     EventSink *sink = nullptr;
     bool isSweep = false;
     int total = 0;
+    /** Interned fairness lane (0 = anonymous), set at admission. */
+    std::uint64_t clientKey = 0;
+    /** Admission timestamp; feeds the wivliw_job_us histogram. */
+    std::chrono::steady_clock::time_point submittedAt{};
 
     /** The cooperative cancellation flag the workers poll. */
     std::atomic<bool> cancelRequested{false};

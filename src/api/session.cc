@@ -324,6 +324,18 @@ Session::cacheStats() const
     return impl_->engine.cacheStats();
 }
 
+metrics::Snapshot
+Session::metricsSnapshot() const
+{
+    return metrics::registry().snapshot();
+}
+
+std::string
+Session::metricsText() const
+{
+    return metrics::renderPrometheus(metrics::registry().snapshot());
+}
+
 const SessionOptions &
 Session::options() const
 {

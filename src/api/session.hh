@@ -55,6 +55,7 @@
 #include "api/registries.hh"
 #include "api/status.hh"
 #include "engine/engine.hh"
+#include "support/metrics.hh"
 
 namespace vliw::api {
 
@@ -260,6 +261,19 @@ class Session
      * Also attached to every JobFinished event.
      */
     engine::CompileCacheStats cacheStats() const;
+
+    /**
+     * Point-in-time copy of the metrics registry: every counter,
+     * gauge and latency histogram the executor, pool, cache, store,
+     * coordinator and fault layer maintain (names and semantics in
+     * docs/OPERATIONS.md). The registry is process-wide — sessions
+     * share it — and counters are monotonic, so consumers diff two
+     * snapshots to attribute activity to an interval.
+     */
+    metrics::Snapshot metricsSnapshot() const;
+
+    /** metricsSnapshot() rendered in Prometheus text format. */
+    std::string metricsText() const;
 
     const SessionOptions &options() const;
 

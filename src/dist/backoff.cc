@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "support/blob.hh"
+#include "support/metrics.hh"
 
 namespace vliw::dist {
 
@@ -53,6 +54,12 @@ void
 Backoff::sleepFor(int attempt, std::uint64_t stream) const
 {
     const int ms = delayMs(attempt, stream);
+    static metrics::Counter &sleeps =
+        metrics::registry().counter("wivliw_backoff_sleeps_total");
+    static metrics::Counter &sleptMs = metrics::registry().counter(
+        "wivliw_backoff_slept_ms_total");
+    sleeps.add();
+    sleptMs.add(std::uint64_t(ms));
     if (ms > 0)
         sleeper_(ms);
 }

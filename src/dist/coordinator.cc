@@ -9,6 +9,7 @@
 
 #include "dist/ndjson_client.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 
 namespace vliw::dist {
 
@@ -256,6 +257,10 @@ workerMain(Shared &shared, const std::string &endpoint)
             shared.inFlight -= 1;
             item.attempts += 1;
             shared.overloadRetries += 1;
+            metrics::registry()
+                .counter("wivliw_coordinator_overload_"
+                         "retries_total")
+                .add();
             if (item.attempts >=
                 std::max(1, shared.options->backoff.maxAttempts)) {
                 shared.attemptsExhausted = true;
@@ -273,6 +278,9 @@ workerMain(Shared &shared, const std::string &endpoint)
         shared.inFlight -= 1;
         item.attempts += 1;
         shared.retries += 1;
+        metrics::registry()
+            .counter("wivliw_coordinator_transport_retries_total")
+            .add();
         if (item.attempts >=
             std::max(1, shared.options->backoff.maxAttempts)) {
             shared.attemptsExhausted = true;
@@ -283,6 +291,9 @@ workerMain(Shared &shared, const std::string &endpoint)
     }
     std::lock_guard<std::mutex> lock(shared.mu);
     shared.workersLost += 1;
+    metrics::registry()
+        .counter("wivliw_coordinator_workers_lost_total")
+        .add();
     shared.cv.notify_all();
 }
 

@@ -1,9 +1,41 @@
 #include "compile_cache.hh"
 
+#include "support/metrics.hh"
+
 #include <chrono>
 #include <sstream>
 
 namespace vliw::engine {
+
+namespace {
+
+/** Cache/store traffic mirrored into the scrapeable registry. */
+struct CacheMetrics
+{
+    metrics::Counter &hits;
+    metrics::Counter &misses;
+    metrics::Counter &evictions;
+    metrics::Counter &storeHits;
+    metrics::Counter &storeMisses;
+    metrics::Counter &stores;
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    metrics::Registry &reg = metrics::registry();
+    static CacheMetrics m{
+        reg.counter("wivliw_compile_cache_hits_total"),
+        reg.counter("wivliw_compile_cache_misses_total"),
+        reg.counter("wivliw_compile_cache_evictions_total"),
+        reg.counter("wivliw_compile_store_hits_total"),
+        reg.counter("wivliw_compile_store_misses_total"),
+        reg.counter("wivliw_compile_store_writes_total"),
+    };
+    return m;
+}
+
+} // namespace
 
 std::string
 compileKey(const MachineConfig &cfg, const ToolchainOptions &opts,
@@ -68,11 +100,13 @@ CompileCache::compile(const MachineConfig &cfg,
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             hits_.fetch_add(1, std::memory_order_relaxed);
+            cacheMetrics().hits.add();
             hitsByBench_[bench.name] += 1;
             lru_.splice(lru_.begin(), lru_, it->second.lruIt);
             future = it->second.future;
         } else {
             misses_.fetch_add(1, std::memory_order_relaxed);
+            cacheMetrics().misses.add();
             missesByBench_[bench.name] += 1;
             future = promise.get_future().share();
             myGen = ++nextGen_;
@@ -103,9 +137,11 @@ CompileCache::compile(const MachineConfig &cfg,
                     fromStore = true;
                     storeHits_.fetch_add(
                         1, std::memory_order_relaxed);
+                    cacheMetrics().storeHits.add();
                 } else {
                     storeMisses_.fetch_add(
                         1, std::memory_order_relaxed);
+                    cacheMetrics().storeMisses.add();
                 }
             }
             if (!compiled) {
@@ -120,6 +156,7 @@ CompileCache::compile(const MachineConfig &cfg,
             if (store_ && !fromStore) {
                 store_->store(key, *compiled);
                 stores_.fetch_add(1, std::memory_order_relaxed);
+                cacheMetrics().stores.add();
             }
         } catch (...) {
             {
@@ -157,6 +194,7 @@ CompileCache::enforceCapacityLocked(const std::string &keep)
         entries_.erase(it);
         victim = lru_.erase(victim);
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().evictions.add();
     }
 }
 

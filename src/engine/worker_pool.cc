@@ -1,8 +1,32 @@
 #include "worker_pool.hh"
 
+#include "support/metrics.hh"
+
 #include <algorithm>
 
 namespace vliw::engine {
+
+namespace {
+
+struct PoolMetrics
+{
+    metrics::Gauge &queueDepth;
+    metrics::Counter &jobs;
+    metrics::Histogram &waitUs;
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics m{
+        metrics::registry().gauge("wivliw_pool_queue_depth"),
+        metrics::registry().counter("wivliw_pool_jobs_total"),
+        metrics::registry().histogram("wivliw_pool_wait_us"),
+    };
+    return m;
+}
+
+} // namespace
 
 WorkerPool::WorkerPool(int threads)
 {
@@ -26,13 +50,59 @@ WorkerPool::~WorkerPool()
 }
 
 void
-WorkerPool::submit(std::function<void()> job, int priority)
+WorkerPool::submit(std::function<void()> job, int priority,
+                   std::uint64_t client)
 {
+    PoolMetrics &pm = poolMetrics();
     {
         std::lock_guard<std::mutex> lock(mu_);
-        queue_.push(QueuedJob{priority, nextSeq_++, std::move(job)});
+        Band &band = bands_[priority];
+        std::deque<QueuedJob> &fifo = band.perClient[client];
+        if (fifo.empty()) {
+            // Client (re)joins the rotation at the back, so a
+            // newly-active client waits at most one full ring
+            // revolution — deterministic from arrival order.
+            band.ring.push_back(client);
+        }
+        fifo.push_back(QueuedJob{nextSeq_++,
+                                 std::chrono::steady_clock::now(),
+                                 std::move(job)});
+        ++queued_;
     }
+    pm.queueDepth.add();
+    pm.jobs.add();
     workAvailable_.notify_one();
+}
+
+WorkerPool::QueuedJob
+WorkerPool::popLocked()
+{
+    // First non-empty band wins (map is ordered highest-first).
+    auto bandIt = bands_.begin();
+    while (bandIt->second.ring.empty())
+        ++bandIt;
+    Band &band = bandIt->second;
+    if (band.rrIndex >= band.ring.size())
+        band.rrIndex = 0;
+    const std::uint64_t client = band.ring[band.rrIndex];
+    std::deque<QueuedJob> &fifo = band.perClient[client];
+    QueuedJob job = std::move(fifo.front());
+    fifo.pop_front();
+    if (fifo.empty()) {
+        // Drop the client from the rotation; the next slot slides
+        // into rrIndex so no advance is needed.
+        band.perClient.erase(client);
+        band.ring.erase(band.ring.begin() +
+                        std::ptrdiff_t(band.rrIndex));
+        if (band.rrIndex >= band.ring.size())
+            band.rrIndex = 0;
+        if (band.ring.empty())
+            bands_.erase(bandIt);
+    } else {
+        band.rrIndex = (band.rrIndex + 1) % band.ring.size();
+    }
+    --queued_;
+    return job;
 }
 
 void
@@ -40,7 +110,7 @@ WorkerPool::wait()
 {
     std::unique_lock<std::mutex> lock(mu_);
     allDone_.wait(lock,
-                  [this] { return queue_.empty() && inFlight_ == 0; });
+                  [this] { return queued_ == 0 && inFlight_ == 0; });
 }
 
 void
@@ -67,29 +137,37 @@ WorkerPool::threadCount() const
     return int(workers_.size());
 }
 
+std::size_t
+WorkerPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return queued_;
+}
+
 void
 WorkerPool::workerMain()
 {
+    PoolMetrics &pm = poolMetrics();
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
         workAvailable_.wait(
-            lock, [this] { return shutdown_ || !queue_.empty(); });
-        if (queue_.empty())
+            lock, [this] { return shutdown_ || queued_ != 0; });
+        if (queued_ == 0)
             return;     // shutdown with a drained queue
-        // priority_queue::top() is const; the closure is moved out
-        // via const_cast, which is safe because pop() follows
-        // immediately and nothing else reads the slot.
-        std::function<void()> job =
-            std::move(const_cast<QueuedJob &>(queue_.top()).fn);
-        queue_.pop();
+        QueuedJob job = popLocked();
         ++inFlight_;
         lock.unlock();
+        pm.queueDepth.sub();
+        pm.waitUs.observe(
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - job.enqueuedAt)
+                .count());
         // The pool boundary is noexcept territory: a job that
         // throws must not std::terminate the process or wedge the
         // barrier. Keep the first escape for takeFirstError().
         std::exception_ptr escaped;
         try {
-            job();
+            job.fn();
         } catch (...) {
             escaped = std::current_exception();
         }
@@ -97,7 +175,7 @@ WorkerPool::workerMain()
         if (escaped && !firstError_)
             firstError_ = escaped;
         --inFlight_;
-        if (queue_.empty() && inFlight_ == 0)
+        if (queued_ == 0 && inFlight_ == 0)
             allDone_.notify_all();
     }
 }

@@ -2,16 +2,30 @@
  * @file
  * Fixed-size worker pool over a mutex/condvar job queue.
  *
- * The queue is priority-aware: a job submitted with a higher
- * priority runs before lower-priority work that is still queued,
- * and jobs of equal priority keep FIFO order (a stable sort by
- * submission sequence). wait() gives a full barrier. Determinism of
- * the experiment engine does not come from the pool (thread
- * interleaving is arbitrary) but from the jobs themselves: every
- * experiment seeds its own Rng streams and writes to its own
- * result slot, so execution order cannot influence any value —
- * priorities reorder only *when* work happens, never what it
- * computes.
+ * The queue is priority-aware and client-fair. Scheduling order is:
+ *
+ *   1. Higher priority bands drain before lower ones (unchanged).
+ *   2. Within a band, dispatch is deficit-round-robin across client
+ *      keys with a quantum of one job: each client with queued work
+ *      holds a slot in an arrival-ordered ring, and every dequeue
+ *      takes the front of the current slot's FIFO then advances the
+ *      ring. A greedy client's backlog therefore interleaves with
+ *      other clients' work instead of starving it.
+ *   3. Jobs of one client within one band keep FIFO order.
+ *
+ * With a single client key (the default) the ring has one slot and
+ * the pool degenerates to exactly the old priority-then-FIFO order,
+ * which is what the engine determinism tests compare against. The
+ * schedule is deterministic given arrival order: ring membership
+ * and rotation depend only on the submission sequence, never on
+ * which worker thread dequeues.
+ *
+ * wait() gives a full barrier. Determinism of the experiment engine
+ * does not come from the pool (thread interleaving is arbitrary)
+ * but from the jobs themselves: every experiment seeds its own Rng
+ * streams and writes to its own result slot, so execution order
+ * cannot influence any value — priorities and fairness reorder only
+ * *when* work happens, never what it computes.
  *
  * Jobs should not throw; a job that does is caught at the pool
  * boundary instead of reaching std::terminate, and the first
@@ -20,18 +34,24 @@
  * own cell boundary and surfaces escapes as an Internal status;
  * this pool-level capture is the backstop for direct pool users
  * like parallelFor.)
+ *
+ * The pool feeds the process metrics registry:
+ * wivliw_pool_queue_depth (gauge), wivliw_pool_jobs_total, and
+ * wivliw_pool_wait_us (submit-to-dispatch latency histogram).
  */
 
 #ifndef WIVLIW_ENGINE_WORKER_POOL_HH
 #define WIVLIW_ENGINE_WORKER_POOL_HH
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
@@ -44,8 +64,9 @@ class WorkerPool
     /**
      * @param threads worker count; 0 picks the hardware
      *        concurrency (at least 1). With 1 worker the pool
-     *        degenerates to serial priority-then-FIFO execution,
-     *        which is what the determinism tests compare against.
+     *        degenerates to serial priority-then-fair-FIFO
+     *        execution, which is what the determinism tests
+     *        compare against.
      */
     explicit WorkerPool(int threads = 0);
 
@@ -56,12 +77,16 @@ class WorkerPool
     WorkerPool &operator=(const WorkerPool &) = delete;
 
     /**
-     * Enqueue one job. Higher @p priority runs first; equal
-     * priorities keep submission order. Jobs should not throw —
-     * an exception that escapes one is captured (see
-     * takeFirstError()) and the worker carries on.
+     * Enqueue one job. Higher @p priority runs first; within a
+     * priority, clients round-robin and one client's jobs keep
+     * submission order. @p client groups jobs for fairness — all
+     * default-client work behaves exactly like the classic single
+     * FIFO. Jobs should not throw — an exception that escapes one
+     * is captured (see takeFirstError()) and the worker carries
+     * on.
      */
-    void submit(std::function<void()> job, int priority = 0);
+    void submit(std::function<void()> job, int priority = 0,
+                std::uint64_t client = 0);
 
     /** Block until every submitted job has finished. */
     void wait();
@@ -82,33 +107,40 @@ class WorkerPool
 
     int threadCount() const;
 
+    /** Jobs queued but not yet dispatched (diagnostic). */
+    std::size_t queueDepth() const;
+
   private:
-    /** A queued closure with its scheduling key. */
+    /** A queued closure with its per-client FIFO key. */
     struct QueuedJob
     {
-        int priority = 0;
         std::uint64_t seq = 0;
+        std::chrono::steady_clock::time_point enqueuedAt;
         std::function<void()> fn;
     };
-    /** Max-heap: highest priority first, FIFO within a priority. */
-    struct JobOrder
+
+    /**
+     * One priority level: per-client FIFOs plus the round-robin
+     * ring of clients that currently have queued work, in the
+     * order they (re)gained it.
+     */
+    struct Band
     {
-        bool
-        operator()(const QueuedJob &a, const QueuedJob &b) const
-        {
-            if (a.priority != b.priority)
-                return a.priority < b.priority;
-            return a.seq > b.seq;
-        }
+        std::map<std::uint64_t, std::deque<QueuedJob>> perClient;
+        std::vector<std::uint64_t> ring;
+        std::size_t rrIndex = 0;
     };
 
     void workerMain();
+    /** Pop the next job per the band/ring policy; queue not empty. */
+    QueuedJob popLocked();
 
     mutable std::mutex mu_;
     std::condition_variable workAvailable_;
     std::condition_variable allDone_;
-    std::priority_queue<QueuedJob, std::vector<QueuedJob>, JobOrder>
-        queue_;
+    /** Highest priority first. */
+    std::map<int, Band, std::greater<int>> bands_;
+    std::size_t queued_ = 0;
     std::vector<std::thread> workers_;
     std::uint64_t nextSeq_ = 0;
     std::size_t inFlight_ = 0;

@@ -11,6 +11,7 @@
 #include <thread>
 
 #include "support/blob.hh"
+#include "support/metrics.hh"
 
 namespace vliw::faults {
 
@@ -39,6 +40,9 @@ struct Point
     std::uint64_t seed = 0;
     std::uint64_t occurrences = 0;
     std::uint64_t fires = 0;
+    /** Scrapeable mirror of `fires`, resolved on first firing so
+     *  unarmed and never-fired points cost nothing. */
+    metrics::Counter *fireCounter = nullptr;
 };
 
 struct Registry
@@ -256,6 +260,12 @@ fire(const char *point)
         if (!percentFires(p, it->first, occurrence))
             return Hit{};
         p.fires += 1;
+        if (!p.fireCounter) {
+            p.fireCounter = &metrics::registry().counter(
+                "wivliw_fault_fires_total{point=\"" + it->first +
+                "\"}");
+        }
+        p.fireCounter->add();
         hit.action = p.action;
         delayMs = p.delayMs;
     }

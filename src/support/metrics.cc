@@ -1,0 +1,235 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace vliw::metrics {
+
+namespace {
+
+/** Bucket index for a microsecond sample: ceil(log2(us)), clamped. */
+int
+bucketIndex(double us)
+{
+    if (!(us > 1.0))
+        return 0;
+    // 2^i >= us  <=>  i >= log2(us); walk instead of log2() so the
+    // result is exact at the power-of-two boundaries.
+    double bound = 1.0;
+    for (int i = 0; i < Histogram::kBuckets - 1; ++i) {
+        if (us <= bound)
+            return i;
+        bound *= 2.0;
+    }
+    return Histogram::kBuckets - 1;
+}
+
+} // namespace
+
+void
+Histogram::observe(double us)
+{
+    if (us < 0.0 || std::isnan(us))
+        us = 0.0;
+    buckets_[std::size_t(bucketIndex(us))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sumNanos_.fetch_add(std::uint64_t(us * 1e3),
+                        std::memory_order_relaxed);
+}
+
+double
+Histogram::bucketUpperUs(int i)
+{
+    if (i >= kBuckets - 1)
+        return -1.0;
+    return std::ldexp(1.0, i); // 2^i
+}
+
+std::array<std::uint64_t, Histogram::kBuckets>
+Histogram::bucketCounts() const
+{
+    std::array<std::uint64_t, kBuckets> out{};
+    for (int i = 0; i < kBuckets; ++i)
+        out[std::size_t(i)] =
+            buckets_[std::size_t(i)].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    const auto counts = bucketCounts();
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample (1-based), then walk the buckets.
+    const double rank = q * double(total);
+    double seen = 0.0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const double inBucket = double(counts[std::size_t(i)]);
+        if (inBucket == 0.0)
+            continue;
+        if (seen + inBucket >= rank) {
+            const double lower = (i == 0) ? 0.0 : bucketUpperUs(i - 1);
+            double upper = bucketUpperUs(i);
+            if (upper < 0.0)
+                upper = bucketUpperUs(kBuckets - 2) * 2.0;
+            const double frac =
+                std::min(1.0, std::max(0.0, (rank - seen) / inBucket));
+            return lower + (upper - lower) * frac;
+        }
+        seen += inBucket;
+    }
+    return bucketUpperUs(kBuckets - 2);
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot snap;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &entry : counters_)
+        snap.counters[entry.first] = entry.second->value();
+    for (const auto &entry : gauges_)
+        snap.gauges[entry.first] = entry.second->value();
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &entry : histograms_) {
+        Snapshot::HistogramValue hv;
+        hv.name = entry.first;
+        hv.buckets = entry.second->bucketCounts();
+        hv.count = entry.second->count();
+        hv.sumUs = entry.second->sumUs();
+        hv.p50Us = entry.second->quantile(0.50);
+        hv.p99Us = entry.second->quantile(0.99);
+        snap.histograms.push_back(std::move(hv));
+    }
+    return snap;
+}
+
+Registry &
+registry()
+{
+    static Registry *instance = new Registry(); // never destroyed
+    return *instance;
+}
+
+namespace {
+
+/** "name{labels}" -> "name"; used to group # TYPE lines. */
+std::string
+baseName(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+/** "name{a="b"}" + extra le label -> merged label form. */
+std::string
+withLe(const std::string &name, const std::string &le)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + "_bucket{le=\"" + le + "\"}";
+    // name{point="x"} -> name_bucket{point="x",le="..."}
+    std::string out = name.substr(0, brace) + "_bucket" +
+                      name.substr(brace);
+    out.insert(out.size() - 1, ",le=\"" + le + "\"");
+    return out;
+}
+
+/** "name{labels}" with a suffix spliced before the labels. */
+std::string
+withSuffix(const std::string &name, const char *suffix)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos)
+        return name + suffix;
+    return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+std::string
+formatDouble(double v)
+{
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderPrometheus(const Snapshot &snap)
+{
+    std::ostringstream os;
+    std::string lastType;
+    for (const auto &entry : snap.counters) {
+        const std::string base = baseName(entry.first);
+        if (base != lastType) {
+            os << "# TYPE " << base << " counter\n";
+            lastType = base;
+        }
+        os << entry.first << " " << entry.second << "\n";
+    }
+    lastType.clear();
+    for (const auto &entry : snap.gauges) {
+        const std::string base = baseName(entry.first);
+        if (base != lastType) {
+            os << "# TYPE " << base << " gauge\n";
+            lastType = base;
+        }
+        os << entry.first << " " << entry.second << "\n";
+    }
+    for (const auto &hv : snap.histograms) {
+        os << "# TYPE " << baseName(hv.name) << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            cumulative += hv.buckets[std::size_t(i)];
+            const double upper = Histogram::bucketUpperUs(i);
+            const std::string le =
+                upper < 0.0 ? "+Inf" : formatDouble(upper);
+            os << withLe(hv.name, le) << " " << cumulative << "\n";
+        }
+        os << withSuffix(hv.name, "_sum") << " "
+           << formatDouble(hv.sumUs) << "\n";
+        os << withSuffix(hv.name, "_count") << " " << hv.count
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace vliw::metrics

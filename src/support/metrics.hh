@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Lock-cheap process-wide metrics: named monotonic counters,
+ * gauges, and bounded log2 latency histograms.
+ *
+ * The hot path is atomics only: incrementing a Counter or observing
+ * a Histogram sample takes relaxed fetch_adds on pre-registered
+ * slots. The registry mutex is held only while *registering* a name
+ * (first use) and while snapshotting, so instrumented code caches a
+ * reference once — typically in a function-local static — and never
+ * touches the lock again:
+ *
+ *     static metrics::Counter &sheds =
+ *         metrics::registry().counter("wivliw_admission_sheds_total");
+ *     sheds.add();
+ *
+ * Counters are monotonic by contract (consumers diff snapshots, the
+ * Prometheus way), gauges move both directions (queue depths), and
+ * histograms bucket microsecond latencies in powers of two so p50/
+ * p99 come out of a fixed 28-slot array with no per-sample
+ * allocation. Everything lives for the process lifetime; names are
+ * never unregistered.
+ *
+ * Names follow Prometheus conventions (`wivliw_*_total` for
+ * counters, `_us` suffix for microsecond histograms) and may embed
+ * a label set (`wivliw_fault_fires_total{point="engine.cell"}`);
+ * renderPrometheus() groups label variants under one # TYPE line.
+ *
+ * This is deliberately in vliw::metrics, not vliw: support/stats.hh
+ * already claims `vliw::Counter` for occurrence counts.
+ */
+
+#ifndef WIVLIW_SUPPORT_METRICS_HH
+#define WIVLIW_SUPPORT_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vliw::metrics {
+
+/** Monotonic event count. add() is a relaxed atomic increment. */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Instantaneous level (queue depth, in-flight jobs). */
+class Gauge
+{
+  public:
+    void
+    add(std::int64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    void
+    sub(std::int64_t n = 1)
+    {
+        value_.fetch_sub(n, std::memory_order_relaxed);
+    }
+
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Bounded latency histogram over microseconds.
+ *
+ * Bucket i counts samples with value <= 2^i us; the final bucket is
+ * the +Inf overflow. 28 buckets cover 1 us .. ~134 s, which brackets
+ * everything from a cache-hit compile to a drained shutdown.
+ * quantile() interpolates linearly inside the winning bucket, so
+ * p50/p99 are estimates with at-most-2x bucket resolution — plenty
+ * for alarms and trend lines, and the same tradeoff every scraping
+ * system makes.
+ */
+class Histogram
+{
+  public:
+    static constexpr int kBuckets = 28; // last bucket is +Inf
+
+    /** Record one sample, in microseconds. */
+    void observe(double us);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all observed values, microseconds. */
+    double
+    sumUs() const
+    {
+        return double(sumNanos_.load(std::memory_order_relaxed)) /
+               1e3;
+    }
+
+    /** Estimated q-quantile (q in [0,1]) in microseconds; 0 when empty. */
+    double quantile(double q) const;
+
+    /** Upper bound (us) of bucket @p i; +Inf bucket returns -1. */
+    static double bucketUpperUs(int i);
+
+    /** Non-cumulative per-bucket counts, for snapshots. */
+    std::array<std::uint64_t, kBuckets> bucketCounts() const;
+
+  private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sumNanos_{0};
+};
+
+/** Point-in-time copy of every registered metric. */
+struct Snapshot
+{
+    struct HistogramValue
+    {
+        std::string name;
+        std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+        std::uint64_t count = 0;
+        double sumUs = 0.0;
+        double p50Us = 0.0;
+        double p99Us = 0.0;
+    };
+
+    /** name -> value, sorted by name (std::map). */
+    std::map<std::string, std::uint64_t> counters;
+    std::map<std::string, std::int64_t> gauges;
+    std::vector<HistogramValue> histograms; // sorted by name
+};
+
+/**
+ * Owns every metric for the process lifetime. Registration is
+ * idempotent: the same name always returns the same object, so
+ * dynamically-named metrics (per-fault-point counters) and static
+ * call sites can coexist.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    Snapshot snapshot() const;
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/** The process-wide registry every instrumented layer shares. */
+Registry &registry();
+
+/**
+ * Render a snapshot in Prometheus text exposition format
+ * (counters as `name value`, histograms as cumulative
+ * `name_bucket{le="..."}` series plus `_sum`/`_count`).
+ */
+std::string renderPrometheus(const Snapshot &snap);
+
+} // namespace vliw::metrics
+
+#endif // WIVLIW_SUPPORT_METRICS_HH

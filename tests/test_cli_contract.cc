@@ -13,7 +13,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include <sys/wait.h>
 
@@ -27,12 +29,11 @@ struct CliResult
     std::string output;   // stdout + stderr combined
 };
 
-/** Run the driver with @p args, capturing output and exit code. */
+/** Run @p bin with @p args, capturing output and exit code. */
 CliResult
-runCli(const std::string &args)
+runBin(const std::string &bin, const std::string &args)
 {
-    const std::string cmd =
-        std::string(WIVLIW_RUN_BIN) + " " + args + " 2>&1";
+    const std::string cmd = bin + " " + args + " 2>&1";
     CliResult result;
     FILE *pipe = popen(cmd.c_str(), "r");
     if (!pipe)
@@ -45,6 +46,13 @@ runCli(const std::string &args)
     if (WIFEXITED(status))
         result.exitCode = WEXITSTATUS(status);
     return result;
+}
+
+/** Run the driver with @p args, capturing output and exit code. */
+CliResult
+runCli(const std::string &args)
+{
+    return runBin(WIVLIW_RUN_BIN, args);
 }
 
 void
@@ -174,6 +182,82 @@ TEST(CliContract, ListFlagsPrintRegistries)
     EXPECT_EQ(std::count(benches.output.begin(),
                          benches.output.end(), '\n'),
               14);
+}
+
+// ---- --help lists every documented flag -----------------------
+
+/** The `--flag` tokens of a docs/OPERATIONS.md flag table: table
+ *  rows look like `| `--jobs N` | 1 | worker threads... |`. */
+std::vector<std::string>
+documentedFlags(const std::string &docPath,
+                const std::string &sectionHeading)
+{
+    std::ifstream in(docPath);
+    EXPECT_TRUE(in.good()) << "cannot open " << docPath;
+    std::vector<std::string> flags;
+    std::string line;
+    bool inSection = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("## ", 0) == 0) {
+            inSection = line == sectionHeading;
+            continue;
+        }
+        if (!inSection || line.rfind("| `--", 0) != 0)
+            continue;
+        const std::size_t start = line.find("`--") + 1;
+        std::size_t end = start;
+        while (end < line.size() && line[end] != ' ' &&
+               line[end] != '`')
+            ++end;
+        flags.push_back(line.substr(start, end - start));
+    }
+    return flags;
+}
+
+void
+expectHelpListsFlags(const std::string &bin,
+                     const std::vector<std::string> &flags)
+{
+    ASSERT_FALSE(flags.empty());
+    const CliResult help = runBin(bin, "--help");
+    EXPECT_EQ(help.exitCode, 0) << help.output;
+    for (const std::string &flag : flags) {
+        EXPECT_NE(help.output.find(flag), std::string::npos)
+            << bin << " --help does not mention documented flag "
+            << flag;
+    }
+}
+
+TEST(CliContract, ServeHelpListsEveryDocumentedFlag)
+{
+    // The flag tables in docs/OPERATIONS.md are the operator
+    // contract; the binary's --help must cover all of them.
+    expectHelpListsFlags(WIVLIW_SERVE_BIN,
+                         documentedFlags(WIVLIW_OPERATIONS_DOC,
+                                         "## wivliw_serve flags"));
+}
+
+TEST(CliContract, LoadHelpListsEveryDocumentedFlag)
+{
+    expectHelpListsFlags(WIVLIW_LOAD_BIN,
+                         documentedFlags(WIVLIW_OPERATIONS_DOC,
+                                         "## wivliw_load flags"));
+}
+
+TEST(CliContract, RunHelpListsEveryReadmeFlag)
+{
+    // The driver flags the README documents (no OPERATIONS.md
+    // table for wivliw_run — it is not a service).
+    expectHelpListsFlags(
+        WIVLIW_RUN_BIN,
+        {"--bench", "--all", "--arch", "--heuristic", "--unroll",
+         "--no-align", "--no-chains", "--versioning",
+         "--dump-kernel", "--dump-dot", "--loop", "--list-archs",
+         "--list-heuristics", "--list-unrolls", "--list-benches",
+         "--sweep", "--benches", "--archs", "--heuristics",
+         "--unrolls", "--jobs", "--datasets", "--no-compile-cache",
+         "--timing", "--remote", "--store", "--csv", "--json",
+         "--version", "--help"});
 }
 
 } // namespace

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Unit contract of vliw::metrics: counter/gauge/histogram
+ * semantics, registry idempotence, snapshot consistency, and the
+ * Prometheus exposition rendering (including label-carrying names).
+ *
+ * The registry under test is process-global and shared with the
+ * rest of the suite running in this binary, so every assertion here
+ * is on *deltas* or on metric names owned by this file — never on
+ * absolute values of shared names.
+ */
+
+#include "support/metrics.hh"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace metrics = vliw::metrics;
+
+TEST(Metrics, CounterIsMonotonicAndRegistryIsIdempotent)
+{
+    metrics::Counter &a =
+        metrics::registry().counter("test_metrics_counter_total");
+    metrics::Counter &b =
+        metrics::registry().counter("test_metrics_counter_total");
+    EXPECT_EQ(&a, &b) << "same name must intern to the same object";
+
+    const std::uint64_t before = a.value();
+    a.add();
+    a.add(41);
+    EXPECT_EQ(a.value(), before + 42);
+}
+
+TEST(Metrics, GaugeMovesBothDirections)
+{
+    metrics::Gauge &g =
+        metrics::registry().gauge("test_metrics_gauge");
+    g.set(0);
+    g.add(7);
+    g.sub(3);
+    EXPECT_EQ(g.value(), 4);
+    g.sub(10);
+    EXPECT_EQ(g.value(), -6) << "gauges may go negative";
+}
+
+TEST(Metrics, HistogramBucketsAndQuantiles)
+{
+    metrics::Histogram &h =
+        metrics::registry().histogram("test_metrics_hist_us");
+    // 100 samples at ~3us, 1 sample way out in the tail.
+    for (int i = 0; i < 100; ++i)
+        h.observe(3.0);
+    h.observe(100000.0);
+    EXPECT_EQ(h.count(), 101u);
+    EXPECT_NEAR(h.sumUs(), 300.0 + 100000.0, 1.0);
+
+    // p50 lands in the bucket holding the 3us mass: (2, 4].
+    const double p50 = h.quantile(0.50);
+    EXPECT_GT(p50, 2.0);
+    EXPECT_LE(p50, 4.0);
+    // p99 is still inside the 3us mass (99th of 101 samples),
+    // while the max bucket is ~2^17; quantile must not leak there.
+    EXPECT_LE(h.quantile(0.99), 4.0);
+    // The tail sample dominates only the extreme quantile.
+    EXPECT_GT(h.quantile(0.9999), 65536.0);
+}
+
+TEST(Metrics, HistogramHandlesDegenerateInputs)
+{
+    metrics::Histogram &h =
+        metrics::registry().histogram("test_metrics_hist2_us");
+    EXPECT_EQ(h.quantile(0.5), 0.0) << "empty histogram";
+    h.observe(-5.0);                 // clamped to 0
+    h.observe(std::nan(""));         // clamped to 0
+    h.observe(1e18);                 // lands in +Inf bucket
+    EXPECT_EQ(h.count(), 3u);
+    const auto counts = h.bucketCounts();
+    EXPECT_EQ(counts[0], 2u);
+    EXPECT_EQ(counts[metrics::Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreLossless)
+{
+    metrics::Counter &c = metrics::registry().counter(
+        "test_metrics_concurrent_total");
+    const std::uint64_t before = c.value();
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < 10000; ++i)
+                c.add();
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(c.value(), before + 80000);
+}
+
+TEST(Metrics, SnapshotSeesEveryRegisteredMetric)
+{
+    metrics::registry().counter("test_metrics_snap_total").add(5);
+    metrics::registry().gauge("test_metrics_snap_gauge").set(-2);
+    metrics::registry()
+        .histogram("test_metrics_snap_us")
+        .observe(10.0);
+
+    const metrics::Snapshot snap = metrics::registry().snapshot();
+    ASSERT_TRUE(snap.counters.count("test_metrics_snap_total"));
+    EXPECT_GE(snap.counters.at("test_metrics_snap_total"), 5u);
+    ASSERT_TRUE(snap.gauges.count("test_metrics_snap_gauge"));
+    EXPECT_EQ(snap.gauges.at("test_metrics_snap_gauge"), -2);
+    bool sawHist = false;
+    for (const auto &hv : snap.histograms) {
+        if (hv.name != "test_metrics_snap_us")
+            continue;
+        sawHist = true;
+        EXPECT_GE(hv.count, 1u);
+        EXPECT_GT(hv.p50Us, 0.0);
+    }
+    EXPECT_TRUE(sawHist);
+}
+
+TEST(Metrics, PrometheusRenderingGroupsLabelledSeries)
+{
+    metrics::registry()
+        .counter("test_metrics_labelled_total{kind=\"a\"}")
+        .add(3);
+    metrics::registry()
+        .counter("test_metrics_labelled_total{kind=\"b\"}")
+        .add(4);
+    metrics::registry().histogram("test_metrics_render_us").observe(
+        100.0);
+
+    const std::string text = metrics::renderPrometheus(
+        metrics::registry().snapshot());
+
+    // One TYPE line for the labelled family, both series under it.
+    EXPECT_NE(text.find("# TYPE test_metrics_labelled_total "
+                        "counter"),
+              std::string::npos);
+    EXPECT_EQ(text.find("# TYPE test_metrics_labelled_total "
+                        "counter"),
+              text.rfind("# TYPE test_metrics_labelled_total "
+                         "counter"))
+        << "label variants must share one TYPE line";
+    EXPECT_NE(text.find("test_metrics_labelled_total{kind=\"a\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_metrics_labelled_total{kind=\"b\"}"),
+              std::string::npos);
+
+    // Histogram exposition: cumulative buckets, +Inf, sum, count.
+    EXPECT_NE(text.find("# TYPE test_metrics_render_us histogram"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("test_metrics_render_us_bucket{le=\"+Inf\"}"),
+        std::string::npos);
+    EXPECT_NE(text.find("test_metrics_render_us_sum"),
+              std::string::npos);
+    EXPECT_NE(text.find("test_metrics_render_us_count 1"),
+              std::string::npos);
+}

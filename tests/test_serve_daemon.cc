@@ -695,5 +695,70 @@ TEST(ServeDaemon, InjectedSubmitFaultIsAStructuredError)
     EXPECT_EQ(daemon.finish(), 0);
 }
 
+TEST(ServeDaemon, MetricsOpExposesDocumentedCountersAndHistograms)
+{
+    DaemonClient daemon;
+    // Run one real job so the registry has traffic, then fire a
+    // fault so the per-point counter exists too.
+    daemon.send(
+        R"({"op":"faults","spec":"serve.submit=error@1*1"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"submit","workload":"gsmdec",)"
+                R"("arch":"interleaved"})");
+    EXPECT_FALSE(daemon.readResponse().getBool("ok"));
+    daemon.send(R"({"op":"submit","workload":"gsmdec",)"
+                R"("arch":"interleaved"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.readEventsUntil("finished")
+                  .back()
+                  .getString("status"),
+              "ok");
+
+    daemon.send(R"({"op":"metrics"})");
+    const json::Value metrics = daemon.readResponse();
+    EXPECT_TRUE(metrics.getBool("ok"));
+    EXPECT_EQ(metrics.getString("op"), "metrics");
+
+    const json::Value *counters = metrics.find("counters");
+    ASSERT_NE(counters, nullptr);
+    // The documented core counters, with sane values for this
+    // exact transcript: 2 submits (1 faulted), 1 job, 1 cell.
+    EXPECT_EQ(counters->getInt("wivliw_jobs_submitted_total"), 1);
+    EXPECT_EQ(counters->getInt("wivliw_jobs_finished_total"), 1);
+    EXPECT_EQ(counters->getInt("wivliw_cells_retired_total"), 1);
+    EXPECT_EQ(counters->getInt("wivliw_compile_cache_misses_total"),
+              1);
+    EXPECT_EQ(counters->getInt(
+                  "wivliw_fault_fires_total{point=\"serve.submit\"}"),
+              1);
+    EXPECT_EQ(counters->getInt("wivliw_serve_connections_total"), 1);
+    // faults + 3 submits (one shed by the fault) + metrics itself.
+    EXPECT_GE(counters->getInt("wivliw_serve_requests_total"), 4);
+    EXPECT_EQ(counters->getInt("wivliw_pool_jobs_total"), 1);
+
+    const json::Value *gauges = metrics.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->getInt("wivliw_active_jobs"), 0);
+    EXPECT_EQ(gauges->getInt("wivliw_queued_cells"), 0);
+    EXPECT_EQ(gauges->getInt("wivliw_pool_queue_depth"), 0);
+
+    const json::Value *histograms = metrics.find("histograms");
+    ASSERT_NE(histograms, nullptr);
+    for (const char *name : {"wivliw_cell_us", "wivliw_compile_us",
+                             "wivliw_simulate_us", "wivliw_job_us",
+                             "wivliw_pool_wait_us"}) {
+        const json::Value *h = histograms->find(name);
+        ASSERT_NE(h, nullptr) << name;
+        EXPECT_EQ(h->getInt("count"), 1) << name;
+        const json::Value *p50 = h->find("p50_us");
+        const json::Value *p99 = h->find("p99_us");
+        ASSERT_NE(p50, nullptr) << name;
+        ASSERT_NE(p99, nullptr) << name;
+        EXPECT_GE(p50->asNumber(-1.0), 0.0) << name;
+        EXPECT_GE(p99->asNumber(-1.0), p50->asNumber()) << name;
+    }
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
 } // namespace
 } // namespace vliw

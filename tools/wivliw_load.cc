@@ -69,6 +69,8 @@ struct LoadOptions
     std::string outPath;
     std::string baselinePath;
     double maxRegress = 0.25;
+    /** Cross-check daemon {"op":"metrics"} deltas vs own tallies. */
+    bool checkDaemonMetrics = false;
 };
 
 [[noreturn]] void
@@ -96,6 +98,11 @@ usage(int code)
         "  --baseline FILE    compare against a committed baseline\n"
         "  --max-regress X    allowed ms_per_job regression\n"
         "                     (default 0.25)\n"
+        "  --check-daemon-metrics  snapshot the daemon's metrics\n"
+        "                     op before and after the run and fail\n"
+        "                     unless the shed/oversized/fault\n"
+        "                     deltas match this harness's own\n"
+        "                     counts\n"
         "  --help             this text\n");
     std::exit(code);
 }
@@ -326,6 +333,63 @@ percentile(std::vector<double> sorted, double q)
     return sorted[idx];
 }
 
+/**
+ * One {"op":"metrics"} snapshot over a dedicated connection. The
+ * daemon's counters are monotonic, so the harness diffs a before/
+ * after pair to attribute activity to this run.
+ */
+struct DaemonCounters
+{
+    bool valid = false;
+    std::int64_t shed = 0;
+    std::int64_t oversized = 0;
+    std::int64_t submitFaults = 0;
+    std::int64_t deadlineExpired = 0;
+    std::int64_t jobsCancelled = 0;
+    std::int64_t jobsSubmitted = 0;
+    std::int64_t requests = 0;
+};
+
+DaemonCounters
+fetchDaemonCounters(const LoadOptions &opts)
+{
+    DaemonCounters out;
+    dist::NdjsonClient client;
+    const auto deadline = std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(opts.connectWaitMs);
+    while (!client.connect(opts.socketPath)) {
+        if (std::chrono::steady_clock::now() >= deadline)
+            return out;
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (!client.sendLine("{\"op\":\"metrics\"}"))
+        return out;
+    const std::optional<json::Value> resp = client.recvResponse();
+    if (!resp || !resp->getBool("ok", false))
+        return out;
+    const json::Value *counters = resp->find("counters");
+    if (!counters || !counters->isObject())
+        return out;
+    out.valid = true;
+    out.shed = counters->getInt(
+                   "wivliw_admission_sheds_total{kind=\"jobs\"}") +
+        counters->getInt(
+            "wivliw_admission_sheds_total{kind=\"cells\"}");
+    out.oversized =
+        counters->getInt("wivliw_serve_oversized_total");
+    out.submitFaults = counters->getInt(
+        "wivliw_fault_fires_total{point=\"serve.submit\"}");
+    out.deadlineExpired =
+        counters->getInt("wivliw_deadline_expired_total");
+    out.jobsCancelled =
+        counters->getInt("wivliw_jobs_cancelled_total");
+    out.jobsSubmitted =
+        counters->getInt("wivliw_jobs_submitted_total");
+    out.requests =
+        counters->getInt("wivliw_serve_requests_total");
+    return out;
+}
+
 struct LoadMetrics
 {
     double calibrationMs = 0.0;
@@ -343,6 +407,10 @@ struct LoadMetrics
     double msPerJob = 0.0;
     double p50Ms = 0.0;
     double p99Ms = 0.0;
+    /** before/after daemon metric deltas; valid when both
+     *  snapshots succeeded. */
+    bool daemonValid = false;
+    DaemonCounters daemonDelta;
 };
 
 void
@@ -370,14 +438,39 @@ writeJson(std::ostream &os, const LoadMetrics &m,
         "  \"jobs_per_sec\": %.3f,\n"
         "  \"ms_per_job\": %.3f,\n"
         "  \"p50_ms\": %.3f,\n"
-        "  \"p99_ms\": %.3f\n"
-        "}\n",
+        "  \"p99_ms\": %.3f",
         opts.sessions, opts.requests, m.calibrationMs, m.wallMs,
         m.submits, m.accepted, m.shed, m.cancelled,
         m.deadlineExceeded, m.injectedErrors, m.oversizedRejected,
         m.errors, m.shedRate, m.jobsPerSec, m.msPerJob, m.p50Ms,
         m.p99Ms);
     os << buf;
+    if (m.daemonValid) {
+        // The daemon's own view of the run ({"op":"metrics"}
+        // deltas), under the same names the Prometheus dump uses.
+        char dbuf[1024];
+        std::snprintf(
+            dbuf, sizeof(dbuf),
+            ",\n"
+            "  \"daemon\": {\n"
+            "    \"admission_sheds\": %lld,\n"
+            "    \"serve_oversized\": %lld,\n"
+            "    \"submit_fault_fires\": %lld,\n"
+            "    \"deadline_expired\": %lld,\n"
+            "    \"jobs_cancelled\": %lld,\n"
+            "    \"jobs_submitted\": %lld,\n"
+            "    \"serve_requests\": %lld\n"
+            "  }",
+            (long long)m.daemonDelta.shed,
+            (long long)m.daemonDelta.oversized,
+            (long long)m.daemonDelta.submitFaults,
+            (long long)m.daemonDelta.deadlineExpired,
+            (long long)m.daemonDelta.jobsCancelled,
+            (long long)m.daemonDelta.jobsSubmitted,
+            (long long)m.daemonDelta.requests);
+        os << dbuf;
+    }
+    os << "\n}\n";
 }
 
 /** Pull "key": value out of a (flat) JSON text; -1 when missing. */
@@ -472,6 +565,8 @@ main(int argc, char **argv)
             opts.baselinePath = value();
         else if (arg == "--max-regress")
             opts.maxRegress = std::atof(value());
+        else if (arg == "--check-daemon-metrics")
+            opts.checkDaemonMetrics = true;
         else if (arg == "--help" || arg == "-h")
             usage(0);
         else {
@@ -492,6 +587,8 @@ main(int argc, char **argv)
 
     LoadMetrics m;
     m.calibrationMs = calibrationMs();
+
+    const DaemonCounters before = fetchDaemonCounters(opts);
 
     std::vector<SessionStats> stats(std::size_t(opts.sessions));
     std::vector<std::thread> threads;
@@ -531,6 +628,24 @@ main(int argc, char **argv)
     m.p50Ms = percentile(latencies, 0.50);
     m.p99Ms = percentile(latencies, 0.99);
 
+    const DaemonCounters after = fetchDaemonCounters(opts);
+    if (before.valid && after.valid) {
+        m.daemonValid = true;
+        m.daemonDelta.shed = after.shed - before.shed;
+        m.daemonDelta.oversized =
+            after.oversized - before.oversized;
+        m.daemonDelta.submitFaults =
+            after.submitFaults - before.submitFaults;
+        m.daemonDelta.deadlineExpired =
+            after.deadlineExpired - before.deadlineExpired;
+        m.daemonDelta.jobsCancelled =
+            after.jobsCancelled - before.jobsCancelled;
+        m.daemonDelta.jobsSubmitted =
+            after.jobsSubmitted - before.jobsSubmitted;
+        m.daemonDelta.requests =
+            after.requests - before.requests;
+    }
+
     writeJson(std::cout, m, opts);
     if (!opts.outPath.empty()) {
         std::ofstream out(opts.outPath);
@@ -543,6 +658,43 @@ main(int argc, char **argv)
     }
     if (m.errors)
         return 1;
+    // Cross-check: the daemon's counters must tell the same story
+    // this harness observed on the wire. Only the deterministic
+    // counters are asserted — cancel/deadline races are timing-
+    // dependent and reported, not gated.
+    if (opts.checkDaemonMetrics) {
+        if (!m.daemonValid) {
+            std::fprintf(stderr,
+                         "load: --check-daemon-metrics: could not "
+                         "snapshot daemon metrics\n");
+            return 1;
+        }
+        int bad = 0;
+        const auto expect = [&bad](const char *what,
+                                   long long daemon,
+                                   long long harness) {
+            if (daemon != harness) {
+                std::fprintf(stderr,
+                             "load: daemon metric mismatch: %s "
+                             "daemon=%lld harness=%lld\n",
+                             what, daemon, harness);
+                ++bad;
+            }
+        };
+        expect("admission_sheds", m.daemonDelta.shed, m.shed);
+        expect("serve_oversized", m.daemonDelta.oversized,
+               m.oversizedRejected);
+        expect("submit_fault_fires", m.daemonDelta.submitFaults,
+               m.injectedErrors);
+        if (bad)
+            return 1;
+        std::fprintf(stderr,
+                     "load: daemon metrics match (sheds %lld, "
+                     "oversized %lld, submit faults %lld)\n",
+                     (long long)m.daemonDelta.shed,
+                     (long long)m.daemonDelta.oversized,
+                     (long long)m.daemonDelta.submitFaults);
+    }
     if (!opts.baselinePath.empty())
         return checkBaseline(m, opts);
     return 0;

@@ -31,9 +31,9 @@
  *
  * Requests: submit, cancel, status, result, list-jobs, list-archs,
  * list-benches, list-heuristics, list-unrolls, cache-stats,
- * version, faults, shutdown. Responses carry "ok"; job events
- * stream asynchronously with an "event" member (see README
- * "Service mode" for the full schema). Submission never fails for
+ * metrics, version, faults, shutdown. Responses carry "ok"; job
+ * events stream asynchronously with an "event" member (see
+ * docs/PROTOCOL.md for the full schema). Submission never fails for
  * *malformed* work: a bad request is answered ok and finishes
  * immediately with the error on its "finished" event. Admission
  * control is the exception: when `--max-queued-cells` /
@@ -66,12 +66,14 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -87,6 +89,7 @@
 #include "engine/report.hh"
 #include "support/faultpoints.hh"
 #include "support/json.hh"
+#include "support/metrics.hh"
 
 using namespace vliw;
 
@@ -107,7 +110,37 @@ struct ServeOptions
     /** Graceful-shutdown drain budget before stragglers are
      *  cancelled (shutdown op, SIGTERM, and connection EOF). */
     int drainMs = 30000;
+    /** Periodic Prometheus text dump; empty = off. */
+    std::string metricsFile;
+    int metricsIntervalMs = 5000;
 };
+
+/** Daemon-level instrumentation shared by every connection. */
+struct ServeMetrics
+{
+    metrics::Counter &connections;
+    metrics::Counter &requests;
+    metrics::Counter &parseErrors;
+    metrics::Counter &oversized;
+    metrics::Counter &drainsClean;
+    metrics::Counter &drainsCancelled;
+};
+
+ServeMetrics &
+serveMetrics()
+{
+    metrics::Registry &reg = metrics::registry();
+    static ServeMetrics m{
+        reg.counter("wivliw_serve_connections_total"),
+        reg.counter("wivliw_serve_requests_total"),
+        reg.counter("wivliw_serve_parse_errors_total"),
+        reg.counter("wivliw_serve_oversized_total"),
+        reg.counter("wivliw_serve_drains_total{outcome=\"clean\"}"),
+        reg.counter(
+            "wivliw_serve_drains_total{outcome=\"cancelled\"}"),
+    };
+    return m;
+}
 
 /** SIGTERM arrived; the transport loops wind down gracefully. */
 std::atomic<bool> gTerm{false};
@@ -163,6 +196,12 @@ usage(int code)
         "  --drain-ms N       graceful-shutdown drain budget in ms\n"
         "                     (default 30000); in-flight jobs get\n"
         "                     this long before being cancelled\n"
+        "  --metrics-file PATH  periodically dump the metrics\n"
+        "                     registry to PATH in Prometheus text\n"
+        "                     format (atomic rename; also written\n"
+        "                     once at shutdown)\n"
+        "  --metrics-interval-ms N  dump period for --metrics-file\n"
+        "                     (default 5000)\n"
         "  --version          print version and exit\n"
         "  --help             this text\n");
     std::exit(code);
@@ -222,6 +261,14 @@ class Connection
           drainMs_(opts.drainMs), events_(opts.queueCapacity),
           writer_([this] { writerMain(); })
     {
+        // Fairness lane: every connection gets its own default
+        // client id, so two connections saturating the daemon
+        // round-robin instead of queue-position racing. A submit
+        // may override it per job with a "client" member.
+        static std::atomic<std::uint64_t> nextConn{1};
+        clientId_ =
+            "conn-" + std::to_string(nextConn.fetch_add(1));
+        serveMetrics().connections.add();
     }
 
     /** Serve until EOF or shutdown; true = shutdown requested. */
@@ -237,6 +284,7 @@ class Connection
             if (got == ReadLine::Oversized) {
                 // The buffered prefix cannot be valid JSON (it was
                 // cut mid-object), so no op to echo.
+                serveMetrics().oversized.add();
                 respondError("?",
                              "request line exceeds " +
                                  std::to_string(kMaxLineBytes) +
@@ -254,17 +302,24 @@ class Connection
         const auto deadline =
             std::chrono::steady_clock::now() +
             std::chrono::milliseconds(drainMs_);
+        bool cancelledAny = false;
         for (auto &entry : jobs_) {
             auto left =
                 std::chrono::duration_cast<std::chrono::milliseconds>(
                     deadline - std::chrono::steady_clock::now());
             if (left.count() < 0)
                 left = std::chrono::milliseconds(0);
-            if (!entry.second.handle.waitFor(left))
+            if (!entry.second.handle.waitFor(left)) {
                 entry.second.handle.cancel();
+                cancelledAny = true;
+            }
         }
         for (auto &entry : jobs_)
             entry.second.handle.wait();
+        if (cancelledAny)
+            serveMetrics().drainsCancelled.add();
+        else
+            serveMetrics().drainsClean.add();
         events_.close();
         writer_.join();
         return shutdown;
@@ -376,10 +431,12 @@ class Connection
     bool
     dispatch(const std::string &line)
     {
+        serveMetrics().requests.add();
         std::string parseError;
         const std::optional<json::Value> req =
             json::parse(line, &parseError);
         if (!req || !req->isObject()) {
+            serveMetrics().parseErrors.add();
             respondError("?", req ? "request must be a JSON object"
                                   : "parse error: " + parseError);
             return false;
@@ -398,6 +455,8 @@ class Connection
         } else if (op == "list-archs" || op == "list-benches" ||
                    op == "list-heuristics" || op == "list-unrolls") {
             handleListNames(op);
+        } else if (op == "metrics") {
+            handleMetrics();
         } else if (op == "cache-stats") {
             writeLine("{\"ok\":true,\"op\":\"cache-stats\","
                       "\"cache\":" +
@@ -505,6 +564,9 @@ class Connection
         submit.priority = int(req.getInt("priority", 0));
         submit.maxInFlight = int(req.getInt("max-in-flight", 0));
         submit.deadlineMs = int(req.getInt("deadline-ms", 0));
+        submit.clientId = req.getString("client");
+        if (submit.clientId.empty())
+            submit.clientId = clientId_;
         submit.events = &events_;
 
         api::JobHandle<api::SweepResult> handle =
@@ -666,6 +728,48 @@ class Connection
                   json::quoted(armed) + "}");
     }
 
+    /**
+     * Snapshot the process metrics registry:
+     *   {"op":"metrics"}
+     * Counters and gauges come back as name -> value objects;
+     * histograms as name -> {count, sum_us, p50_us, p99_us}.
+     * Counters are monotonic over the daemon lifetime — scrapers
+     * and the load harness diff snapshots. The same names appear
+     * in the --metrics-file Prometheus dump.
+     */
+    void
+    handleMetrics()
+    {
+        const metrics::Snapshot snap = session_.metricsSnapshot();
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"metrics\",\"counters\":{";
+        bool first = true;
+        for (const auto &entry : snap.counters) {
+            os << (first ? "" : ",") << json::quoted(entry.first)
+               << ":" << entry.second;
+            first = false;
+        }
+        os << "},\"gauges\":{";
+        first = true;
+        for (const auto &entry : snap.gauges) {
+            os << (first ? "" : ",") << json::quoted(entry.first)
+               << ":" << entry.second;
+            first = false;
+        }
+        os << "},\"histograms\":{";
+        first = true;
+        for (const auto &hv : snap.histograms) {
+            os << (first ? "" : ",") << json::quoted(hv.name)
+               << ":{\"count\":" << hv.count
+               << ",\"sum_us\":" << hv.sumUs
+               << ",\"p50_us\":" << hv.p50Us
+               << ",\"p99_us\":" << hv.p99Us << "}";
+            first = false;
+        }
+        os << "}}";
+        writeLine(os.str());
+    }
+
     void
     handleResult(const json::Value &req)
     {
@@ -724,6 +828,8 @@ class Connection
     std::FILE *in_;
     std::FILE *out_;
     int drainMs_;
+    /** Default fairness lane for this connection's submits. */
+    std::string clientId_;
     /** An injected serve.submit=disconnect ends the connection. */
     bool drop_ = false;
     api::BoundedEventQueue events_;
@@ -733,6 +839,72 @@ class Connection
     std::set<api::JobId> finished_;
     std::map<api::JobId, ServedJob> jobs_;
     std::thread writer_;
+};
+
+/**
+ * Periodic Prometheus text dump of the metrics registry. Writes
+ * PATH.tmp then renames, so a scraper never reads a torn file; one
+ * final dump happens on destruction so a short-lived daemon still
+ * leaves its last word. The thread inherits the blocked SIGTERM.
+ */
+class MetricsDumper
+{
+  public:
+    MetricsDumper(std::string path, int intervalMs)
+        : path_(std::move(path)),
+          intervalMs_(intervalMs > 0 ? intervalMs : 5000),
+          thread_([this] { run(); })
+    {
+    }
+
+    ~MetricsDumper()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            stop_ = true;
+        }
+        cv_.notify_all();
+        thread_.join();
+        dump();
+    }
+
+  private:
+    void
+    run()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!stop_) {
+            cv_.wait_for(lock,
+                         std::chrono::milliseconds(intervalMs_),
+                         [this] { return stop_; });
+            if (stop_)
+                return;
+            lock.unlock();
+            dump();
+            lock.lock();
+        }
+    }
+
+    void
+    dump() const
+    {
+        const std::string text = metrics::renderPrometheus(
+            metrics::registry().snapshot());
+        const std::string tmp = path_ + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "w");
+        if (!f)
+            return;     // best-effort: never fail serving over IO
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::rename(tmp.c_str(), path_.c_str());
+    }
+
+    std::string path_;
+    int intervalMs_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    std::thread thread_;
 };
 
 /** stdio transport: one connection; EOF or SIGTERM ends the
@@ -927,6 +1099,11 @@ main(int argc, char **argv)
             opts.maxQueuedJobs = int(count("--max-queued-jobs"));
         else if (arg == "--drain-ms")
             opts.drainMs = int(count("--drain-ms"));
+        else if (arg == "--metrics-file")
+            opts.metricsFile = path("--metrics-file");
+        else if (arg == "--metrics-interval-ms")
+            opts.metricsIntervalMs =
+                int(count("--metrics-interval-ms"));
         else if (arg == "--version") {
             std::printf("%s\n", libraryVersionLine().c_str());
             return 0;
@@ -962,6 +1139,10 @@ main(int argc, char **argv)
     sessionOpts.maxQueuedCells = opts.maxQueuedCells;
     sessionOpts.maxQueuedJobs = opts.maxQueuedJobs;
     api::Session session(sessionOpts);
+    std::unique_ptr<MetricsDumper> dumper;
+    if (!opts.metricsFile.empty())
+        dumper = std::make_unique<MetricsDumper>(
+            opts.metricsFile, opts.metricsIntervalMs);
     if (!opts.listenPath.empty())
         return serveSocket(session, opts);
     return serveStdio(session, opts);
