@@ -194,14 +194,15 @@ UnrollPolicyRegistry::resolve(const std::string &name) const
 
 Status
 WorkloadRegistry::add(const std::string &name, BenchmarkSpec spec,
-                      std::string description)
+                      std::string description, std::string origin)
 {
     spec.name = name;
     auto shared = std::make_shared<const BenchmarkSpec>(
         std::move(spec));
     return add(name,
                WorkloadEntry{[shared]() { return *shared; },
-                             std::move(description), shared});
+                             std::move(description), shared,
+                             std::move(origin)});
 }
 
 Result<std::shared_ptr<const BenchmarkSpec>>
@@ -260,7 +261,7 @@ Registries::builtin()
             name,
             WorkloadEntry{[name]() { return makeBenchmark(name); },
                           "Mediabench-like suite (Table 1)",
-                          nullptr}));
+                          nullptr, "builtin"}));
     }
     return r;
 }

@@ -127,6 +127,13 @@ struct WorkloadEntry
      * of copying through the factory.
      */
     std::shared_ptr<const BenchmarkSpec> spec;
+    /**
+     * Where the workload came from: "builtin" (compiled-in suite),
+     * "file" (--bench-file), "wire" (daemon register-workload op)
+     * or "custom" (library registration). `--list-benches` prints
+     * this as its source column.
+     */
+    std::string origin = "custom";
 };
 
 class WorkloadRegistry : public Registry<WorkloadEntry>
@@ -141,7 +148,8 @@ class WorkloadRegistry : public Registry<WorkloadEntry>
      * agree with the registry.
      */
     Status add(const std::string &name, BenchmarkSpec spec,
-               std::string description = "");
+               std::string description = "",
+               std::string origin = "custom");
     using Registry::add;
 
     /** Build the named workload (shared so grids resolve once). */

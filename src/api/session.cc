@@ -4,6 +4,9 @@
 
 #include "api/executor.hh"
 #include "dist/compile_store.hh"
+#include "lang/diag.hh"
+#include "lang/lower.hh"
+#include "lang/writer.hh"
 #include "workloads/dataset.hh"
 
 namespace vliw::api {
@@ -87,6 +90,8 @@ struct Session::Impl
                    detail::AdmissionLimits{o.maxQueuedCells,
                                            o.maxQueuedJobs})
     {
+        if (!o.builtinWorkloads)
+            registries.workloads = WorkloadRegistry();
     }
 
     static std::shared_ptr<engine::PersistentCompileStore>
@@ -219,6 +224,114 @@ const Registries &
 Session::registries() const
 {
     return impl_->registries;
+}
+
+namespace {
+
+/** Ingestion counters, shared by every front door (CLI, library,
+ *  daemon) because they all funnel through the Session calls. */
+struct IngestMetrics
+{
+    metrics::Counter &registered;
+    metrics::Counter &parseErrors;
+};
+
+IngestMetrics &
+ingestMetrics()
+{
+    static IngestMetrics m{
+        metrics::registry().counter(
+            "wivliw_workloads_registered_total"),
+        metrics::registry().counter(
+            "wivliw_workload_parse_errors_total")};
+    return m;
+}
+
+} // namespace
+
+Result<std::vector<std::string>>
+Session::registerWorkloadText(const std::string &name,
+                              const std::string &source,
+                              const std::string &origin,
+                              const std::string &label)
+{
+    std::vector<BenchmarkSpec> specs;
+    if (auto diag = lang::compileWvl(source, specs)) {
+        ingestMetrics().parseErrors.add();
+        return Status::invalidArgument(
+            lang::renderDiag(*diag, source, label),
+            std::to_string(diag->pos.line) + ":" +
+                std::to_string(diag->pos.col));
+    }
+
+    std::vector<BenchmarkSpec *> chosen;
+    if (name.empty()) {
+        for (BenchmarkSpec &spec : specs)
+            chosen.push_back(&spec);
+    } else if (specs.size() == 1) {
+        if (specs[0].name != name) {
+            specs[0].name = name;
+            specs[0].fingerprint = lang::wvlFingerprint(specs[0]);
+        }
+        chosen.push_back(&specs[0]);
+    } else {
+        for (BenchmarkSpec &spec : specs) {
+            if (spec.name == name) {
+                chosen.push_back(&spec);
+                break;
+            }
+        }
+        if (chosen.empty())
+            return Status::invalidArgument(
+                "source defines " +
+                    std::to_string(specs.size()) +
+                    " benchmarks but none is named '" + name +
+                    "'");
+    }
+
+    // All-or-nothing: check every name before touching the
+    // registry, so a mid-list collision cannot half-register.
+    WorkloadRegistry &workloads = impl_->registries.workloads;
+    std::vector<BenchmarkSpec *> fresh;
+    for (BenchmarkSpec *spec : chosen) {
+        const WorkloadEntry *existing = workloads.find(spec->name);
+        if (!existing) {
+            fresh.push_back(spec);
+            continue;
+        }
+        // Same name, same content: idempotent (a client pushing
+        // its kernel to a long-lived daemon twice is fine).
+        if (existing->spec &&
+            existing->spec->fingerprint == spec->fingerprint)
+            continue;
+        return Status::error(
+            StatusCode::AlreadyExists,
+            "benchmark '" + spec->name +
+                "' is already registered with different "
+                "content",
+            existing->origin);
+    }
+    std::vector<std::string> registered;
+    for (BenchmarkSpec *spec : fresh) {
+        const std::string benchName = spec->name;
+        const Status st =
+            workloads.add(benchName, std::move(*spec),
+                          "ingested workload (.wvl)", origin);
+        if (!st.ok())
+            return st; // unreachable after the pre-check
+        registered.push_back(benchName);
+    }
+    ingestMetrics().registered.add(registered.size());
+    return registered;
+}
+
+Result<std::string>
+Session::dumpWorkloadText(const std::string &workload) const
+{
+    auto spec = impl_->registries.workloads.resolve(workload);
+    if (!spec.ok())
+        return spec.status();
+    return lang::dumpWorkloadText(*spec.value());
 }
 
 Result<MachineConfig>

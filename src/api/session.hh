@@ -95,6 +95,14 @@ struct SessionOptions
     /** Admission control: max concurrently admitted (not yet Done)
      *  jobs (0 = unbounded); rejections as for maxQueuedCells. */
     int maxQueuedJobs = 0;
+    /**
+     * Seed the workload registry with the compiled-in mediabench
+     * suite. false starts the session with an empty workload axis
+     * (arch/scheduler/unroll axes are unaffected), which is how
+     * the round-trip golden proves ingested kernels stand alone
+     * (`wivliw_run --no-builtin-benches`).
+     */
+    bool builtinWorkloads = true;
 };
 
 /**
@@ -209,6 +217,39 @@ class Session
     /** The session's registries; register custom entries here. */
     Registries &registries();
     const Registries &registries() const;
+
+    /**
+     * Register workloads described in the .wvl workload language
+     * (docs/WORKLOADS.md) with this session. @p source may define
+     * several `benchmark` blocks; with @p name empty every block
+     * registers under its own name, otherwise the source must
+     * define exactly one block (registered as @p name) or a block
+     * named @p name (the others are ignored).
+     *
+     * Returns the registered names, in source order. All-or-
+     * nothing: a parse/validation error (InvalidArgument, message
+     * carrying `origin:line:col`, the offending source line and a
+     * caret) or a name collision (AlreadyExists) leaves the
+     * registry untouched. Re-registering a name with byte-
+     * identical content is idempotent (Ok, name not re-listed).
+     * @p origin feeds the `--list-benches` source column ("file",
+     * "wire", ...); @p label names the source in diagnostics (a
+     * file path, "<wire>", ...).
+     */
+    Result<std::vector<std::string>>
+    registerWorkloadText(const std::string &name,
+                         const std::string &source,
+                         const std::string &origin = "file",
+                         const std::string &label = "<wvl>");
+
+    /**
+     * Serialize a registered workload (builtin or ingested) to
+     * canonical .wvl text (lang::dumpWorkloadText). Feeding the
+     * dump back through registerWorkloadText() yields an engine-
+     * identical workload — the round-trip the golden test pins.
+     */
+    Result<std::string>
+    dumpWorkloadText(const std::string &workload) const;
 
     /** Resolve an architecture name/key to its configuration. */
     Result<MachineConfig> resolveArch(const std::string &key) const;

@@ -89,7 +89,16 @@ CompileCache::compile(const MachineConfig &cfg,
                       const ToolchainOptions &opts,
                       const BenchmarkSpec &bench)
 {
-    const std::string key = compileKey(cfg, opts, bench.name);
+    // Ingested workloads carry a content fingerprint: two
+    // same-named text kernels with different bodies must not share
+    // artifacts (the persistent store outlives a registration).
+    // Builtins have no fingerprint, keeping their keys — and any
+    // store published before ingestion existed — unchanged.
+    const std::string key = compileKey(
+        cfg, opts,
+        bench.fingerprint.empty()
+            ? bench.name
+            : bench.name + "@" + bench.fingerprint);
 
     std::shared_future<Entry> future;
     std::promise<Entry> promise;

@@ -1,0 +1,185 @@
+#include "lang/lexer.hh"
+
+#include <sstream>
+
+namespace vliw::lang {
+
+namespace {
+
+bool
+isWordChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+           c == '-';
+}
+
+std::string
+printableByte(char c)
+{
+    if (c >= 0x21 && c <= 0x7e)
+        return std::string("'") + c + "'";
+    std::ostringstream os;
+    os << "byte 0x" << std::hex
+       << (static_cast<unsigned>(c) & 0xffu);
+    return os.str();
+}
+
+} // namespace
+
+std::string
+renderDiag(const Diag &diag, std::string_view source,
+           std::string_view origin)
+{
+    std::ostringstream os;
+    os << origin << ':' << diag.pos.line << ':' << diag.pos.col
+       << ": error: " << diag.message;
+    if (diag.pos.line < 1)
+        return os.str();
+    // Walk to the offending line for the snippet.
+    std::size_t start = 0;
+    int line = 1;
+    while (line < diag.pos.line) {
+        const std::size_t nl = source.find('\n', start);
+        if (nl == std::string_view::npos)
+            return os.str();
+        start = nl + 1;
+        ++line;
+    }
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos)
+        end = source.size();
+    std::string_view text = source.substr(start, end - start);
+    if (text.size() > 200)
+        text = text.substr(0, 200);
+    os << "\n  " << text << "\n  ";
+    const int caret =
+        diag.pos.col >= 1 &&
+                diag.pos.col <= static_cast<int>(text.size()) + 1
+            ? diag.pos.col
+            : 1;
+    for (int i = 1; i < caret; ++i) {
+        // Keep tabs so the caret lines up under tabbed source.
+        os << (text[static_cast<std::size_t>(i) - 1] == '\t' ? '\t'
+                                                             : ' ');
+    }
+    os << '^';
+    return os.str();
+}
+
+std::optional<Diag>
+tokenize(std::string_view source, std::vector<Token> &out)
+{
+    out.clear();
+    int line = 1;
+    int col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto push = [&](Token::Kind kind, std::string text, Pos pos) {
+        out.push_back(Token{kind, std::move(text), pos});
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        const Pos pos{line, col};
+        if (c == '\n') {
+            push(Token::Kind::Newline, "", pos);
+            ++i;
+            ++line;
+            col = 1;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r') {
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == '#') {
+            while (i < n && source[i] != '\n') {
+                ++i;
+                ++col;
+            }
+            continue;
+        }
+        if (c == '{') {
+            push(Token::Kind::LBrace, "{", pos);
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == '}') {
+            push(Token::Kind::RBrace, "}", pos);
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == '=') {
+            push(Token::Kind::Equals, "=", pos);
+            ++i;
+            ++col;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+            push(Token::Kind::Arrow, "->", pos);
+            i += 2;
+            col += 2;
+            continue;
+        }
+        if (c == '"') {
+            std::string text;
+            ++i;
+            ++col;
+            while (true) {
+                if (i >= n || source[i] == '\n')
+                    return Diag{pos, "unterminated string"};
+                const char s = source[i];
+                if (s == '"') {
+                    ++i;
+                    ++col;
+                    break;
+                }
+                if (s == '\\') {
+                    if (i + 1 >= n)
+                        return Diag{pos, "unterminated string"};
+                    const char esc = source[i + 1];
+                    if (esc != '"' && esc != '\\')
+                        return Diag{
+                            Pos{line, col},
+                            std::string("unsupported string escape "
+                                        "'\\") +
+                                esc + "'"};
+                    text += esc;
+                    i += 2;
+                    col += 2;
+                    continue;
+                }
+                text += s;
+                ++i;
+                ++col;
+            }
+            push(Token::Kind::String, std::move(text), pos);
+            continue;
+        }
+        if (isWordChar(c)) {
+            std::string text;
+            while (i < n && isWordChar(source[i])) {
+                // Stop so `a->b` lexes as word, arrow, word.
+                if (source[i] == '-' && i + 1 < n &&
+                    source[i + 1] == '>')
+                    break;
+                text += source[i];
+                ++i;
+                ++col;
+            }
+            push(Token::Kind::Word, std::move(text), pos);
+            continue;
+        }
+        return Diag{pos, "unexpected " + printableByte(c)};
+    }
+    push(Token::Kind::Newline, "", Pos{line, col});
+    push(Token::Kind::End, "", Pos{line, col});
+    return std::nullopt;
+}
+
+} // namespace vliw::lang

@@ -1,0 +1,679 @@
+#include "lang/lower.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "ddg/op_types.hh"
+#include "lang/writer.hh"
+
+namespace vliw::lang {
+
+namespace {
+
+/** Classic Levenshtein distance (inputs are short kind names). */
+int
+editDistance(const std::string &a, const std::string &b)
+{
+    std::vector<int> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j)
+        row[j] = static_cast<int>(j);
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        int prev = row[0];
+        row[0] = static_cast<int>(i);
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const int cur = row[j];
+            row[j] = std::min(
+                {row[j] + 1, row[j - 1] + 1,
+                 prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+            prev = cur;
+        }
+    }
+    return row[b.size()];
+}
+
+const std::vector<std::pair<std::string, OpKind>> &
+opKindTable()
+{
+    static const std::vector<std::pair<std::string, OpKind>> table{
+        {"load", OpKind::Load},     {"store", OpKind::Store},
+        {"intalu", OpKind::IntAlu}, {"intmul", OpKind::IntMul},
+        {"fpalu", OpKind::FpAlu},   {"fpmul", OpKind::FpMul},
+        {"fpdiv", OpKind::FpDiv}};
+    return table;
+}
+
+const std::vector<std::pair<std::string, DepKind>> &
+depKindTable()
+{
+    static const std::vector<std::pair<std::string, DepKind>> table{
+        {"flow", DepKind::RegFlow},    {"anti", DepKind::RegAnti},
+        {"out", DepKind::RegOut},      {"memflow", DepKind::MemFlow},
+        {"memanti", DepKind::MemAnti}, {"memout", DepKind::MemOut}};
+    return table;
+}
+
+/** One lowering pass; holds the error slot so checks read flat. */
+class Lowerer
+{
+  public:
+    std::optional<Diag>
+    run(const std::vector<AstBenchmark> &ast,
+        std::vector<BenchmarkSpec> &out)
+    {
+        out.clear();
+        std::map<std::string, bool> benchNames;
+        for (const AstBenchmark &bench : ast) {
+            if (!benchNames.emplace(bench.name, true).second)
+                return Diag{bench.namePos,
+                            "duplicate benchmark name '" +
+                                bench.name + "'"};
+            BenchmarkSpec spec;
+            if (auto diag = lowerBenchmark(bench, spec))
+                return diag;
+            spec.fingerprint = wvlFingerprint(spec);
+            out.push_back(std::move(spec));
+        }
+        return std::nullopt;
+    }
+
+  private:
+    std::optional<Diag>
+    lowerBenchmark(const AstBenchmark &bench, BenchmarkSpec &spec)
+    {
+        spec.name = bench.name;
+        if (bench.hasMainSize) {
+            if (bench.mainSize != 1 && bench.mainSize != 2 &&
+                bench.mainSize != 4 && bench.mainSize != 8)
+                return Diag{bench.mainSizePos,
+                            "maindata size must be 1, 2, 4 or 8 "
+                            "bytes"};
+            spec.mainDataSize = static_cast<int>(bench.mainSize);
+        }
+        if (bench.hasMainShare) {
+            if (!(bench.mainShare >= 0.0 &&
+                  bench.mainShare <= 1.0))
+                return Diag{bench.mainSharePos,
+                            "maindata share must be within "
+                            "[0, 1]"};
+            spec.mainDataShare = bench.mainShare;
+        }
+
+        if (bench.symbols.size() >
+            static_cast<std::size_t>(kMaxSymbolsPerBenchmark))
+            return Diag{bench.pos,
+                        "too many symbols (max " +
+                            std::to_string(kMaxSymbolsPerBenchmark) +
+                            ")"};
+        std::map<std::string, SymbolId> symbolIds;
+        std::vector<std::string> symbolNames;
+        for (const AstSymbol &sym : bench.symbols) {
+            if (symbolIds.count(sym.name))
+                return Diag{sym.namePos, "duplicate symbol name '" +
+                                             sym.name + "'"};
+            if (sym.size < 1 || sym.size > kMaxSymbolBytes)
+                return Diag{sym.sizePos,
+                            "symbol size must be within [1, " +
+                                std::to_string(kMaxSymbolBytes) +
+                                "] bytes"};
+            SymbolSpec::Storage storage = SymbolSpec::Storage::Global;
+            if (sym.hasStorage) {
+                if (sym.storage == "global")
+                    storage = SymbolSpec::Storage::Global;
+                else if (sym.storage == "stack")
+                    storage = SymbolSpec::Storage::Stack;
+                else if (sym.storage == "heap")
+                    storage = SymbolSpec::Storage::Heap;
+                else
+                    return Diag{sym.storagePos,
+                                "unknown storage class '" +
+                                    sym.storage +
+                                    "' (expected global, stack or "
+                                    "heap)"};
+            }
+            symbolIds[sym.name] =
+                spec.addSymbol(sym.name, sym.size, storage);
+            symbolNames.push_back(sym.name);
+        }
+
+        if (bench.loops.empty())
+            return Diag{bench.pos, "benchmark '" + bench.name +
+                                       "' defines no loop"};
+        if (bench.loops.size() >
+            static_cast<std::size_t>(kMaxLoopsPerBenchmark))
+            return Diag{bench.pos,
+                        "too many loops (max " +
+                            std::to_string(kMaxLoopsPerBenchmark) +
+                            ")"};
+        std::map<std::string, bool> loopNames;
+        for (const AstLoop &loop : bench.loops) {
+            if (!loopNames.emplace(loop.name, true).second)
+                return Diag{loop.namePos, "duplicate loop name '" +
+                                              loop.name + "'"};
+            LoopSpec lowered;
+            if (auto diag = lowerLoop(loop, symbolIds, symbolNames,
+                                      lowered))
+                return diag;
+            spec.loops.push_back(std::move(lowered));
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Diag>
+    lowerLoop(const AstLoop &loop,
+              const std::map<std::string, SymbolId> &symbolIds,
+              const std::vector<std::string> &symbolNames,
+              LoopSpec &out)
+    {
+        out.name = loop.name;
+        if (loop.trip < 8)
+            return Diag{loop.tripPos,
+                        "trip count must be >= 8 (loops iterating "
+                        "fewer times are not modulo-scheduled)"};
+        if (loop.trip % 16 != 0)
+            return Diag{loop.tripPos,
+                        "trip count must be a multiple of 16 (so "
+                        "every unroll factor divides it evenly)"};
+        if (loop.trip > kMaxTripCount)
+            return Diag{loop.tripPos,
+                        "trip count must be <= " +
+                            std::to_string(kMaxTripCount)};
+        out.avgIterations = loop.trip;
+        if (loop.invocations < 1 ||
+            loop.invocations > kMaxInvocations)
+            return Diag{loop.invocationsPos,
+                        "invocations must be within [1, " +
+                            std::to_string(kMaxInvocations) + "]"};
+        out.invocations = static_cast<int>(loop.invocations);
+
+        // Pass 1: create every node so dep lines may forward-ref.
+        std::map<std::string, NodeId> nodeIds;
+        std::vector<std::string> nodeNames;
+        std::size_t opCount = 0;
+        for (const AstStmt &stmt : loop.stmts) {
+            if (stmt.kind != AstStmt::Kind::Op)
+                continue;
+            ++opCount;
+            if (opCount >
+                static_cast<std::size_t>(kMaxOpsPerLoop))
+                return Diag{stmt.op.pos,
+                            "too many ops in loop '" + loop.name +
+                                "' (max " +
+                                std::to_string(kMaxOpsPerLoop) +
+                                ")"};
+            if (auto diag = lowerOp(stmt.op, symbolIds, symbolNames,
+                                    nodeIds, out))
+                return diag;
+            nodeNames.push_back(stmt.op.id);
+        }
+        if (opCount == 0)
+            return Diag{loop.pos, "loop '" + loop.name +
+                                      "' has no ops"};
+
+        // Pass 2: edges, in statement order (the DDG is
+        // append-only, so file order is edge order).
+        edges_.clear();
+        for (const AstStmt &stmt : loop.stmts) {
+            std::optional<Diag> diag;
+            switch (stmt.kind) {
+            case AstStmt::Kind::Op:
+                diag = opEdges(stmt.op, nodeIds, nodeNames, out);
+                break;
+            case AstStmt::Kind::Dep:
+                diag = depEdge(stmt.dep, nodeIds, nodeNames, out);
+                break;
+            case AstStmt::Kind::Chain:
+                diag = chainEdges(stmt.chain, nodeIds, nodeNames,
+                                  out);
+                break;
+            }
+            if (diag)
+                return diag;
+        }
+        return findZeroCycle(out);
+    }
+
+    std::optional<Diag>
+    lowerOp(const AstOp &op,
+            const std::map<std::string, SymbolId> &symbolIds,
+            const std::vector<std::string> &symbolNames,
+            std::map<std::string, NodeId> &nodeIds,
+            LoopSpec &out)
+    {
+        if (nodeIds.count(op.id))
+            return Diag{op.idPos,
+                        "duplicate op id '" + op.id + "'"};
+        if (op.kind == "copy")
+            return Diag{op.kindPos,
+                        "'copy' is reserved for the scheduler's "
+                        "inserted inter-cluster copies"};
+        OpKind kind = OpKind::IntAlu;
+        bool known = false;
+        for (const auto &[name, k] : opKindTable()) {
+            if (name == op.kind) {
+                kind = k;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::vector<std::string> names;
+            for (const auto &[name, k] : opKindTable())
+                names.push_back(name);
+            std::string msg =
+                "unknown op kind '" + op.kind + "'";
+            const std::string hint = didYouMean(op.kind, names);
+            if (!hint.empty())
+                msg += " (did you mean '" + hint + "'?)";
+            return Diag{op.kindPos, std::move(msg)};
+        }
+
+        const bool isMem =
+            kind == OpKind::Load || kind == OpKind::Store;
+        const std::string display =
+            op.hasDisplay ? op.display : op.id;
+        if (!isMem) {
+            // Memory attributes are meaningless off a load/store;
+            // name the first offender instead of ignoring it.
+            struct { bool set; Pos pos; const char *attr; } memAttrs[] = {
+                {!op.symbol.empty(), op.symbolPos, "a data symbol"},
+                {op.hasGran, op.granPos, "'gran'"},
+                {op.hasStride || op.strideUnknown, op.stridePos,
+                 "'stride'"},
+                {op.indirect, op.indirectPos, "'indirect'"},
+                {op.hasRange, op.rangePos, "'range'"},
+                {op.hasOffset, op.offsetPos, "'offset'"},
+                {op.hasInvstride, op.invstridePos, "'invstride'"},
+                {op.noattract, op.pos, "'noattract'"},
+            };
+            for (const auto &a : memAttrs) {
+                if (a.set)
+                    return Diag{a.pos,
+                                std::string(a.attr) +
+                                    " only applies to load/store "
+                                    "ops"};
+            }
+            if (op.hasValue)
+                return Diag{op.value.pos,
+                            "'value' only applies to store ops"};
+            int latency = 0;
+            if (op.hasLatency) {
+                if (op.latency < 1 || op.latency > kMaxLatency)
+                    return Diag{op.latencyPos,
+                                "latency must be within [1, " +
+                                    std::to_string(kMaxLatency) +
+                                    "]"};
+                latency = static_cast<int>(op.latency);
+            }
+            nodeIds[op.id] =
+                out.body.addNode(kind, display, latency);
+            return std::nullopt;
+        }
+
+        if (op.hasLatency)
+            return Diag{op.latencyPos,
+                        "memory ops have a fixed latency; drop "
+                        "'latency'"};
+        if (op.hasValue && kind != OpKind::Store)
+            return Diag{op.value.pos,
+                        "'value' only applies to store ops"};
+        if (op.symbol.empty())
+            return Diag{op.kindPos,
+                        std::string(kind == OpKind::Load ? "load"
+                                                         : "store") +
+                            " needs a data symbol (e.g. '" +
+                            (kind == OpKind::Load ? "load"
+                                                  : "store") +
+                            " SYM gran 4 stride 4')"};
+        const auto sym = symbolIds.find(op.symbol);
+        if (sym == symbolIds.end()) {
+            std::string msg =
+                "unknown symbol '" + op.symbol + "'";
+            const std::string hint =
+                didYouMean(op.symbol, symbolNames);
+            if (!hint.empty())
+                msg += " (did you mean '" + hint + "'?)";
+            else if (symbolNames.empty())
+                msg += " (no symbols declared; add 'symbol " +
+                       op.symbol + " size N' to the benchmark)";
+            return Diag{op.symbolPos, std::move(msg)};
+        }
+
+        MemAccessInfo info;
+        info.isStore = kind == OpKind::Store;
+        info.symbol = sym->second;
+        info.granularity = 4;
+        if (op.hasGran) {
+            if (op.gran != 1 && op.gran != 2 && op.gran != 4 &&
+                op.gran != 8)
+                return Diag{op.granPos,
+                            "granularity must be 1, 2, 4 or 8 "
+                            "bytes"};
+            info.granularity = static_cast<int>(op.gran);
+        }
+        if (op.indirect) {
+            if (op.hasStride)
+                return Diag{op.stridePos,
+                            "an indirect access takes its stride "
+                            "from the index stream; drop 'stride'"};
+            info.indirect = true;
+            info.stride = MemAccessInfo::kUnknownStride;
+            if (op.hasRange) {
+                if (op.range < 0 ||
+                    op.range > kMaxAddressMagnitude)
+                    return Diag{op.rangePos,
+                                "index range must be within [0, "
+                                "2^32]"};
+                info.indexRange = op.range;
+            }
+        } else {
+            if (op.hasRange)
+                return Diag{op.rangePos,
+                            "'range' only applies to indirect "
+                            "accesses"};
+            if (op.strideUnknown)
+                return Diag{op.stridePos,
+                            "a direct access needs a known stride; "
+                            "use 'indirect' for pointer-chased "
+                            "streams"};
+            if (!op.hasStride)
+                return Diag{op.kindPos,
+                            "memory op needs 'stride N' or "
+                            "'indirect'"};
+            if (op.stride < -kMaxAddressMagnitude ||
+                op.stride > kMaxAddressMagnitude)
+                return Diag{op.stridePos,
+                            "stride must be within [-2^32, 2^32]"};
+            info.stride = op.stride;
+        }
+        if (op.hasOffset) {
+            if (op.offset < 0 || op.offset > kMaxAddressMagnitude)
+                return Diag{op.offsetPos,
+                            "offset must be within [0, 2^32]"};
+            info.offset = op.offset;
+        }
+        if (op.hasInvstride) {
+            if (op.invstride < -kMaxAddressMagnitude ||
+                op.invstride > kMaxAddressMagnitude)
+                return Diag{op.invstridePos,
+                            "invocation stride must be within "
+                            "[-2^32, 2^32]"};
+            info.invocationStride = op.invstride;
+        }
+        info.attractable = !op.noattract;
+        nodeIds[op.id] = out.body.addMemNode(kind, info, display);
+        return std::nullopt;
+    }
+
+    std::optional<Diag>
+    resolveRef(const AstRef &ref,
+               const std::map<std::string, NodeId> &nodeIds,
+               const std::vector<std::string> &nodeNames,
+               const char *what, NodeId &out)
+    {
+        const auto it = nodeIds.find(ref.id);
+        if (it == nodeIds.end()) {
+            std::string msg = std::string(what) + " '" + ref.id +
+                              "' does not name an op in this loop";
+            const std::string hint = didYouMean(ref.id, nodeNames);
+            if (!hint.empty())
+                msg += " (did you mean '" + hint + "'?)";
+            return Diag{ref.pos, std::move(msg)};
+        }
+        out = it->second;
+        return std::nullopt;
+    }
+
+    std::optional<Diag>
+    addEdge(LoopSpec &out, NodeId src, NodeId dst, DepKind kind,
+            int distance, Pos pos)
+    {
+        if (edges_.size() >=
+            static_cast<std::size_t>(kMaxEdgesPerLoop))
+            return Diag{pos,
+                        "too many dependences in one loop (max " +
+                            std::to_string(kMaxEdgesPerLoop) + ")"};
+        out.body.addEdge(src, dst, kind, distance);
+        edges_.push_back(Edge{src, dst, distance, pos});
+        return std::nullopt;
+    }
+
+    std::optional<Diag>
+    opEdges(const AstOp &op,
+            const std::map<std::string, NodeId> &nodeIds,
+            const std::vector<std::string> &nodeNames,
+            LoopSpec &out)
+    {
+        const NodeId self = nodeIds.at(op.id);
+        for (const AstRef &ref : op.from) {
+            NodeId src = 0;
+            if (auto diag = resolveRef(ref, nodeIds, nodeNames,
+                                       "operand", src))
+                return diag;
+            if (auto diag = addEdge(out, src, self,
+                                    DepKind::RegFlow, 0, ref.pos))
+                return diag;
+        }
+        if (op.hasValue) {
+            NodeId src = 0;
+            if (auto diag = resolveRef(op.value, nodeIds, nodeNames,
+                                       "store value", src))
+                return diag;
+            if (auto diag =
+                    addEdge(out, src, self, DepKind::RegFlow, 0,
+                            op.value.pos))
+                return diag;
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Diag>
+    depEdge(const AstDep &dep,
+            const std::map<std::string, NodeId> &nodeIds,
+            const std::vector<std::string> &nodeNames,
+            LoopSpec &out)
+    {
+        NodeId src = 0;
+        NodeId dst = 0;
+        if (auto diag = resolveRef(dep.src, nodeIds, nodeNames,
+                                   "dependence source", src))
+            return diag;
+        if (auto diag = resolveRef(dep.dst, nodeIds, nodeNames,
+                                   "dependence destination", dst))
+            return diag;
+        DepKind kind = DepKind::RegFlow;
+        bool known = false;
+        for (const auto &[name, k] : depKindTable()) {
+            if (name == dep.kind) {
+                kind = k;
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            std::vector<std::string> names;
+            for (const auto &[name, k] : depKindTable())
+                names.push_back(name);
+            std::string msg =
+                "unknown dependence kind '" + dep.kind + "'";
+            const std::string hint = didYouMean(dep.kind, names);
+            if (!hint.empty())
+                msg += " (did you mean '" + hint + "'?)";
+            return Diag{dep.kindPos, std::move(msg)};
+        }
+        const bool memKind = kind == DepKind::MemFlow ||
+                             kind == DepKind::MemAnti ||
+                             kind == DepKind::MemOut;
+        if (memKind && (!out.body.isMemNode(src) ||
+                        !out.body.isMemNode(dst)))
+            return Diag{dep.kindPos,
+                        "memory dependences connect load/store "
+                        "ops only"};
+        int distance = 0;
+        if (dep.hasDist) {
+            if (dep.dist < 0 || dep.dist > kMaxDepDistance)
+                return Diag{dep.distPos,
+                            "dependence distance must be within "
+                            "[0, " +
+                                std::to_string(kMaxDepDistance) +
+                                "]"};
+            distance = static_cast<int>(dep.dist);
+        }
+        return addEdge(out, src, dst, kind, distance, dep.pos);
+    }
+
+    std::optional<Diag>
+    chainEdges(const AstChain &chain,
+               const std::map<std::string, NodeId> &nodeIds,
+               const std::vector<std::string> &nodeNames,
+               LoopSpec &out)
+    {
+        std::vector<NodeId> ops;
+        for (const AstRef &ref : chain.ops) {
+            NodeId id = 0;
+            if (auto diag = resolveRef(ref, nodeIds, nodeNames,
+                                       "chain op", id))
+                return diag;
+            if (!out.body.isMemNode(id))
+                return Diag{ref.pos,
+                            "chain links memory ops only ('" +
+                                ref.id + "' is not a load/store)"};
+            ops.push_back(id);
+        }
+        // Same edge-kind selection as KernelBuilder::chain().
+        for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+            const bool aStore = out.body.memInfo(ops[i]).isStore;
+            const bool bStore =
+                out.body.memInfo(ops[i + 1]).isStore;
+            DepKind kind = DepKind::MemAnti;
+            if (aStore && bStore)
+                kind = DepKind::MemOut;
+            else if (aStore && !bStore)
+                kind = DepKind::MemFlow;
+            if (auto diag = addEdge(out, ops[i], ops[i + 1], kind,
+                                    0, chain.ops[i + 1].pos))
+                return diag;
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * A cycle of zero-distance dependences can never be modulo-
+     * scheduled (every op would have to precede itself in the same
+     * iteration); reject it with the cycle spelled out.
+     */
+    std::optional<Diag>
+    findZeroCycle(const LoopSpec &loop)
+    {
+        const int n = loop.body.numNodes();
+        std::vector<std::vector<std::size_t>> adj(
+            static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < edges_.size(); ++e) {
+            if (edges_[e].distance == 0)
+                adj[static_cast<std::size_t>(edges_[e].src)]
+                    .push_back(e);
+        }
+        // Colors: 0 unvisited, 1 on stack, 2 done.
+        std::vector<int> color(static_cast<std::size_t>(n), 0);
+        std::vector<std::size_t> parentEdge(
+            static_cast<std::size_t>(n), 0);
+        for (int start = 0; start < n; ++start) {
+            if (color[static_cast<std::size_t>(start)] != 0)
+                continue;
+            std::vector<std::pair<NodeId, std::size_t>> stack;
+            stack.push_back({start, 0});
+            color[static_cast<std::size_t>(start)] = 1;
+            while (!stack.empty()) {
+                auto &[node, next] = stack.back();
+                const auto &out =
+                    adj[static_cast<std::size_t>(node)];
+                if (next >= out.size()) {
+                    color[static_cast<std::size_t>(node)] = 2;
+                    stack.pop_back();
+                    continue;
+                }
+                const std::size_t e = out[next++];
+                const NodeId dst = edges_[e].dst;
+                if (color[static_cast<std::size_t>(dst)] == 1) {
+                    // Back edge: spell the cycle out of the stack.
+                    std::vector<NodeId> cycle{dst};
+                    for (auto it = stack.rbegin();
+                         it != stack.rend(); ++it) {
+                        cycle.push_back(it->first);
+                        if (it->first == dst)
+                            break;
+                    }
+                    std::reverse(cycle.begin(), cycle.end());
+                    std::string msg =
+                        "zero-distance dependence cycle: ";
+                    for (std::size_t i = 0; i < cycle.size();
+                         ++i) {
+                        if (i)
+                            msg += " -> ";
+                        msg += nodeLabel(loop, cycle[i]);
+                    }
+                    msg += " -> " + nodeLabel(loop, dst) +
+                           " (recurrences need dist >= 1)";
+                    return Diag{edges_[e].pos, std::move(msg)};
+                }
+                if (color[static_cast<std::size_t>(dst)] == 0) {
+                    color[static_cast<std::size_t>(dst)] = 1;
+                    parentEdge[static_cast<std::size_t>(dst)] = e;
+                    stack.push_back({dst, 0});
+                }
+            }
+        }
+        return std::nullopt;
+    }
+
+    static std::string
+    nodeLabel(const LoopSpec &loop, NodeId id)
+    {
+        const std::string &name = loop.body.node(id).name;
+        return name.empty() ? "n" + std::to_string(id) : name;
+    }
+
+    struct Edge
+    {
+        NodeId src = 0;
+        NodeId dst = 0;
+        int distance = 0;
+        Pos pos;
+    };
+    std::vector<Edge> edges_;
+};
+
+} // namespace
+
+std::string
+didYouMean(const std::string &given,
+           const std::vector<std::string> &candidates)
+{
+    std::string best;
+    int bestDist = 3; // suggestions beyond edit distance 2 mislead
+    for (const std::string &cand : candidates) {
+        const int d = editDistance(given, cand);
+        if (d < bestDist) {
+            bestDist = d;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+std::optional<Diag>
+lowerWvl(const std::vector<AstBenchmark> &ast,
+         std::vector<BenchmarkSpec> &out)
+{
+    return Lowerer().run(ast, out);
+}
+
+std::optional<Diag>
+compileWvl(std::string_view source, std::vector<BenchmarkSpec> &out)
+{
+    std::vector<AstBenchmark> ast;
+    if (auto diag = parseWvl(source, ast))
+        return diag;
+    return lowerWvl(ast, out);
+}
+
+} // namespace vliw::lang

@@ -1,0 +1,265 @@
+#include "lang/writer.hh"
+
+#include <charconv>
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "ddg/op_types.hh"
+
+namespace vliw::lang {
+
+namespace {
+
+/** Words the parser treats specially in operand position. */
+const std::set<std::string> &
+reservedIds()
+{
+    static const std::set<std::string> reserved{
+        "dep",    "chain",     "gran",      "stride",
+        "indirect", "range",   "offset",    "invstride",
+        "noattract", "latency", "name",     "from",
+        "value",  "unknown"};
+    return reserved;
+}
+
+bool
+isWordChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+           c == '-';
+}
+
+/** Can @p name be written as a bare id and lex back as one word? */
+bool
+usableId(const std::string &name)
+{
+    if (name.empty() || reservedIds().count(name))
+        return false;
+    for (char c : name) {
+        if (!isWordChar(c))
+            return false;
+    }
+    return name.find("->") == std::string::npos;
+}
+
+std::string
+quoted(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** Shortest decimal that strtod() parses back to the same value. */
+std::string
+formatDouble(double v)
+{
+    char buf[64];
+    const auto res =
+        std::to_chars(buf, buf + sizeof(buf), v);
+    if (res.ec == std::errc())
+        return std::string(buf, res.ptr);
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char *
+opKindWord(OpKind kind)
+{
+    switch (kind) {
+    case OpKind::IntAlu:
+        return "intalu";
+    case OpKind::IntMul:
+        return "intmul";
+    case OpKind::FpAlu:
+        return "fpalu";
+    case OpKind::FpMul:
+        return "fpmul";
+    case OpKind::FpDiv:
+        return "fpdiv";
+    case OpKind::Load:
+        return "load";
+    case OpKind::Store:
+        return "store";
+    case OpKind::Copy:
+        return "copy"; // never written: specs carry no copies
+    }
+    return "intalu";
+}
+
+const char *
+depKindWord(DepKind kind)
+{
+    switch (kind) {
+    case DepKind::RegFlow:
+        return "flow";
+    case DepKind::RegAnti:
+        return "anti";
+    case DepKind::RegOut:
+        return "out";
+    case DepKind::MemFlow:
+        return "memflow";
+    case DepKind::MemAnti:
+        return "memanti";
+    case DepKind::MemOut:
+        return "memout";
+    }
+    return "flow";
+}
+
+/**
+ * Pick a writable id per node: the node's own name when it lexes
+ * as one word, is not reserved and is unique in the loop;
+ * otherwise a fresh `n<index>`-style fallback (with the original
+ * kept as a `name "..."` attribute).
+ */
+std::vector<std::string>
+nodeIds(const Ddg &body, std::vector<bool> &renamed)
+{
+    const int n = body.numNodes();
+    std::set<std::string> counts;
+    std::set<std::string> dups;
+    for (NodeId id = 0; id < n; ++id) {
+        const std::string &name = body.node(id).name;
+        if (!counts.insert(name).second)
+            dups.insert(name);
+    }
+    std::vector<std::string> ids(static_cast<std::size_t>(n));
+    renamed.assign(static_cast<std::size_t>(n), false);
+    std::set<std::string> used;
+    for (NodeId id = 0; id < n; ++id) {
+        const std::string &name = body.node(id).name;
+        if (usableId(name) && !dups.count(name)) {
+            ids[std::size_t(id)] = name;
+            used.insert(name);
+        }
+    }
+    for (NodeId id = 0; id < n; ++id) {
+        if (!ids[std::size_t(id)].empty())
+            continue;
+        std::string fallback = "n" + std::to_string(id);
+        while (used.count(fallback))
+            fallback += "_";
+        used.insert(fallback);
+        ids[std::size_t(id)] = fallback;
+        renamed[std::size_t(id)] = true;
+    }
+    return ids;
+}
+
+void
+dumpLoop(std::ostream &os, const LoopSpec &loop, std::size_t index,
+         const std::vector<std::string> &symbolIds)
+{
+    os << "  loop "
+       << (usableId(loop.name) ? loop.name
+                               : "loop" + std::to_string(index))
+       << " trip " << loop.avgIterations;
+    if (loop.invocations != 2)
+        os << " invocations " << loop.invocations;
+    os << " {\n";
+
+    std::vector<bool> renamed;
+    const std::vector<std::string> ids =
+        nodeIds(loop.body, renamed);
+    for (NodeId id = 0; id < loop.body.numNodes(); ++id) {
+        const DdgNode &node = loop.body.node(id);
+        os << "    " << ids[std::size_t(id)] << " = "
+           << opKindWord(node.kind);
+        if (loop.body.isMemNode(id)) {
+            const MemAccessInfo &info = loop.body.memInfo(id);
+            os << ' '
+               << symbolIds[static_cast<std::size_t>(info.symbol)]
+               << " gran " << info.granularity;
+            if (info.indirect) {
+                os << " indirect";
+                if (info.indexRange != 0)
+                    os << " range " << info.indexRange;
+            } else {
+                os << " stride " << info.stride;
+            }
+            if (info.offset != 0)
+                os << " offset " << info.offset;
+            if (info.invocationStride != 0)
+                os << " invstride " << info.invocationStride;
+            if (!info.attractable)
+                os << " noattract";
+        } else if (node.fixedLatency != defaultLatency(node.kind)) {
+            os << " latency " << node.fixedLatency;
+        }
+        if (renamed[std::size_t(id)] && !node.name.empty())
+            os << " name " << quoted(node.name);
+        os << '\n';
+    }
+    for (const DdgEdge &edge : loop.body.edges()) {
+        os << "    dep " << ids[std::size_t(edge.src)] << " -> "
+           << ids[std::size_t(edge.dst)] << " kind "
+           << depKindWord(edge.kind);
+        if (edge.distance != 0)
+            os << " dist " << edge.distance;
+        os << '\n';
+    }
+    os << "  }\n";
+}
+
+} // namespace
+
+std::string
+dumpWorkloadText(const BenchmarkSpec &spec)
+{
+    std::ostringstream os;
+    os << "benchmark "
+       << (usableId(spec.name) ? spec.name : "bench") << " {\n";
+    if (spec.mainDataSize != 4 || spec.mainDataShare != 1.0) {
+        os << "  maindata size " << spec.mainDataSize << " share "
+           << formatDouble(spec.mainDataShare) << '\n';
+    }
+    std::vector<std::string> symbolIds;
+    std::set<std::string> used;
+    for (std::size_t i = 0; i < spec.symbols.size(); ++i) {
+        const SymbolSpec &sym = spec.symbols[i];
+        std::string id = usableId(sym.name) && !used.count(sym.name)
+                             ? sym.name
+                             : "sym" + std::to_string(i);
+        while (used.count(id))
+            id += "_";
+        used.insert(id);
+        symbolIds.push_back(id);
+        os << "  symbol " << id << " size " << sym.sizeBytes;
+        if (sym.storage == SymbolSpec::Storage::Stack)
+            os << " storage stack";
+        else if (sym.storage == SymbolSpec::Storage::Heap)
+            os << " storage heap";
+        os << '\n';
+    }
+    for (std::size_t i = 0; i < spec.loops.size(); ++i)
+        dumpLoop(os, spec.loops[i], i, symbolIds);
+    os << "}\n";
+    return os.str();
+}
+
+std::string
+wvlFingerprint(const BenchmarkSpec &spec)
+{
+    const std::string text = dumpWorkloadText(spec);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return buf;
+}
+
+} // namespace vliw::lang

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Canonical .wvl writer: serialize a BenchmarkSpec back to the
+ * workload language, such that
+ *
+ *   parse(dump(spec)) == spec      (same engine-visible content)
+ *   dump(parse(text)) is a fixed point (dumping twice is stable)
+ *
+ * which is what the round-trip golden test leans on: every builtin
+ * mediabench spec dumped, re-parsed and swept must produce byte-
+ * identical CSVs to the compiled-in original.
+ *
+ * Canonical form: ops in node-index order with only memory/latency
+ * attributes (no `from`/`value` sugar), then every dependence as an
+ * explicit `dep` line in edge-index order (the DDG is append-only,
+ * so this reconstructs adjacency exactly); defaulted fields
+ * (offset 0, invstride 0, attractable, dist 0, default latency,
+ * maindata 4/1.0, invocations 2, storage global) are omitted.
+ */
+
+#ifndef WIVLIW_LANG_WRITER_HH
+#define WIVLIW_LANG_WRITER_HH
+
+#include <string>
+
+#include "workloads/loop_spec.hh"
+
+namespace vliw::lang {
+
+/** Serialize @p spec as one canonical `benchmark` block. */
+std::string dumpWorkloadText(const BenchmarkSpec &spec);
+
+/**
+ * Content fingerprint of @p spec: FNV-1a 64 of its canonical dump,
+ * as 16 hex digits. Two specs fingerprint equal iff the engine
+ * sees the same workload, which is what keys the compile cache and
+ * makes re-registration idempotent.
+ */
+std::string wvlFingerprint(const BenchmarkSpec &spec);
+
+} // namespace vliw::lang
+
+#endif // WIVLIW_LANG_WRITER_HH

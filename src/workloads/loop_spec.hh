@@ -51,6 +51,15 @@ struct BenchmarkSpec
     /** Table 1: dominant element size in bytes and its share. */
     int mainDataSize = 4;
     double mainDataShare = 1.0;
+    /**
+     * Content fingerprint for externally ingested workloads
+     * (lang::wvlFingerprint of the canonical .wvl dump). Empty for
+     * compiled-in specs. When set, it joins the compile-cache key
+     * so two same-named kernels with different bodies never share
+     * artifacts — a persistent store outlives any one text
+     * registration.
+     */
+    std::string fingerprint;
 
     SymbolId addSymbol(const std::string &name, std::int64_t size,
                        SymbolSpec::Storage storage);

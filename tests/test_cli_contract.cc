@@ -177,7 +177,9 @@ TEST(CliContract, ListFlagsPrintRegistries)
 
     const CliResult benches = runCli("--list-benches");
     EXPECT_EQ(benches.exitCode, 0);
-    EXPECT_NE(benches.output.find("gsmdec\n"), std::string::npos);
+    // Benchmarks carry a tab-separated source column.
+    EXPECT_NE(benches.output.find("gsmdec\tbuiltin\n"),
+              std::string::npos);
     // One line per registered benchmark.
     EXPECT_EQ(std::count(benches.output.begin(),
                          benches.output.end(), '\n'),
@@ -257,7 +259,111 @@ TEST(CliContract, RunHelpListsEveryReadmeFlag)
          "--sweep", "--benches", "--archs", "--heuristics",
          "--unrolls", "--jobs", "--datasets", "--no-compile-cache",
          "--timing", "--remote", "--store", "--csv", "--json",
-         "--version", "--help"});
+         "--version", "--help", "--bench-file",
+         "--no-builtin-benches", "--export-benches", "--dump-ddg"});
+}
+
+// ---- workload ingestion (--bench-file / .wvl) -----------------
+
+/** Write @p text to a unique temp file, returning its path. */
+std::string
+writeTemp(const std::string &stem, const std::string &text)
+{
+    const std::string path =
+        testing::TempDir() + "cli_contract_" + stem + ".wvl";
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    out.close();
+    return path;
+}
+
+const char *kTinyKernel =
+    "benchmark tinyfir {\n"
+    "  symbol src size 4096\n"
+    "  symbol dst size 4096\n"
+    "  loop mac trip 256 {\n"
+    "    x = load src gran 4 stride 4\n"
+    "    m = intmul from x\n"
+    "    acc = intalu from m\n"
+    "    dep acc -> acc kind flow dist 1\n"
+    "    s = store dst gran 4 stride 4 value acc\n"
+    "  }\n"
+    "}\n";
+
+TEST(CliContract, BenchFileRegistersAndRuns)
+{
+    const std::string path = writeTemp("tiny", kTinyKernel);
+    const CliResult res =
+        runCli("--bench-file " + path + " --bench tinyfir --csv");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("tinyfir"), std::string::npos);
+
+    const CliResult list =
+        runCli("--bench-file " + path + " --list-benches");
+    EXPECT_EQ(list.exitCode, 0);
+    EXPECT_NE(list.output.find("tinyfir\tfile\n"),
+              std::string::npos);
+}
+
+TEST(CliContract, UnknownBenchListsFileRegisteredNamesToo)
+{
+    const std::string path = writeTemp("tiny2", kTinyKernel);
+    expectUsageError("--bench-file " + path + " --bench quake3",
+                     "tinyfir");
+}
+
+TEST(CliContract, MalformedBenchFileIsUsageErrorWithPosition)
+{
+    const std::string path =
+        writeTemp("bad", "benchmark b {\n"
+                         "  loop l trip 7 {\n"
+                         "    a = intalu\n"
+                         "  }\n"
+                         "}\n");
+    const CliResult res =
+        runCli("--bench-file " + path + " --bench b");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+    // Diagnostic carries file:line:col and a caret snippet.
+    EXPECT_NE(res.output.find(path + ":2:15"), std::string::npos)
+        << res.output;
+    EXPECT_NE(res.output.find("^"), std::string::npos);
+}
+
+TEST(CliContract, DumpDdgWritesDotFile)
+{
+    const std::string path =
+        testing::TempDir() + "cli_contract_ddg.dot";
+    const CliResult res = runCli("--bench gsmdec --dump-ddg " +
+                                 path + " --csv");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string dot((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("gsmdec_"), std::string::npos);
+    // The run banner stays on stdout, not in the DOT file.
+    EXPECT_EQ(dot.find("UF="), std::string::npos);
+}
+
+TEST(CliContract, ExportBenchesRoundTripsThroughBenchFile)
+{
+    const std::string path =
+        testing::TempDir() + "cli_contract_export.wvl";
+    const CliResult dump = runCli("--export-benches " + path);
+    EXPECT_EQ(dump.exitCode, 0) << dump.output;
+
+    // Re-ingesting the dump with builtins disabled reproduces the
+    // full registry, every name tagged as file-sourced.
+    const CliResult list = runCli("--no-builtin-benches "
+                                  "--bench-file " +
+                                  path + " --list-benches");
+    EXPECT_EQ(list.exitCode, 0) << list.output;
+    EXPECT_NE(list.output.find("gsmdec\tfile\n"),
+              std::string::npos);
+    EXPECT_EQ(std::count(list.output.begin(), list.output.end(),
+                         '\n'),
+              14);
 }
 
 } // namespace

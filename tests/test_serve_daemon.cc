@@ -695,6 +695,136 @@ TEST(ServeDaemon, InjectedSubmitFaultIsAStructuredError)
     EXPECT_EQ(daemon.finish(), 0);
 }
 
+TEST(ServeDaemon, RegisterWorkloadOverTheWireIsSweepable)
+{
+    DaemonClient daemon({"--jobs", "2"});
+    const std::string kernel =
+        "benchmark wiretest {\n"
+        "  symbol src size 4096\n"
+        "  loop l trip 64 {\n"
+        "    x = load src gran 4 stride 4\n"
+        "    a = intalu from x\n"
+        "    dep a -> a kind flow dist 1\n"
+        "  }\n"
+        "}\n";
+    daemon.send(R"({"op":"register-workload","source":)" +
+                json::quoted(kernel) + "}");
+    const json::Value reg = daemon.readResponse();
+    EXPECT_TRUE(reg.getBool("ok"));
+    EXPECT_EQ(reg.getString("op"), "register-workload");
+    const std::vector<std::string> names =
+        reg.getStrings("registered");
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "wiretest");
+
+    // Session-scoped: the registry now lists it next to builtins.
+    daemon.send(R"({"op":"list-benches"})");
+    const std::vector<std::string> benches =
+        daemon.readResponse().getStrings("names");
+    EXPECT_EQ(benches.size(), 15u);
+    EXPECT_NE(std::find(benches.begin(), benches.end(),
+                        "wiretest"),
+              benches.end());
+
+    // And it sweeps like any builtin.
+    daemon.send(R"({"op":"submit","workloads":["wiretest"],)"
+                R"("archs":["interleaved"]})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    const json::Value finished =
+        daemon.readEventsUntil("finished").back();
+    EXPECT_EQ(finished.getString("status"), "ok");
+
+    // Byte-identical re-registration is idempotent...
+    daemon.send(R"({"op":"register-workload","source":)" +
+                json::quoted(kernel) + "}");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+
+    // ...but the same name with a different body is rejected.
+    daemon.send(
+        R"({"op":"register-workload","source":)" +
+        json::quoted("benchmark wiretest {\n"
+                     "  loop l trip 32 {\n"
+                     "    a = intalu\n"
+                     "  }\n"
+                     "}\n") +
+        "}");
+    const json::Value conflict = daemon.readResponse();
+    EXPECT_FALSE(conflict.getBool("ok"));
+    EXPECT_NE(conflict.getString("error").find("already"),
+              std::string::npos);
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, MalformedWorkloadSourceIsASoftError)
+{
+    DaemonClient daemon;
+
+    // Missing source entirely.
+    daemon.send(R"({"op":"register-workload"})");
+    const json::Value missing = daemon.readResponse();
+    EXPECT_FALSE(missing.getBool("ok"));
+    EXPECT_NE(missing.getString("error").find("source"),
+              std::string::npos);
+
+    // Truncated block: the error carries the <wire> origin and a
+    // line:col position, and the registry is untouched.
+    daemon.send(
+        R"({"op":"register-workload","source":)" +
+        json::quoted("benchmark broken {\n  loop l trip 16 {\n") +
+        "}");
+    const json::Value broken = daemon.readResponse();
+    EXPECT_FALSE(broken.getBool("ok"));
+    EXPECT_NE(broken.getString("error").find("<wire>:"),
+              std::string::npos);
+    EXPECT_NE(broken.getString("error").find("error:"),
+              std::string::npos);
+
+    // Semantically invalid (bad trip count) likewise.
+    daemon.send(
+        R"({"op":"register-workload","source":)" +
+        json::quoted(
+            "benchmark bad { loop l trip 7 { a = intalu } }") +
+        "}");
+    const json::Value bad = daemon.readResponse();
+    EXPECT_FALSE(bad.getBool("ok"));
+    EXPECT_NE(bad.getString("error").find("trip"),
+              std::string::npos);
+
+    daemon.send(R"({"op":"list-benches"})");
+    EXPECT_EQ(daemon.readResponse().getStrings("names").size(),
+              14u);
+
+    // Still serving.
+    daemon.send(R"({"op":"version"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
+TEST(ServeDaemon, OversizedWorkloadSourceShedsStructurally)
+{
+    DaemonClient daemon;
+    // A 1.5 MiB .wvl source blows the 1 MiB request-line cap: the
+    // daemon sheds the line with a structured error naming the
+    // limit — no parse attempt, no OOM, registry untouched.
+    std::string big = "benchmark big {\n";
+    while (big.size() < (3u << 20) / 2)
+        big += "# padding comment to grow the source line\n";
+    big += "}\n";
+    daemon.send(R"({"op":"register-workload","source":)" +
+                json::quoted(big) + "}");
+    const json::Value shed = daemon.readResponse();
+    EXPECT_FALSE(shed.getBool("ok"));
+    EXPECT_NE(shed.getString("error").find("1048576"),
+              std::string::npos);
+
+    daemon.send(R"({"op":"list-benches"})");
+    EXPECT_EQ(daemon.readResponse().getStrings("names").size(),
+              14u);
+    daemon.send(R"({"op":"version"})");
+    EXPECT_TRUE(daemon.readResponse().getBool("ok"));
+    EXPECT_EQ(daemon.finish(), 0);
+}
+
 TEST(ServeDaemon, MetricsOpExposesDocumentedCountersAndHistograms)
 {
     DaemonClient daemon;

@@ -22,6 +22,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -31,8 +32,10 @@
 #include "core/versioning.hh"
 #include "ddg/dot.hh"
 #include "dist/coordinator.hh"
+#include "dist/ndjson_client.hh"
 #include "engine/report.hh"
 #include "sched/schedule_dump.hh"
+#include "support/json.hh"
 #include "support/table.hh"
 
 using namespace vliw;
@@ -49,6 +52,15 @@ struct CliOptions
     std::string dumpLoop;
     bool dumpKernelFlag = false;
     bool dumpDotFlag = false;
+    /** --dump-ddg FILE: DDG-only DOT export ("-" = stdout). */
+    std::string dumpDdgFile;
+    /** --bench-file: .wvl sources to register before any mode. */
+    std::vector<std::string> benchFiles;
+    /** --no-builtin-benches: start with an empty workload axis. */
+    bool builtinBenches = true;
+    /** --export-benches FILE: dump the workload registry as .wvl
+     *  ("-" = stdout) and exit. */
+    std::string exportBenches;
     bool versioning = false;
     bool noAlign = false;
     bool noChains = false;
@@ -94,12 +106,27 @@ usage(int code)
         "  --versioning       enable Section 5.4 loop versioning\n"
         "  --dump-kernel      print each loop's kernel\n"
         "  --dump-dot         print each loop's DDG as DOT\n"
+        "  --dump-ddg FILE    write each loop's DDG as DOT to\n"
+        "                     FILE ('-' = stdout), without the\n"
+        "                     schedule banner\n"
         "  --loop NAME        restrict dumps to one loop\n"
+        "workload ingestion (docs/WORKLOADS.md):\n"
+        "  --bench-file FILE  register every benchmark described\n"
+        "                     in the .wvl FILE (repeatable); the\n"
+        "                     names join every mode and axis\n"
+        "  --no-builtin-benches\n"
+        "                     start with an empty workload axis\n"
+        "                     (only --bench-file kernels)\n"
+        "  --export-benches FILE\n"
+        "                     dump every registered benchmark as\n"
+        "                     canonical .wvl to FILE ('-' =\n"
+        "                     stdout) and exit\n"
         "registry listings (one name per line):\n"
         "  --list-archs       registered architectures\n"
         "  --list-heuristics  registered heuristics\n"
         "  --list-unrolls     registered unroll policies\n"
-        "  --list-benches     registered benchmarks\n"
+        "  --list-benches     registered benchmarks, with a\n"
+        "                     source column (builtin vs file)\n"
         "sweep mode (cross-product through the experiment engine):\n"
         "  --sweep            run benches x archs x heuristics x\n"
         "                     unrolls; defaults to every registered\n"
@@ -213,6 +240,14 @@ parseArgs(int argc, char **argv)
             cli.dumpKernelFlag = true;
         else if (arg == "--dump-dot")
             cli.dumpDotFlag = true;
+        else if (arg == "--dump-ddg")
+            cli.dumpDdgFile = value("--dump-ddg");
+        else if (arg == "--bench-file")
+            cli.benchFiles.push_back(value("--bench-file"));
+        else if (arg == "--no-builtin-benches")
+            cli.builtinBenches = false;
+        else if (arg == "--export-benches")
+            cli.exportBenches = value("--export-benches");
         else if (arg == "--versioning")
             cli.versioning = true;
         else if (arg == "--no-align")
@@ -296,8 +331,14 @@ parseArgs(int argc, char **argv)
                      cli.sweepOnlyFlag.c_str());
         usage(2);
     }
+    if (!cli.builtinBenches && cli.benchFiles.empty()) {
+        std::fprintf(stderr,
+                     "--no-builtin-benches leaves no benchmarks; "
+                     "add --bench-file FILE\n");
+        usage(2);
+    }
     if (cli.list.empty() && !cli.sweep && !cli.all &&
-        cli.bench.empty()) {
+        cli.bench.empty() && cli.exportBenches.empty()) {
         std::fprintf(stderr,
                      "pick --bench NAME, --all, --sweep or a "
                      "--list-* flag\n");
@@ -310,11 +351,21 @@ int
 printList(const api::Session &session, const std::string &flag)
 {
     const api::Registries &reg = session.registries();
+    if (flag == "--list-benches") {
+        // Benchmarks carry a source column: builtin suite vs
+        // ingested (.wvl file or wire registration).
+        for (const std::string &name : reg.workloads.names()) {
+            const api::WorkloadEntry *entry =
+                reg.workloads.find(name);
+            std::printf("%s\t%s\n", name.c_str(),
+                        entry ? entry->origin.c_str() : "?");
+        }
+        return 0;
+    }
     const std::vector<std::string> &names =
         flag == "--list-archs"      ? reg.archs.names()
         : flag == "--list-heuristics" ? reg.schedulers.names()
-        : flag == "--list-unrolls"    ? reg.unrolls.names()
-                                      : reg.workloads.names();
+                                      : reg.unrolls.names();
     for (const std::string &name : names)
         std::printf("%s\n", name.c_str());
     return 0;
@@ -336,7 +387,7 @@ baseRequest(const CliOptions &cli)
 
 void
 dumpLoops(api::Session &session, const CliOptions &cli,
-          const std::string &bench)
+          const std::string &bench, std::ostream *ddgOut)
 {
     api::RunRequest req = baseRequest(cli);
     req.workload = bench;
@@ -351,6 +402,14 @@ dumpLoops(api::Session &session, const CliOptions &cli,
          compiled.value()->loops) {
         const CompiledLoop &loop = versions.primary;
         if (!cli.dumpLoop.empty() && loop.name != cli.dumpLoop)
+            continue;
+        if (ddgOut) {
+            DotOptions dot;
+            dot.name = bench + "_" + loop.name;
+            dot.latencies = &loop.latency.latencies;
+            dumpDot(*ddgOut, loop.ddg, dot);
+        }
+        if (!cli.dumpKernelFlag && !cli.dumpDotFlag)
             continue;
         std::printf("\n%s/%s: UF=%d (%s) II=%d SC=%d copies=%d\n",
                     bench.c_str(), loop.name.c_str(),
@@ -387,6 +446,122 @@ splitAxis(const char *flag, const std::string &list)
         std::exit(2);
     }
     return out;
+}
+
+std::string
+readFileOrExit(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read --bench-file '%s': %s\n",
+                     path.c_str(), std::strerror(errno));
+        std::exit(2);
+    }
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/** Register every --bench-file before any mode runs, so the names
+ *  are first-class on every axis (single run, sweep, remote). */
+void
+registerBenchFiles(api::Session &session, const CliOptions &cli)
+{
+    for (const std::string &path : cli.benchFiles) {
+        auto res = session.registerWorkloadText(
+            "", readFileOrExit(path), "file", path);
+        if (!res.ok())
+            statusExit(res.status());
+    }
+}
+
+int
+exportBenchesMode(api::Session &session, const std::string &file)
+{
+    std::ofstream out;
+    std::ostream *os = &std::cout;
+    if (file != "-") {
+        out.open(file, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            std::fprintf(stderr,
+                         "cannot write --export-benches '%s': %s\n",
+                         file.c_str(), std::strerror(errno));
+            std::exit(1);
+        }
+        os = &out;
+    }
+    // Canonical dumps concatenate into one parseable .wvl file:
+    // `--no-builtin-benches --bench-file <export>` reproduces the
+    // workload axis exactly (the round-trip golden).
+    for (const std::string &name :
+         session.registries().workloads.names()) {
+        auto text = session.dumpWorkloadText(name);
+        if (!text.ok())
+            statusExit(text.status());
+        *os << text.value();
+    }
+    os->flush();
+    if (os->fail()) {
+        std::fprintf(stderr, "writing --export-benches '%s' failed\n",
+                     file.c_str());
+        std::exit(1);
+    }
+    return 0;
+}
+
+/**
+ * Push every ingested (non-builtin) workload of the sweep to every
+ * --remote endpoint via the register-workload op: the daemons
+ * resolve benchmark names against their own session, which cannot
+ * know about this process's --bench-file registrations otherwise.
+ */
+void
+pushWorkloadsRemote(api::Session &session,
+                    const std::vector<std::string> &workloads,
+                    const std::vector<std::string> &endpoints)
+{
+    std::vector<std::pair<std::string, std::string>> pushes;
+    const api::Registries &reg = session.registries();
+    for (const std::string &w : workloads) {
+        const api::WorkloadEntry *entry = reg.workloads.find(w);
+        if (!entry || entry->origin == "builtin")
+            continue;
+        auto text = session.dumpWorkloadText(w);
+        if (!text.ok())
+            statusExit(text.status());
+        pushes.emplace_back(w, text.value());
+    }
+    if (pushes.empty())
+        return;
+    for (const std::string &endpoint : endpoints) {
+        dist::NdjsonClient client;
+        if (!client.connect(endpoint)) {
+            std::fprintf(stderr,
+                         "cannot connect to '%s' to register "
+                         "workloads\n",
+                         endpoint.c_str());
+            std::exit(1);
+        }
+        for (const auto &[name, source] : pushes) {
+            const std::string line =
+                "{\"op\":\"register-workload\",\"name\":" +
+                json::quoted(name) +
+                ",\"source\":" + json::quoted(source) + "}";
+            auto resp = client.sendLine(line)
+                            ? client.recvResponse()
+                            : std::nullopt;
+            if (!resp || !resp->getBool("ok")) {
+                std::fprintf(
+                    stderr,
+                    "register-workload '%s' failed on '%s': %s\n",
+                    name.c_str(), endpoint.c_str(),
+                    resp ? resp->getString("error", "rejected")
+                               .c_str()
+                         : "connection lost");
+                std::exit(1);
+            }
+        }
+    }
 }
 
 /**
@@ -441,6 +616,9 @@ runRemoteSweep(api::Session &session, const CliOptions &cli)
     for (const std::string &u : sweep.unrolls)
         if (auto r = reg.unrolls.resolve(u); !r.ok())
             statusExit(r.status());
+
+    pushWorkloadsRemote(session, sweep.workloads,
+                        splitList(cli.remote));
 
     dist::SweepCoordinator coordinator(splitList(cli.remote));
     auto result = coordinator.run(sweep);
@@ -519,8 +697,12 @@ main(int argc, char **argv)
     session_opts.jobs = cli.jobs;
     session_opts.compileCache = cli.compileCache;
     session_opts.storeDir = cli.storeDir;
+    session_opts.builtinWorkloads = cli.builtinBenches;
     api::Session session(session_opts);
+    registerBenchFiles(session, cli);
 
+    if (!cli.exportBenches.empty())
+        return exportBenchesMode(session, cli.exportBenches);
     if (!cli.list.empty())
         return printList(session, cli.list);
     if (cli.sweep) {
@@ -536,12 +718,31 @@ main(int argc, char **argv)
         benches.push_back(cli.bench);
     }
 
+    std::ofstream ddgFile;
+    std::ostream *ddgOut = nullptr;
+    if (!cli.dumpDdgFile.empty()) {
+        if (cli.dumpDdgFile == "-") {
+            ddgOut = &std::cout;
+        } else {
+            ddgFile.open(cli.dumpDdgFile,
+                         std::ios::binary | std::ios::trunc);
+            if (!ddgFile) {
+                std::fprintf(stderr,
+                             "cannot write --dump-ddg '%s': %s\n",
+                             cli.dumpDdgFile.c_str(),
+                             std::strerror(errno));
+                return 1;
+            }
+            ddgOut = &ddgFile;
+        }
+    }
+
     std::vector<engine::ExperimentResult> results;
     TextTable tab({"benchmark", "cycles", "compute", "stall",
                    "local hits", "ab hits", "copies"});
     for (const std::string &bench : benches) {
-        if (cli.dumpKernelFlag || cli.dumpDotFlag)
-            dumpLoops(session, cli, bench);
+        if (cli.dumpKernelFlag || cli.dumpDotFlag || ddgOut)
+            dumpLoops(session, cli, bench, ddgOut);
 
         api::RunRequest req = baseRequest(cli);
         req.workload = bench;

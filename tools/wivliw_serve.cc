@@ -455,6 +455,8 @@ class Connection
         } else if (op == "list-archs" || op == "list-benches" ||
                    op == "list-heuristics" || op == "list-unrolls") {
             handleListNames(op);
+        } else if (op == "register-workload") {
+            handleRegisterWorkload(*req);
         } else if (op == "metrics") {
             handleMetrics();
         } else if (op == "cache-stats") {
@@ -695,6 +697,45 @@ class Connection
         os << "{\"ok\":true,\"op\":\"" << op << "\",\"names\":[";
         for (std::size_t i = 0; i < names.size(); ++i)
             os << (i ? "," : "") << json::quoted(names[i]);
+        os << "]}";
+        writeLine(os.str());
+    }
+
+    /**
+     * Ingest a .wvl workload over the wire:
+     *   {"op":"register-workload","name":"fir","source":"..."}
+     * Registrations are session-scoped — the daemon multiplexes
+     * every connection over one Session, so a registered kernel is
+     * immediately sweepable by any later connection (which is how
+     * the CLI's --remote --bench-file path works). The call does
+     * all its work inline (no cells queued), so it is never shed
+     * by admission control; malformed source is a structured
+     * error with file:line:col, never a daemon exit; and pushing
+     * the same name+content twice is idempotent. Counted in
+     * wivliw_workloads_registered_total /
+     * wivliw_workload_parse_errors_total.
+     */
+    void
+    handleRegisterWorkload(const json::Value &req)
+    {
+        const std::string source = req.getString("source");
+        if (source.empty()) {
+            respondError("register-workload",
+                         "missing 'source' (the .wvl text)");
+            return;
+        }
+        auto res = session_.registerWorkloadText(
+            req.getString("name"), source, "wire", "<wire>");
+        if (!res.ok()) {
+            respondError("register-workload",
+                         res.status().message());
+            return;
+        }
+        std::ostringstream os;
+        os << "{\"ok\":true,\"op\":\"register-workload\","
+              "\"registered\":[";
+        for (std::size_t i = 0; i < res.value().size(); ++i)
+            os << (i ? "," : "") << json::quoted(res.value()[i]);
         os << "]}";
         writeLine(os.str());
     }
