@@ -80,6 +80,10 @@ struct JobEvent
     std::size_t cell = 0;
     /** Cell events: the cell's spec label. */
     std::string label;
+    /** CellCompiled: the exact solver's outcome for the cell
+     *  ("proven", "feasible" or "budget-exhausted"); empty for
+     *  heuristic cells, so existing consumers see no change. */
+    std::string solver;
     /** CellFailed: the cell's Status; JobFinished: the job's. */
     Status status;
     Progress progress;

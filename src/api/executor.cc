@@ -338,6 +338,7 @@ AsyncExecutor::runCell(const std::shared_ptr<JobCore> &core, int cell)
             ev.job = core->id;
             ev.cell = std::size_t(cell);
             ev.label = r.spec.label();
+            ev.solver = r.solverOutcome;
             std::lock_guard<std::mutex> emitLock(core->emitMu);
             // Deliberately unabsorbed: this delivery runs on the
             // cell's execution path, so a sink that throws fails

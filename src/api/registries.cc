@@ -156,19 +156,52 @@ ArchRegistry::resolve(const std::string &key) const
 
 Status
 SchedulerRegistry::add(const std::string &name, Heuristic heuristic,
-                       std::string description)
+                       std::string description, bool optimal)
 {
-    return add(name,
-               SchedulerEntry{heuristic, std::move(description)});
+    return add(name, SchedulerEntry{heuristic,
+                                    std::move(description),
+                                    optimal});
 }
 
-Result<Heuristic>
-SchedulerRegistry::resolve(const std::string &name) const
+Result<SchedulerChoice>
+SchedulerRegistry::resolve(const std::string &key) const
 {
-    const SchedulerEntry *entry = find(name);
+    const std::size_t colon = key.find(':');
+    const std::string base =
+        colon == std::string::npos ? key : key.substr(0, colon);
+
+    const SchedulerEntry *entry = find(base);
     if (!entry)
-        return unknown(name);
-    return entry->heuristic;
+        return unknown(base);
+
+    SchedulerChoice choice;
+    choice.heuristic = entry->heuristic;
+    choice.optimal = entry->optimal;
+    choice.name = base;
+    if (colon == std::string::npos)
+        return choice;
+
+    if (!entry->optimal) {
+        return Status::invalidArgument(
+            "scheduler '" + base + "' does not take budget "
+            "modifiers (key '" + key + "')",
+            opt::budgetGrammar());
+    }
+    std::size_t pos = colon;
+    while (pos != std::string::npos) {
+        const std::size_t next = key.find(':', pos + 1);
+        const std::string token =
+            next == std::string::npos
+                ? key.substr(pos + 1)
+                : key.substr(pos + 1, next - pos - 1);
+        if (Status s =
+                opt::applyBudgetModifier(choice.budget, token, key);
+            !s.ok())
+            return s;
+        pos = next;
+    }
+    choice.name = opt::canonicalBudgetKey(choice.budget, base);
+    return choice;
 }
 
 // ---- unrolling policies ----------------------------------------------
@@ -247,6 +280,10 @@ Registries::builtin()
                           "Interleaved Build Chains"));
     must(r.schedulers.add("ipbc", Heuristic::Ipbc,
                           "Interleaved Pre-Build Chains"));
+    must(r.schedulers.add("optimal", Heuristic::Ipbc,
+                          "exact branch-and-bound (IPBC seed), "
+                          "budgeted",
+                          /*optimal=*/true));
 
     must(r.unrolls.add("none", UnrollPolicy::None, "no unrolling"));
     must(r.unrolls.add("xN", UnrollPolicy::TimesN,

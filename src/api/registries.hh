@@ -23,6 +23,7 @@
 
 #include "api/registry.hh"
 #include "machine/machine_config.hh"
+#include "opt/budget.hh"
 #include "sched/scheduler.hh"
 #include "sched/unroll_policy.hh"
 #include "workloads/loop_spec.hh"
@@ -80,6 +81,25 @@ struct SchedulerEntry
 {
     Heuristic heuristic = Heuristic::Base;
     std::string description;
+    /**
+     * Entry drives the exact solver (src/opt) seeded by `heuristic`,
+     * and its key accepts the `:b<N>ms` / `:n<N>` budget modifiers.
+     */
+    bool optimal = false;
+};
+
+/**
+ * A fully resolved scheduler key: which kernel strategy to run and,
+ * for `optimal` arms, the parsed search budget plus the canonical
+ * key the choice serializes/reports under (`optimal:b5000ms:n1e7`
+ * style — plain digits, defaults omitted).
+ */
+struct SchedulerChoice
+{
+    Heuristic heuristic = Heuristic::Ipbc;
+    bool optimal = false;
+    opt::SolverBudget budget;
+    std::string name;
 };
 
 class SchedulerRegistry : public Registry<SchedulerEntry>
@@ -88,10 +108,17 @@ class SchedulerRegistry : public Registry<SchedulerEntry>
     SchedulerRegistry() : Registry("heuristic") {}
 
     Status add(const std::string &name, Heuristic heuristic,
-               std::string description = "");
+               std::string description = "",
+               bool optimal = false);
     using Registry::add;
 
-    Result<Heuristic> resolve(const std::string &name) const;
+    /**
+     * Resolve an exact name or, for optimal entries, a parametric
+     * `optimal[:b<N>ms][:n<N>]` budget key. Budget modifiers on a
+     * plain heuristic come back as InvalidArgument with the grammar
+     * as context.
+     */
+    Result<SchedulerChoice> resolve(const std::string &key) const;
 };
 
 // ---- unrolling policies ----------------------------------------------

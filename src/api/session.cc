@@ -136,7 +136,9 @@ struct Session::Impl
         spec.bench = req.workload;
         spec.arch = {req.arch, arch.take()};
         spec.opts = req.options;
-        spec.opts.heuristic = heuristic.value();
+        spec.opts.heuristic = heuristic.value().heuristic;
+        spec.opts.optimalSolver = heuristic.value().optimal;
+        spec.opts.solverBudget = heuristic.value().budget;
         spec.opts.unroll = unroll.value();
         spec.workload = workload.take();
         if (req.datasets > 1) {
@@ -182,8 +184,11 @@ struct Session::Impl
                 return r.status();
         }
         for (const std::string &name : req.schedulers) {
-            if (!reg.schedulers.contains(name))
-                return reg.schedulers.unknown(name);
+            // resolve(), not contains(): parametric budget keys
+            // (`optimal:b5000ms`) must validate here too, so a bad
+            // grammar fails the sweep up front with context.
+            if (auto r = reg.schedulers.resolve(name); !r.ok())
+                return r.status();
         }
         for (const std::string &name : req.unrolls) {
             if (!reg.unrolls.contains(name))

@@ -5,6 +5,7 @@
 
 #include "core/versioning.hh"
 #include "ddg/mii.hh"
+#include "opt/solver.hh"
 #include "ddg/unroll.hh"
 #include "sim/sim_workspace.hh"
 #include "support/logging.hh"
@@ -106,6 +107,33 @@ Toolchain::compileAt(const BenchmarkSpec &bench, const LoopSpec &loop,
             " II attempts (mii ", out.mii, ")"));
     }
     out.sched = std::move(*outcome);
+
+    // The exact solver runs after the heuristic: the heuristic
+    // schedule is its upper bound and the fallback when the budget
+    // runs out, so a CompileError can only come from the seed above.
+    if (opts_.optimalSolver) {
+        const opt::SolveOutcome solved = opt::solveLoop(
+            out.ddg, out.latency.latencies, cfg_, sched_opts,
+            opts_.solverBudget, out.sched.schedule, out.mii);
+        out.solverOutcome = opt::solveStatusName(solved.status);
+        out.solverLowerBound = solved.lowerBound;
+        out.solverNodes = solved.stats.nodes;
+        if (solved.schedule.ii < out.sched.schedule.ii) {
+            out.sched.schedule = solved.schedule;
+            // chainClusters is metadata (serialized, not simulated);
+            // rebind it to the solver's cluster choices.
+            if (sched_opts.useChains) {
+                const MemChains chains(out.ddg);
+                out.sched.chainClusters.assign(
+                    std::size_t(chains.numChains()), -1);
+                for (int ch = 0; ch < chains.numChains(); ++ch) {
+                    const NodeId member = chains.members(ch).front();
+                    out.sched.chainClusters[std::size_t(ch)] =
+                        solved.schedule.clusterOf(member);
+                }
+            }
+        }
+    }
     return out;
 }
 
@@ -292,6 +320,9 @@ simulateDataset(const MachineConfig &cfg, const BenchmarkSpec &bench,
         lr.copies = compiled.sched.schedule.numCopies();
         lr.workloadBalance =
             compiled.sched.schedule.workloadBalance(cfg.numClusters);
+        lr.solver = compiled.solverOutcome;
+        lr.solverLowerBound = compiled.solverLowerBound;
+        lr.solverNodes = compiled.solverNodes;
 
         for (int inv = 0; inv < compiled.invocations; ++inv) {
             exec_addr.setInvocation(inv);

@@ -30,6 +30,7 @@
 #include "ddg/chains.hh"
 #include "ddg/profile_map.hh"
 #include "machine/machine_config.hh"
+#include "opt/budget.hh"
 #include "sched/latency_assign.hh"
 #include "sched/scheduler.hh"
 #include "sched/unroll_policy.hh"
@@ -79,6 +80,15 @@ struct ToolchainOptions
      * tokens. Null (the default) disables the checks.
      */
     const std::atomic<bool> *cancel = nullptr;
+    /**
+     * Run the exact modulo scheduler (src/opt) after the heuristic:
+     * the heuristic schedule seeds the search as upper bound and
+     * fallback, and is replaced only when the solver finds a
+     * strictly smaller II within solverBudget. Compile-relevant:
+     * engine::compileKey includes the budget when this is set.
+     */
+    bool optimalSolver = false;
+    opt::SolverBudget solverBudget;
 };
 
 /** A fully compiled loop, ready to simulate or inspect. */
@@ -95,6 +105,15 @@ struct CompiledLoop
     /** Kernel iterations per invocation after unrolling. */
     std::int64_t kernelIterations = 0;
     int invocations = 1;
+    /**
+     * Exact-solver verdict: "proven" / "feasible" /
+     * "budget-exhausted", empty for plain heuristic compiles.
+     */
+    std::string solverOutcome;
+    /** Proven lower bound on this loop's II (0 when no solver). */
+    int solverLowerBound = 0;
+    /** Search nodes the solver spent on this loop. */
+    std::uint64_t solverNodes = 0;
 };
 
 /**
@@ -135,6 +154,12 @@ struct LoopRun
     /** Invocations the versioning check sent to the unchained
      *  version (0 when versioning is off or never profitable). */
     int unchainedInvocations = 0;
+    /** Exact-solver verdict of the compiled loop ("" = heuristic). */
+    std::string solver;
+    /** Proven lower bound on the loop's II (0 when no solver). */
+    int solverLowerBound = 0;
+    /** Search nodes the solver spent on this loop. */
+    std::uint64_t solverNodes = 0;
 };
 
 /** Whole-benchmark result. */

@@ -126,6 +126,12 @@ encodeLoop(blob::Writer &w, const CompiledLoop &loop)
     w.i32(loop.mii);
     w.i64(loop.kernelIterations);
     w.i32(loop.invocations);
+    // Format v2: the exact solver's verdict rides with the
+    // artifact, so cached/served compiles report it like fresh
+    // ones. Empty on heuristic-only compiles.
+    w.str(loop.solverOutcome);
+    w.i32(loop.solverLowerBound);
+    w.u64(loop.solverNodes);
 }
 
 // ---- decoding --------------------------------------------------------
@@ -348,6 +354,9 @@ decodeLoop(blob::Reader &r, CompiledLoop &loop)
     loop.mii = r.i32();
     loop.kernelIterations = r.i64();
     loop.invocations = r.i32();
+    loop.solverOutcome = r.str();
+    loop.solverLowerBound = r.i32();
+    loop.solverNodes = r.u64();
     return r.ok();
 }
 

@@ -43,8 +43,10 @@ namespace vliw::dist {
 /** First four artifact bytes: "WVAF" (wivliw artifact). */
 inline constexpr std::uint32_t kArtifactMagic = 0x46415657u;
 
-/** Bumped whenever the payload layout changes incompatibly. */
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/** Bumped whenever the payload layout changes incompatibly.
+ *  v2: per-loop exact-solver verdict (outcome, lower bound, node
+ *  count) appended after the invocation count. */
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /** A decoded artifact: the payload plus its identifying header. */
 struct DecodedArtifact

@@ -81,6 +81,14 @@ compileKey(const MachineConfig &cfg, const ToolchainOptions &opts,
         key << "|ab" << (cfg.attractionBuffers ? 1 : 0)
             << "," << opts.abHintBudget;
     }
+    // The exact solver changes the artifact; the budget bounds how
+    // far its proof gets, so it is compile-relevant too. Keyed only
+    // when the solver runs: heuristic keys — and every store
+    // published before the solver existed — stay byte-stable.
+    if (opts.optimalSolver) {
+        key << "|x" << opts.solverBudget.maxNodes
+            << "," << opts.solverBudget.maxMillis;
+    }
     return key.str();
 }
 

@@ -106,6 +106,29 @@ runExperiment(const ExperimentSpec &spec, CompileCache *cache,
         }
         result.compileMs = msSince(compile_start);
 
+        // Surface the exact solver's worst per-kernel outcome on
+        // the result (and thus in CellCompiled events) before the
+        // hook fires. Heuristic cells leave it empty.
+        {
+            auto rank = [](const std::string &s) {
+                return s == "budget-exhausted" ? 3
+                     : s == "feasible"         ? 2
+                     : s == "proven"           ? 1 : 0;
+            };
+            const CompiledBenchmark &artifact =
+                compiled ? *compiled : local;
+            for (const CompiledLoopVersions &lv : artifact.loops) {
+                if (rank(lv.primary.solverOutcome) >
+                    rank(result.solverOutcome))
+                    result.solverOutcome = lv.primary.solverOutcome;
+                if (lv.unchained &&
+                    rank(lv.unchained->solverOutcome) >
+                        rank(result.solverOutcome))
+                    result.solverOutcome =
+                        lv.unchained->solverOutcome;
+            }
+        }
+
         if (hooks && hooks->compiled)
             hooks->compiled(result);
         if (tokenSet(cancel)) {

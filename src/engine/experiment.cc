@@ -35,7 +35,7 @@ findHeuristic(const std::string &name)
     auto h = api::builtinRegistries().schedulers.resolve(name);
     if (!h.ok())
         return std::nullopt;
-    return h.value();
+    return h.value().heuristic;
 }
 
 std::optional<UnrollPolicy>
@@ -48,10 +48,18 @@ findUnrollPolicy(const std::string &name)
 }
 
 std::string
+schedulerLabel(const ToolchainOptions &opts)
+{
+    if (opts.optimalSolver)
+        return opt::canonicalBudgetKey(opts.solverBudget);
+    return heuristicName(opts.heuristic);
+}
+
+std::string
 ExperimentSpec::label() const
 {
     std::string out = bench + "/" + arch.name + "/" +
-        heuristicName(opts.heuristic) + "/" +
+        schedulerLabel(opts) + "/" +
         unrollPolicyName(opts.unroll);
     if (!opts.varAlignment)
         out += "/noalign";
@@ -102,7 +110,7 @@ ExperimentGrid::expand() const
         arch_specs.push_back(
             ArchSpec{name, must(reg.archs.resolve(name), "arch")});
     }
-    std::vector<Heuristic> heuristic_axis;
+    std::vector<api::SchedulerChoice> heuristic_axis;
     heuristic_axis.reserve(heuristics.size());
     for (const std::string &name : heuristics) {
         heuristic_axis.push_back(
@@ -133,7 +141,7 @@ ExperimentGrid::expand() const
     out.reserve(size());
     for (std::size_t bi = 0; bi < bench_axis.size(); ++bi) {
         for (const ArchSpec &arch : arch_specs) {
-            for (Heuristic h : heuristic_axis) {
+            for (const api::SchedulerChoice &h : heuristic_axis) {
                 for (UnrollPolicy u : unroll_axis) {
                     for (bool align : alignment) {
                         for (bool chain : chains) {
@@ -142,7 +150,9 @@ ExperimentGrid::expand() const
                                 spec.bench = bench_axis[bi];
                                 spec.arch = arch;
                                 spec.opts = base;
-                                spec.opts.heuristic = h;
+                                spec.opts.heuristic = h.heuristic;
+                                spec.opts.optimalSolver = h.optimal;
+                                spec.opts.solverBudget = h.budget;
                                 spec.opts.unroll = u;
                                 spec.opts.varAlignment = align;
                                 spec.opts.memChains = chain;

@@ -48,6 +48,12 @@ ArchSpec makeArch(const std::string &name);
 /** Resolve a heuristic name through the built-in registry. */
 std::optional<Heuristic> findHeuristic(const std::string &name);
 
+/**
+ * The scheduler column/label of a cell: the canonical budget key
+ * for optimal-solver cells, heuristicName() otherwise.
+ */
+std::string schedulerLabel(const ToolchainOptions &opts);
+
 /** Resolve an unroll-policy name through the built-in registry. */
 std::optional<UnrollPolicy> findUnrollPolicy(const std::string &name);
 
@@ -150,6 +156,14 @@ struct ExperimentResult
      * did complete stay valid.
      */
     bool cancelled = false;
+    /**
+     * Worst exact-solver outcome over the benchmark's compiled
+     * kernels ("proven" < "feasible" < "budget-exhausted"); empty
+     * for heuristic cells. Filled right after the compile phase,
+     * before the compiled hook fires, so event streams can report
+     * it without waiting for simulation.
+     */
+    std::string solverOutcome;
 
     bool failed() const { return !error.empty(); }
     /**

@@ -22,6 +22,31 @@ boolName(bool v)
     return v ? "true" : "false";
 }
 
+/** Severity order of solver outcomes; empty (no solver) is least. */
+int
+solverRank(const std::string &outcome)
+{
+    if (outcome == "budget-exhausted")
+        return 3;
+    if (outcome == "feasible")
+        return 2;
+    if (outcome == "proven")
+        return 1;
+    return 0;
+}
+
+/** Worst solver outcome over the run's kernels ("" without one). */
+std::string
+worstSolverOutcome(const BenchmarkRun &run)
+{
+    std::string worst;
+    for (const LoopRun &lr : run.loops) {
+        if (solverRank(lr.solver) > solverRank(worst))
+            worst = lr.solver;
+    }
+    return worst;
+}
+
 } // namespace
 
 ReportRow
@@ -42,7 +67,7 @@ makeRow(const ExperimentResult &result, std::size_t dataset)
     ReportRow row;
     row.bench = result.spec.bench;
     row.arch = result.spec.arch.name;
-    row.heuristic = heuristicName(result.spec.opts.heuristic);
+    row.heuristic = schedulerLabel(result.spec.opts);
     row.unroll = unrollPolicyName(result.spec.opts.unroll);
     row.varAlignment = result.spec.opts.varAlignment;
     row.memChains = result.spec.opts.memChains;
@@ -57,6 +82,7 @@ makeRow(const ExperimentResult &result, std::size_t dataset)
     row.workloadBalance = run.workloadBalance;
     for (const LoopRun &lr : run.loops)
         row.copies += lr.copies;
+    row.solver = worstSolverOutcome(run);
     row.compileMs = result.compileMs;
     // A single-dataset job reports the whole simulate phase (the
     // pre-batch semantics); a multi-dataset row reports its own
@@ -119,12 +145,33 @@ multiDataset(const std::vector<ExperimentResult> &results)
     return false;
 }
 
+/**
+ * True when any successful experiment ran the exact solver. Like
+ * multiDataset(), this gates a column so heuristic-only reports —
+ * including every golden CSV from before the solver existed — stay
+ * byte-identical.
+ */
+bool
+anySolver(const std::vector<ExperimentResult> &results)
+{
+    for (const ExperimentResult &r : results) {
+        if (r.failed())
+            continue;
+        for (const BenchmarkRun &run : r.datasetRuns) {
+            if (!worstSolverOutcome(run).empty())
+                return true;
+        }
+    }
+    return false;
+}
+
 } // namespace
 
 TextTable
 sweepTable(const std::vector<ExperimentResult> &results, bool timing)
 {
     const bool multi = multiDataset(results);
+    const bool solver = anySolver(results);
     std::vector<std::string> headers = {
         "benchmark", "arch", "heuristic", "unroll"};
     if (multi)
@@ -132,6 +179,8 @@ sweepTable(const std::vector<ExperimentResult> &results, bool timing)
     for (const char *h : {"cycles", "compute", "stall", "local hits",
                           "ab hits", "copies"})
         headers.push_back(h);
+    if (solver)
+        headers.push_back("solver");
     if (timing) {
         headers.push_back("compile ms");
         headers.push_back("simulate ms");
@@ -154,6 +203,8 @@ sweepTable(const std::vector<ExperimentResult> &results, bool timing)
             tab.percentCell(row.localHitRatio);
             tab.cell(row.abHits);
             tab.cell(row.copies);
+            if (solver)
+                tab.cell(row.solver);
             if (timing) {
                 tab.cell(msCell(row.compileMs));
                 tab.cell(msCell(row.simulateMs));
@@ -168,11 +219,14 @@ writeCsv(std::ostream &os,
          const std::vector<ExperimentResult> &results, bool timing)
 {
     const bool multi = multiDataset(results);
+    const bool solver = anySolver(results);
     os << "benchmark,arch,heuristic,unroll,align,chains,versioning";
     if (multi)
         os << ",dataset";
     os << ",cycles,compute,stall,local_hit_ratio,ab_hits,"
           "mem_accesses,workload_balance,copies";
+    if (solver)
+        os << ",solver";
     if (timing)
         os << ",compile_ms,simulate_ms";
     os << '\n';
@@ -191,6 +245,8 @@ writeCsv(std::ostream &os,
                << ',' << row.stallCycles << ',' << row.localHitRatio
                << ',' << row.abHits << ',' << row.memAccesses << ','
                << row.workloadBalance << ',' << row.copies;
+            if (solver)
+                os << ',' << row.solver;
             if (timing) {
                 os << ',' << msCell(row.compileMs) << ','
                    << msCell(row.simulateMs);
@@ -206,6 +262,7 @@ writeJson(std::ostream &os,
           const CompileCacheStats *cache, bool timing)
 {
     const bool multi = multiDataset(results);
+    const bool solver = anySolver(results);
     os << "{\n  \"experiments\": [";
     bool first_record = true;
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -233,6 +290,9 @@ writeJson(std::ostream &os,
                << ", \"mem_accesses\": " << row.memAccesses
                << ", \"workload_balance\": " << row.workloadBalance
                << ", \"copies\": " << row.copies;
+            if (solver)
+                os << ", \"solver\": \"" << jsonEscape(row.solver)
+                   << "\"";
             if (timing) {
                 os << ", \"compile_ms\": " << msCell(row.compileMs)
                    << ", \"simulate_ms\": " << msCell(row.simulateMs);

@@ -42,6 +42,15 @@ struct ReportRow
     /** Inter-cluster copies summed over the benchmark's kernels. */
     std::int64_t copies = 0;
     /**
+     * Exact-solver outcome for this cell: the worst outcome over
+     * the benchmark's kernels ("proven" < "feasible" <
+     * "budget-exhausted"), empty for heuristic arms. The solver
+     * column appears in the table/CSV/JSON only when some result
+     * in the batch ran the solver, so heuristic-only reports stay
+     * byte-identical to their pre-solver form.
+     */
+    std::string solver;
+    /**
      * Per-row wall times (reported only with timing enabled).
      * simulateMs is the time of this row's data set alone; the
      * compile happened once per job, so compileMs repeats on every

@@ -1,0 +1,122 @@
+#include "opt/budget.hh"
+
+#include <cctype>
+#include <limits>
+
+namespace vliw::opt {
+
+namespace {
+
+constexpr const char *kGrammar =
+    "optimal[:b<N>ms][:n<N[eM]>] — b = wall-clock budget in "
+    "milliseconds (>= 1), n = node budget as plain digits or "
+    "scientific shorthand like n1e7 (>= 1)";
+
+/** Parse the digits at s[pos...); false on overflow or no digit. */
+bool
+parseDigits(const std::string &s, std::size_t &pos,
+            std::uint64_t &out)
+{
+    constexpr std::uint64_t kMax =
+        std::numeric_limits<std::uint64_t>::max();
+    bool any = false;
+    std::uint64_t v = 0;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+        const std::uint64_t d = std::uint64_t(s[pos] - '0');
+        if (v > (kMax - d) / 10)
+            return false;
+        v = v * 10 + d;
+        any = true;
+        ++pos;
+    }
+    if (!any)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+const char *
+budgetGrammar()
+{
+    return kGrammar;
+}
+
+api::Status
+applyBudgetModifier(SolverBudget &budget, const std::string &token,
+                    const std::string &key)
+{
+    auto malformed = [&] {
+        return api::Status::invalidArgument(
+            "malformed modifier '" + token + "' in scheduler key '" +
+                key + "'",
+            kGrammar);
+    };
+
+    if (token.empty())
+        return api::Status::invalidArgument(
+            "empty modifier in scheduler key '" + key + "'",
+            kGrammar);
+
+    std::size_t pos = 1;
+    std::uint64_t value = 0;
+    switch (token[0]) {
+      case 'b': {
+        if (!parseDigits(token, pos, value))
+            return malformed();
+        if (token.compare(pos, std::string::npos, "ms") != 0)
+            return malformed();
+        if (value < 1 || value > 86'400'000) // a day is plenty
+            return malformed();
+        budget.maxMillis = std::uint32_t(value);
+        return api::Status{};
+      }
+      case 'n': {
+        if (!parseDigits(token, pos, value))
+            return malformed();
+        if (pos < token.size()) {
+            if (token[pos] != 'e')
+                return malformed();
+            ++pos;
+            std::uint64_t exp = 0;
+            if (!parseDigits(token, pos, exp) || pos != token.size())
+                return malformed();
+            if (exp > 18)
+                return malformed();
+            for (std::uint64_t i = 0; i < exp; ++i) {
+                if (value > std::uint64_t(100'000'000'000'000'000))
+                    return malformed();
+                value *= 10;
+            }
+        }
+        if (value < 1 ||
+            value > std::uint64_t(1'000'000'000'000'000'000))
+            return malformed();
+        budget.maxNodes = value;
+        return api::Status{};
+      }
+      default:
+        return malformed();
+    }
+}
+
+std::string
+canonicalBudgetKey(const SolverBudget &budget,
+                   const std::string &base)
+{
+    std::string key = base;
+    if (budget.maxMillis != 0) {
+        key += ":b";
+        key += std::to_string(budget.maxMillis);
+        key += "ms";
+    }
+    if (budget.maxNodes != SolverBudget::kDefaultNodes) {
+        key += ":n";
+        key += std::to_string(budget.maxNodes);
+    }
+    return key;
+}
+
+} // namespace vliw::opt

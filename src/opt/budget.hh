@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic search budgets for the exact modulo scheduler and
+ * the `optimal[:b<N>ms][:n<N>]` parametric scheduler-key grammar.
+ *
+ * The node budget is the deterministic one: the solver counts
+ * placement attempts at fixed points of the search, so two runs with
+ * the same budget explore the same tree prefix regardless of thread
+ * count or machine speed. The millisecond budget is a wall-clock
+ * safety net (checked coarsely, alongside the cooperative cancel
+ * token); results under an expiring ms budget are machine-dependent,
+ * which is why it defaults to off.
+ */
+
+#ifndef WIVLIW_OPT_BUDGET_HH
+#define WIVLIW_OPT_BUDGET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "api/status.hh"
+
+namespace vliw::opt {
+
+/** Search limits for one exact-scheduling run (one loop). */
+struct SolverBudget
+{
+    static constexpr std::uint64_t kDefaultNodes = 1'000'000;
+
+    /** Placement attempts explored before giving up (>= 1). */
+    std::uint64_t maxNodes = kDefaultNodes;
+    /** Wall-clock cap in milliseconds; 0 disables the clock. */
+    std::uint32_t maxMillis = 0;
+
+    friend bool
+    operator==(const SolverBudget &a, const SolverBudget &b)
+    {
+        return a.maxNodes == b.maxNodes && a.maxMillis == b.maxMillis;
+    }
+};
+
+/** One-line budget grammar, used as Status context for bad keys. */
+const char *budgetGrammar();
+
+/**
+ * Apply one `:`-separated modifier token of an `optimal` scheduler
+ * key to @p budget. Accepts `b<N>ms` (wall-clock budget) and `n<N>`
+ * or `n<D>e<E>` (node budget, scientific shorthand). @p key is the
+ * full scheduler key, quoted in error messages.
+ */
+api::Status applyBudgetModifier(SolverBudget &budget,
+                                const std::string &token,
+                                const std::string &key);
+
+/**
+ * Canonical scheduler key for @p budget: @p base alone when
+ * everything is at its default, else `base:b<N>ms` / `:n<N>` in
+ * that order with plain-digit numbers. Parsing the canonical key
+ * reproduces @p budget exactly.
+ */
+std::string canonicalBudgetKey(const SolverBudget &budget,
+                               const std::string &base = "optimal");
+
+} // namespace vliw::opt
+
+#endif // WIVLIW_OPT_BUDGET_HH

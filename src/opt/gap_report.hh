@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The optimality-gap report: run the exact solver next to the
+ * paper's heuristics over a benchmark x architecture grid and
+ * tabulate, per cell, how far each heuristic's II and cycle count
+ * sit from the solver's (proven or best-found) answer. This is the
+ * quantitative companion to the paper's Figures 4-6: the heuristics
+ * are evaluated there against each other; here they are evaluated
+ * against a certificate.
+ *
+ * The report rides entirely on the ordinary sweep machinery — one
+ * Session::sweep over {heuristics + optimal arm}, so compile
+ * caching, the persistent store, fair scheduling and cancellation
+ * all apply unchanged and a gap report at --jobs 8 is byte-equal to
+ * --jobs 1.
+ */
+
+#ifndef WIVLIW_OPT_GAP_REPORT_HH
+#define WIVLIW_OPT_GAP_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "api/session.hh"
+#include "support/table.hh"
+
+namespace vliw::opt {
+
+/** What to sweep; defaults mirror the paper's headline grid. */
+struct GapReportOptions
+{
+    /** Benchmarks; empty means every registered workload. */
+    std::vector<std::string> benches;
+    /** Architectures the gap is measured on. */
+    std::vector<std::string> archs{"interleaved", "interleaved-ab"};
+    /** Heuristic arms to measure, in report order. */
+    std::vector<std::string> heuristics{"base", "ibc", "ipbc"};
+    /** The solver arm, possibly budgeted ("optimal:b5000ms"). */
+    std::string optimalKey = "optimal";
+    /** Worker threads; 0 = the session default. */
+    int jobs = 0;
+    /** Seeds, profiling caps etc. shared by every cell. */
+    ToolchainOptions options;
+};
+
+/** One (benchmark, arch, heuristic) comparison row. */
+struct GapCell
+{
+    std::string bench;
+    std::string arch;
+    /** The heuristic arm this row measures. */
+    std::string scheduler;
+    /** II summed over the benchmark's kernels. */
+    int ii = 0;
+    /** Same sum for the solver arm. */
+    int iiOptimal = 0;
+    int iiGap = 0;
+    std::int64_t cycles = 0;
+    std::int64_t cyclesOptimal = 0;
+    /** (cycles - cyclesOptimal) / cyclesOptimal, in percent. */
+    double cycleGapPct = 0.0;
+    /** Worst solver outcome over the cell's kernels:
+     *  "proven", "feasible" or "budget-exhausted". */
+    std::string solver;
+    /** Solver II lower bound summed over kernels. */
+    int lowerBound = 0;
+    /** Search nodes the solver explored, summed over kernels. */
+    std::uint64_t solverNodes = 0;
+};
+
+/** The whole report, in (bench, arch, heuristic) grid order. */
+struct GapReport
+{
+    std::vector<GapCell> cells;
+    /** Compile-cache counters of the underlying sweep. */
+    engine::CompileCacheStats cache;
+
+    /** Cells whose solver arm carries a proof. */
+    std::size_t provenCount() const;
+    /**
+     * Soundness gate: true when at least one cell is proven and no
+     * heuristic undercuts a proven-optimal II (which would mean
+     * the "optimal" certificate is not). CI fails on false.
+     */
+    bool gatePasses() const;
+};
+
+/**
+ * Run the gap sweep through @p session. Axis validation errors come
+ * back as the sweep's own Status (unknown names, malformed budget
+ * keys); a cancelled sweep maps to StatusCode::Cancelled.
+ */
+api::Result<GapReport> runGapReport(api::Session &session,
+                                    const GapReportOptions &opts);
+
+/** Aligned text table over the report's cells. */
+TextTable gapTable(const GapReport &report);
+
+/** CSV: header plus one line per cell. */
+void writeGapCsv(std::ostream &os, const GapReport &report);
+
+/** JSON: {"gap_report": [...]} with one object per cell. */
+void writeGapJson(std::ostream &os, const GapReport &report);
+
+} // namespace vliw::opt
+
+#endif // WIVLIW_OPT_GAP_REPORT_HH

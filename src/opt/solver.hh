@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Exact modulo scheduler: branch-and-bound / CP-style search over
+ * (II, per-node cycle, cluster) assignments plus inter-cluster copy
+ * start times, under the same legality model as validateSchedule()
+ * and registerPressureOk().
+ *
+ * The search proves minimality of the initiation interval: starting
+ * from MII it runs a complete search per candidate II (MinDist
+ * all-pairs longest paths prune the windows; the Mrt is the resource
+ * propagator; memory chains hard-pin clusters; copies branch over
+ * every distinct bus start in one II worth of slots), so an II that
+ * comes back empty is *proved* infeasible and the first feasible II
+ * is minimal. The heuristic schedule passed in seeds the search with
+ * an upper bound and remains the fallback when the budget runs out.
+ *
+ * Completeness caveat (documented in docs/SCHEDULERS.md): schedules
+ * are searched within a bounded horizon of max(critical path, seed
+ * span) plus a generous slack of pipeline stages, so "proven" means
+ * proven within that stage bound — the standard bound used by exact
+ * modulo-scheduling formulations.
+ */
+
+#ifndef WIVLIW_OPT_SOLVER_HH
+#define WIVLIW_OPT_SOLVER_HH
+
+#include <cstdint>
+
+#include "ddg/ddg.hh"
+#include "machine/machine_config.hh"
+#include "opt/budget.hh"
+#include "sched/schedule.hh"
+#include "sched/scheduler.hh"
+
+namespace vliw::opt {
+
+/** What one exact-scheduling run established. */
+enum class SolveStatus : std::uint8_t
+{
+    /** schedule has the minimal II (every smaller II refuted). */
+    Proven,
+    /** Solver-found schedule better than the seed, no proof yet. */
+    Feasible,
+    /** Budget ran out before the solver beat or proved the seed. */
+    BudgetExhausted,
+};
+
+/** Wire/report names: "proven", "feasible", "budget-exhausted". */
+const char *solveStatusName(SolveStatus status);
+
+/** Search counters, also mirrored into the metrics registry. */
+struct SolveStats
+{
+    /** Placement attempts explored (the budgeted unit). */
+    std::uint64_t nodes = 0;
+    /** Candidates rejected by bounds, resources or copy routing. */
+    std::uint64_t prunes = 0;
+    /** IIs refuted by a completed (empty) search. */
+    std::uint32_t iisRefuted = 0;
+    /** True when the wall-clock budget expired (ms budget only). */
+    bool timedOut = false;
+};
+
+/** Result of solveLoop(). */
+struct SolveOutcome
+{
+    SolveStatus status = SolveStatus::BudgetExhausted;
+    /**
+     * The best known schedule: the solver's certificate when it beat
+     * the seed, otherwise the seed itself (always legal, always
+     * usable downstream).
+     */
+    Schedule schedule;
+    /** Largest II proved infeasible, plus one (>= MII). */
+    int lowerBound = 0;
+    SolveStats stats;
+};
+
+/**
+ * Exactly schedule one loop. @p seed is a legal schedule produced by
+ * a heuristic (the upper bound and fallback); @p mii the loop's MII.
+ * Honors @p opts.useChains, @p opts.checkRegPressure and
+ * @p opts.cancel (cancellation throws CancelledError, leaving no
+ * shared state behind — the solver owns all of its scratch).
+ */
+SolveOutcome solveLoop(const Ddg &ddg, const LatencyMap &lat,
+                       const MachineConfig &cfg,
+                       const SchedulerOptions &opts,
+                       const SolverBudget &budget,
+                       const Schedule &seed, int mii);
+
+} // namespace vliw::opt
+
+#endif // WIVLIW_OPT_SOLVER_HH

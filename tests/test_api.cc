@@ -124,7 +124,8 @@ TEST(Registries, BuiltinSeedsEveryAxisInPaperOrder)
                   "interleaved", "interleaved-ab", "unified1",
                   "unified5", "multivliw"}));
     EXPECT_EQ(reg.schedulers.names(),
-              (std::vector<std::string>{"base", "ibc", "ipbc"}));
+              (std::vector<std::string>{"base", "ibc", "ipbc",
+                                        "optimal"}));
     EXPECT_EQ(reg.unrolls.names(),
               (std::vector<std::string>{"none", "xN", "ouf",
                                         "selective"}));
@@ -142,7 +143,9 @@ TEST(Registries, BuiltinResolvesMatchFactories)
 
     auto h = reg.schedulers.resolve("ibc");
     ASSERT_TRUE(h.ok());
-    EXPECT_EQ(h.value(), Heuristic::Ibc);
+    EXPECT_EQ(h.value().heuristic, Heuristic::Ibc);
+    EXPECT_FALSE(h.value().optimal);
+    EXPECT_EQ(h.value().name, "ibc");
 
     auto u = reg.unrolls.resolve("xN");
     ASSERT_TRUE(u.ok());

@@ -124,6 +124,37 @@ TEST(CliContract, InconsistentParametricArchExits2)
     EXPECT_NE(res.output.find("power of two"), std::string::npos);
 }
 
+TEST(CliContract, MalformedSchedulerKeyExits2)
+{
+    // Scheduler budget keys get the same uniform treatment as
+    // parametric arch keys: exit 2 with the grammar as the hint.
+    const CliResult res =
+        runCli("--bench gsmdec --heuristic optimal:z9");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+    EXPECT_NE(res.output.find("malformed modifier"),
+              std::string::npos);
+    EXPECT_NE(res.output.find("optimal[:b<N>ms][:n<N[eM]>]"),
+              std::string::npos);
+}
+
+TEST(CliContract, BudgetModifierOnHeuristicExits2)
+{
+    const CliResult res =
+        runCli("--bench gsmdec --heuristic ipbc:b5ms");
+    EXPECT_EQ(res.exitCode, 2) << res.output;
+    EXPECT_NE(res.output.find("does not take budget modifiers"),
+              std::string::npos);
+}
+
+TEST(CliContract, BudgetedSchedulerKeyRuns)
+{
+    const CliResult res = runCli(
+        "--bench gsmdec --heuristic optimal:b5000ms:n1e5 "
+        "--unroll none --csv");
+    EXPECT_EQ(res.exitCode, 0) << res.output;
+    EXPECT_NE(res.output.find("gsmdec"), std::string::npos);
+}
+
 TEST(CliContract, ParametricArchRuns)
 {
     const CliResult res =
@@ -169,7 +200,11 @@ TEST(CliContract, ListFlagsPrintRegistries)
 
     const CliResult heuristics = runCli("--list-heuristics");
     EXPECT_EQ(heuristics.exitCode, 0);
-    EXPECT_EQ(heuristics.output, "base\nibc\nipbc\n");
+    // Budgeted arms carry a tab-separated key-grammar annotation;
+    // plain heuristics keep their classic bare-name lines.
+    EXPECT_EQ(heuristics.output,
+              "base\nibc\nipbc\n"
+              "optimal\tbudgeted: optimal[:b<N>ms][:n<N[eM]>]\n");
 
     const CliResult unrolls = runCli("--list-unrolls");
     EXPECT_EQ(unrolls.exitCode, 0);
@@ -260,7 +295,8 @@ TEST(CliContract, RunHelpListsEveryReadmeFlag)
          "--unrolls", "--jobs", "--datasets", "--no-compile-cache",
          "--timing", "--remote", "--store", "--csv", "--json",
          "--version", "--help", "--bench-file",
-         "--no-builtin-benches", "--export-benches", "--dump-ddg"});
+         "--no-builtin-benches", "--export-benches", "--dump-ddg",
+         "--gap-report", "--optimal", "--gap-gate"});
 }
 
 // ---- workload ingestion (--bench-file / .wvl) -----------------

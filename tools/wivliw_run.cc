@@ -34,6 +34,7 @@
 #include "dist/coordinator.hh"
 #include "dist/ndjson_client.hh"
 #include "engine/report.hh"
+#include "opt/gap_report.hh"
 #include "sched/schedule_dump.hh"
 #include "support/json.hh"
 #include "support/table.hh"
@@ -86,6 +87,13 @@ struct CliOptions
     std::string remote;
     /** First sweep-only flag seen, for misuse diagnostics. */
     std::string sweepOnlyFlag;
+    // Optimality-gap mode.
+    bool gapReport = false;
+    /** Solver arm for --gap-report; may carry budget modifiers. */
+    std::string optimalKey = "optimal";
+    /** --gap-gate: nonzero exit unless the report proves a cell
+     *  and no heuristic undercuts a proven-optimal II. */
+    bool gapGate = false;
 };
 
 [[noreturn]] void
@@ -149,6 +157,18 @@ usage(int code)
         "                     across them and merge a CSV report\n"
         "                     byte-identical to the local sweep\n"
         "                     (see README 'Distributed sweeps')\n"
+        "optimality gap (docs/SCHEDULERS.md):\n"
+        "  --gap-report       run the heuristics next to the exact\n"
+        "                     solver over benches x archs and report\n"
+        "                     per-cell II/cycle gaps and proof\n"
+        "                     status; shares --benches, --archs,\n"
+        "                     --heuristics and --jobs with --sweep\n"
+        "  --optimal KEY      solver arm for --gap-report (default\n"
+        "                     'optimal'; budgeted keys like\n"
+        "                     optimal:b5000ms:n1e7)\n"
+        "  --gap-gate         exit 1 unless at least one cell is\n"
+        "                     proven and no heuristic beats a\n"
+        "                     proven-optimal II\n"
         "common:\n"
         "  --store DIR        persistent compile store shared\n"
         "                     across runs and daemons\n"
@@ -295,6 +315,12 @@ parseArgs(int argc, char **argv)
             cli.unrolls = value("--unrolls");
             cli.sweepOnlyFlag = arg;
         }
+        else if (arg == "--gap-report")
+            cli.gapReport = true;
+        else if (arg == "--optimal")
+            cli.optimalKey = value("--optimal");
+        else if (arg == "--gap-gate")
+            cli.gapGate = true;
         else if (arg == "--store")
             cli.storeDir = value("--store");
         else if (arg == "--remote") {
@@ -326,9 +352,24 @@ parseArgs(int argc, char **argv)
         std::fprintf(stderr, "--datasets wants a count >= 1\n");
         usage(2);
     }
-    if (!cli.sweep && !cli.sweepOnlyFlag.empty()) {
+    // The gap report shares the sweep's axis/jobs flags; everything
+    // else sweep-only stays sweep-only.
+    if (!cli.sweep && !cli.gapReport && !cli.sweepOnlyFlag.empty()) {
         std::fprintf(stderr, "%s only makes sense with --sweep\n",
                      cli.sweepOnlyFlag.c_str());
+        usage(2);
+    }
+    if (!cli.gapReport && (cli.gapGate ||
+                           cli.optimalKey != "optimal")) {
+        std::fprintf(stderr,
+                     "%s only makes sense with --gap-report\n",
+                     cli.gapGate ? "--gap-gate" : "--optimal");
+        usage(2);
+    }
+    if (cli.gapReport && (cli.sweep || !cli.remote.empty())) {
+        std::fprintf(stderr,
+                     "--gap-report is its own mode (no --sweep, "
+                     "no --remote)\n");
         usage(2);
     }
     if (!cli.builtinBenches && cli.benchFiles.empty()) {
@@ -337,11 +378,11 @@ parseArgs(int argc, char **argv)
                      "add --bench-file FILE\n");
         usage(2);
     }
-    if (cli.list.empty() && !cli.sweep && !cli.all &&
-        cli.bench.empty() && cli.exportBenches.empty()) {
+    if (cli.list.empty() && !cli.sweep && !cli.gapReport &&
+        !cli.all && cli.bench.empty() && cli.exportBenches.empty()) {
         std::fprintf(stderr,
-                     "pick --bench NAME, --all, --sweep or a "
-                     "--list-* flag\n");
+                     "pick --bench NAME, --all, --sweep, "
+                     "--gap-report or a --list-* flag\n");
         usage(2);
     }
     return cli;
@@ -362,10 +403,24 @@ printList(const api::Session &session, const std::string &flag)
         }
         return 0;
     }
+    if (flag == "--list-heuristics") {
+        // Budgeted arms grow an annotation with their key grammar;
+        // plain heuristics keep the classic bare-name lines.
+        for (const std::string &name : reg.schedulers.names()) {
+            const api::SchedulerEntry *entry =
+                reg.schedulers.find(name);
+            if (entry && entry->optimal) {
+                std::printf("%s\tbudgeted: %s[:b<N>ms][:n<N[eM]>]\n",
+                            name.c_str(), name.c_str());
+            } else {
+                std::printf("%s\n", name.c_str());
+            }
+        }
+        return 0;
+    }
     const std::vector<std::string> &names =
-        flag == "--list-archs"      ? reg.archs.names()
-        : flag == "--list-heuristics" ? reg.schedulers.names()
-                                      : reg.unrolls.names();
+        flag == "--list-archs" ? reg.archs.names()
+                               : reg.unrolls.names();
     for (const std::string &name : names)
         std::printf("%s\n", name.c_str());
     return 0;
@@ -640,6 +695,58 @@ runRemoteSweep(api::Session &session, const CliOptions &cli)
     return 0;
 }
 
+/**
+ * Optimality-gap mode: one sweep over {heuristics + solver arm},
+ * folded into the per-cell gap report. --gap-gate makes the exit
+ * code assert the report (CI's soundness check).
+ */
+int
+gapReportMode(api::Session &session, const CliOptions &cli)
+{
+    opt::GapReportOptions gopts;
+    gopts.benches = splitAxis("--benches", cli.benches);
+    if (std::vector<std::string> archs =
+            splitAxis("--archs", cli.archs);
+        !archs.empty())
+        gopts.archs = std::move(archs);
+    if (std::vector<std::string> heur =
+            splitAxis("--heuristics", cli.heuristics);
+        !heur.empty())
+        gopts.heuristics = std::move(heur);
+    gopts.optimalKey = cli.optimalKey;
+    gopts.jobs = cli.jobs;
+
+    auto result = opt::runGapReport(session, gopts);
+    if (!result.ok())
+        statusExit(result.status());
+    const opt::GapReport &report = result.value();
+
+    if (cli.json)
+        opt::writeGapJson(std::cout, report);
+    else if (cli.csv)
+        opt::writeGapCsv(std::cout, report);
+    else
+        opt::gapTable(report).print(std::cout);
+
+    if (cli.gapGate) {
+        if (report.provenCount() == 0) {
+            std::fprintf(stderr,
+                         "gap gate: no cell was proven optimal "
+                         "within budget\n");
+            return 1;
+        }
+        if (!report.gatePasses()) {
+            std::fprintf(stderr,
+                         "gap gate: a heuristic II undercuts a "
+                         "proven-optimal II\n");
+            return 1;
+        }
+        std::fprintf(stderr, "gap gate: %zu proven cells, gate ok\n",
+                     report.provenCount());
+    }
+    return 0;
+}
+
 int
 runSweep(api::Session &session, const CliOptions &cli)
 {
@@ -705,6 +812,8 @@ main(int argc, char **argv)
         return exportBenchesMode(session, cli.exportBenches);
     if (!cli.list.empty())
         return printList(session, cli.list);
+    if (cli.gapReport)
+        return gapReportMode(session, cli);
     if (cli.sweep) {
         if (!cli.remote.empty())
             return runRemoteSweep(session, cli);

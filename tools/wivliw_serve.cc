@@ -393,6 +393,10 @@ class Connection
               case api::EventKind::CellCompiled:
                 os << ",\"cell\":" << ev.cell
                    << ",\"label\":" << json::quoted(ev.label);
+                // Only solver cells carry an outcome; heuristic
+                // cells keep the documented three-field shape.
+                if (!ev.solver.empty())
+                    os << ",\"solver\":" << json::quoted(ev.solver);
                 break;
               case api::EventKind::CellSimulated:
                 os << ",\"cell\":" << ev.cell
